@@ -1,0 +1,66 @@
+//! Ablations over the design choices DESIGN.md calls out: array
+//! oversizing, wafer bypass wiring, and the FFT matcher's alphabet
+//! dependence.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pm_bench::workloads;
+use pm_chip::wafer::Wafer;
+use pm_matchers::prelude::*;
+use pm_systolic::matcher::SystolicMatcher;
+use pm_systolic::symbol::Alphabet;
+
+fn bench_oversize_overhead(c: &mut Criterion) {
+    // §3.2.1 says arrays larger than the pattern work (redundant
+    // recomputation); this measures what that redundancy costs the
+    // simulator.
+    let alphabet = Alphabet::TWO_BIT;
+    let pattern = workloads::random_pattern(alphabet, 8, 10, 5);
+    let text = workloads::random_text(alphabet, 2_048, 6);
+    let mut group = c.benchmark_group("oversize_factor");
+    group.sample_size(10);
+    for &factor in &[1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(factor), &factor, |b, &f| {
+            let mut m = SystolicMatcher::with_cells(&pattern, 8 * f).expect("fits");
+            b.iter(|| m.match_symbols(&text))
+        });
+    }
+    group.finish();
+}
+
+fn bench_wafer_bypass(c: &mut Criterion) {
+    // §5: how much working silicon each extra bypass wire recovers,
+    // and what the harvesting pass costs.
+    let mut group = c.benchmark_group("wafer_bypass");
+    group.sample_size(20);
+    let wafer = Wafer::fabricate(16, 64, 0.12, 99);
+    for &bypass in &[0usize, 1, 3] {
+        group.bench_with_input(BenchmarkId::from_parameter(bypass), &bypass, |b, &k| {
+            b.iter(|| wafer.harvest(k))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fft_alphabet_width(c: &mut Criterion) {
+    // Fischer–Paterson runs 2 convolutions per alphabet bit: cost is
+    // linear in log |Σ|, unlike the systolic array.
+    let mut group = c.benchmark_group("fft_alphabet_bits");
+    group.sample_size(10);
+    for &bits in &[1u32, 4, 8] {
+        let alphabet = Alphabet::new(bits).expect("valid");
+        let pattern = workloads::random_pattern(alphabet, 8, 10, bits as u64);
+        let text = workloads::random_text(alphabet, 8_192, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |b, _| {
+            b.iter(|| FischerPatersonMatcher.find(&text, &pattern).expect("ok"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_oversize_overhead,
+    bench_wafer_bypass,
+    bench_fft_alphabet_width
+);
+criterion_main!(benches);

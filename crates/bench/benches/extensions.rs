@@ -1,0 +1,65 @@
+//! E11–E13: the §3.4 extensions — counting, correlation, convolution,
+//! FIR — on the shared systolic dataflow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pm_bench::workloads;
+use pm_correlator::prelude::*;
+use pm_systolic::matcher::SystolicCounter;
+use pm_systolic::symbol::Alphabet;
+
+fn bench_counting(c: &mut Criterion) {
+    let alphabet = Alphabet::TWO_BIT;
+    let pattern = workloads::random_pattern(alphabet, 8, 20, 7);
+    let text = workloads::random_text(alphabet, 4_096, 8);
+    let mut group = c.benchmark_group("extensions");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(text.len() as u64));
+    group.bench_function("counting_cells", |b| {
+        let mut counter = SystolicCounter::new(&pattern).expect("ok");
+        b.iter(|| counter.count_symbols(&text))
+    });
+    group.finish();
+}
+
+fn bench_correlation(c: &mut Criterion) {
+    let signal = workloads::random_signal(4_096, 100, 11);
+    let mut group = c.benchmark_group("correlation");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(signal.len() as u64));
+    for &taps in &[4usize, 16] {
+        let reference = workloads::random_signal(taps, 100, 12);
+        group.bench_with_input(BenchmarkId::new("ssd", taps), &taps, |b, _| {
+            let mut corr = SystolicCorrelator::new(reference.clone()).expect("ok");
+            b.iter(|| corr.correlate(&signal))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fir_and_convolution(c: &mut Criterion) {
+    let signal = workloads::random_signal(4_096, 100, 13);
+    let mut group = c.benchmark_group("fir_convolution");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(signal.len() as u64));
+    let taps = workloads::random_signal(8, 10, 14);
+    group.bench_function("fir_block", |b| {
+        let mut f = FirFilter::new(taps.clone()).expect("ok");
+        b.iter(|| f.filter(&signal))
+    });
+    group.bench_function("convolve_systolic", |b| {
+        let mut conv = SystolicConvolver::new(taps.clone()).expect("ok");
+        b.iter(|| conv.convolve(&signal))
+    });
+    group.bench_function("convolve_direct", |b| {
+        b.iter(|| convolve_direct(&signal, &taps))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_counting,
+    bench_correlation,
+    bench_fir_and_convolution
+);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! E5–E7, E17: the hardware substrates — switch-level simulation cost
+//! and layout generation/DRC cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pm_bench::workloads;
+use pm_layout::drc::DesignRules;
+use pm_layout::floorplan::ChipFloorplan;
+use pm_nmos::cells::ComparatorCell;
+use pm_nmos::chip::PatternChip;
+use pm_nmos::shiftreg::DynamicShiftRegister;
+use pm_systolic::symbol::Alphabet;
+
+fn bench_switch_level(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nmos");
+    group.sample_size(10);
+
+    group.bench_function("comparator_cell_beat", |b| {
+        let mut cell = ComparatorCell::new(false);
+        b.iter(|| cell.step(true, false, true).expect("settles"))
+    });
+
+    group.bench_function("shiftreg_8_beat", |b| {
+        let mut sr = DynamicShiftRegister::new(8);
+        b.iter(|| sr.shift(true).expect("settles"))
+    });
+
+    for &cells in &[4usize, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("chip_match_16_chars", cells),
+            &cells,
+            |b, &cells| {
+                let pattern = workloads::random_pattern(Alphabet::TWO_BIT, cells, 10, 1);
+                let text = workloads::random_text(Alphabet::TWO_BIT, 16, 2);
+                let chip = PatternChip::new(cells, 2);
+                b.iter(|| chip.match_pattern(&pattern, &text).expect("settles"))
+            },
+        );
+    }
+
+    // The §3.4 extension chips: counting and correlation in silicon.
+    group.bench_function("countchip_3x2_w3_12_chars", |b| {
+        let pattern = workloads::random_pattern(Alphabet::TWO_BIT, 3, 10, 4);
+        let text = workloads::random_text(Alphabet::TWO_BIT, 12, 5);
+        let chip = pm_nmos::countchip::CountChip::new(3, 2, 3);
+        b.iter(|| chip.count(&pattern, &text).expect("settles"))
+    });
+    group.bench_function("corrchip_2cell_w3_8_samples", |b| {
+        let chip = pm_nmos::corrchip::CorrChip::new(2, 3, 8);
+        let reference = [2i64, -1];
+        let signal = workloads::random_signal(8, 3, 6);
+        b.iter(|| chip.correlate(&reference, &signal).expect("settles"))
+    });
+    group.finish();
+}
+
+fn bench_layout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("layout");
+    group.sample_size(10);
+    for &cells in &[8usize, 32] {
+        group.bench_with_input(BenchmarkId::new("floorplan", cells), &cells, |b, &cells| {
+            b.iter(|| ChipFloorplan::new(cells, 2))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("full_chip_drc", cells),
+            &cells,
+            |b, &cells| {
+                let plan = ChipFloorplan::new(cells, 2);
+                let rules = DesignRules::default();
+                b.iter(|| plan.drc(&rules))
+            },
+        );
+    }
+    group.bench_function("cif_emit_8_cells", |b| {
+        let plan = ChipFloorplan::new(8, 2);
+        b.iter(|| plan.to_cif())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_switch_level, bench_layout);
+criterion_main!(benches);

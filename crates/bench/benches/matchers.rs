@@ -1,0 +1,75 @@
+//! E14/E15: algorithm comparison and wild-card scaling.
+//!
+//! Regenerates the paper's §3.1/§3.3.1 argument as timings: the
+//! systolic simulation and the naive scan grow linearly in text length,
+//! the Fischer–Paterson convolution method grows as n·log n (and with
+//! the alphabet width), and the word-parallel Shift-Or baseline shows
+//! what 64-bit hardware buys.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pm_bench::workloads;
+use pm_matchers::prelude::*;
+use pm_systolic::symbol::Alphabet;
+
+fn bench_algorithms(c: &mut Criterion) {
+    let alphabet = Alphabet::TWO_BIT;
+    let pattern = workloads::random_pattern(alphabet, 12, 25, 21);
+    let mut group = c.benchmark_group("wildcard_matchers");
+    group.sample_size(10);
+    for &n in &[4_096usize, 16_384] {
+        let text = workloads::random_text(alphabet, n, 22);
+        group.throughput(Throughput::Elements(n as u64));
+        for matcher in all_matchers() {
+            if !matcher.supports_wildcards() {
+                continue;
+            }
+            group.bench_with_input(BenchmarkId::new(matcher.name(), n), &text, |b, text| {
+                b.iter(|| matcher.find(text, &pattern).expect("accepts wild cards"))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_wildcard_free(c: &mut Criterion) {
+    // KMP and Boyer–Moore join once the pattern is literal (E14).
+    let alphabet = Alphabet::TWO_BIT;
+    let pattern = workloads::random_pattern(alphabet, 12, 0, 33);
+    let text = workloads::random_text(alphabet, 16_384, 34);
+    let mut group = c.benchmark_group("literal_matchers");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(text.len() as u64));
+    for matcher in all_matchers() {
+        group.bench_function(matcher.name(), |b| {
+            b.iter(|| matcher.find(&text, &pattern).expect("literal pattern"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_pattern_length(c: &mut Criterion) {
+    // Systolic cell count grows with the pattern; software cost per
+    // character does too. The chip's data rate would not (E8).
+    let alphabet = Alphabet::TWO_BIT;
+    let text = workloads::random_text(alphabet, 4_096, 50);
+    let mut group = c.benchmark_group("pattern_length");
+    group.sample_size(10);
+    for &k in &[4usize, 16, 48] {
+        let pattern = workloads::random_pattern(alphabet, k, 10, k as u64);
+        group.bench_with_input(BenchmarkId::new("systolic", k), &pattern, |b, p| {
+            b.iter(|| SystolicAlgorithm.find(&text, p).expect("ok"))
+        });
+        group.bench_with_input(BenchmarkId::new("naive", k), &pattern, |b, p| {
+            b.iter(|| NaiveMatcher.find(&text, p).expect("ok"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_algorithms,
+    bench_wildcard_free,
+    bench_pattern_length
+);
+criterion_main!(benches);

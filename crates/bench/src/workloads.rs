@@ -1,0 +1,98 @@
+//! Deterministic workload generation shared by figures and benches.
+
+use pm_systolic::symbol::{Alphabet, PatSym, Pattern, Symbol};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random text of `len` symbols over `alphabet`, deterministic in
+/// `seed`.
+pub fn random_text(alphabet: Alphabet, len: usize, seed: u64) -> Vec<Symbol> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len)
+        .map(|_| Symbol::new(rng.gen_range(0..alphabet.size() as u16) as u8))
+        .collect()
+}
+
+/// A random pattern of `len` characters with roughly `wildcard_pct`
+/// percent wild cards.
+pub fn random_pattern(alphabet: Alphabet, len: usize, wildcard_pct: u32, seed: u64) -> Pattern {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9).wrapping_add(1));
+    let symbols = (0..len)
+        .map(|_| {
+            if rng.gen_range(0..100) < wildcard_pct {
+                PatSym::Wild
+            } else {
+                PatSym::Lit(Symbol::new(rng.gen_range(0..alphabet.size() as u16) as u8))
+            }
+        })
+        .collect();
+    Pattern::new(symbols, alphabet).expect("len > 0")
+}
+
+/// A text guaranteed to contain the pattern as a substring at known
+/// positions (planted every `stride` characters where it fits).
+pub fn planted_text(
+    pattern: &Pattern,
+    len: usize,
+    stride: usize,
+    seed: u64,
+) -> (Vec<Symbol>, Vec<usize>) {
+    let mut text = random_text(pattern.alphabet(), len, seed);
+    let mut ends = Vec::new();
+    let plen = pattern.len();
+    let mut at = 0;
+    while at + plen <= len {
+        for (i, p) in pattern.symbols().iter().enumerate() {
+            if let Some(lit) = p.literal() {
+                text[at + i] = lit;
+            }
+        }
+        ends.push(at + plen - 1);
+        at += stride.max(plen);
+    }
+    (text, ends)
+}
+
+/// A random integer signal in `[-range, range]`.
+pub fn random_signal(len: usize, range: i64, seed: u64) -> Vec<i64> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5851_f42d);
+    (0..len).map(|_| rng.gen_range(-range..=range)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_systolic::spec::match_spec;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = random_text(Alphabet::TWO_BIT, 50, 7);
+        let b = random_text(Alphabet::TWO_BIT, 50, 7);
+        assert_eq!(a, b);
+        assert_ne!(a, random_text(Alphabet::TWO_BIT, 50, 8));
+    }
+
+    #[test]
+    fn pattern_respects_wildcard_pct() {
+        let none = random_pattern(Alphabet::TWO_BIT, 64, 0, 1);
+        assert!(!none.has_wildcards());
+        let all = random_pattern(Alphabet::TWO_BIT, 64, 100, 1);
+        assert!(all.symbols().iter().all(|s| s.is_wild()));
+    }
+
+    #[test]
+    fn planted_text_actually_matches() {
+        let p = random_pattern(Alphabet::TWO_BIT, 5, 20, 3);
+        let (text, ends) = planted_text(&p, 100, 17, 3);
+        let spec = match_spec(&text, &p);
+        for end in ends {
+            assert!(spec[end], "planted match at {end} missing");
+        }
+    }
+
+    #[test]
+    fn signal_within_range() {
+        let s = random_signal(100, 10, 0);
+        assert!(s.iter().all(|&v| (-10..=10).contains(&v)));
+    }
+}

@@ -1,0 +1,178 @@
+//! Multi-chip cascades (paper Figure 3-7).
+//!
+//! "Several pattern matching chips can then be cascaded … The inputs to
+//! each chip are taken from the outputs of its neighbors, so that the
+//! cells on all of the chips form a single linear array. … A cascade of
+//! k chips with n cells each can match patterns of up to kn
+//! characters."
+//!
+//! [`ChipCascade`] wraps the segment-chained driver of `pm-systolic`
+//! with chip-level bookkeeping (chip count, per-chip cell count, pin
+//! budget) and is verified against a monolithic array of the same total
+//! size.
+
+use crate::pins::PinBudget;
+use pm_systolic::engine::{Driver, MatchBits};
+use pm_systolic::error::Error;
+use pm_systolic::semantics::BooleanMatch;
+use pm_systolic::symbol::{Pattern, Symbol};
+
+/// A linear cascade of identical pattern-matching chips.
+#[derive(Debug, Clone)]
+pub struct ChipCascade {
+    driver: Driver<BooleanMatch>,
+    pattern: Pattern,
+    chips: usize,
+    cells_per_chip: usize,
+}
+
+impl ChipCascade {
+    /// Builds a cascade of `chips` chips with `cells_per_chip` cells
+    /// each, prepared for `pattern`. Figure 3-7's example is
+    /// `ChipCascade::new(&pattern, 5, 8)`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::NoSegments`] if `chips` is zero, or
+    /// [`Error::ArrayTooSmall`] if `chips × cells_per_chip` is less
+    /// than the pattern length.
+    pub fn new(pattern: &Pattern, chips: usize, cells_per_chip: usize) -> Result<Self, Error> {
+        let sizes = vec![cells_per_chip; chips];
+        let driver = Driver::new(BooleanMatch, pattern.symbols().to_vec(), &sizes)?;
+        Ok(ChipCascade {
+            driver,
+            pattern: pattern.clone(),
+            chips,
+            cells_per_chip,
+        })
+    }
+
+    /// Builds a cascade from mixed stock — chips of different sizes, as
+    /// a lab drawer provides. The boundary protocol is identical, so
+    /// heterogeneity costs nothing (the §3.4 extensibility argument).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::NoSegments`] for an empty list, or
+    /// [`Error::ArrayTooSmall`] if the total is less than the pattern.
+    pub fn from_stock(pattern: &Pattern, chip_sizes: &[usize]) -> Result<Self, Error> {
+        let driver = Driver::new(BooleanMatch, pattern.symbols().to_vec(), chip_sizes)?;
+        Ok(ChipCascade {
+            driver,
+            pattern: pattern.clone(),
+            chips: chip_sizes.len(),
+            cells_per_chip: 0,
+        })
+    }
+
+    /// Number of chips in the cascade.
+    pub fn chips(&self) -> usize {
+        self.chips
+    }
+
+    /// Cells on each chip.
+    pub fn cells_per_chip(&self) -> usize {
+        self.cells_per_chip
+    }
+
+    /// Total cells — the maximum pattern length (`kn` in the paper).
+    pub fn capacity(&self) -> usize {
+        self.driver.total_cells()
+    }
+
+    /// The pin budget of one chip in the cascade.
+    pub fn chip_pins(&self) -> PinBudget {
+        PinBudget::new(self.pattern.alphabet().bits())
+    }
+
+    /// Number of board-level wires between adjacent chips: the pattern,
+    /// text and result streams plus the two control bits.
+    pub fn wires_between_chips(&self) -> usize {
+        2 * self.pattern.alphabet().bits() as usize + 3
+    }
+
+    /// Matches a symbol stream through the cascade.
+    pub fn match_symbols(&mut self, text: &[Symbol]) -> MatchBits {
+        let bits = self.driver.run(text);
+        MatchBits::new(bits, self.pattern.k())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_systolic::matcher::SystolicMatcher;
+    use pm_systolic::spec::match_spec;
+    use pm_systolic::symbol::text_from_letters;
+
+    #[test]
+    fn figure_3_7_five_chips_of_eight_cells() {
+        // A 40-cell cascade handling a pattern of 33 characters (too
+        // long for any 4 of the 5 chips).
+        let pattern = Pattern::parse(
+            &"ABCD"
+                .repeat(8)
+                .chars()
+                .chain("A".chars())
+                .collect::<String>(),
+        )
+        .unwrap();
+        assert_eq!(pattern.len(), 33);
+        let mut cascade = ChipCascade::new(&pattern, 5, 8).unwrap();
+        assert_eq!(cascade.capacity(), 40);
+        assert_eq!(cascade.chips(), 5);
+
+        let text = text_from_letters(&"ABCD".repeat(20)).unwrap();
+        let got = cascade.match_symbols(&text);
+        assert_eq!(got.bits(), match_spec(&text, &pattern));
+
+        // And identical to one monolithic 40-cell array.
+        let mut mono = SystolicMatcher::with_cells(&pattern, 40).unwrap();
+        assert_eq!(got.bits(), mono.match_symbols(&text).bits());
+    }
+
+    #[test]
+    fn capacity_check_rejects_undersized_cascade() {
+        let pattern = Pattern::parse(&"AB".repeat(9)).unwrap(); // 18 chars
+        assert!(matches!(
+            ChipCascade::new(&pattern, 2, 8),
+            Err(Error::ArrayTooSmall {
+                cells: 16,
+                pattern_len: 18
+            })
+        ));
+    }
+
+    #[test]
+    fn wires_between_chips_counted() {
+        let pattern = Pattern::parse("AB").unwrap(); // 2-bit alphabet
+        let cascade = ChipCascade::new(&pattern, 2, 4).unwrap();
+        // p(2) + s(2) + λ + x + r = 7.
+        assert_eq!(cascade.wires_between_chips(), 7);
+        assert_eq!(cascade.chip_pins().total_pins(), 18);
+    }
+
+    #[test]
+    fn mixed_stock_cascade_works() {
+        let pattern = Pattern::parse(&"AB".repeat(7)).unwrap(); // 14 chars
+        let text = text_from_letters(&"AB".repeat(20)).unwrap();
+        let mut mixed = ChipCascade::from_stock(&pattern, &[8, 4, 2, 1]).unwrap();
+        assert_eq!(mixed.capacity(), 15);
+        assert_eq!(mixed.chips(), 4);
+        assert_eq!(
+            mixed.match_symbols(&text).bits(),
+            match_spec(&text, &pattern)
+        );
+    }
+
+    #[test]
+    fn single_chip_cascade_is_just_a_chip() {
+        let pattern = Pattern::parse("ABA").unwrap();
+        let text = text_from_letters("ABABABA").unwrap();
+        let mut cascade = ChipCascade::new(&pattern, 1, 8).unwrap();
+        assert_eq!(
+            cascade.match_symbols(&text).bits(),
+            match_spec(&text, &pattern)
+        );
+    }
+}

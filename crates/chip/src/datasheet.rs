@@ -1,0 +1,119 @@
+//! The part's data sheet, assembled from the models.
+//!
+//! Everything a 1980 catalogue page would print about the chip —
+//! organisation, clocking, throughput, package, cascade rules — pulled
+//! from the timing and pin models so the page can never drift from the
+//! design.
+
+use crate::pins::{Package, PinBudget};
+use crate::timing::ClockModel;
+use std::fmt;
+
+/// A generated data sheet for one chip configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataSheet {
+    /// Character cells per chip.
+    pub cells: usize,
+    /// Alphabet width in bits.
+    pub bits: u32,
+    /// Clock phase, ns.
+    pub phase_ns: f64,
+    /// Character period, ns.
+    pub char_period_ns: f64,
+    /// Sustained text rate, characters per second.
+    pub chars_per_second: f64,
+    /// Total pins.
+    pub pins: usize,
+    /// Smallest standard package, if any fits.
+    pub package: Option<Package>,
+}
+
+impl DataSheet {
+    /// Compiles the sheet for an `cells`-cell, `bits`-bit part using
+    /// the prototype clock budget.
+    pub fn compile(cells: usize, bits: u32) -> Self {
+        let clock = ClockModel::prototype();
+        let budget = PinBudget::new(bits);
+        DataSheet {
+            cells,
+            bits,
+            phase_ns: clock.beat_ns(),
+            char_period_ns: clock.char_period_ns(),
+            chars_per_second: clock.chars_per_second(),
+            pins: budget.total_pins(),
+            package: budget.smallest_package(),
+        }
+    }
+
+    /// Maximum pattern length on a cascade of `chips` parts.
+    pub fn cascade_capacity(&self, chips: usize) -> usize {
+        self.cells * chips
+    }
+}
+
+impl fmt::Display for DataSheet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "SYSTOLIC PATTERN MATCHER — {} cells x {}-bit characters",
+            self.cells, self.bits
+        )?;
+        writeln!(
+            f,
+            "  clock phase        : {:.0} ns (two-phase, non-overlapping)",
+            self.phase_ns
+        )?;
+        writeln!(f, "  character period   : {:.0} ns", self.char_period_ns)?;
+        writeln!(
+            f,
+            "  sustained rate     : {:.1} Mchar/s, independent of pattern length",
+            self.chars_per_second / 1e6
+        )?;
+        writeln!(
+            f,
+            "  package            : {} pins ({})",
+            self.pins,
+            self.package
+                .map(|p| p.to_string())
+                .unwrap_or_else(|| "custom".into())
+        )?;
+        writeln!(
+            f,
+            "  cascade            : k parts match patterns up to {}k characters",
+            self.cells
+        )?;
+        write!(
+            f,
+            "  pattern change     : on-line (recirculating pattern, no load phase)"
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prototype_sheet() {
+        let sheet = DataSheet::compile(8, 2);
+        assert!((sheet.char_period_ns - 250.0).abs() < 5.0);
+        assert_eq!(sheet.pins, 18);
+        assert_eq!(sheet.package, Some(Package::Dip24));
+        assert_eq!(sheet.cascade_capacity(5), 40);
+    }
+
+    #[test]
+    fn display_has_the_headlines() {
+        let text = DataSheet::compile(8, 2).to_string();
+        assert!(text.contains("250 ns"), "{text}");
+        assert!(text.contains("DIP-24"), "{text}");
+        assert!(text.contains("on-line"), "{text}");
+    }
+
+    #[test]
+    fn wide_alphabet_needs_custom_package_count() {
+        let sheet = DataSheet::compile(4, 8);
+        assert_eq!(sheet.pins, 42);
+        assert_eq!(sheet.package, Some(Package::Dip64));
+    }
+}

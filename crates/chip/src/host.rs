@@ -1,0 +1,283 @@
+//! The host-computer attachment of Figure 1-1.
+//!
+//! "Special-purpose VLSI chips can be used as peripheral devices
+//! attached to a conventional host computer. The resulting system can
+//! be considered as an efficient general-purpose computer, if many
+//! types of chips are attached." [`HostBus`] models the pattern
+//! matcher as such a peripheral, the way a device driver sees it:
+//! load a pattern, stream text bytes through a FIFO, take a match
+//! interrupt, read match positions from the result queue. The paper's
+//! on-line property — one result per character at fixed latency, no
+//! buffering of the text — is what makes this interface natural.
+
+use pm_systolic::engine::Driver;
+use pm_systolic::error::Error;
+use pm_systolic::semantics::BooleanMatch;
+use pm_systolic::symbol::{Pattern, Symbol};
+use std::collections::VecDeque;
+
+/// A match reported by the device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatchEvent {
+    /// Text position (byte index) at which the match *ends*.
+    pub end: u64,
+    /// Text position at which the match *starts*.
+    pub start: u64,
+}
+
+/// Device status, as a driver would read it from a status register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceState {
+    /// Powered up, no pattern loaded.
+    Idle,
+    /// Pattern loaded; text may be streamed.
+    Streaming,
+}
+
+/// Protocol errors a sloppy driver can provoke.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HostError {
+    /// Text written before a pattern was loaded.
+    NoPattern,
+    /// A text byte outside the device's alphabet.
+    BadByte(u8),
+    /// The pattern could not be loaded.
+    BadPattern(Error),
+}
+
+impl std::fmt::Display for HostError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HostError::NoPattern => write!(f, "text written with no pattern loaded"),
+            HostError::BadByte(b) => write!(f, "text byte {b:#04x} outside the alphabet"),
+            HostError::BadPattern(e) => write!(f, "pattern rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HostError {}
+
+/// The pattern matcher as a bus peripheral.
+#[derive(Debug, Clone)]
+pub struct HostBus {
+    cells: usize,
+    device: Option<Device>,
+}
+
+#[derive(Debug, Clone)]
+struct Device {
+    driver: Driver<BooleanMatch>,
+    pattern: Pattern,
+    events: VecDeque<MatchEvent>,
+    chars_in: u64,
+}
+
+impl HostBus {
+    /// Installs a matcher card with `cells` character cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells` is zero.
+    pub fn new(cells: usize) -> Self {
+        assert!(cells > 0, "a matcher card needs cells");
+        HostBus {
+            cells,
+            device: None,
+        }
+    }
+
+    /// Device state.
+    pub fn state(&self) -> DeviceState {
+        if self.device.is_some() {
+            DeviceState::Streaming
+        } else {
+            DeviceState::Idle
+        }
+    }
+
+    /// Array capacity of the card.
+    pub fn cells(&self) -> usize {
+        self.cells
+    }
+
+    /// Loads (or replaces) the pattern; resets the stream and clears
+    /// pending events.
+    ///
+    /// # Errors
+    ///
+    /// [`HostError::BadPattern`] if the pattern doesn't fit the card.
+    pub fn load_pattern(&mut self, pattern: &Pattern) -> Result<(), HostError> {
+        let driver = Driver::new(BooleanMatch, pattern.symbols().to_vec(), &[self.cells])
+            .map_err(HostError::BadPattern)?;
+        self.device = Some(Device {
+            driver,
+            pattern: pattern.clone(),
+            events: VecDeque::new(),
+            chars_in: 0,
+        });
+        Ok(())
+    }
+
+    /// Streams one text byte through the device. Matches surface in
+    /// the event queue after the array's fixed latency.
+    ///
+    /// # Errors
+    ///
+    /// [`HostError::NoPattern`] or [`HostError::BadByte`].
+    pub fn write_byte(&mut self, byte: u8) -> Result<(), HostError> {
+        let dev = self.device.as_mut().ok_or(HostError::NoPattern)?;
+        if !dev.pattern.alphabet().contains(byte) {
+            return Err(HostError::BadByte(byte));
+        }
+        dev.chars_in += 1;
+        let k = dev.pattern.k() as u64;
+        for (seq, hit) in dev.driver.feed(Symbol::new(byte)) {
+            if hit && seq >= k {
+                dev.events.push_back(MatchEvent {
+                    end: seq,
+                    start: seq - k,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Streams a whole buffer.
+    ///
+    /// # Errors
+    ///
+    /// As [`write_byte`](Self::write_byte); stops at the first bad byte.
+    pub fn write(&mut self, bytes: &[u8]) -> Result<(), HostError> {
+        for &b in bytes {
+            self.write_byte(b)?;
+        }
+        Ok(())
+    }
+
+    /// Flushes the pipeline at end of stream so that every match for
+    /// bytes already written becomes visible.
+    ///
+    /// # Errors
+    ///
+    /// [`HostError::NoPattern`] if no pattern is loaded.
+    pub fn flush(&mut self) -> Result<(), HostError> {
+        let dev = self.device.as_mut().ok_or(HostError::NoPattern)?;
+        let k = dev.pattern.k() as u64;
+        for (seq, hit) in dev.driver.drain() {
+            if hit && seq >= k {
+                dev.events.push_back(MatchEvent {
+                    end: seq,
+                    start: seq - k,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The interrupt line: asserted while events are queued.
+    pub fn irq_pending(&self) -> bool {
+        self.device.as_ref().is_some_and(|d| !d.events.is_empty())
+    }
+
+    /// Pops the oldest match event (the driver's interrupt handler).
+    pub fn read_event(&mut self) -> Option<MatchEvent> {
+        self.device.as_mut()?.events.pop_front()
+    }
+
+    /// Bytes accepted since the pattern was loaded.
+    pub fn bytes_streamed(&self) -> u64 {
+        self.device.as_ref().map_or(0, |d| d.chars_in)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_systolic::spec::match_spec;
+    use pm_systolic::symbol::text_from_letters;
+
+    fn device_with(pattern: &str) -> HostBus {
+        let p = Pattern::parse(pattern).unwrap();
+        let mut bus = HostBus::new(8);
+        bus.load_pattern(&p).unwrap();
+        bus
+    }
+
+    #[test]
+    fn protocol_requires_a_pattern_first() {
+        let mut bus = HostBus::new(8);
+        assert_eq!(bus.state(), DeviceState::Idle);
+        assert_eq!(bus.write_byte(0), Err(HostError::NoPattern));
+        assert_eq!(bus.flush(), Err(HostError::NoPattern));
+    }
+
+    #[test]
+    fn bad_bytes_rejected() {
+        let mut bus = device_with("AB"); // 2-bit alphabet
+        assert_eq!(bus.write_byte(9), Err(HostError::BadByte(9)));
+    }
+
+    #[test]
+    fn events_match_specification() {
+        let mut bus = device_with("AXC");
+        let text = text_from_letters("ABCAACCAB").unwrap();
+        for s in &text {
+            bus.write_byte(s.value()).unwrap();
+        }
+        bus.flush().unwrap();
+        let mut ends = Vec::new();
+        while let Some(e) = bus.read_event() {
+            assert_eq!(e.end - e.start, 2, "span equals pattern length - 1");
+            ends.push(e.end as usize);
+        }
+        let p = Pattern::parse("AXC").unwrap();
+        let spec: Vec<usize> = match_spec(&text, &p)
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(ends, spec);
+    }
+
+    #[test]
+    fn irq_asserts_and_clears() {
+        let mut bus = device_with("AA");
+        bus.write(&[0, 0, 0]).unwrap();
+        bus.flush().unwrap();
+        assert!(bus.irq_pending());
+        while bus.read_event().is_some() {}
+        assert!(!bus.irq_pending());
+    }
+
+    #[test]
+    fn reloading_pattern_resets_the_stream() {
+        let mut bus = device_with("AA");
+        bus.write(&[0, 0]).unwrap();
+        assert_eq!(bus.bytes_streamed(), 2);
+        let p2 = Pattern::parse("BB").unwrap();
+        bus.load_pattern(&p2).unwrap();
+        assert_eq!(bus.bytes_streamed(), 0);
+        assert!(!bus.irq_pending());
+        // New pattern matches immediately on fresh text.
+        bus.write(&[1, 1]).unwrap();
+        bus.flush().unwrap();
+        assert_eq!(bus.read_event(), Some(MatchEvent { start: 0, end: 1 }));
+    }
+
+    #[test]
+    fn oversized_pattern_rejected() {
+        let mut bus = HostBus::new(4);
+        let p = Pattern::parse("AAAAA").unwrap();
+        assert!(matches!(
+            bus.load_pattern(&p),
+            Err(HostError::BadPattern(_))
+        ));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(HostError::NoPattern.to_string().contains("no pattern"));
+        assert!(HostError::BadByte(0xff).to_string().contains("0xff"));
+    }
+}

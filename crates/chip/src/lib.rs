@@ -1,0 +1,53 @@
+//! # pm-chip — the pattern matcher as a packaged part
+//!
+//! `pm-systolic` models the algorithm; this crate models the *chip*:
+//!
+//! * [`timing`] — the two-phase clock budget behind the paper's headline
+//!   measurement, "the chip can achieve a data rate of one character
+//!   every 250 ns, which is higher than the memory bandwidth of most
+//!   conventional computers" (§1), and the corollary that the rate is
+//!   independent of pattern length;
+//! * [`pins`] — the pin budget that §3.4's extensibility argument
+//!   implies ("more inputs and outputs must be provided"), checked
+//!   against period packages;
+//! * [`cascade`] — the five-chip matcher of Figure 3-7: `k` chips of
+//!   `n` cells each matching patterns up to `kn` characters;
+//! * [`multipass`] — matching patterns *longer* than the whole system
+//!   by running the pattern through several times with the text delayed
+//!   by `n` characters per run (§3.4);
+//! * [`host`] — the peripheral-attachment model of Figure 1-1: a
+//!   memory-mapped device with FIFOs and a match interrupt, as a host
+//!   computer's driver would see it;
+//! * [`wafer`] — §5's wafer-scale integration: defect maps,
+//!   interconnect harvesting and the modularity yield dividend.
+
+//! ```
+//! use pm_chip::prelude::*;
+//!
+//! let clock = ClockModel::prototype();
+//! assert!((clock.char_period_ns() - 250.0).abs() < 5.0);
+//! let sheet = DataSheet::compile(8, 2);
+//! assert_eq!(sheet.cascade_capacity(5), 40); // Figure 3-7
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cascade;
+pub mod datasheet;
+pub mod host;
+pub mod multipass;
+pub mod pins;
+pub mod timing;
+pub mod wafer;
+
+/// Convenient re-exports.
+pub mod prelude {
+    pub use crate::cascade::ChipCascade;
+    pub use crate::datasheet::DataSheet;
+    pub use crate::host::{HostBus, MatchEvent};
+    pub use crate::multipass::MultipassMatcher;
+    pub use crate::pins::{Package, PinBudget};
+    pub use crate::timing::{ClockModel, GateDelays};
+    pub use crate::wafer::{Wafer, YieldPoint};
+}

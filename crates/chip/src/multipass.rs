@@ -1,0 +1,201 @@
+//! Multi-pass matching of patterns longer than the array (paper §3.4).
+//!
+//! "If the pattern to be matched is longer than the capacity of the
+//! available pattern matching system, the pattern can be run through
+//! the system several times to match it against the entire string. If
+//! the system contains a total of n character cells, each run will
+//! match the complete pattern against n substrings. To cover all
+//! substrings, all we need do is delay the string by n characters on
+//! succeeding runs."
+//!
+//! In a single pass the pattern does **not** recirculate: it streams
+//! through once, delayed by `n−1` beats relative to the text so that
+//! the window ending at (run-relative) position `i` accumulates in cell
+//! `i−k`. Exactly the `n` windows ending at positions `k … k+n−1` fit
+//! in the array; the next pass advances the text window by `n`.
+
+use pm_systolic::engine::MatchBits;
+use pm_systolic::error::Error;
+use pm_systolic::segment::{PatItem, Segment, SegmentIo, TxtItem};
+use pm_systolic::semantics::BooleanMatch;
+use pm_systolic::symbol::{Pattern, Symbol};
+
+/// A matcher whose pattern may exceed the array size, at the price of
+/// one pass over the text per `cells`-sized block of result positions.
+#[derive(Debug, Clone)]
+pub struct MultipassMatcher {
+    pattern: Pattern,
+    cells: usize,
+}
+
+impl MultipassMatcher {
+    /// Builds a multi-pass matcher over an array of `cells` cells.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::EmptyPattern`] for an empty pattern. (There is no upper
+    /// limit on pattern length — that is the point.)
+    pub fn new(pattern: &Pattern, cells: usize) -> Result<Self, Error> {
+        if pattern.is_empty() {
+            return Err(Error::EmptyPattern);
+        }
+        if cells == 0 {
+            return Err(Error::NoSegments);
+        }
+        Ok(MultipassMatcher {
+            pattern: pattern.clone(),
+            cells,
+        })
+    }
+
+    /// Array size.
+    pub fn cells(&self) -> usize {
+        self.cells
+    }
+
+    /// Number of passes needed over a text of `text_len` characters:
+    /// one per `cells` result positions.
+    pub fn passes_needed(&self, text_len: usize) -> usize {
+        let k = self.pattern.k();
+        if text_len <= k {
+            0
+        } else {
+            (text_len - k).div_ceil(self.cells)
+        }
+    }
+
+    /// Beats consumed by one pass (pattern stream + drain).
+    pub fn beats_per_pass(&self, segment_len: usize) -> u64 {
+        let n = self.cells as u64;
+        let l = self.pattern.len() as u64;
+        (2 * segment_len as u64).max(2 * l + n - 1) + 2 * n + 4
+    }
+
+    /// Matches the text, running as many passes as needed.
+    pub fn match_symbols(&self, text: &[Symbol]) -> MatchBits {
+        let k = self.pattern.k();
+        let n = self.cells;
+        let mut out = vec![false; text.len()];
+        let mut pass = 0usize;
+        while pass * n + k < text.len() {
+            let base = pass * n;
+            // A pass produces windows ending at relative k..k+n-1; it
+            // needs at most k+n characters of text.
+            let hi = (base + k + n).min(text.len());
+            let segment = &text[base..hi];
+            for (rel, value) in self.single_pass(segment) {
+                out[base + rel] = value;
+            }
+            pass += 1;
+        }
+        MatchBits::new(out, k)
+    }
+
+    /// One non-recirculating pass: returns `(relative_end, matched)`
+    /// for every complete window the array covers.
+    fn single_pass(&self, text: &[Symbol]) -> Vec<(usize, bool)> {
+        let n = self.cells;
+        let l = self.pattern.len();
+        let k = l - 1;
+        let delay = (n - 1) as u64; // pattern lags the text
+        let mut seg: Segment<BooleanMatch> = Segment::new(BooleanMatch, n);
+
+        let total = self.beats_per_pass(text.len());
+        let mut results = Vec::new();
+        for t in 0..total {
+            let exit = seg.outputs();
+            if let Some(res) = exit.result {
+                let i = res.seq as usize;
+                if i >= k && i < text.len() {
+                    results.push((i, res.value));
+                }
+            }
+            // Pattern item j at beat 2j + (n−1), streamed exactly once.
+            let pattern = t
+                .checked_sub(delay)
+                .filter(|d| d % 2 == 0)
+                .map(|d| d / 2)
+                .filter(|&j| (j as usize) < l)
+                .map(|j| PatItem {
+                    payload: self.pattern.symbols()[j as usize],
+                    lambda: j as usize == k,
+                });
+            // Text item i at beat 2i.
+            let text_in = if t % 2 == 0 {
+                let i = (t / 2) as usize;
+                text.get(i).map(|&payload| TxtItem {
+                    payload,
+                    seq: i as u64,
+                })
+            } else {
+                None
+            };
+            seg.step(SegmentIo {
+                pattern,
+                text: text_in,
+                result: None,
+            });
+        }
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_systolic::spec::match_spec;
+    use pm_systolic::symbol::text_from_letters;
+
+    fn check(pattern: &str, text: &str, cells: usize) {
+        let p = Pattern::parse(pattern).unwrap();
+        let t = text_from_letters(text).unwrap();
+        let m = MultipassMatcher::new(&p, cells).unwrap();
+        assert_eq!(
+            m.match_symbols(&t).bits(),
+            match_spec(&t, &p),
+            "pattern={pattern} text={text} cells={cells}"
+        );
+    }
+
+    #[test]
+    fn pattern_three_times_the_array() {
+        // A 9-char pattern on a 3-cell array: three passes per block.
+        check("ABCABDABA", &"ABCABDABA".repeat(3), 3);
+    }
+
+    #[test]
+    fn pattern_longer_than_array_with_wildcards() {
+        check("AXCAXC", "ABCAACAACAACABC", 2);
+    }
+
+    #[test]
+    fn pattern_fits_in_one_cellful() {
+        // Degenerate case: the array is big enough; one pass per block
+        // still gives the right answer.
+        check("AB", "ABABAB", 8);
+    }
+
+    #[test]
+    fn single_cell_array() {
+        check("ABA", "ABABABA", 1);
+    }
+
+    #[test]
+    fn passes_needed_accounting() {
+        let p = Pattern::parse(&"AB".repeat(8)).unwrap(); // 16 chars
+        let m = MultipassMatcher::new(&p, 4).unwrap();
+        // 100-char text: 85 complete windows, 4 per pass → 22 passes.
+        assert_eq!(m.passes_needed(100), 22);
+        assert_eq!(m.passes_needed(16), 1);
+        assert_eq!(m.passes_needed(15), 0);
+    }
+
+    #[test]
+    fn empty_and_short_texts() {
+        let p = Pattern::parse("ABC").unwrap();
+        let m = MultipassMatcher::new(&p, 2).unwrap();
+        assert_eq!(m.match_symbols(&[]).bits(), &[] as &[bool]);
+        let t = text_from_letters("AB").unwrap();
+        assert_eq!(m.match_symbols(&t).bits(), &[false, false]);
+    }
+}

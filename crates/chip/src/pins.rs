@@ -1,0 +1,124 @@
+//! Pin and package budget (paper §3.4).
+//!
+//! "In order to make the chip extensible, more inputs and outputs must
+//! be provided. Specifically, an input for the result stream and
+//! outputs for the pattern and text streams must be available." This
+//! module counts those pins for a given alphabet width and checks them
+//! against the DIP packages available to a 1979 multi-project chip.
+
+use std::fmt;
+
+/// Standard dual-in-line packages of the era.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Package {
+    /// 16-pin DIP.
+    Dip16,
+    /// 24-pin DIP.
+    Dip24,
+    /// 40-pin DIP.
+    Dip40,
+    /// 64-pin DIP (exotic in 1979).
+    Dip64,
+}
+
+impl Package {
+    /// Number of pins on the package.
+    pub fn pins(self) -> usize {
+        match self {
+            Package::Dip16 => 16,
+            Package::Dip24 => 24,
+            Package::Dip40 => 40,
+            Package::Dip64 => 64,
+        }
+    }
+
+    /// All packages, smallest first.
+    pub fn all() -> [Package; 4] {
+        [
+            Package::Dip16,
+            Package::Dip24,
+            Package::Dip40,
+            Package::Dip64,
+        ]
+    }
+}
+
+impl fmt::Display for Package {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DIP-{}", self.pins())
+    }
+}
+
+/// The pin requirement of a cascadable pattern-matching chip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PinBudget {
+    /// Alphabet width in bits.
+    pub bits: u32,
+}
+
+impl PinBudget {
+    /// Budget for a `bits`-bit alphabet.
+    pub fn new(bits: u32) -> Self {
+        PinBudget { bits }
+    }
+
+    /// Signal pins: pattern in/out and text in/out (`bits` each), the
+    /// `λ`/`x` control bits in/out, and the result stream in/out.
+    pub fn signal_pins(&self) -> usize {
+        4 * self.bits as usize + 2 * 2 + 2
+    }
+
+    /// Infrastructure pins: two clock phases, `Vdd`, ground.
+    pub fn infrastructure_pins(&self) -> usize {
+        4
+    }
+
+    /// Total pins required.
+    pub fn total_pins(&self) -> usize {
+        self.signal_pins() + self.infrastructure_pins()
+    }
+
+    /// Whether the chip fits a given package.
+    pub fn fits(&self, package: Package) -> bool {
+        self.total_pins() <= package.pins()
+    }
+
+    /// The smallest period package that accommodates the chip, if any.
+    pub fn smallest_package(&self) -> Option<Package> {
+        Package::all().into_iter().find(|p| self.fits(*p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prototype_budget_fits_a_dip24() {
+        // 2-bit characters: 8 data + 4 control + 2 result + 4 infra = 18.
+        let b = PinBudget::new(2);
+        assert_eq!(b.total_pins(), 18);
+        assert_eq!(b.smallest_package(), Some(Package::Dip24));
+    }
+
+    #[test]
+    fn ascii_chip_needs_a_dip40() {
+        // 8-bit characters: 32 data + 6 + 4 = 42 → over a DIP-40.
+        let b = PinBudget::new(8);
+        assert_eq!(b.total_pins(), 42);
+        assert_eq!(b.smallest_package(), Some(Package::Dip64));
+    }
+
+    #[test]
+    fn pin_count_grows_linearly_with_bits() {
+        let b1 = PinBudget::new(1).total_pins();
+        let b2 = PinBudget::new(2).total_pins();
+        let b3 = PinBudget::new(3).total_pins();
+        assert_eq!(b2 - b1, b3 - b2);
+    }
+
+    #[test]
+    fn package_display() {
+        assert_eq!(Package::Dip40.to_string(), "DIP-40");
+    }
+}

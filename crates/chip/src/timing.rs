@@ -1,0 +1,155 @@
+//! Clocking and the 250 ns/character data rate (paper §1).
+//!
+//! The prototype's measured rate — one character every 250 ns — is an
+//! architectural property: every beat is one phase of the two-phase
+//! clock, the bus carries one character per beat alternating pattern
+//! and text, so a text character is consumed every *two* beats. The
+//! phase must be long enough for the slowest cell to latch and settle;
+//! nothing else matters, and in particular the pattern length doesn't.
+//! [`ClockModel`] derives the phase from per-gate delays and exposes
+//! that reasoning as numbers.
+
+/// Switching-delay assumptions for the NMOS gate library, in
+/// nanoseconds. Defaults are calibrated so the comparator's critical
+/// path yields the paper's measured 125 ns phase / 250 ns character
+/// period — we cannot re-measure 1979 silicon, but the *structure* of
+/// the budget (which path dominates, what happens if a gate slows
+/// down) is faithful.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GateDelays {
+    /// Pass-transistor charge time onto a storage node.
+    pub pass_ns: f64,
+    /// Inverter propagation.
+    pub inverter_ns: f64,
+    /// XNOR/XOR complex gate propagation.
+    pub xnor_ns: f64,
+    /// NAND/NOR propagation.
+    pub nand_ns: f64,
+    /// AOI (and-or-invert) complex gate propagation.
+    pub aoi_ns: f64,
+    /// Clock margin for skew and non-overlap dead time.
+    pub margin_ns: f64,
+}
+
+impl Default for GateDelays {
+    fn default() -> Self {
+        GateDelays {
+            pass_ns: 18.0,
+            inverter_ns: 12.0,
+            xnor_ns: 34.0,
+            nand_ns: 26.0,
+            aoi_ns: 36.0,
+            margin_ns: 15.0,
+        }
+    }
+}
+
+/// The derived two-phase clock and its data rates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClockModel {
+    phase_ns: f64,
+}
+
+impl ClockModel {
+    /// Derives the phase length from gate delays: the longest settle
+    /// path any cell must complete within one phase.
+    pub fn from_delays(d: &GateDelays) -> Self {
+        // Comparator: latch p/s/d, regenerate through the inverter,
+        // test equality, fold into d. (Figure 3-6's path.)
+        let comparator = d.pass_ns + d.inverter_ns + d.xnor_ns + d.nand_ns;
+        // Accumulator: latch inputs, compute m̄ (AOI), m, t_next (NOR +
+        // inverter), stage the master.
+        let accumulator = d.pass_ns + d.aoi_ns + d.inverter_ns + d.nand_ns + d.pass_ns;
+        let phase_ns = comparator.max(accumulator) + d.margin_ns;
+        ClockModel { phase_ns }
+    }
+
+    /// The prototype's clock, from the default delay budget.
+    pub fn prototype() -> Self {
+        Self::from_delays(&GateDelays::default())
+    }
+
+    /// One beat — one clock phase — in nanoseconds.
+    pub fn beat_ns(&self) -> f64 {
+        self.phase_ns
+    }
+
+    /// Time per text character: two beats (the bus alternates pattern
+    /// and text characters, Figure 3-1).
+    pub fn char_period_ns(&self) -> f64 {
+        2.0 * self.phase_ns
+    }
+
+    /// Sustained text throughput in characters per second.
+    pub fn chars_per_second(&self) -> f64 {
+        1e9 / self.char_period_ns()
+    }
+
+    /// Wall-clock time to match a text of `text_len` characters on an
+    /// array of `cells` cells, including pipeline fill and drain. The
+    /// pattern length does not appear: that is the point.
+    pub fn time_to_match_ns(&self, text_len: usize, cells: usize) -> f64 {
+        let beats = 2 * text_len + 2 * cells + 2;
+        beats as f64 * self.phase_ns
+    }
+
+    /// Effective throughput (chars/s) for a finite text, approaching
+    /// [`chars_per_second`](Self::chars_per_second) as the text grows.
+    pub fn effective_rate(&self, text_len: usize, cells: usize) -> f64 {
+        text_len as f64 / (self.time_to_match_ns(text_len, cells) * 1e-9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prototype_hits_the_papers_rate() {
+        let clock = ClockModel::prototype();
+        // One character every 250 ns, within the calibration tolerance.
+        assert!(
+            (clock.char_period_ns() - 250.0).abs() < 5.0,
+            "char period {} ns",
+            clock.char_period_ns()
+        );
+        assert!(clock.chars_per_second() > 3.9e6);
+    }
+
+    #[test]
+    fn rate_is_independent_of_pattern_length() {
+        // The same clock serves any pattern; only pipeline fill depends
+        // on the cell count, vanishing for long texts.
+        let clock = ClockModel::prototype();
+        let r8 = clock.effective_rate(1_000_000, 8);
+        let r640 = clock.effective_rate(1_000_000, 640);
+        assert!((r8 - r640).abs() / r8 < 0.01, "{r8} vs {r640}");
+    }
+
+    #[test]
+    fn slower_gates_slow_the_clock() {
+        let mut d = GateDelays::default();
+        let base = ClockModel::from_delays(&d);
+        d.xnor_ns *= 2.0;
+        let slow = ClockModel::from_delays(&d);
+        assert!(slow.beat_ns() > base.beat_ns());
+    }
+
+    #[test]
+    fn fill_cost_shrinks_relatively_with_text_length() {
+        let clock = ClockModel::prototype();
+        let short = clock.effective_rate(100, 64);
+        let long = clock.effective_rate(1_000_000, 64);
+        assert!(long > short);
+        assert!(long <= clock.chars_per_second() * 1.001);
+    }
+
+    #[test]
+    fn paper_comparison_memory_bandwidth() {
+        // "higher than the memory bandwidth of most conventional
+        // computers": a 1979 minicomputer moved well under 4M
+        // chars/sec; the chip sustains 4M.
+        let clock = ClockModel::prototype();
+        assert!(clock.chars_per_second() >= 4.0e6 * 0.96);
+    }
+}

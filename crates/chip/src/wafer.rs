@@ -1,0 +1,253 @@
+//! Wafer-scale integration (paper §5).
+//!
+//! "The prospect of wafer-scale integration will increase the power of
+//! special purpose devices. Modularity of algorithms is especially
+//! important … Manufacturing defects make it essential to be able to
+//! modify the interconnections so that a defective circuit is replaced
+//! by a functioning one on the same wafer. This can be done easily if
+//! there are only a few types of circuits with regular interconnections."
+//!
+//! This module quantifies that argument. A [`Wafer`] is a grid of
+//! identical character cells with randomly placed manufacturing
+//! defects. [`Wafer::harvest`] threads a serpentine chain through the
+//! working cells — the "modified interconnections" — subject to a
+//! bypass limit (wiring can jump over at most a few dead cells in a
+//! row). The result is a smaller but *fully functional* linear array;
+//! the yield comparison against an all-or-nothing monolithic design is
+//! the paper's modularity dividend, in numbers.
+
+use pm_systolic::matcher::SystolicMatcher;
+use pm_systolic::symbol::Pattern;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A fabricated wafer of identical character cells, some defective.
+#[derive(Debug, Clone)]
+pub struct Wafer {
+    rows: usize,
+    cols: usize,
+    /// `defective[r][c]` — true if the cell failed fabrication.
+    defective: Vec<Vec<bool>>,
+}
+
+/// The outcome of interconnect harvesting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Harvest {
+    /// Cells chained into the working array, in signal order.
+    pub chain: Vec<(usize, usize)>,
+    /// Cells abandoned because the bypass limit was exceeded.
+    pub stranded: usize,
+}
+
+impl Wafer {
+    /// Fabricates a `rows × cols` wafer where each cell independently
+    /// fails with probability `defect_rate`. Deterministic in `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the wafer is empty or the rate is outside `[0, 1]`.
+    pub fn fabricate(rows: usize, cols: usize, defect_rate: f64, seed: u64) -> Self {
+        assert!(rows > 0 && cols > 0, "wafer must have cells");
+        assert!(
+            (0.0..=1.0).contains(&defect_rate),
+            "rate must be a probability"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let defective = (0..rows)
+            .map(|_| (0..cols).map(|_| rng.gen_bool(defect_rate)).collect())
+            .collect();
+        Wafer {
+            rows,
+            cols,
+            defective,
+        }
+    }
+
+    /// Grid dimensions.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total cells fabricated.
+    pub fn cells(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Number of working cells (before routing constraints).
+    pub fn working_cells(&self) -> usize {
+        self.defective
+            .iter()
+            .map(|row| row.iter().filter(|&&d| !d).count())
+            .sum()
+    }
+
+    /// Whether a cell is defective.
+    pub fn is_defective(&self, row: usize, col: usize) -> bool {
+        self.defective[row][col]
+    }
+
+    /// Threads a serpentine chain through the working cells, bypassing
+    /// up to `max_bypass` consecutive dead cells; longer dead runs
+    /// strand the rest of that row segment until the next turn.
+    pub fn harvest(&self, max_bypass: usize) -> Harvest {
+        let mut chain = Vec::new();
+        let mut stranded = 0usize;
+        for r in 0..self.rows {
+            // Serpentine: even rows left→right, odd rows right→left.
+            let cols: Vec<usize> = if r % 2 == 0 {
+                (0..self.cols).collect()
+            } else {
+                (0..self.cols).rev().collect()
+            };
+            let mut dead_run = 0usize;
+            let mut segment: Vec<(usize, usize)> = Vec::new();
+            let mut abandoned = false;
+            for c in cols {
+                if self.defective[r][c] {
+                    dead_run += 1;
+                    if dead_run > max_bypass {
+                        abandoned = true;
+                    }
+                } else if abandoned {
+                    stranded += 1;
+                } else {
+                    dead_run = 0;
+                    segment.push((r, c));
+                }
+            }
+            chain.extend(segment);
+        }
+        Harvest { chain, stranded }
+    }
+
+    /// A matcher running on the harvested array, if it is big enough
+    /// for the pattern. The harvested cells form one linear systolic
+    /// array — the whole point of local-only interconnection.
+    ///
+    /// # Errors
+    ///
+    /// The usual construction errors if the harvest is too small.
+    pub fn matcher(
+        &self,
+        pattern: &Pattern,
+        max_bypass: usize,
+    ) -> Result<SystolicMatcher, pm_systolic::Error> {
+        let usable = self.harvest(max_bypass).chain.len().max(1);
+        SystolicMatcher::with_cells(pattern, usable)
+    }
+}
+
+/// Yield statistics for one defect rate: the monolithic (all cells or
+/// nothing) yield versus the harvested fraction of cells.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct YieldPoint {
+    /// Per-cell defect probability.
+    pub defect_rate: f64,
+    /// Fraction of wafers on which *every* cell works (a monolithic,
+    /// non-reconfigurable design ships only these).
+    pub monolithic_yield: f64,
+    /// Mean fraction of cells recovered by harvesting.
+    pub harvested_fraction: f64,
+}
+
+/// Monte-Carlo yield comparison across defect rates (E19).
+pub fn yield_curve(
+    rows: usize,
+    cols: usize,
+    rates: &[f64],
+    max_bypass: usize,
+    trials: u32,
+    seed: u64,
+) -> Vec<YieldPoint> {
+    rates
+        .iter()
+        .map(|&rate| {
+            let mut perfect = 0u32;
+            let mut recovered = 0usize;
+            for t in 0..trials {
+                let wafer = Wafer::fabricate(
+                    rows,
+                    cols,
+                    rate,
+                    seed ^ (u64::from(t) << 17) ^ rate.to_bits(),
+                );
+                if wafer.working_cells() == wafer.cells() {
+                    perfect += 1;
+                }
+                recovered += wafer.harvest(max_bypass).chain.len();
+            }
+            YieldPoint {
+                defect_rate: rate,
+                monolithic_yield: f64::from(perfect) / f64::from(trials),
+                harvested_fraction: recovered as f64 / (f64::from(trials) * (rows * cols) as f64),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_systolic::spec::match_spec;
+    use pm_systolic::symbol::text_from_letters;
+
+    #[test]
+    fn perfect_wafer_harvests_everything() {
+        let wafer = Wafer::fabricate(4, 16, 0.0, 1);
+        let h = wafer.harvest(2);
+        assert_eq!(h.chain.len(), 64);
+        assert_eq!(h.stranded, 0);
+        assert_eq!(wafer.working_cells(), 64);
+    }
+
+    #[test]
+    fn dead_wafer_harvests_nothing() {
+        let wafer = Wafer::fabricate(4, 16, 1.0, 1);
+        assert!(wafer.harvest(3).chain.is_empty());
+        assert_eq!(wafer.working_cells(), 0);
+    }
+
+    #[test]
+    fn harvest_is_deterministic_and_monotone_in_bypass() {
+        let wafer = Wafer::fabricate(8, 32, 0.15, 99);
+        let h1 = wafer.harvest(1);
+        let h1b = wafer.harvest(1);
+        assert_eq!(h1, h1b);
+        let h3 = wafer.harvest(3);
+        assert!(h3.chain.len() >= h1.chain.len(), "more bypass, more cells");
+    }
+
+    #[test]
+    fn harvest_contains_only_working_cells() {
+        let wafer = Wafer::fabricate(6, 20, 0.2, 5);
+        for &(r, c) in &wafer.harvest(2).chain {
+            assert!(!wafer.is_defective(r, c));
+        }
+    }
+
+    #[test]
+    fn harvested_array_still_matches() {
+        // The §5 payoff: a defective wafer still yields a working
+        // (smaller) matcher because the cells only talk to neighbours.
+        let wafer = Wafer::fabricate(4, 16, 0.25, 7);
+        let pattern = Pattern::parse("AXBA").unwrap();
+        let mut m = wafer.matcher(&pattern, 2).unwrap();
+        let text = text_from_letters("ABBAABBAACBA").unwrap();
+        assert_eq!(m.match_symbols(&text).bits(), match_spec(&text, &pattern));
+        assert!(m.cells() < wafer.cells(), "some cells were lost to defects");
+    }
+
+    #[test]
+    fn yield_curve_shows_the_modularity_dividend() {
+        let points = yield_curve(8, 32, &[0.0, 0.02, 0.10], 2, 20, 1234);
+        // No defects: both perfect.
+        assert!((points[0].monolithic_yield - 1.0).abs() < 1e-9);
+        assert!((points[0].harvested_fraction - 1.0).abs() < 1e-9);
+        // 2% defects: a 256-cell monolith almost never ships, while
+        // harvesting recovers nearly everything.
+        assert!(points[1].monolithic_yield < 0.15);
+        assert!(points[1].harvested_fraction > 0.85);
+        // Degradation is graceful, not cliff-edged.
+        assert!(points[2].harvested_fraction > 0.5);
+    }
+}

@@ -1,0 +1,51 @@
+//! Property tests: cascades and multi-pass runs agree with the spec on
+//! arbitrary workloads.
+
+use pm_chip::prelude::*;
+use pm_systolic::prelude::*;
+use proptest::prelude::*;
+
+fn workload() -> impl Strategy<Value = (Vec<Option<u8>>, Vec<u8>)> {
+    let pat_sym = prop_oneof![
+        4 => (0u8..=3).prop_map(Some),
+        1 => Just(None),
+    ];
+    (
+        proptest::collection::vec(pat_sym, 1..=10),
+        proptest::collection::vec(0u8..=3, 0..=40),
+    )
+}
+
+fn build(pat: &[Option<u8>]) -> Pattern {
+    let syms: Vec<PatSym> = pat
+        .iter()
+        .map(|o| match o {
+            Some(v) => PatSym::Lit(Symbol::new(*v)),
+            None => PatSym::Wild,
+        })
+        .collect();
+    Pattern::new(syms, Alphabet::TWO_BIT).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn multipass_equals_spec((pat, text) in workload(), cells in 1usize..6) {
+        let pattern = build(&pat);
+        let symbols: Vec<Symbol> = text.iter().map(|&b| Symbol::new(b)).collect();
+        let m = MultipassMatcher::new(&pattern, cells).unwrap();
+        let got = m.match_symbols(&symbols);
+        prop_assert_eq!(got.bits(), match_spec(&symbols, &pattern));
+    }
+
+    #[test]
+    fn cascade_equals_spec((pat, text) in workload(), chips in 1usize..4, per in 1usize..5) {
+        let pattern = build(&pat);
+        prop_assume!(chips * per >= pattern.len());
+        let symbols: Vec<Symbol> = text.iter().map(|&b| Symbol::new(b)).collect();
+        let mut cascade = ChipCascade::new(&pattern, chips, per).unwrap();
+        let got = cascade.match_symbols(&symbols);
+        prop_assert_eq!(got.bits(), match_spec(&symbols, &pattern));
+    }
+}

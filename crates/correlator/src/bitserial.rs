@@ -1,0 +1,147 @@
+//! Bit-serial arithmetic cells (paper §3.4).
+//!
+//! "This difference computation may be pipelined bitwise in the same
+//! way as the character comparison." Where the matcher's one-bit
+//! comparator carries an AND chain down the bit rows, an arithmetic
+//! cell carries a carry or borrow: numbers enter least-significant bit
+//! first, one bit per beat, and the cell holds one flip-flop of state.
+//! These cells are the building blocks a difference-cell array would
+//! stagger across bit rows exactly like Figure 3-4.
+
+/// A one-bit full adder with a carry flip-flop: streams two numbers in
+/// LSB-first and emits the sum bit per beat.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SerialAdderCell {
+    carry: bool,
+}
+
+impl SerialAdderCell {
+    /// A fresh cell with clear carry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears the carry for the next word.
+    pub fn reset(&mut self) {
+        self.carry = false;
+    }
+
+    /// Consumes one bit of each operand, returns the sum bit.
+    pub fn step(&mut self, a: bool, b: bool) -> bool {
+        let sum = a ^ b ^ self.carry;
+        self.carry = (a && b) || (self.carry && (a ^ b));
+        sum
+    }
+
+    /// The current carry.
+    pub fn carry(&self) -> bool {
+        self.carry
+    }
+}
+
+/// A one-bit subtractor with a borrow flip-flop: computes `a − b`
+/// LSB-first — the paper's pipelined difference cell.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SerialSubtractorCell {
+    borrow: bool,
+}
+
+impl SerialSubtractorCell {
+    /// A fresh cell with clear borrow.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears the borrow for the next word.
+    pub fn reset(&mut self) {
+        self.borrow = false;
+    }
+
+    /// Consumes one bit of each operand, returns the difference bit.
+    pub fn step(&mut self, a: bool, b: bool) -> bool {
+        let diff = a ^ b ^ self.borrow;
+        self.borrow = (!a && b) || (!(a ^ b) && self.borrow);
+        diff
+    }
+
+    /// The current borrow.
+    pub fn borrow(&self) -> bool {
+        self.borrow
+    }
+}
+
+/// Runs a whole `width`-bit word through a serial adder (two's
+/// complement, wrapping at `width` bits).
+pub fn serial_add(a: i64, b: i64, width: u32) -> i64 {
+    let mut cell = SerialAdderCell::new();
+    serial_word_op(width, |v| cell.step(bit(a, v), bit(b, v)))
+}
+
+/// Runs a whole `width`-bit word through a serial subtractor (two's
+/// complement, wrapping at `width` bits).
+pub fn serial_sub(a: i64, b: i64, width: u32) -> i64 {
+    let mut cell = SerialSubtractorCell::new();
+    serial_word_op(width, |v| cell.step(bit(a, v), bit(b, v)))
+}
+
+fn bit(x: i64, v: u32) -> bool {
+    (x >> v) & 1 == 1
+}
+
+fn serial_word_op(width: u32, mut f: impl FnMut(u32) -> bool) -> i64 {
+    let mut out: i64 = 0;
+    for v in 0..width {
+        if f(v) {
+            out |= 1 << v;
+        }
+    }
+    // Sign-extend from `width` bits.
+    if width < 64 && (out >> (width - 1)) & 1 == 1 {
+        out |= -1i64 << width;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adder_matches_wrapping_add() {
+        for &(a, b) in &[(0i64, 0i64), (1, 1), (5, 9), (-3, 7), (-8, -8), (100, -100)] {
+            assert_eq!(serial_add(a, b, 16), a.wrapping_add(b), "{a}+{b}");
+        }
+    }
+
+    #[test]
+    fn subtractor_matches_wrapping_sub() {
+        for &(a, b) in &[(0i64, 0i64), (1, 1), (5, 9), (-3, 7), (-8, -8), (100, -100)] {
+            assert_eq!(serial_sub(a, b, 16), a.wrapping_sub(b), "{a}-{b}");
+        }
+    }
+
+    #[test]
+    fn carry_chain_over_many_bits() {
+        // 0xFFFF + 1 wraps to 0 in 16 bits: the carry ripples serially.
+        assert_eq!(serial_add(0xFFFF, 1, 16), 0);
+    }
+
+    #[test]
+    fn borrow_propagates() {
+        assert_eq!(serial_sub(0, 1, 16), -1);
+    }
+
+    #[test]
+    fn reset_clears_state_between_words() {
+        let mut cell = SerialAdderCell::new();
+        cell.step(true, true); // sets carry
+        assert!(cell.carry());
+        cell.reset();
+        assert!(!cell.carry());
+        let mut sub = SerialSubtractorCell::new();
+        sub.step(false, true); // sets borrow
+        assert!(sub.borrow());
+        sub.reset();
+        assert!(!sub.borrow());
+    }
+}

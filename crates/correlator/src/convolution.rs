@@ -1,0 +1,129 @@
+//! Convolution on the matcher's dataflow (paper §3.4).
+//!
+//! A discrete convolution `y[n] = Σ_m h[m]·x[n−m]` is a sliding dot
+//! product with the kernel reversed, so the systolic array computes it
+//! by recirculating the reversed kernel as its "pattern" and streaming
+//! the (zero-padded) signal as its "text".
+
+use crate::semantics::DotMeet;
+use pm_systolic::engine::Driver;
+use pm_systolic::error::Error;
+
+/// Reference implementation: the full linear convolution of `signal`
+/// and `kernel`, length `signal.len() + kernel.len() − 1` (empty if
+/// either input is empty).
+pub fn convolve_direct(signal: &[i64], kernel: &[i64]) -> Vec<i64> {
+    if signal.is_empty() || kernel.is_empty() {
+        return Vec::new();
+    }
+    let n = signal.len() + kernel.len() - 1;
+    (0..n)
+        .map(|i| {
+            kernel
+                .iter()
+                .enumerate()
+                .filter_map(|(m, &h)| i.checked_sub(m).and_then(|j| signal.get(j)).map(|&x| h * x))
+                .sum()
+        })
+        .collect()
+}
+
+/// A systolic convolver for a fixed kernel.
+///
+/// ```
+/// use pm_correlator::prelude::*;
+///
+/// # fn main() -> Result<(), pm_systolic::Error> {
+/// let mut conv = SystolicConvolver::new(vec![1, -1])?;
+/// // Differentiator: y = x ⊛ [1, -1].
+/// assert_eq!(conv.convolve(&[2, 5, 9]), vec![2, 3, 4, -9]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SystolicConvolver {
+    driver: Driver<DotMeet>,
+    kernel: Vec<i64>,
+}
+
+impl SystolicConvolver {
+    /// Builds a convolver with one multiplier/adder cell pair per kernel
+    /// tap. The kernel is recirculated reversed, as the dataflow
+    /// requires.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::EmptyPattern`] for an empty kernel.
+    pub fn new(kernel: Vec<i64>) -> Result<Self, Error> {
+        let reversed: Vec<i64> = kernel.iter().rev().copied().collect();
+        let driver = Driver::new(DotMeet, reversed, &[kernel.len().max(1)])?;
+        Ok(SystolicConvolver { driver, kernel })
+    }
+
+    /// The kernel in natural order.
+    pub fn kernel(&self) -> &[i64] {
+        &self.kernel
+    }
+
+    /// Full linear convolution of `signal` with the kernel, identical
+    /// to [`convolve_direct`].
+    pub fn convolve(&mut self, signal: &[i64]) -> Vec<i64> {
+        if signal.is_empty() {
+            return Vec::new();
+        }
+        let k = self.kernel.len() - 1;
+        // Pad with k zeros on both sides: the leading pad turns the
+        // array's "complete windows only" output into the convolution's
+        // ramp-up samples; the trailing pad produces the tail.
+        let mut padded = vec![0i64; k];
+        padded.extend_from_slice(signal);
+        padded.extend(std::iter::repeat_n(0, k));
+        let out = self.driver.run(&padded);
+        // Window ending at padded index i covers y[i − k]; discard the
+        // first k entries (incomplete windows).
+        out.into_iter().skip(k).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_matches_schoolbook() {
+        // (1+2x+3x²)(4+5x) = 4 + 13x + 22x² + 15x³
+        assert_eq!(convolve_direct(&[1, 2, 3], &[4, 5]), vec![4, 13, 22, 15]);
+    }
+
+    #[test]
+    fn direct_empty_inputs() {
+        assert!(convolve_direct(&[], &[1]).is_empty());
+        assert!(convolve_direct(&[1], &[]).is_empty());
+    }
+
+    #[test]
+    fn systolic_matches_direct() {
+        let kernel = vec![2, -1, 3];
+        let signal = [1, 0, -2, 4, 4, 7];
+        let mut conv = SystolicConvolver::new(kernel.clone()).unwrap();
+        assert_eq!(conv.convolve(&signal), convolve_direct(&signal, &kernel));
+    }
+
+    #[test]
+    fn impulse_recovers_kernel() {
+        let mut conv = SystolicConvolver::new(vec![3, 1, 4, 1, 5]).unwrap();
+        assert_eq!(conv.convolve(&[1]), vec![3, 1, 4, 1, 5]);
+    }
+
+    #[test]
+    fn single_tap_kernel_scales() {
+        let mut conv = SystolicConvolver::new(vec![-2]).unwrap();
+        assert_eq!(conv.convolve(&[1, 2, 3]), vec![-2, -4, -6]);
+    }
+
+    #[test]
+    fn output_length_is_n_plus_m_minus_1() {
+        let mut conv = SystolicConvolver::new(vec![1, 1, 1]).unwrap();
+        assert_eq!(conv.convolve(&[5, 5]).len(), 4);
+    }
+}

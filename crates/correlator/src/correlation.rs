@@ -1,0 +1,97 @@
+//! The systolic SSD correlator (paper §3.4).
+
+use crate::semantics::SsdMeet;
+use pm_systolic::engine::Driver;
+use pm_systolic::error::Error;
+
+/// A correlator for a fixed reference pattern of numbers.
+///
+/// ```
+/// use pm_correlator::prelude::*;
+///
+/// # fn main() -> Result<(), pm_systolic::Error> {
+/// let mut c = SystolicCorrelator::new(vec![1, 2, 3])?;
+/// let out = c.correlate(&[5, 1, 2, 3, 9]);
+/// // Perfect match of [1,2,3] ending at index 3 → correlation 0.
+/// assert_eq!(out[3], 0);
+/// assert!(out[2] > 0 && out[4] > 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SystolicCorrelator {
+    driver: Driver<SsdMeet>,
+    pattern: Vec<i64>,
+}
+
+impl SystolicCorrelator {
+    /// Builds a correlator with one difference/adder cell pair per
+    /// pattern element.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::EmptyPattern`] for an empty pattern.
+    pub fn new(pattern: Vec<i64>) -> Result<Self, Error> {
+        let driver = Driver::new(SsdMeet, pattern.clone(), &[pattern.len().max(1)])?;
+        Ok(SystolicCorrelator { driver, pattern })
+    }
+
+    /// The reference pattern.
+    pub fn pattern(&self) -> &[i64] {
+        &self.pattern
+    }
+
+    /// Correlates a signal against the pattern: `out[i]` is the sum of
+    /// squared differences of the window ending at `i` (0 for `i < k`,
+    /// where no complete window exists).
+    pub fn correlate(&mut self, signal: &[i64]) -> Vec<i64> {
+        self.driver.run(signal)
+    }
+
+    /// Positions where the window matches the pattern exactly
+    /// (correlation zero).
+    pub fn exact_matches(&mut self, signal: &[i64]) -> Vec<usize> {
+        let k = self.pattern.len() - 1;
+        self.correlate(signal)
+            .iter()
+            .enumerate()
+            .skip(k)
+            .filter(|(_, &v)| v == 0)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_systolic::spec::correlation_spec;
+
+    #[test]
+    fn matches_spec_on_example() {
+        let mut c = SystolicCorrelator::new(vec![1, 2, 3]).unwrap();
+        let signal = [5, 1, 2, 3, 9, 0, 1, 2, 3];
+        assert_eq!(c.correlate(&signal), correlation_spec(&signal, &[1, 2, 3]));
+    }
+
+    #[test]
+    fn exact_matches_found() {
+        let mut c = SystolicCorrelator::new(vec![1, 2]).unwrap();
+        assert_eq!(c.exact_matches(&[1, 2, 1, 2]), vec![1, 3]);
+    }
+
+    #[test]
+    fn negative_values_square_correctly() {
+        let mut c = SystolicCorrelator::new(vec![-3]).unwrap();
+        assert_eq!(c.correlate(&[3]), vec![36]);
+    }
+
+    #[test]
+    fn reusable_across_signals() {
+        let mut c = SystolicCorrelator::new(vec![7, 7]).unwrap();
+        let a = c.correlate(&[7, 7, 7]);
+        let b = c.correlate(&[0, 0, 0]);
+        assert_eq!(a, vec![0, 0, 0]);
+        assert_eq!(b, vec![0, 98, 98]);
+    }
+}

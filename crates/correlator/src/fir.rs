@@ -1,0 +1,191 @@
+//! Streaming FIR filtering on the systolic array (paper §3.4).
+//!
+//! A causal FIR filter `y[n] = Σ_m b[m]·x[n−m]` is the on-line face of
+//! the convolution dataflow: coefficients recirculate while samples
+//! stream through, one output per input sample at constant latency —
+//! exactly how the pattern matcher emits one result bit per text
+//! character.
+
+use crate::semantics::DotMeet;
+use pm_systolic::engine::Driver;
+use pm_systolic::error::Error;
+
+/// A streaming FIR filter with integer taps.
+///
+/// ```
+/// use pm_correlator::prelude::*;
+///
+/// # fn main() -> Result<(), pm_systolic::Error> {
+/// // Two-tap moving sum.
+/// let mut f = FirFilter::new(vec![1, 1])?;
+/// assert_eq!(f.filter(&[1, 2, 3, 4]), vec![1, 3, 5, 7]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FirFilter {
+    driver: Driver<DotMeet>,
+    taps: Vec<i64>,
+    /// Samples fed so far in the current stream.
+    fed: u64,
+    /// Results already handed back.
+    delivered: u64,
+    /// Buffered results that arrived out of the feed cadence.
+    pending: Vec<(u64, i64)>,
+}
+
+impl FirFilter {
+    /// Builds a filter with one multiplier/adder cell per tap.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::EmptyPattern`] for an empty tap vector.
+    pub fn new(taps: Vec<i64>) -> Result<Self, Error> {
+        let reversed: Vec<i64> = taps.iter().rev().copied().collect();
+        let driver = Driver::new(DotMeet, reversed, &[taps.len().max(1)])?;
+        Ok(FirFilter {
+            driver,
+            taps,
+            fed: 0,
+            delivered: 0,
+            pending: Vec::new(),
+        })
+    }
+
+    /// The filter taps in natural order (`b[0]` first).
+    pub fn taps(&self) -> &[i64] {
+        &self.taps
+    }
+
+    /// Filters a whole block, returning one output per input sample
+    /// (`y[n]` with zero initial state). Resets any streaming state.
+    pub fn filter(&mut self, samples: &[i64]) -> Vec<i64> {
+        let k = self.taps.len() - 1;
+        // Prepend k zeros so every input sample has a complete window.
+        let mut padded = vec![0i64; k];
+        padded.extend_from_slice(samples);
+        let out = self.driver.run(&padded);
+        self.fed = 0;
+        self.delivered = 0;
+        self.pending.clear();
+        out.into_iter().skip(k).collect()
+    }
+
+    /// Streams one sample through the array, returning any completed
+    /// outputs (in order). Because the array needs `k` warm-up samples,
+    /// the first outputs appear after a constant latency — the same
+    /// on-line behaviour as the matcher chip.
+    pub fn push(&mut self, sample: i64) -> Vec<i64> {
+        let k = self.taps.len() as u64 - 1;
+        if self.fed == 0 {
+            // Lazily prime the array with k zeros (zero initial state).
+            self.driver.reset();
+            for _ in 0..k {
+                for (seq, v) in self.driver.feed(0) {
+                    self.pending.push((seq, v));
+                }
+            }
+        }
+        self.fed += 1;
+        for (seq, v) in self.driver.feed(sample) {
+            self.pending.push((seq, v));
+        }
+        self.drain_ready(k)
+    }
+
+    /// Flushes outputs still in flight after the last sample.
+    pub fn finish(&mut self) -> Vec<i64> {
+        let k = self.taps.len() as u64 - 1;
+        for (seq, v) in self.driver.drain() {
+            self.pending.push((seq, v));
+        }
+        let out = self.drain_ready(k);
+        self.fed = 0;
+        self.delivered = 0;
+        self.pending.clear();
+        out
+    }
+
+    /// Returns buffered outputs for samples the caller has pushed, in
+    /// order. Padded-index `seq` maps to output `seq − k`.
+    fn drain_ready(&mut self, k: u64) -> Vec<i64> {
+        self.pending.sort_unstable_by_key(|&(seq, _)| seq);
+        let mut out = Vec::new();
+        let mut kept = Vec::new();
+        for &(seq, v) in &self.pending {
+            if seq < k {
+                continue; // warm-up window, no output
+            }
+            let idx = seq - k;
+            if idx == self.delivered && idx < self.fed {
+                out.push(v);
+                self.delivered += 1;
+            } else if idx >= self.delivered {
+                kept.push((seq, v));
+            }
+        }
+        self.pending = kept;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Direct reference: y[n] = Σ b[m] x[n−m].
+    fn fir_direct(taps: &[i64], x: &[i64]) -> Vec<i64> {
+        (0..x.len())
+            .map(|n| {
+                taps.iter()
+                    .enumerate()
+                    .filter_map(|(m, &b)| n.checked_sub(m).map(|j| b * x[j]))
+                    .sum()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn block_filtering_matches_reference() {
+        let taps = vec![3, -1, 2];
+        let x = [1, 4, 1, 5, 9, 2, 6];
+        let mut f = FirFilter::new(taps.clone()).unwrap();
+        assert_eq!(f.filter(&x), fir_direct(&taps, &x));
+    }
+
+    #[test]
+    fn impulse_response_is_taps() {
+        let mut f = FirFilter::new(vec![5, 0, -3, 1]).unwrap();
+        let mut x = vec![1];
+        x.extend(std::iter::repeat_n(0, 3));
+        assert_eq!(f.filter(&x), vec![5, 0, -3, 1]);
+    }
+
+    #[test]
+    fn step_response_accumulates_taps() {
+        let mut f = FirFilter::new(vec![1, 1, 1]).unwrap();
+        assert_eq!(f.filter(&[1, 1, 1, 1]), vec![1, 2, 3, 3]);
+    }
+
+    #[test]
+    fn streaming_equals_block() {
+        let taps = vec![2, 7, -1];
+        let x = [3, 1, 4, 1, 5, 9, 2, 6];
+        let mut block = FirFilter::new(taps.clone()).unwrap();
+        let expected = block.filter(&x);
+
+        let mut stream = FirFilter::new(taps).unwrap();
+        let mut got = Vec::new();
+        for &s in &x {
+            got.extend(stream.push(s));
+        }
+        got.extend(stream.finish());
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn single_tap_is_gain() {
+        let mut f = FirFilter::new(vec![4]).unwrap();
+        assert_eq!(f.filter(&[1, -2, 3]), vec![4, -8, 12]);
+    }
+}

@@ -1,0 +1,44 @@
+//! # pm-correlator — numeric cousins of the pattern matcher (paper §3.4)
+//!
+//! "Many problems other than string matching can be solved by similar
+//! algorithms. … Correlations can be computed by a machine with
+//! identical data flow to the string matching chip, except that all
+//! streams contain numbers." This crate instantiates the generic
+//! systolic engine of `pm-systolic` with the numeric cell algorithms
+//! the paper gives:
+//!
+//! * the **difference cell** (`d ← s − p`) feeding an **adder cell**
+//!   (`t ← t + d²`), yielding the sum-of-squared-differences
+//!   correlation of §3.4 — [`correlation`];
+//! * a **multiplier cell** feeding the same adder, yielding sliding dot
+//!   products — the "convolutions and FIR filtering" family the paper
+//!   points to via [Kung 79b] — [`convolution`] and [`fir`];
+//! * the bitwise pipelining of the arithmetic ("this difference
+//!   computation may be pipelined bitwise in the same way as the
+//!   character comparison") — [`bitserial`];
+//! * the generalised *linear products* of [Fischer and Paterson 74]
+//!   over arbitrary semirings — [`products`].
+//!
+//! Everything runs on the very same [`Driver`](pm_systolic::engine::Driver)
+//! and [`Segment`](pm_systolic::segment::Segment) machinery as the
+//! matcher: two streams moving against each other, `λ` marking the end
+//! of the recirculating coefficient vector.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitserial;
+pub mod convolution;
+pub mod correlation;
+pub mod fir;
+pub mod products;
+pub mod semantics;
+
+/// Convenient re-exports.
+pub mod prelude {
+    pub use crate::convolution::{convolve_direct, SystolicConvolver};
+    pub use crate::correlation::SystolicCorrelator;
+    pub use crate::fir::FirFilter;
+    pub use crate::products::{LinearProduct, MaxPlus, MinPlus, Semiring, SumProduct};
+    pub use crate::semantics::{DotMeet, SsdMeet};
+}

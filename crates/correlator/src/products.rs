@@ -1,0 +1,224 @@
+//! Generalised linear products (paper §3.1).
+//!
+//! "All of the linear product problems discussed in [Fischer and
+//! Paterson 74] are similar to string matching." A *linear product*
+//! computes, for every alignment,
+//!
+//! ```text
+//! r_i = ⊕_m ( p_m ⊗ s_{i−k+m} )
+//! ```
+//!
+//! over some semiring `(⊕, ⊗)`. String matching is `(AND, =)`,
+//! convolution is `(+, ×)`, and the tropical `(max, +)` / `(min, +)`
+//! products compute sliding-window alignment scores and distances.
+//! Because the systolic engine is already generic over what happens at
+//! a meeting, each instance is a few lines — which is the paper's
+//! §3.4 point, taken to its algebraic conclusion.
+
+use pm_systolic::engine::Driver;
+use pm_systolic::error::Error;
+use pm_systolic::semantics::MeetSemantics;
+use std::fmt::Debug;
+
+/// A (commutative) semiring for linear products.
+pub trait Semiring: Clone + Debug {
+    /// Element type.
+    type T: Clone + Debug + Default;
+    /// The identity of `⊕` — a fresh accumulator.
+    fn add_identity(&self) -> Self::T;
+    /// The combining operation `⊕`.
+    fn add(&self, a: Self::T, b: Self::T) -> Self::T;
+    /// The pairing operation `⊗`.
+    fn mul(&self, p: &Self::T, s: &Self::T) -> Self::T;
+}
+
+/// Wraps a semiring as a [`MeetSemantics`] so the systolic engine can
+/// run it.
+#[derive(Debug, Clone, Default)]
+pub struct SemiringMeet<S>(pub S);
+
+impl<S: Semiring> MeetSemantics for SemiringMeet<S> {
+    type Pat = S::T;
+    type Txt = S::T;
+    type Acc = S::T;
+    type Out = S::T;
+
+    fn fresh(&self) -> S::T {
+        self.0.add_identity()
+    }
+
+    fn absorb(&self, acc: &mut S::T, pat: &S::T, txt: &S::T) {
+        *acc = self.0.add(acc.clone(), self.0.mul(pat, txt));
+    }
+
+    fn finish(&self, acc: S::T) -> S::T {
+        acc
+    }
+}
+
+/// The tropical max-plus semiring over saturating integers: linear
+/// products are sliding-window *best alignment scores*.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaxPlus;
+
+impl Semiring for MaxPlus {
+    type T = i64;
+
+    fn add_identity(&self) -> i64 {
+        i64::MIN / 4 // effectively −∞ without overflow on add
+    }
+
+    fn add(&self, a: i64, b: i64) -> i64 {
+        a.max(b)
+    }
+
+    fn mul(&self, p: &i64, s: &i64) -> i64 {
+        p + s
+    }
+}
+
+/// The min-plus semiring: sliding-window *cheapest pairings*.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MinPlus;
+
+impl Semiring for MinPlus {
+    type T = i64;
+
+    fn add_identity(&self) -> i64 {
+        i64::MAX / 4
+    }
+
+    fn add(&self, a: i64, b: i64) -> i64 {
+        a.min(b)
+    }
+
+    fn mul(&self, p: &i64, s: &i64) -> i64 {
+        p + s
+    }
+}
+
+/// The ordinary `(+, ×)` semiring: sliding dot products, i.e. the
+/// convolution/FIR family.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SumProduct;
+
+impl Semiring for SumProduct {
+    type T = i64;
+
+    fn add_identity(&self) -> i64 {
+        0
+    }
+
+    fn add(&self, a: i64, b: i64) -> i64 {
+        a + b
+    }
+
+    fn mul(&self, p: &i64, s: &i64) -> i64 {
+        p * s
+    }
+}
+
+/// Direct reference implementation of a linear product.
+pub fn linear_product_spec<S: Semiring>(sr: &S, text: &[S::T], pattern: &[S::T]) -> Vec<S::T> {
+    let k = pattern.len() - 1;
+    (0..text.len())
+        .map(|i| {
+            if i < k {
+                S::T::default()
+            } else {
+                pattern
+                    .iter()
+                    .zip(&text[i - k..=i])
+                    .fold(sr.add_identity(), |acc, (p, s)| sr.add(acc, sr.mul(p, s)))
+            }
+        })
+        .collect()
+}
+
+/// A systolic linear-product machine for a fixed pattern vector.
+#[derive(Debug, Clone)]
+pub struct LinearProduct<S: Semiring> {
+    driver: Driver<SemiringMeet<S>>,
+    pattern: Vec<S::T>,
+}
+
+impl<S: Semiring> LinearProduct<S> {
+    /// Builds the array with one cell per pattern element.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::EmptyPattern`] for an empty pattern.
+    pub fn new(semiring: S, pattern: Vec<S::T>) -> Result<Self, Error> {
+        let driver = Driver::new(
+            SemiringMeet(semiring),
+            pattern.clone(),
+            &[pattern.len().max(1)],
+        )?;
+        Ok(LinearProduct { driver, pattern })
+    }
+
+    /// The pattern vector.
+    pub fn pattern(&self) -> &[S::T] {
+        &self.pattern
+    }
+
+    /// Computes `r_i` for every window (default element before the
+    /// first complete window).
+    pub fn compute(&mut self, text: &[S::T]) -> Vec<S::T> {
+        self.driver.run(text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convolution::convolve_direct;
+
+    #[test]
+    fn sum_product_equals_dot_spec() {
+        let sr = SumProduct;
+        let pattern = vec![1i64, -2, 3];
+        let text = vec![4i64, 0, 2, -1, 5, 5];
+        let mut lp = LinearProduct::new(sr, pattern.clone()).unwrap();
+        assert_eq!(lp.compute(&text), linear_product_spec(&sr, &text, &pattern));
+    }
+
+    #[test]
+    fn max_plus_finds_best_alignment() {
+        let sr = MaxPlus;
+        let pattern = vec![0i64, 10, 0];
+        let text = vec![1i64, 2, 3, 100, 4, 5];
+        let mut lp = LinearProduct::new(sr, pattern.clone()).unwrap();
+        let got = lp.compute(&text);
+        assert_eq!(got, linear_product_spec(&sr, &text, &pattern));
+        // Window [3,100,4]: max(3+0, 100+10, 4+0) = 110.
+        assert_eq!(got[4], 110);
+    }
+
+    #[test]
+    fn min_plus_finds_cheapest_pairing() {
+        let sr = MinPlus;
+        let pattern = vec![5i64, 0];
+        let text = vec![10i64, 1, 7];
+        let mut lp = LinearProduct::new(sr, pattern.clone()).unwrap();
+        let got = lp.compute(&text);
+        // Window [10,1]: min(15, 1) = 1; window [1,7]: min(6, 7) = 6.
+        assert_eq!(got[1..], [1, 6]);
+        assert_eq!(got, linear_product_spec(&sr, &text, &pattern));
+    }
+
+    #[test]
+    fn sum_product_connects_to_convolution() {
+        // A linear product with the reversed kernel over padded text is
+        // a convolution — the §3.4 unification, checked end to end.
+        let kernel = vec![2i64, -1, 3];
+        let signal = vec![1i64, 4, 1, 5];
+        let reversed: Vec<i64> = kernel.iter().rev().copied().collect();
+        let mut padded = vec![0i64; 2];
+        padded.extend_from_slice(&signal);
+        padded.extend([0, 0]);
+        let mut lp = LinearProduct::new(SumProduct, reversed).unwrap();
+        let got: Vec<i64> = lp.compute(&padded).into_iter().skip(2).collect();
+        assert_eq!(got, convolve_direct(&signal, &kernel));
+    }
+}

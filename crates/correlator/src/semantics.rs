@@ -1,0 +1,86 @@
+//! Numeric cell algorithms for the systolic engine.
+
+use pm_systolic::semantics::MeetSemantics;
+
+/// Sum-of-squared-differences correlation (paper §3.4):
+///
+/// ```text
+/// difference cell:  d ← s − p
+/// adder cell:       IF λ THEN r_out ← t + d²; t ← 0
+///                   ELSE     r_out ← r_in;    t ← t + d²
+/// ```
+///
+/// so `r_i = Σ_m (s_{i−k+m} − p_m)²` — zero for a perfect match.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SsdMeet;
+
+impl MeetSemantics for SsdMeet {
+    type Pat = i64;
+    type Txt = i64;
+    type Acc = i64;
+    type Out = i64;
+
+    fn fresh(&self) -> i64 {
+        0 // t ← 0
+    }
+
+    fn absorb(&self, acc: &mut i64, pat: &i64, txt: &i64) {
+        let d = txt - pat;
+        *acc += d * d;
+    }
+
+    fn finish(&self, acc: i64) -> i64 {
+        acc
+    }
+}
+
+/// Sliding dot product: the comparator is replaced by a multiplier and
+/// the adder accumulates `p·s`, giving `r_i = Σ_m p_m · s_{i−k+m}` —
+/// the kernel of convolution and FIR filtering (§3.4's pointer to
+/// [Kung 79b]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DotMeet;
+
+impl MeetSemantics for DotMeet {
+    type Pat = i64;
+    type Txt = i64;
+    type Acc = i64;
+    type Out = i64;
+
+    fn fresh(&self) -> i64 {
+        0
+    }
+
+    fn absorb(&self, acc: &mut i64, pat: &i64, txt: &i64) {
+        *acc += pat * txt;
+    }
+
+    fn finish(&self, acc: i64) -> i64 {
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ssd_accumulates_squares() {
+        let sem = SsdMeet;
+        let mut t = sem.fresh();
+        sem.absorb(&mut t, &3, &5); // (5-3)² = 4
+        sem.absorb(&mut t, &-1, &1); // (1-(-1))² = 4
+        assert_eq!(t, 8);
+        assert_eq!(sem.emit(&mut t), 8);
+        assert_eq!(t, 0);
+    }
+
+    #[test]
+    fn dot_accumulates_products() {
+        let sem = DotMeet;
+        let mut t = sem.fresh();
+        sem.absorb(&mut t, &3, &5);
+        sem.absorb(&mut t, &-2, &4);
+        assert_eq!(t, 7);
+    }
+}

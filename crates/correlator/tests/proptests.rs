@@ -1,0 +1,60 @@
+//! Property tests: the numeric systolic arrays agree with their direct
+//! reference implementations on arbitrary integer workloads.
+
+use pm_correlator::prelude::*;
+use pm_systolic::spec::{correlation_spec, dot_spec};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn correlator_equals_spec(
+        pattern in proptest::collection::vec(-50i64..50, 1..8),
+        signal in proptest::collection::vec(-50i64..50, 0..40),
+    ) {
+        let mut c = SystolicCorrelator::new(pattern.clone()).unwrap();
+        prop_assert_eq!(c.correlate(&signal), correlation_spec(&signal, &pattern));
+    }
+
+    #[test]
+    fn convolver_equals_direct(
+        kernel in proptest::collection::vec(-50i64..50, 1..8),
+        signal in proptest::collection::vec(-50i64..50, 0..40),
+    ) {
+        let mut conv = SystolicConvolver::new(kernel.clone()).unwrap();
+        prop_assert_eq!(conv.convolve(&signal), convolve_direct(&signal, &kernel));
+    }
+
+    #[test]
+    fn fir_streaming_equals_block(
+        taps in proptest::collection::vec(-20i64..20, 1..6),
+        x in proptest::collection::vec(-50i64..50, 0..30),
+    ) {
+        let mut block = FirFilter::new(taps.clone()).unwrap();
+        let expected = block.filter(&x);
+        let mut stream = FirFilter::new(taps).unwrap();
+        let mut got = Vec::new();
+        for &s in &x {
+            got.extend(stream.push(s));
+        }
+        got.extend(stream.finish());
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn dot_spec_symmetry(
+        pattern in proptest::collection::vec(-50i64..50, 1..6),
+        signal in proptest::collection::vec(-50i64..50, 0..30),
+    ) {
+        // dot_spec with an all-ones pattern is a moving sum.
+        let ones = vec![1i64; pattern.len()];
+        let sums = dot_spec(&signal, &ones);
+        for (i, &v) in sums.iter().enumerate() {
+            if i + 1 >= pattern.len() {
+                let direct: i64 = signal[i + 1 - pattern.len()..=i].iter().sum();
+                prop_assert_eq!(v, direct);
+            }
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! The paper's own task dependency graph (Figure 4-1).
+//!
+//! Each subtask "deals with the design of one geometric area at one
+//! level of abstraction"; the arrows carry exactly the information the
+//! §4 prose enumerates. Effort estimates are calibrated to the paper's
+//! statement that the whole design "took only about two man-months",
+//! with the algorithm task dominating — the paper's central claim
+//! being that everything below the algorithm level "is relatively
+//! routine".
+
+use crate::taskgraph::{TaskGraph, TaskId};
+
+/// The nine design subtasks of Figure 4-1, in the order the paper
+/// presents them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DesignTask {
+    /// Algorithm design: data flow, geometry, cell functions.
+    Algorithm,
+    /// Cell combinations and placements (skeleton layout).
+    CellCombinations,
+    /// Data-flow control circuit (clocking, shift registers).
+    DataFlowControl,
+    /// Cell logic circuits.
+    CellLogicCircuits,
+    /// Cell timing signals (intra-beat sequencing).
+    CellTimingSignals,
+    /// Communication sticks (global routing topology).
+    CommunicationSticks,
+    /// Cell stick diagrams.
+    CellSticks,
+    /// Cell layouts (λ-dimensioned).
+    CellLayouts,
+    /// Cell boundary layouts and pads (completes the mask set).
+    CellBoundaryLayouts,
+}
+
+impl DesignTask {
+    /// All tasks in presentation order.
+    pub fn all() -> [DesignTask; 9] {
+        use DesignTask::*;
+        [
+            Algorithm,
+            CellCombinations,
+            DataFlowControl,
+            CellLogicCircuits,
+            CellTimingSignals,
+            CommunicationSticks,
+            CellSticks,
+            CellLayouts,
+            CellBoundaryLayouts,
+        ]
+    }
+
+    /// Task name as the figure labels it.
+    pub fn name(self) -> &'static str {
+        match self {
+            DesignTask::Algorithm => "Algorithm",
+            DesignTask::CellCombinations => "Cell Combinations and Placements",
+            DesignTask::DataFlowControl => "Data Flow Control Circuit",
+            DesignTask::CellLogicCircuits => "Cell Logic Circuits",
+            DesignTask::CellTimingSignals => "Cell Timing Signals",
+            DesignTask::CommunicationSticks => "Communication Sticks",
+            DesignTask::CellSticks => "Cell Sticks",
+            DesignTask::CellLayouts => "Cell Layouts",
+            DesignTask::CellBoundaryLayouts => "Cell Boundary Layouts",
+        }
+    }
+
+    /// Effort estimate in designer-days (two designers × one month ≈
+    /// 42 working days total, §5).
+    pub fn days(self) -> f64 {
+        match self {
+            // "A large portion of the design time should … be devoted
+            // to algorithm design."
+            DesignTask::Algorithm => 15.0,
+            DesignTask::CellCombinations => 2.0,
+            DesignTask::DataFlowControl => 3.0,
+            DesignTask::CellLogicCircuits => 5.0,
+            DesignTask::CellTimingSignals => 1.0,
+            DesignTask::CommunicationSticks => 3.0,
+            DesignTask::CellSticks => 4.0,
+            DesignTask::CellLayouts => 6.0,
+            DesignTask::CellBoundaryLayouts => 3.0,
+        }
+    }
+
+    /// The information-flow arrows of Figure 4-1: `(from, to)` pairs as
+    /// described in the §4 prose.
+    pub fn dependencies() -> Vec<(DesignTask, DesignTask)> {
+        use DesignTask::*;
+        vec![
+            // The algorithm supplies the data flow pattern and the cell
+            // functions.
+            (Algorithm, CellCombinations),
+            (Algorithm, DataFlowControl),
+            (Algorithm, CellLogicCircuits),
+            // Cell combination informs the control circuit and the cell
+            // circuits.
+            (CellCombinations, DataFlowControl),
+            (CellCombinations, CellLogicCircuits),
+            // "We are now in possession of the three pieces of
+            // information needed to design circuits for the cells."
+            (DataFlowControl, CellLogicCircuits),
+            // "Any such signals should be identified as soon as the
+            // cell circuits are all complete."
+            (CellLogicCircuits, CellTimingSignals),
+            // "When the circuitry of the data flow control is complete
+            // we can draw its stick diagram."
+            (DataFlowControl, CommunicationSticks),
+            (CellTimingSignals, CommunicationSticks),
+            // "The relative locations of power, ground, and all inputs
+            // and outputs are known from the communication sticks."
+            (CommunicationSticks, CellSticks),
+            (CellLogicCircuits, CellSticks),
+            // Sticks → layouts → boundary layouts.
+            (CellSticks, CellLayouts),
+            (CellLayouts, CellBoundaryLayouts),
+            (CommunicationSticks, CellBoundaryLayouts),
+        ]
+    }
+}
+
+/// Builds Figure 4-1 as a [`TaskGraph`], returning the graph and the
+/// id of each design task.
+pub fn figure_4_1() -> (TaskGraph, Vec<(DesignTask, TaskId)>) {
+    let mut g = TaskGraph::new();
+    let ids: Vec<(DesignTask, TaskId)> = DesignTask::all()
+        .into_iter()
+        .map(|t| (t, g.add_task(t.name(), t.days())))
+        .collect();
+    let lookup = |t: DesignTask| {
+        ids.iter()
+            .find(|(dt, _)| *dt == t)
+            .expect("all tasks added")
+            .1
+    };
+    for (from, to) in DesignTask::dependencies() {
+        g.add_dependency(lookup(from), lookup(to))
+            .expect("valid ids");
+    }
+    (g, ids)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graph_is_acyclic_with_algorithm_first_and_masks_last() {
+        let (g, ids) = figure_4_1();
+        let order = g.topological_order().expect("Figure 4-1 is a DAG");
+        assert_eq!(order.len(), 9);
+        let pos = |t: DesignTask| {
+            let id = ids.iter().find(|(dt, _)| *dt == t).unwrap().1;
+            order.iter().position(|&x| x == id).unwrap()
+        };
+        assert_eq!(pos(DesignTask::Algorithm), 0, "the algorithm comes first");
+        assert_eq!(
+            pos(DesignTask::CellBoundaryLayouts),
+            8,
+            "the mask assembly comes last"
+        );
+    }
+
+    #[test]
+    fn two_man_month_budget() {
+        let (g, _) = figure_4_1();
+        // §5: "took only about two man-months" — 42 designer-days.
+        assert!((g.total_days() - 42.0).abs() < 1e-9, "{}", g.total_days());
+    }
+
+    #[test]
+    fn algorithm_dominates_the_critical_path() {
+        let (g, ids) = figure_4_1();
+        let (path, days) = g.critical_path().unwrap();
+        let algorithm = ids[0].1;
+        assert_eq!(path[0], algorithm);
+        // The algorithm is more than a third of the whole critical path.
+        assert!(g.days(algorithm) / days > 0.33);
+    }
+
+    #[test]
+    fn information_flow_serialises_the_project() {
+        // The §4 discipline — each subtask consumes the previous one's
+        // outputs — makes Figure 4-1's critical path pass through every
+        // task: extra designers cannot shorten the project. (The paper
+        // worked "one subtask at a time" and still finished in two
+        // man-months, because no task ever waits on a missing input.)
+        let (g, _) = figure_4_1();
+        let one = g.makespan(1).unwrap();
+        let many = g.makespan(9).unwrap();
+        let (path, cp) = g.critical_path().unwrap();
+        assert_eq!(path.len(), g.len(), "critical path covers every task");
+        assert!((one - cp).abs() < 1e-9);
+        assert!((many - cp).abs() < 1e-9);
+    }
+
+    #[test]
+    fn every_task_has_a_distinct_name() {
+        let mut names: Vec<&str> = DesignTask::all().iter().map(|t| t.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 9);
+    }
+}

@@ -1,0 +1,38 @@
+//! # pm-design — the chip-design methodology of paper §4
+//!
+//! Section 4 argues that VLSI design becomes tractable when decomposed
+//! into subtasks with explicit information flow, captured in a *task
+//! dependency graph* (Figure 4-1): "The purpose of the task dependency
+//! graph is to make sure that no more than a small amount of knowledge
+//! is required for any subtask."
+//!
+//! [`taskgraph`] is a small scheduling engine for such graphs —
+//! topological ordering, cycle detection, critical path, and bounded-
+//! designer list scheduling. [`rework`] adds §4's design-iteration
+//! model: slips force prerequisites to be redone, and narrow
+//! interfaces keep that cheap. [`figure41`] encodes the paper's own
+//! graph for the pattern-matching chip and reproduces its headline
+//! project estimate: "the design of the pattern matching chip … took
+//! only about two man-months", dominated by the algorithm task.
+
+//! ```
+//! use pm_design::prelude::*;
+//!
+//! let (graph, _) = figure_4_1();
+//! let (_, days) = graph.critical_path().unwrap();
+//! assert_eq!(days, 42.0); // "about two man-months"
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figure41;
+pub mod rework;
+pub mod taskgraph;
+
+/// Convenient re-exports.
+pub mod prelude {
+    pub use crate::figure41::{figure_4_1, DesignTask};
+    pub use crate::rework::{expected_days, simulate, tangled_version, ProjectOutcome};
+    pub use crate::taskgraph::{GraphError, TaskGraph, TaskId};
+}

@@ -1,0 +1,178 @@
+//! Design iteration and rework (paper §4).
+//!
+//! "Of course, any set of subtasks is unlikely to be completely
+//! independent, since problems that crop up in performing one of them
+//! may require that another subtask be redone. Difficulties in layout,
+//! for example, may mandate a circuit redesign, but these design
+//! iterations will be easier if the interactions between subtasks are
+//! few."
+//!
+//! A Monte-Carlo rework model quantifies that sentence: finishing a
+//! task may uncover a problem in one of the tasks it directly consumes
+//! information from, forcing that prerequisite — and the current task —
+//! to be redone. The expected iteration cost is therefore set by the
+//! dependency structure: a graph with narrow interfaces (Figure 4-1)
+//! localises rework to one edge; a tangled graph where every task reads
+//! every earlier output re-spends large upstream efforts on every slip.
+
+use crate::taskgraph::{GraphError, TaskGraph};
+
+/// Deterministic xorshift64* — enough randomness for a Monte-Carlo
+/// schedule without external dependencies.
+#[derive(Debug, Clone)]
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed | 1)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn chance(&mut self, p: f64) -> bool {
+        ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+
+    fn pick(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// The outcome of one simulated project execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProjectOutcome {
+    /// Designer-days actually spent, including rework.
+    pub days: f64,
+    /// Rework loops triggered.
+    pub iterations: u32,
+}
+
+/// Simulates one project: tasks run in topological order; with
+/// probability `slip`, finishing a task uncovers a problem in one of
+/// its direct prerequisites, whose effort (plus redoing the current
+/// task) is spent again. At most `max_iterations` loops are charged.
+///
+/// # Errors
+///
+/// [`GraphError::Cycle`] if the graph is cyclic.
+pub fn simulate(
+    graph: &TaskGraph,
+    slip: f64,
+    max_iterations: u32,
+    seed: u64,
+) -> Result<ProjectOutcome, GraphError> {
+    let order = graph.topological_order()?;
+    let mut rng = Rng::new(seed);
+    let mut days = 0.0;
+    let mut iterations = 0u32;
+    for &task in &order {
+        days += graph.days(task);
+        let pres = graph.prerequisites(task);
+        if !pres.is_empty() && iterations < max_iterations && rng.chance(slip) {
+            let culprit = pres[rng.pick(pres.len())];
+            days += graph.days(culprit) + graph.days(task);
+            iterations += 1;
+        }
+    }
+    Ok(ProjectOutcome { days, iterations })
+}
+
+/// Mean project duration over `trials` Monte-Carlo executions.
+///
+/// # Errors
+///
+/// [`GraphError::Cycle`] if the graph is cyclic.
+pub fn expected_days(
+    graph: &TaskGraph,
+    slip: f64,
+    trials: u32,
+    seed: u64,
+) -> Result<f64, GraphError> {
+    let mut total = 0.0;
+    for t in 0..trials {
+        total += simulate(graph, slip, 32, seed ^ (u64::from(t) << 21))?.days;
+    }
+    Ok(total / f64::from(trials))
+}
+
+/// A deliberately *tangled* version of a graph: same tasks and efforts,
+/// but every task depends on every earlier task — the "impossible to
+/// take global data flow, circuit design, and transistor
+/// characteristics into account all at once" strawman of §4.
+pub fn tangled_version(graph: &TaskGraph) -> Result<TaskGraph, GraphError> {
+    let order = graph.topological_order()?;
+    let mut tangled = TaskGraph::new();
+    let ids: Vec<_> = order
+        .iter()
+        .map(|&t| tangled.add_task(graph.name(t), graph.days(t)))
+        .collect();
+    for i in 0..ids.len() {
+        for j in i + 1..ids.len() {
+            tangled.add_dependency(ids[i], ids[j])?;
+        }
+    }
+    Ok(tangled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figure41::figure_4_1;
+
+    #[test]
+    fn no_slips_means_baseline_duration() {
+        let (g, _) = figure_4_1();
+        let outcome = simulate(&g, 0.0, 32, 7).unwrap();
+        assert!((outcome.days - g.total_days()).abs() < 1e-9);
+        assert_eq!(outcome.iterations, 0);
+    }
+
+    #[test]
+    fn certain_slips_charge_rework() {
+        let (g, _) = figure_4_1();
+        let outcome = simulate(&g, 1.0, 32, 7).unwrap();
+        assert!(outcome.days > g.total_days());
+        // Every task with a prerequisite slips once: 8 of 9 tasks.
+        assert_eq!(outcome.iterations, 8);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let (g, _) = figure_4_1();
+        let a = simulate(&g, 0.3, 32, 99).unwrap();
+        let b = simulate(&g, 0.3, 32, 99).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn narrow_interfaces_beat_the_tangle() {
+        // The §4 argument: at the same slip rate, the Figure 4-1
+        // structure reworks small neighbours while the tangled graph
+        // keeps re-spending big upstream tasks (the 15-day algorithm is
+        // a prerequisite of everything).
+        let (g, _) = figure_4_1();
+        let tangled = tangled_version(&g).unwrap();
+        let clean = expected_days(&g, 0.4, 400, 1).unwrap();
+        let messy = expected_days(&tangled, 0.4, 400, 1).unwrap();
+        assert!(
+            messy > clean,
+            "tangled {messy:.1} must exceed structured {clean:.1}"
+        );
+    }
+
+    #[test]
+    fn iteration_cap_bounds_cost() {
+        let (g, _) = figure_4_1();
+        let capped = simulate(&g, 1.0, 2, 3).unwrap();
+        assert_eq!(capped.iterations, 2);
+        let uncapped = simulate(&g, 1.0, 32, 3).unwrap();
+        assert!(uncapped.days >= capped.days);
+    }
+}

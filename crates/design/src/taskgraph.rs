@@ -1,0 +1,356 @@
+//! A dependency graph of design tasks with scheduling analyses.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Identifies a task within its graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(usize);
+
+impl TaskId {
+    /// Index into the graph's task table.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Errors from graph construction or analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// The dependencies contain a cycle; no valid task order exists.
+    Cycle,
+    /// An edge referenced a task id from a different graph.
+    UnknownTask,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Cycle => write!(f, "task dependencies contain a cycle"),
+            GraphError::UnknownTask => write!(f, "edge references an unknown task"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// One task node.
+#[derive(Debug, Clone, PartialEq)]
+struct Task {
+    name: String,
+    days: f64,
+}
+
+/// A directed acyclic graph of design tasks.
+#[derive(Debug, Clone, Default)]
+pub struct TaskGraph {
+    tasks: Vec<Task>,
+    /// `edges[i]` = tasks that require task `i` to be finished first.
+    edges: Vec<Vec<TaskId>>,
+}
+
+impl TaskGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        TaskGraph::default()
+    }
+
+    /// Adds a task with an effort estimate in designer-days.
+    pub fn add_task(&mut self, name: impl Into<String>, days: f64) -> TaskId {
+        let id = TaskId(self.tasks.len());
+        self.tasks.push(Task {
+            name: name.into(),
+            days,
+        });
+        self.edges.push(Vec::new());
+        id
+    }
+
+    /// Declares that `after` needs `before`'s output.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::UnknownTask`] for out-of-range ids.
+    pub fn add_dependency(&mut self, before: TaskId, after: TaskId) -> Result<(), GraphError> {
+        if before.0 >= self.tasks.len() || after.0 >= self.tasks.len() {
+            return Err(GraphError::UnknownTask);
+        }
+        self.edges[before.0].push(after);
+        Ok(())
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether the graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// The name of a task.
+    pub fn name(&self, id: TaskId) -> &str {
+        &self.tasks[id.0].name
+    }
+
+    /// The effort estimate of a task, in days.
+    pub fn days(&self, id: TaskId) -> f64 {
+        self.tasks[id.0].days
+    }
+
+    /// Total effort across all tasks (perfectly parallel lower bound
+    /// does not apply; this is the *serial* total).
+    pub fn total_days(&self) -> f64 {
+        self.tasks.iter().map(|t| t.days).sum()
+    }
+
+    /// The graph in Graphviz DOT form, effort annotated — Figure 4-1
+    /// ready for a plotter, as the paper's CAD outlook (§4) anticipates.
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("digraph tasks {\n  rankdir=TB;\n");
+        for (i, task) in self.tasks.iter().enumerate() {
+            out.push_str(&format!(
+                "  t{i} [label=\"{} ({} d)\"];\n",
+                task.name, task.days
+            ));
+        }
+        for (i, outs) in self.edges.iter().enumerate() {
+            for t in outs {
+                out.push_str(&format!("  t{i} -> t{};\n", t.0));
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// The direct prerequisites of `task` (tasks with an edge into it).
+    pub fn prerequisites(&self, task: TaskId) -> Vec<TaskId> {
+        (0..self.tasks.len())
+            .filter(|&i| self.edges[i].contains(&task))
+            .map(TaskId)
+            .collect()
+    }
+
+    /// A topological order of the tasks.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::Cycle`] if the dependencies are cyclic.
+    pub fn topological_order(&self) -> Result<Vec<TaskId>, GraphError> {
+        let n = self.tasks.len();
+        let mut indegree = vec![0usize; n];
+        for outs in &self.edges {
+            for t in outs {
+                indegree[t.0] += 1;
+            }
+        }
+        let mut queue: VecDeque<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(i) = queue.pop_front() {
+            order.push(TaskId(i));
+            for t in &self.edges[i] {
+                indegree[t.0] -= 1;
+                if indegree[t.0] == 0 {
+                    queue.push_back(t.0);
+                }
+            }
+        }
+        if order.len() == n {
+            Ok(order)
+        } else {
+            Err(GraphError::Cycle)
+        }
+    }
+
+    /// The critical path: the dependency chain with the largest total
+    /// effort, returned as `(path, days)`. This is the shortest
+    /// possible project duration with unlimited designers.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::Cycle`] if the dependencies are cyclic.
+    pub fn critical_path(&self) -> Result<(Vec<TaskId>, f64), GraphError> {
+        let order = self.topological_order()?;
+        let n = self.tasks.len();
+        // finish[i] = earliest completion of i; pred for reconstruction.
+        let mut finish = vec![0.0f64; n];
+        let mut pred: Vec<Option<usize>> = vec![None; n];
+        for &TaskId(i) in &order {
+            finish[i] += self.tasks[i].days;
+            for &TaskId(j) in &self.edges[i] {
+                if finish[i] > finish[j] {
+                    finish[j] = finish[i];
+                    pred[j] = Some(i);
+                }
+            }
+        }
+        let (mut at, &total) = finish
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .expect("non-empty graph");
+        let mut path = vec![TaskId(at)];
+        while let Some(p) = pred[at] {
+            path.push(TaskId(p));
+            at = p;
+        }
+        path.reverse();
+        Ok((path, total))
+    }
+
+    /// Greedy list-schedule makespan with `designers` people: at any
+    /// time each free designer takes the ready task with the most
+    /// downstream work. Returns total calendar days.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::Cycle`] if the dependencies are cyclic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `designers` is zero.
+    pub fn makespan(&self, designers: usize) -> Result<f64, GraphError> {
+        assert!(designers > 0, "need at least one designer");
+        let order = self.topological_order()?;
+        let n = self.tasks.len();
+
+        // Priority: critical-path-to-sink length from each task.
+        let mut rank = vec![0.0f64; n];
+        for &TaskId(i) in order.iter().rev() {
+            let down = self.edges[i].iter().map(|t| rank[t.0]).fold(0.0, f64::max);
+            rank[i] = self.tasks[i].days + down;
+        }
+
+        let mut indegree = vec![0usize; n];
+        for outs in &self.edges {
+            for t in outs {
+                indegree[t.0] += 1;
+            }
+        }
+        let mut ready: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut running: Vec<(f64, usize)> = Vec::new(); // (finish time, task)
+        let mut clock = 0.0f64;
+        let mut done = 0usize;
+
+        while done < n {
+            while running.len() < designers && !ready.is_empty() {
+                // Pick the highest-rank ready task.
+                let best = ready
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| rank[*a.1].total_cmp(&rank[*b.1]))
+                    .map(|(idx, _)| idx)
+                    .expect("ready non-empty");
+                let task = ready.swap_remove(best);
+                running.push((clock + self.tasks[task].days, task));
+            }
+            // Advance to the next completion.
+            let (idx, &(finish, task)) = running
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1 .0.total_cmp(&b.1 .0))
+                .expect("something must be running");
+            clock = finish;
+            running.swap_remove(idx);
+            done += 1;
+            for &TaskId(j) in &self.edges[task] {
+                indegree[j] -= 1;
+                if indegree[j] == 0 {
+                    ready.push(j);
+                }
+            }
+        }
+        Ok(clock)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> (TaskGraph, [TaskId; 4]) {
+        let mut g = TaskGraph::new();
+        let a = g.add_task("a", 1.0);
+        let b = g.add_task("b", 2.0);
+        let c = g.add_task("c", 3.0);
+        let d = g.add_task("d", 1.0);
+        g.add_dependency(a, b).unwrap();
+        g.add_dependency(a, c).unwrap();
+        g.add_dependency(b, d).unwrap();
+        g.add_dependency(c, d).unwrap();
+        (g, [a, b, c, d])
+    }
+
+    #[test]
+    fn topological_order_respects_edges() {
+        let (g, [a, b, c, d]) = diamond();
+        let order = g.topological_order().unwrap();
+        let pos = |t: TaskId| order.iter().position(|&x| x == t).unwrap();
+        assert!(pos(a) < pos(b));
+        assert!(pos(a) < pos(c));
+        assert!(pos(b) < pos(d));
+        assert!(pos(c) < pos(d));
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task("a", 1.0);
+        let b = g.add_task("b", 1.0);
+        g.add_dependency(a, b).unwrap();
+        g.add_dependency(b, a).unwrap();
+        assert_eq!(g.topological_order(), Err(GraphError::Cycle));
+        assert_eq!(g.critical_path().map(|_| ()), Err(GraphError::Cycle));
+    }
+
+    #[test]
+    fn critical_path_takes_longest_chain() {
+        let (g, [a, _b, c, d]) = diamond();
+        let (path, days) = g.critical_path().unwrap();
+        assert_eq!(path, vec![a, c, d]);
+        assert!((days - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn makespan_bounds() {
+        let (g, _) = diamond();
+        // One designer: serial total = 7 days.
+        assert!((g.makespan(1).unwrap() - 7.0).abs() < 1e-12);
+        // Unlimited designers: the critical path, 5 days.
+        assert!((g.makespan(10).unwrap() - 5.0).abs() < 1e-12);
+        // Two designers can overlap b with c.
+        let two = g.makespan(2).unwrap();
+        assert!((5.0..=7.0).contains(&two));
+    }
+
+    #[test]
+    fn unknown_task_edge_rejected() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task("a", 1.0);
+        let bogus = TaskId(99);
+        assert_eq!(g.add_dependency(a, bogus), Err(GraphError::UnknownTask));
+    }
+
+    #[test]
+    fn dot_export_lists_every_task_and_edge() {
+        let (g, _) = crate::figure41::figure_4_1();
+        let dot = g.to_dot();
+        assert!(dot.starts_with("digraph"));
+        assert_eq!(
+            dot.matches(" -> ").count(),
+            crate::figure41::DesignTask::dependencies().len()
+        );
+        assert!(dot.contains("Algorithm (15 d)"));
+    }
+
+    #[test]
+    fn accessors() {
+        let (g, [a, ..]) = diamond();
+        assert_eq!(g.len(), 4);
+        assert!(!g.is_empty());
+        assert_eq!(g.name(a), "a");
+        assert!((g.days(a) - 1.0).abs() < 1e-12);
+        assert!((g.total_days() - 7.0).abs() < 1e-12);
+    }
+}

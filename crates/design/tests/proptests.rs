@@ -1,0 +1,108 @@
+//! Property tests over random task DAGs: scheduling invariants that
+//! must hold for any project, not just Figure 4-1.
+
+use pm_design::prelude::*;
+use proptest::prelude::*;
+
+/// A random DAG: task efforts plus forward-only edges (i → j, i < j),
+/// which guarantees acyclicity by construction.
+fn dag() -> impl Strategy<Value = (Vec<f64>, Vec<(usize, usize)>)> {
+    (2usize..10).prop_flat_map(|n| {
+        let days = proptest::collection::vec(1.0f64..20.0, n);
+        let edges = proptest::collection::vec(
+            (0..n, 0..n).prop_filter_map("forward edges", |(a, b)| {
+                if a < b {
+                    Some((a, b))
+                } else if b < a {
+                    Some((b, a))
+                } else {
+                    None
+                }
+            }),
+            0..12,
+        );
+        (days, edges)
+    })
+}
+
+fn build(days: &[f64], edges: &[(usize, usize)]) -> (TaskGraph, Vec<TaskId>) {
+    let mut g = TaskGraph::new();
+    let ids: Vec<TaskId> = days
+        .iter()
+        .enumerate()
+        .map(|(i, &d)| g.add_task(format!("t{i}"), d))
+        .collect();
+    for &(a, b) in edges {
+        g.add_dependency(ids[a], ids[b]).expect("valid ids");
+    }
+    (g, ids)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn topological_order_respects_every_edge((days, edges) in dag()) {
+        let (g, ids) = build(&days, &edges);
+        let order = g.topological_order().expect("forward edges are acyclic");
+        prop_assert_eq!(order.len(), days.len());
+        let pos = |t: TaskId| order.iter().position(|&x| x == t).unwrap();
+        for &(a, b) in &edges {
+            prop_assert!(pos(ids[a]) < pos(ids[b]), "edge {a}->{b} violated");
+        }
+    }
+
+    #[test]
+    fn critical_path_bounds_the_schedule((days, edges) in dag()) {
+        let (g, _) = build(&days, &edges);
+        let serial = g.total_days();
+        let (_, cp) = g.critical_path().unwrap();
+        let one = g.makespan(1).unwrap();
+        let many = g.makespan(days.len()).unwrap();
+        // Serial execution spends exactly the total.
+        prop_assert!((one - serial).abs() < 1e-6);
+        // No schedule beats the critical path; unlimited staff meets it
+        // for list scheduling on these small graphs only up to the
+        // greedy bound, but can never go below.
+        prop_assert!(many >= cp - 1e-9);
+        prop_assert!(many <= serial + 1e-9);
+        prop_assert!(cp <= serial + 1e-9);
+    }
+
+    #[test]
+    fn more_designers_never_hurt((days, edges) in dag()) {
+        let (g, _) = build(&days, &edges);
+        let mut last = f64::INFINITY;
+        for workers in 1..=days.len() {
+            let m = g.makespan(workers).unwrap();
+            prop_assert!(m <= last + 1e-9, "{workers} workers worsened the schedule");
+            last = m;
+        }
+    }
+
+    #[test]
+    fn prerequisites_invert_edges((days, edges) in dag()) {
+        let (g, ids) = build(&days, &edges);
+        for (i, &id) in ids.iter().enumerate() {
+            let pres = g.prerequisites(id);
+            for &(a, b) in &edges {
+                if b == i {
+                    prop_assert!(pres.contains(&ids[a]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rework_is_bounded_and_monotone_at_extremes((days, edges) in dag(), seed in 0u64..500) {
+        let (g, _) = build(&days, &edges);
+        let none = pm_design::rework::simulate(&g, 0.0, 32, seed).unwrap();
+        let all = pm_design::rework::simulate(&g, 1.0, 32, seed).unwrap();
+        prop_assert!((none.days - g.total_days()).abs() < 1e-9);
+        prop_assert!(all.days >= none.days);
+        // Rework can at most triple any task (itself + one prerequisite
+        // per slip, each at most the largest task).
+        let max_task = days.iter().cloned().fold(0.0, f64::max);
+        prop_assert!(all.days <= g.total_days() + 2.0 * max_task * days.len() as f64);
+    }
+}

@@ -1,0 +1,280 @@
+//! λ-dimensioned cell layouts, synthesised mechanically.
+//!
+//! "In principle the layout can be designed mechanically from the
+//! circuit and stick diagrams" (§3.2.2). [`synthesize_cell`] is that
+//! mechanism, in a deliberately simple gate-matrix style: one device
+//! per column between a `Vdd` rail on top and a ground rail below,
+//! diffusion running vertically, poly gates crossing horizontally,
+//! implant boxes marking depletion pullups. The result is correct by
+//! construction against the λ rules of [`crate::drc`] — which the
+//! tests verify rather than assume.
+
+use crate::drc::{check, DesignRules, DrcViolation};
+use crate::geom::Rect;
+use crate::layer::Layer;
+
+/// The kind of one device in a cell's device list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceSpec {
+    /// Depletion-mode pullup (implant over the gate).
+    Pullup,
+    /// Enhancement-mode pulldown transistor.
+    Enhancement,
+    /// Pass transistor (clock-gated storage access).
+    Pass,
+}
+
+/// A port of a cell: a named position where a signal enters or leaves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Port {
+    /// Signal name.
+    pub name: String,
+    /// Layer the port is on.
+    pub layer: Layer,
+    /// Port geometry.
+    pub rect: Rect,
+}
+
+/// A finished cell layout: shapes on mask layers plus ports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellLayout {
+    name: String,
+    shapes: Vec<(Layer, Rect)>,
+    ports: Vec<Port>,
+    width: i64,
+    height: i64,
+}
+
+/// Column pitch of the gate-matrix generator, in λ.
+const PITCH: i64 = 10;
+/// Cell height in λ.
+const HEIGHT: i64 = 26;
+/// Metal rail thickness in λ.
+const RAIL: i64 = 4;
+
+impl CellLayout {
+    /// Cell name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The shapes, flat.
+    pub fn shapes(&self) -> &[(Layer, Rect)] {
+        &self.shapes
+    }
+
+    /// The ports.
+    pub fn ports(&self) -> &[Port] {
+        &self.ports
+    }
+
+    /// Cell width in λ.
+    pub fn width(&self) -> i64 {
+        self.width
+    }
+
+    /// Cell height in λ.
+    pub fn height(&self) -> i64 {
+        self.height
+    }
+
+    /// Cell area in λ².
+    pub fn area(&self) -> i64 {
+        self.width * self.height
+    }
+
+    /// Number of devices (columns) in the cell.
+    pub fn device_count(&self) -> usize {
+        self.shapes
+            .iter()
+            .filter(|(l, r)| *l == Layer::Poly && r.height() == 2)
+            .count()
+    }
+
+    /// Runs the design-rule checker over this cell.
+    pub fn drc(&self, rules: &DesignRules) -> Vec<DrcViolation> {
+        check(&self.shapes, rules)
+    }
+
+    /// A copy of all shapes translated by `(dx, dy)` — used when
+    /// flattening cells into a chip floorplan.
+    pub fn shapes_at(&self, dx: i64, dy: i64) -> Vec<(Layer, Rect)> {
+        self.shapes
+            .iter()
+            .map(|&(l, r)| (l, r.translated(dx, dy)))
+            .collect()
+    }
+}
+
+/// Synthesises a cell from its device list.
+///
+/// # Panics
+///
+/// Panics on an empty device list.
+pub fn synthesize_cell(name: &str, devices: &[DeviceSpec]) -> CellLayout {
+    assert!(!devices.is_empty(), "a cell needs at least one device");
+    let width = 4 + PITCH * devices.len() as i64;
+    let mut shapes: Vec<(Layer, Rect)> = Vec::new();
+    let mut ports = Vec::new();
+
+    // Power rails.
+    let vdd = Rect::new(0, HEIGHT - RAIL, width, HEIGHT);
+    let gnd = Rect::new(0, 0, width, RAIL);
+    shapes.push((Layer::Metal, vdd));
+    shapes.push((Layer::Metal, gnd));
+    ports.push(Port {
+        name: "vdd".into(),
+        layer: Layer::Metal,
+        rect: vdd,
+    });
+    ports.push(Port {
+        name: "gnd".into(),
+        layer: Layer::Metal,
+        rect: gnd,
+    });
+
+    for (i, &dev) in devices.iter().enumerate() {
+        let x = 4 + PITCH * i as i64;
+
+        // Vertical diffusion strip spanning the cell.
+        shapes.push((Layer::Diffusion, Rect::new(x, 0, x + 2, HEIGHT)));
+        // Contact pads to both rails.
+        shapes.push((
+            Layer::Diffusion,
+            Rect::new(x - 1, HEIGHT - RAIL, x + 3, HEIGHT),
+        ));
+        shapes.push((Layer::Diffusion, Rect::new(x - 1, 0, x + 3, RAIL)));
+        shapes.push((Layer::Contact, Rect::new(x, HEIGHT - 3, x + 2, HEIGHT - 1)));
+        shapes.push((Layer::Contact, Rect::new(x, 1, x + 2, 3)));
+
+        // The gate: poly crossing the diffusion at mid-height.
+        let ym = HEIGHT / 2 - 1;
+        let gate = Rect::new(x - 3, ym, x + 5, ym + 2);
+        shapes.push((Layer::Poly, gate));
+        let port_name = match dev {
+            DeviceSpec::Pass => format!("clk{i}"),
+            _ => format!("g{i}"),
+        };
+        ports.push(Port {
+            name: port_name,
+            layer: Layer::Poly,
+            rect: gate,
+        });
+
+        // Depletion devices get an implant box over the gate region.
+        if dev == DeviceSpec::Pullup {
+            shapes.push((Layer::Implant, Rect::new(x - 2, ym - 2, x + 4, ym + 4)));
+        }
+    }
+
+    CellLayout {
+        name: name.into(),
+        shapes,
+        ports,
+        width,
+        height: HEIGHT,
+    }
+}
+
+/// The device list of the one-bit comparator (Figure 3-6 / Plate 1):
+/// three pass transistors, four gates (two inverters, an XNOR, a NAND).
+pub fn comparator_devices() -> Vec<DeviceSpec> {
+    use DeviceSpec::*;
+    let mut d = vec![Pass, Pass, Pass];
+    // pq, sq inverters: pullup + pulldown each.
+    d.extend([Pullup, Enhancement, Pullup, Enhancement]);
+    // XNOR complex gate: pullup + 4 chain transistors.
+    d.extend([Pullup, Enhancement, Enhancement, Enhancement, Enhancement]);
+    // NAND: pullup + 2 chain transistors.
+    d.extend([Pullup, Enhancement, Enhancement]);
+    d
+}
+
+/// The comparator cell layout (15 devices, matching
+/// `pm_nmos::cells::ComparatorCell::device_count`).
+pub fn comparator_cell() -> CellLayout {
+    synthesize_cell("comparator", &comparator_devices())
+}
+
+/// The device list of the accumulator cell: seven pass transistors
+/// (four input latches, the two-phase t register, the r output
+/// register), eight inverters, a NOR and two AOI complex gates —
+/// 36 devices, matching the `pm-nmos` netlist for the positive twin.
+pub fn accumulator_devices() -> Vec<DeviceSpec> {
+    use DeviceSpec::*;
+    let mut d = vec![Pass; 7];
+    // Eight inverters.
+    for _ in 0..8 {
+        d.extend([Pullup, Enhancement]);
+    }
+    // m̄ complex gate (2 chains of 2).
+    d.extend([Pullup, Enhancement, Enhancement, Enhancement, Enhancement]);
+    // t_next NOR (2 parallel pulldowns).
+    d.extend([Pullup, Enhancement, Enhancement]);
+    // r-select AOI (2 chains of 2).
+    d.extend([Pullup, Enhancement, Enhancement, Enhancement, Enhancement]);
+    d
+}
+
+/// The accumulator cell layout.
+pub fn accumulator_cell() -> CellLayout {
+    synthesize_cell("accumulator", &accumulator_devices())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthesised_cells_are_drc_clean() {
+        let rules = DesignRules::default();
+        for cell in [comparator_cell(), accumulator_cell()] {
+            let violations = cell.drc(&rules);
+            assert!(violations.is_empty(), "{}: {:?}", cell.name(), violations);
+        }
+    }
+
+    #[test]
+    fn comparator_has_fifteen_devices() {
+        let cell = comparator_cell();
+        assert_eq!(cell.device_count(), 15);
+        assert_eq!(comparator_devices().len(), 15);
+    }
+
+    #[test]
+    fn accumulator_has_thirty_six_devices() {
+        let cell = accumulator_cell();
+        assert_eq!(cell.device_count(), 36);
+    }
+
+    #[test]
+    fn cell_dimensions_scale_with_devices() {
+        let small = synthesize_cell("s", &[DeviceSpec::Enhancement]);
+        let big = synthesize_cell("b", &[DeviceSpec::Enhancement; 10]);
+        assert_eq!(big.height(), small.height());
+        assert!(big.width() > small.width());
+        assert_eq!(big.width() - small.width(), 9 * 10);
+    }
+
+    #[test]
+    fn ports_include_rails_and_gates() {
+        let cell = synthesize_cell("t", &[DeviceSpec::Pass, DeviceSpec::Pullup]);
+        let names: Vec<&str> = cell.ports().iter().map(|p| p.name.as_str()).collect();
+        assert!(names.contains(&"vdd"));
+        assert!(names.contains(&"gnd"));
+        assert!(names.contains(&"clk0"));
+        assert!(names.contains(&"g1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn empty_cell_panics() {
+        let _ = synthesize_cell("empty", &[]);
+    }
+
+    #[test]
+    fn translation_preserves_shape_count() {
+        let cell = comparator_cell();
+        assert_eq!(cell.shapes_at(100, 50).len(), cell.shapes().len());
+    }
+}

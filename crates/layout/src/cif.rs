@@ -1,0 +1,143 @@
+//! Caltech Intermediate Form emission and parsing.
+//!
+//! "Layouts are described using a graphics language (such as Caltech
+//! Intermediate Form …) that can be interpreted to make the masks"
+//! (§3.2.2). We emit the classic CIF 2.0 subset — `DS`/`DF` symbol
+//! definitions, `L` layer selection, `B` boxes, `C` calls, `E` — and
+//! parse it back for round-trip testing. Dimensions are λ scaled by
+//! the conventional factor of 100 (centimicrons at λ = 1 µm... the
+//! scale is arbitrary; CIF carries its own `DS` scaling).
+
+use crate::geom::Rect;
+use crate::layer::Layer;
+
+/// A named symbol: a flat list of boxes per layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CifSymbol {
+    /// Symbol name (CIF `9` user text records carry it).
+    pub name: String,
+    /// Boxes on their layers.
+    pub shapes: Vec<(Layer, Rect)>,
+}
+
+/// Emits one symbol as CIF 2.0 text.
+pub fn emit_cif(symbol: &CifSymbol) -> String {
+    let mut out = String::new();
+    out.push_str("DS 1 1 1;\n");
+    out.push_str(&format!("9 {};\n", symbol.name));
+    let mut current: Option<Layer> = None;
+    for &(layer, rect) in &symbol.shapes {
+        if current != Some(layer) {
+            out.push_str(&format!("L {};\n", layer.cif_name()));
+            current = Some(layer);
+        }
+        // B length width xcenter ycenter — CIF uses centres, doubled to
+        // stay integral for odd dimensions.
+        let length = 2 * rect.width();
+        let width = 2 * rect.height();
+        let cx = rect.x0 + rect.x1;
+        let cy = rect.y0 + rect.y1;
+        out.push_str(&format!("B {length} {width} {cx} {cy};\n"));
+    }
+    out.push_str("DF;\nC 1;\nE\n");
+    out
+}
+
+/// Parses the subset of CIF that [`emit_cif`] produces.
+///
+/// Returns `None` on malformed input (unknown layer, bad numbers,
+/// boxes before any `L` command).
+pub fn parse_cif(text: &str) -> Option<CifSymbol> {
+    let mut name = String::new();
+    let mut shapes = Vec::new();
+    let mut layer: Option<Layer> = None;
+    for raw in text.split(';') {
+        let line = raw.trim();
+        if line.is_empty() || line == "E" || line.starts_with("DS") || line == "DF" {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("9 ") {
+            name = rest.trim().to_string();
+        } else if let Some(rest) = line.strip_prefix("L ") {
+            layer = Layer::from_cif_name(rest.trim());
+            layer?;
+        } else if let Some(rest) = line.strip_prefix("B ") {
+            let nums: Vec<i64> = rest
+                .split_whitespace()
+                .map(|t| t.parse().ok())
+                .collect::<Option<Vec<i64>>>()?;
+            if nums.len() != 4 {
+                return None;
+            }
+            let (length, width, cx, cy) = (nums[0], nums[1], nums[2], nums[3]);
+            let rect = Rect::new(
+                (cx - length / 2) / 2,
+                (cy - width / 2) / 2,
+                (cx + length / 2) / 2,
+                (cy + width / 2) / 2,
+            );
+            shapes.push((layer?, rect));
+        } else if line.starts_with("C ") || line == "E" {
+            continue;
+        } else {
+            return None;
+        }
+    }
+    Some(CifSymbol { name, shapes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::comparator_cell;
+
+    #[test]
+    fn roundtrip_comparator_cell() {
+        let cell = comparator_cell();
+        let symbol = CifSymbol {
+            name: cell.name().to_string(),
+            shapes: cell.shapes().to_vec(),
+        };
+        let text = emit_cif(&symbol);
+        let back = parse_cif(&text).expect("own output must parse");
+        assert_eq!(back, symbol);
+    }
+
+    #[test]
+    fn emitted_cif_structure() {
+        let symbol = CifSymbol {
+            name: "demo".into(),
+            shapes: vec![
+                (Layer::Metal, Rect::new(0, 0, 4, 3)),
+                (Layer::Metal, Rect::new(0, 6, 4, 9)),
+                (Layer::Poly, Rect::new(0, 12, 2, 14)),
+            ],
+        };
+        let text = emit_cif(&symbol);
+        assert!(text.starts_with("DS 1 1 1;"));
+        assert!(text.contains("L NM;"));
+        assert!(text.contains("L NP;"));
+        // The layer command is not repeated for consecutive same-layer
+        // boxes.
+        assert_eq!(text.matches("L NM;").count(), 1);
+        assert!(text.trim_end().ends_with('E'));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_cif("L XX; B 1 1 0 0;").is_none());
+        assert!(parse_cif("B 2 2 1 1;").is_none(), "box before layer");
+        assert!(parse_cif("L NM; B 2 nope 1 1;").is_none());
+        assert!(parse_cif("HELLO;").is_none());
+    }
+
+    #[test]
+    fn box_centre_encoding_handles_odd_sizes() {
+        let symbol = CifSymbol {
+            name: "odd".into(),
+            shapes: vec![(Layer::Metal, Rect::new(1, 2, 4, 9))],
+        };
+        let back = parse_cif(&emit_cif(&symbol)).unwrap();
+        assert_eq!(back.shapes, symbol.shapes);
+    }
+}

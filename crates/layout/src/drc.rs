@@ -1,0 +1,337 @@
+//! Design-rule checking against the Mead–Conway λ rules.
+//!
+//! "Designing a layout involves choosing electrical parameters for all
+//! transistors, as well as following minimum spacing rules for the
+//! intended fabrication process" (§3.2.2). The checker enforces the
+//! classic subset:
+//!
+//! | rule | λ |
+//! |---|---|
+//! | diffusion width / spacing | 2 / 3 |
+//! | poly width / spacing | 2 / 2 |
+//! | metal width / spacing | 3 / 3 |
+//! | contact size (exactly) | 2×2 |
+//! | conductor overlap of a contact | 1 on every side |
+//!
+//! Spacing uses a conservative Chebyshev separation; rectangles that
+//! touch are considered one shape and exempt from same-layer spacing.
+
+use crate::geom::Rect;
+use crate::layer::Layer;
+use std::fmt;
+
+/// Minimum widths and spacings in λ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DesignRules {
+    /// Minimum drawn width of diffusion.
+    pub diffusion_width: i64,
+    /// Minimum diffusion-to-diffusion spacing.
+    pub diffusion_space: i64,
+    /// Minimum drawn width of poly.
+    pub poly_width: i64,
+    /// Minimum poly-to-poly spacing.
+    pub poly_space: i64,
+    /// Minimum drawn width of metal.
+    pub metal_width: i64,
+    /// Minimum metal-to-metal spacing.
+    pub metal_space: i64,
+    /// Contact cuts must be exactly this size square.
+    pub contact_size: i64,
+    /// Conductors must extend this far beyond a contact cut.
+    pub contact_overlap: i64,
+}
+
+impl Default for DesignRules {
+    /// The Mead–Conway textbook values.
+    fn default() -> Self {
+        DesignRules {
+            diffusion_width: 2,
+            diffusion_space: 3,
+            poly_width: 2,
+            poly_space: 2,
+            metal_width: 3,
+            metal_space: 3,
+            contact_size: 2,
+            contact_overlap: 1,
+        }
+    }
+}
+
+impl DesignRules {
+    /// The width rule for a conductor layer, if any.
+    pub fn min_width(&self, layer: Layer) -> Option<i64> {
+        match layer {
+            Layer::Diffusion => Some(self.diffusion_width),
+            Layer::Poly => Some(self.poly_width),
+            Layer::Metal => Some(self.metal_width),
+            _ => None,
+        }
+    }
+
+    /// The same-layer spacing rule for a conductor layer, if any.
+    pub fn min_space(&self, layer: Layer) -> Option<i64> {
+        match layer {
+            Layer::Diffusion => Some(self.diffusion_space),
+            Layer::Poly => Some(self.poly_space),
+            Layer::Metal => Some(self.metal_space),
+            _ => None,
+        }
+    }
+}
+
+/// One rule violation found by [`check`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DrcViolation {
+    /// A shape is narrower than the layer's minimum width.
+    TooNarrow {
+        /// Offending layer.
+        layer: Layer,
+        /// Offending shape.
+        rect: Rect,
+        /// Required minimum width.
+        min: i64,
+    },
+    /// Two disjoint shapes on one layer are closer than allowed.
+    TooClose {
+        /// Offending layer.
+        layer: Layer,
+        /// First shape.
+        a: Rect,
+        /// Second shape.
+        b: Rect,
+        /// Required minimum spacing.
+        min: i64,
+        /// Observed separation.
+        got: i64,
+    },
+    /// A contact cut is not the mandated square size.
+    BadContactSize {
+        /// Offending cut.
+        rect: Rect,
+        /// Required side length.
+        required: i64,
+    },
+    /// A contact cut lacks conductor coverage.
+    UncoveredContact {
+        /// Offending cut.
+        rect: Rect,
+    },
+}
+
+impl fmt::Display for DrcViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DrcViolation::TooNarrow { layer, rect, min } => {
+                write!(f, "{layer} shape {rect} narrower than {min}λ")
+            }
+            DrcViolation::TooClose {
+                layer,
+                a,
+                b,
+                min,
+                got,
+            } => {
+                write!(
+                    f,
+                    "{layer} shapes {a} and {b} only {got}λ apart (min {min}λ)"
+                )
+            }
+            DrcViolation::BadContactSize { rect, required } => {
+                write!(f, "contact {rect} is not {required}×{required}λ")
+            }
+            DrcViolation::UncoveredContact { rect } => {
+                write!(
+                    f,
+                    "contact {rect} not covered by two conductors with overlap"
+                )
+            }
+        }
+    }
+}
+
+/// Checks a flat list of `(layer, rect)` shapes against `rules`.
+/// Returns every violation found (empty = clean).
+pub fn check(shapes: &[(Layer, Rect)], rules: &DesignRules) -> Vec<DrcViolation> {
+    let mut violations = Vec::new();
+
+    // Width rules.
+    for &(layer, rect) in shapes {
+        if let Some(min) = rules.min_width(layer) {
+            if rect.min_dimension() < min {
+                violations.push(DrcViolation::TooNarrow { layer, rect, min });
+            }
+        }
+        if layer == Layer::Contact
+            && (rect.width() != rules.contact_size || rect.height() != rules.contact_size)
+        {
+            violations.push(DrcViolation::BadContactSize {
+                rect,
+                required: rules.contact_size,
+            });
+        }
+    }
+
+    // Same-layer spacing: disjoint groups of touching shapes must keep
+    // their distance. Group by connectivity first so an L of two
+    // overlapping rects isn't reported against itself.
+    for layer in [Layer::Diffusion, Layer::Poly, Layer::Metal] {
+        let min = rules
+            .min_space(layer)
+            .expect("conductors have spacing rules");
+        let rects: Vec<Rect> = shapes
+            .iter()
+            .filter(|(l, _)| *l == layer)
+            .map(|&(_, r)| r)
+            .collect();
+        let groups = connectivity_groups(&rects);
+        for i in 0..rects.len() {
+            for j in i + 1..rects.len() {
+                if groups[i] == groups[j] {
+                    continue;
+                }
+                let got = rects[i].separation(&rects[j]);
+                if got > 0 && got < min {
+                    violations.push(DrcViolation::TooClose {
+                        layer,
+                        a: rects[i],
+                        b: rects[j],
+                        min,
+                        got,
+                    });
+                }
+            }
+        }
+    }
+
+    // Contact coverage: at least two distinct conductor layers must
+    // enclose the cut with the mandated overlap.
+    for &(layer, cut) in shapes {
+        if layer != Layer::Contact {
+            continue;
+        }
+        let needed = cut.inflated(rules.contact_overlap);
+        let covering = [Layer::Metal, Layer::Poly, Layer::Diffusion]
+            .into_iter()
+            .filter(|&l| shapes.iter().any(|&(l2, r)| l2 == l && r.contains(&needed)))
+            .count();
+        if covering < 2 {
+            violations.push(DrcViolation::UncoveredContact { rect: cut });
+        }
+    }
+
+    violations
+}
+
+/// Assigns each rect a connectivity-group id (touching = same group).
+fn connectivity_groups(rects: &[Rect]) -> Vec<usize> {
+    let mut group: Vec<usize> = (0..rects.len()).collect();
+    fn find(group: &mut Vec<usize>, i: usize) -> usize {
+        if group[i] != i {
+            let root = find(group, group[i]);
+            group[i] = root;
+        }
+        group[i]
+    }
+    for i in 0..rects.len() {
+        for j in i + 1..rects.len() {
+            if rects[i].touches(&rects[j]) {
+                let (a, b) = (find(&mut group, i), find(&mut group, j));
+                if a != b {
+                    group[a] = b;
+                }
+            }
+        }
+    }
+    (0..rects.len()).map(|i| find(&mut group, i)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_layout_passes() {
+        let shapes = vec![
+            (Layer::Metal, Rect::new(0, 0, 10, 3)),
+            (Layer::Metal, Rect::new(0, 6, 10, 9)),
+            (Layer::Poly, Rect::new(0, 12, 2, 20)),
+        ];
+        assert!(check(&shapes, &DesignRules::default()).is_empty());
+    }
+
+    #[test]
+    fn narrow_metal_flagged() {
+        let shapes = vec![(Layer::Metal, Rect::new(0, 0, 2, 10))];
+        let v = check(&shapes, &DesignRules::default());
+        assert!(matches!(
+            v[0],
+            DrcViolation::TooNarrow {
+                layer: Layer::Metal,
+                min: 3,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn close_poly_flagged_but_touching_exempt() {
+        let rules = DesignRules::default();
+        // 1λ apart: violation.
+        let close = vec![
+            (Layer::Poly, Rect::new(0, 0, 2, 10)),
+            (Layer::Poly, Rect::new(3, 0, 5, 10)),
+        ];
+        assert_eq!(check(&close, &rules).len(), 1);
+        // Abutting: same electrical shape, no violation.
+        let touching = vec![
+            (Layer::Poly, Rect::new(0, 0, 2, 10)),
+            (Layer::Poly, Rect::new(2, 0, 4, 10)),
+        ];
+        assert!(check(&touching, &rules).is_empty());
+    }
+
+    #[test]
+    fn l_shape_through_intermediate_not_self_flagged() {
+        // Two far rects joined by a third: one group, no spacing check.
+        let shapes = vec![
+            (Layer::Metal, Rect::new(0, 0, 3, 20)),
+            (Layer::Metal, Rect::new(0, 17, 20, 20)),
+            (Layer::Metal, Rect::new(17, 0, 20, 20)),
+        ];
+        assert!(check(&shapes, &DesignRules::default()).is_empty());
+    }
+
+    #[test]
+    fn contact_rules() {
+        let rules = DesignRules::default();
+        // Wrong size.
+        let bad = vec![(Layer::Contact, Rect::new(0, 0, 3, 2))];
+        assert!(matches!(
+            check(&bad, &rules)[0],
+            DrcViolation::BadContactSize { .. }
+        ));
+        // Right size but floating.
+        let floating = vec![(Layer::Contact, Rect::new(0, 0, 2, 2))];
+        assert!(check(&floating, &rules)
+            .iter()
+            .any(|v| matches!(v, DrcViolation::UncoveredContact { .. })));
+        // Properly covered by metal and poly.
+        let good = vec![
+            (Layer::Contact, Rect::new(2, 2, 4, 4)),
+            (Layer::Metal, Rect::new(1, 1, 5, 5)),
+            (Layer::Poly, Rect::new(1, 1, 5, 5)),
+        ];
+        assert!(check(&good, &rules).is_empty());
+    }
+
+    #[test]
+    fn violation_messages_are_informative() {
+        let v = DrcViolation::TooNarrow {
+            layer: Layer::Metal,
+            rect: Rect::new(0, 0, 2, 10),
+            min: 3,
+        };
+        assert!(v.to_string().contains("metal"));
+        assert!(v.to_string().contains("3λ"));
+    }
+}

@@ -1,0 +1,204 @@
+//! Chip floorplan assembly (Plate 2; experiment E17).
+//!
+//! "When the layouts for all cells are complete, they are assembled
+//! into a working array with the inputs and outputs hooked to contact
+//! pads" (§3.2.2). The floorplan tiles the comparator rows over the
+//! accumulator row, runs power/ground spines and the two clock lines
+//! vertically beside the array, and rings the die with bonding pads.
+//! Area therefore grows linearly in the column count — the modularity
+//! dividend the paper's design philosophy promises.
+
+use crate::cell::{accumulator_cell, comparator_cell};
+use crate::cif::{emit_cif, CifSymbol};
+use crate::drc::{check, DesignRules, DrcViolation};
+use crate::geom::Rect;
+use crate::layer::Layer;
+
+/// Gap between tiled cells, in λ (routing channel).
+const CHANNEL: i64 = 6;
+/// Pad size, in λ.
+const PAD: i64 = 40;
+/// Margin between the cell array and the pad ring, in λ.
+const MARGIN: i64 = 20;
+
+/// A generated chip floorplan.
+#[derive(Debug, Clone)]
+pub struct ChipFloorplan {
+    columns: usize,
+    bits: u32,
+    shapes: Vec<(Layer, Rect)>,
+    die: Rect,
+    pads: usize,
+}
+
+impl ChipFloorplan {
+    /// Tiles a chip with `columns` character cells for a `bits`-bit
+    /// alphabet: `bits` comparator rows over one accumulator row.
+    /// The fabricated prototype is `ChipFloorplan::new(8, 2)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `columns` or `bits` is zero.
+    pub fn new(columns: usize, bits: u32) -> Self {
+        assert!(columns > 0 && bits > 0, "floorplan needs cells");
+        let comparator = comparator_cell();
+        let accumulator = accumulator_cell();
+        let cell_w = comparator.width().max(accumulator.width()) + CHANNEL;
+        let row_h = comparator.height() + CHANNEL;
+
+        let mut shapes: Vec<(Layer, Rect)> = Vec::new();
+        // Comparator rows (top) then the accumulator row.
+        for v in 0..bits as i64 {
+            let y = MARGIN + (bits as i64 - v) * row_h;
+            for c in 0..columns as i64 {
+                shapes.extend(comparator.shapes_at(MARGIN + c * cell_w, y));
+            }
+        }
+        for c in 0..columns as i64 {
+            shapes.extend(accumulator.shapes_at(MARGIN + c * cell_w, MARGIN));
+        }
+
+        let array_w = cell_w * columns as i64;
+        let array_h = row_h * (bits as i64 + 1);
+
+        // Inter-row communication channels: one vertical poly connector
+        // per column in each routing channel — the `d` path dropping
+        // from comparator row to comparator row and into the
+        // accumulator (the "cell boundary layouts" wiring of §4).
+        let cell_h = comparator.height();
+        for level in 0..=bits as i64 {
+            let y0 = MARGIN + level * row_h + cell_h;
+            let y1 = MARGIN + (level + 1) * row_h;
+            if y1 <= y0 {
+                continue;
+            }
+            for c in 0..columns as i64 {
+                let x = MARGIN + c * cell_w + 4;
+                shapes.push((Layer::Poly, Rect::new(x, y0, x + 2, y1)));
+            }
+        }
+
+        // Power and clock spines along the right edge of the array.
+        let spine_x = MARGIN + array_w + CHANNEL;
+        for (i, layer) in [Layer::Metal, Layer::Metal, Layer::Poly, Layer::Poly]
+            .into_iter()
+            .enumerate()
+        {
+            let x = spine_x + (i as i64) * 6;
+            shapes.push((layer, Rect::new(x, MARGIN, x + 3, MARGIN + array_h)));
+        }
+
+        // Bonding pads across the top edge: pattern/text bits, λ, x,
+        // result in/out, clocks, power — same accounting as
+        // `pm_chip::pins::PinBudget`.
+        let pads = (4 * bits as usize + 6) + 4;
+        let die_w =
+            (MARGIN + array_w + CHANNEL + 24 + MARGIN).max(pads as i64 * (PAD + CHANNEL) + MARGIN);
+        for p in 0..pads as i64 {
+            let x = MARGIN + p * (PAD + CHANNEL);
+            let y = MARGIN + array_h + MARGIN;
+            shapes.push((Layer::Metal, Rect::new(x, y, x + PAD, y + PAD)));
+            shapes.push((
+                Layer::Overglass,
+                Rect::new(x + 4, y + 4, x + PAD - 4, y + PAD - 4),
+            ));
+        }
+
+        let die = Rect::new(0, 0, die_w, MARGIN + array_h + MARGIN + PAD + MARGIN);
+        ChipFloorplan {
+            columns,
+            bits,
+            shapes,
+            die,
+            pads,
+        }
+    }
+
+    /// Column count.
+    pub fn columns(&self) -> usize {
+        self.columns
+    }
+
+    /// Alphabet width.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Bonding pad count.
+    pub fn pads(&self) -> usize {
+        self.pads
+    }
+
+    /// Die outline.
+    pub fn die(&self) -> Rect {
+        self.die
+    }
+
+    /// Die area in λ².
+    pub fn area(&self) -> i64 {
+        self.die.area()
+    }
+
+    /// Every mask shape, flattened.
+    pub fn shapes(&self) -> &[(Layer, Rect)] {
+        &self.shapes
+    }
+
+    /// Full-chip design-rule check.
+    pub fn drc(&self, rules: &DesignRules) -> Vec<DrcViolation> {
+        check(&self.shapes, rules)
+    }
+
+    /// The whole chip as CIF text.
+    pub fn to_cif(&self) -> String {
+        emit_cif(&CifSymbol {
+            name: format!("pattern-matcher-{}x{}", self.columns, self.bits),
+            shapes: self.shapes.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prototype_floorplan_is_drc_clean() {
+        let chip = ChipFloorplan::new(8, 2);
+        let violations = chip.drc(&DesignRules::default());
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn area_grows_linearly_in_columns() {
+        // Once the pad ring stops dominating, the increment per column
+        // is constant (E17).
+        let a16 = ChipFloorplan::new(16, 2).area();
+        let a24 = ChipFloorplan::new(24, 2).area();
+        let a32 = ChipFloorplan::new(32, 2).area();
+        assert_eq!(a24 - a16, a32 - a24, "{a16} {a24} {a32}");
+        assert!(a24 > a16);
+    }
+
+    #[test]
+    fn pad_count_matches_pin_budget() {
+        // 2-bit chip: 14 signal + 4 infra = 18 pads.
+        assert_eq!(ChipFloorplan::new(8, 2).pads(), 18);
+        assert_eq!(ChipFloorplan::new(8, 8).pads(), 42);
+    }
+
+    #[test]
+    fn cif_export_is_parseable() {
+        let chip = ChipFloorplan::new(2, 2);
+        let cif = chip.to_cif();
+        let parsed = crate::cif::parse_cif(&cif).expect("generated CIF parses");
+        assert_eq!(parsed.shapes.len(), chip.shapes().len());
+    }
+
+    #[test]
+    fn more_bit_rows_make_a_taller_chip() {
+        let two = ChipFloorplan::new(8, 2);
+        let eight = ChipFloorplan::new(8, 8);
+        assert!(eight.die().height() > two.die().height());
+    }
+}

@@ -1,0 +1,184 @@
+//! Integer geometry in λ units.
+//!
+//! Mead–Conway design rules are expressed in a scalable unit λ (half
+//! the minimum feature size); all coordinates here are integer λ.
+
+use std::fmt;
+
+/// A point in λ units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: i64,
+    /// Vertical coordinate.
+    pub y: i64,
+}
+
+impl Point {
+    /// Creates a point.
+    pub fn new(x: i64, y: i64) -> Self {
+        Point { x, y }
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+/// An axis-aligned rectangle `[x0, x1) × [y0, y1)` in λ units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rect {
+    /// Left edge.
+    pub x0: i64,
+    /// Bottom edge.
+    pub y0: i64,
+    /// Right edge (exclusive).
+    pub x1: i64,
+    /// Top edge (exclusive).
+    pub y1: i64,
+}
+
+impl Rect {
+    /// Creates a rectangle from corners (normalising order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rectangle would be degenerate (zero width or
+    /// height).
+    pub fn new(x0: i64, y0: i64, x1: i64, y1: i64) -> Self {
+        let (x0, x1) = if x0 <= x1 { (x0, x1) } else { (x1, x0) };
+        let (y0, y1) = if y0 <= y1 { (y0, y1) } else { (y1, y0) };
+        assert!(x0 < x1 && y0 < y1, "degenerate rectangle");
+        Rect { x0, y0, x1, y1 }
+    }
+
+    /// A rectangle from origin and size.
+    pub fn with_size(x: i64, y: i64, w: i64, h: i64) -> Self {
+        Rect::new(x, y, x + w, y + h)
+    }
+
+    /// Width in λ.
+    pub fn width(&self) -> i64 {
+        self.x1 - self.x0
+    }
+
+    /// Height in λ.
+    pub fn height(&self) -> i64 {
+        self.y1 - self.y0
+    }
+
+    /// Area in λ².
+    pub fn area(&self) -> i64 {
+        self.width() * self.height()
+    }
+
+    /// The smaller of width and height (the "drawn width" checked by
+    /// minimum-width rules).
+    pub fn min_dimension(&self) -> i64 {
+        self.width().min(self.height())
+    }
+
+    /// Whether two rectangles share any interior area.
+    pub fn overlaps(&self, other: &Rect) -> bool {
+        self.x0 < other.x1 && other.x0 < self.x1 && self.y0 < other.y1 && other.y0 < self.y1
+    }
+
+    /// Whether two rectangles overlap or share an edge/corner.
+    pub fn touches(&self, other: &Rect) -> bool {
+        self.x0 <= other.x1 && other.x0 <= self.x1 && self.y0 <= other.y1 && other.y0 <= self.y1
+    }
+
+    /// Whether `other` lies entirely inside `self`.
+    pub fn contains(&self, other: &Rect) -> bool {
+        self.x0 <= other.x0 && self.y0 <= other.y0 && self.x1 >= other.x1 && self.y1 >= other.y1
+    }
+
+    /// Conservative (Chebyshev) separation between two disjoint
+    /// rectangles; 0 if they touch or overlap.
+    pub fn separation(&self, other: &Rect) -> i64 {
+        let gap_x = (other.x0 - self.x1).max(self.x0 - other.x1).max(0);
+        let gap_y = (other.y0 - self.y1).max(self.y0 - other.y1).max(0);
+        gap_x.max(gap_y)
+    }
+
+    /// Translates by `(dx, dy)`.
+    pub fn translated(&self, dx: i64, dy: i64) -> Rect {
+        Rect {
+            x0: self.x0 + dx,
+            y0: self.y0 + dy,
+            x1: self.x1 + dx,
+            y1: self.y1 + dy,
+        }
+    }
+
+    /// Grows by `m` on every side.
+    pub fn inflated(&self, m: i64) -> Rect {
+        Rect::new(self.x0 - m, self.y0 - m, self.x1 + m, self.y1 + m)
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{},{} {}x{}]",
+            self.x0,
+            self.y0,
+            self.width(),
+            self.height()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rect_normalises_corners() {
+        let r = Rect::new(5, 7, 1, 2);
+        assert_eq!((r.x0, r.y0, r.x1, r.y1), (1, 2, 5, 7));
+        assert_eq!(r.width(), 4);
+        assert_eq!(r.height(), 5);
+        assert_eq!(r.area(), 20);
+        assert_eq!(r.min_dimension(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn zero_width_panics() {
+        let _ = Rect::new(0, 0, 0, 5);
+    }
+
+    #[test]
+    fn overlap_and_touch() {
+        let a = Rect::new(0, 0, 4, 4);
+        let b = Rect::new(4, 0, 8, 4); // shares an edge
+        let c = Rect::new(5, 5, 8, 8); // disjoint
+        assert!(!a.overlaps(&b));
+        assert!(a.touches(&b));
+        assert!(!a.touches(&c));
+        assert!(a.overlaps(&Rect::new(2, 2, 6, 6)));
+    }
+
+    #[test]
+    fn separation_is_chebyshev() {
+        let a = Rect::new(0, 0, 2, 2);
+        assert_eq!(a.separation(&Rect::new(5, 0, 7, 2)), 3); // horizontal gap
+        assert_eq!(a.separation(&Rect::new(0, 6, 2, 8)), 4); // vertical gap
+        assert_eq!(a.separation(&Rect::new(4, 4, 6, 6)), 2); // diagonal
+        assert_eq!(a.separation(&Rect::new(2, 0, 4, 2)), 0); // touching
+        assert_eq!(a.separation(&Rect::new(1, 1, 3, 3)), 0); // overlapping
+    }
+
+    #[test]
+    fn contains_and_transform() {
+        let a = Rect::new(0, 0, 10, 10);
+        assert!(a.contains(&Rect::new(2, 2, 8, 8)));
+        assert!(!a.contains(&Rect::new(2, 2, 12, 8)));
+        assert_eq!(a.translated(5, -5), Rect::new(5, -5, 15, 5));
+        assert_eq!(Rect::new(2, 2, 4, 4).inflated(1), Rect::new(1, 1, 5, 5));
+    }
+}

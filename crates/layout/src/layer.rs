@@ -1,0 +1,117 @@
+//! Silicon-gate NMOS mask layers (paper §3.2.2, "Cell sticks").
+//!
+//! "Following the convention in [Mead and Conway 80], in our diagrams
+//! blue lines represent metal conduction paths, red lines represent
+//! polycrystalline silicon (polysilicon) and green lines represent
+//! diffusion into the substrate. … The yellow squares are areas of ion
+//! implantation, used to create depletion mode transistors."
+
+use std::fmt;
+
+/// One fabrication mask layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Layer {
+    /// Metal interconnect (blue).
+    Metal,
+    /// Polysilicon (red); crossing diffusion forms a transistor gate.
+    Poly,
+    /// Diffusion (green); the channel layer.
+    Diffusion,
+    /// Ion implant (yellow); makes a crossing a depletion device.
+    Implant,
+    /// Contact cut (black dots in the stick diagrams).
+    Contact,
+    /// Overglass openings for bonding pads.
+    Overglass,
+}
+
+impl Layer {
+    /// All layers, in mask order.
+    pub fn all() -> [Layer; 6] {
+        [
+            Layer::Diffusion,
+            Layer::Implant,
+            Layer::Poly,
+            Layer::Contact,
+            Layer::Metal,
+            Layer::Overglass,
+        ]
+    }
+
+    /// The Mead–Conway colour of this layer in stick diagrams.
+    pub fn colour(self) -> &'static str {
+        match self {
+            Layer::Metal => "blue",
+            Layer::Poly => "red",
+            Layer::Diffusion => "green",
+            Layer::Implant => "yellow",
+            Layer::Contact => "black",
+            Layer::Overglass => "grey",
+        }
+    }
+
+    /// The CIF 2.0 layer name for NMOS.
+    pub fn cif_name(self) -> &'static str {
+        match self {
+            Layer::Metal => "NM",
+            Layer::Poly => "NP",
+            Layer::Diffusion => "ND",
+            Layer::Implant => "NI",
+            Layer::Contact => "NC",
+            Layer::Overglass => "NG",
+        }
+    }
+
+    /// Parses a CIF layer name.
+    pub fn from_cif_name(name: &str) -> Option<Layer> {
+        Layer::all().into_iter().find(|l| l.cif_name() == name)
+    }
+
+    /// Whether wires on this layer conduct (implant and overglass are
+    /// modifiers, not conductors).
+    pub fn is_conductor(self) -> bool {
+        matches!(self, Layer::Metal | Layer::Poly | Layer::Diffusion)
+    }
+}
+
+impl fmt::Display for Layer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Layer::Metal => "metal",
+            Layer::Poly => "poly",
+            Layer::Diffusion => "diffusion",
+            Layer::Implant => "implant",
+            Layer::Contact => "contact",
+            Layer::Overglass => "overglass",
+        };
+        write!(f, "{name}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cif_names_roundtrip() {
+        for layer in Layer::all() {
+            assert_eq!(Layer::from_cif_name(layer.cif_name()), Some(layer));
+        }
+        assert_eq!(Layer::from_cif_name("ZZ"), None);
+    }
+
+    #[test]
+    fn colours_match_the_paper() {
+        assert_eq!(Layer::Metal.colour(), "blue");
+        assert_eq!(Layer::Poly.colour(), "red");
+        assert_eq!(Layer::Diffusion.colour(), "green");
+        assert_eq!(Layer::Implant.colour(), "yellow");
+    }
+
+    #[test]
+    fn conductors() {
+        assert!(Layer::Metal.is_conductor());
+        assert!(!Layer::Implant.is_conductor());
+        assert!(!Layer::Contact.is_conductor());
+    }
+}

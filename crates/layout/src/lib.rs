@@ -1,0 +1,61 @@
+//! # pm-layout — from sticks to masks (paper §3.2.2, Plates 1–2)
+//!
+//! The paper walks the comparator cell from circuit to *stick diagram*
+//! (topology without dimensions) to *layout* (λ-dimensioned mask
+//! geometry), and asserts that "in principle the layout can be designed
+//! mechanically from the circuit and stick diagrams". This crate
+//! implements that mechanical step:
+//!
+//! * [`geom`] / [`layer`] — λ-unit geometry and the silicon-gate NMOS
+//!   mask layers (metal/poly/diffusion/implant/contact, the
+//!   blue/red/green/yellow/black of the Mead–Conway colouring);
+//! * [`sticks`] — the stick-diagram data model, with the positive
+//!   comparator of Plate 1 encoded as the worked example;
+//! * [`cell`] — λ-dimensioned cell layouts, synthesised mechanically
+//!   from a device list in a gate-matrix style;
+//! * [`drc`] — a design-rule checker for the Mead–Conway λ rules
+//!   (minimum widths, spacings, contact coverage);
+//! * [`cif`] — a flat Caltech Intermediate Form (CIF 2.0) emitter and
+//!   parser, "the graphics language … that can be interpreted to make
+//!   the masks", and [`hier`] — the hierarchical `DS`/`C` form that
+//!   makes the mask description proportional to cell *types*;
+//! * [`floorplan`] — assembly of the n-column chip with power, ground
+//!   and clock routing, pads, area accounting and full-chip DRC
+//!   (Plate 2; experiment E17's area-scaling law).
+
+//! ```
+//! use pm_layout::prelude::*;
+//!
+//! let chip = ChipFloorplan::new(8, 2); // the Plate 2 prototype
+//! assert!(chip.drc(&DesignRules::default()).is_empty());
+//! let cif = chip.to_cif();
+//! assert!(parse_cif(&cif).is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cell;
+pub mod cif;
+pub mod drc;
+pub mod floorplan;
+pub mod geom;
+pub mod hier;
+pub mod layer;
+pub mod render;
+pub mod route;
+pub mod sticks;
+
+/// Convenient re-exports.
+pub mod prelude {
+    pub use crate::cell::{synthesize_cell, CellLayout, DeviceSpec};
+    pub use crate::cif::{emit_cif, parse_cif};
+    pub use crate::drc::{DesignRules, DrcViolation};
+    pub use crate::floorplan::ChipFloorplan;
+    pub use crate::geom::{Point, Rect};
+    pub use crate::hier::{emit_hier_cif, parse_hier_cif, HierLayout};
+    pub use crate::layer::Layer;
+    pub use crate::render::{render_cell, render_shapes, render_sticks};
+    pub use crate::route::{l_route, route_with_via, straight_wire, via};
+    pub use crate::sticks::{positive_comparator_sticks, StickDiagram};
+}

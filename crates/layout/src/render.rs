@@ -1,0 +1,170 @@
+//! ASCII rendering of layouts — the poor designer's Plate 1.
+//!
+//! The paper's plates are colour photographs of stick diagrams and
+//! dies; this module renders our layouts and sticks in the same
+//! Mead–Conway colour code, one character per λ (or per grid unit),
+//! so the `figures` binary can show actual geometry:
+//!
+//! | char | layer |
+//! |---|---|
+//! | `M` | metal (blue) |
+//! | `P` | poly (red) |
+//! | `D` | diffusion (green) |
+//! | `T` | poly over diffusion — a transistor |
+//! | `+` | implant (depletion device) over a transistor |
+//! | `O` | contact cut |
+//! | `G` | overglass opening (bond pad) |
+
+use crate::cell::CellLayout;
+use crate::geom::Rect;
+use crate::layer::Layer;
+use crate::sticks::StickDiagram;
+
+/// Renders a flat shape list into a character grid clipped to `frame`.
+pub fn render_shapes(shapes: &[(Layer, Rect)], frame: Rect) -> String {
+    let w = frame.width() as usize;
+    let h = frame.height() as usize;
+    let mut grid = vec![vec![' '; w]; h];
+
+    let mut paint = |layer: Layer, rect: &Rect| {
+        for y in rect.y0.max(frame.y0)..rect.y1.min(frame.y1) {
+            for x in rect.x0.max(frame.x0)..rect.x1.min(frame.x1) {
+                let gx = (x - frame.x0) as usize;
+                // Row 0 of the grid is the *top* of the layout.
+                let gy = (frame.y1 - 1 - y) as usize;
+                let cell = &mut grid[gy][gx];
+                *cell = match (layer, *cell) {
+                    (Layer::Contact, _) => 'O',
+                    (_, 'O') => 'O',
+                    (Layer::Poly, 'D') | (Layer::Diffusion, 'P') => 'T',
+                    (Layer::Implant, 'T') => '+',
+                    (Layer::Implant, other) => other, // implant alone is invisible
+                    (Layer::Poly, _) => 'P',
+                    (Layer::Diffusion, 'T') | (Layer::Diffusion, '+') => *cell,
+                    (Layer::Metal, 'T')
+                    | (Layer::Metal, '+')
+                    | (Layer::Metal, 'P')
+                    | (Layer::Metal, 'D') => *cell, // metal crosses with no interaction
+                    (Layer::Metal, _) => 'M',
+                    (Layer::Diffusion, _) => 'D',
+                    (Layer::Overglass, ' ') => 'G',
+                    (Layer::Overglass, other) => other,
+                };
+            }
+        }
+    };
+
+    // Paint conductors bottom-up so transistor marks compose, then
+    // implant, then contacts on top.
+    for &(layer, rect) in shapes.iter().filter(|(l, _)| *l == Layer::Diffusion) {
+        paint(layer, &rect);
+    }
+    for &(layer, rect) in shapes.iter().filter(|(l, _)| *l == Layer::Poly) {
+        paint(layer, &rect);
+    }
+    for &(layer, rect) in shapes.iter().filter(|(l, _)| *l == Layer::Implant) {
+        paint(layer, &rect);
+    }
+    for &(layer, rect) in shapes.iter().filter(|(l, _)| *l == Layer::Metal) {
+        paint(layer, &rect);
+    }
+    for &(layer, rect) in shapes
+        .iter()
+        .filter(|(l, _)| matches!(*l, Layer::Contact | Layer::Overglass))
+    {
+        paint(layer, &rect);
+    }
+
+    let mut out = String::with_capacity((w + 1) * h);
+    for row in grid {
+        out.extend(row);
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a cell layout.
+pub fn render_cell(cell: &CellLayout) -> String {
+    render_shapes(cell.shapes(), Rect::new(0, 0, cell.width(), cell.height()))
+}
+
+/// Renders a stick diagram on its unit grid.
+pub fn render_sticks(diagram: &StickDiagram) -> String {
+    // Bounding box.
+    let (mut x1, mut y1) = (0i64, 0i64);
+    for s in &diagram.sticks {
+        x1 = x1.max(s.a.x).max(s.b.x);
+        y1 = y1.max(s.a.y).max(s.b.y);
+    }
+    let w = (x1 + 1) as usize;
+    let h = (y1 + 1) as usize;
+    let mut grid = vec![vec![' '; w]; h];
+    let code = |layer: Layer| match layer {
+        Layer::Metal => 'M',
+        Layer::Poly => 'P',
+        Layer::Diffusion => 'D',
+        _ => '?',
+    };
+    // Diffusion first, then poly (marking crossings), then metal.
+    for pass in [Layer::Diffusion, Layer::Poly, Layer::Metal] {
+        for s in diagram.sticks.iter().filter(|s| s.layer == pass) {
+            for p in s.points() {
+                let cell = &mut grid[(y1 - p.y) as usize][p.x as usize];
+                *cell = match (pass, *cell) {
+                    (Layer::Poly, 'D') => 'T',
+                    (Layer::Metal, 'T') | (Layer::Metal, '+') => *cell,
+                    _ => code(pass),
+                };
+            }
+        }
+    }
+    for p in &diagram.implants {
+        let cell = &mut grid[(y1 - p.y) as usize][p.x as usize];
+        if *cell == 'T' {
+            *cell = '+';
+        }
+    }
+    for p in &diagram.contacts {
+        grid[(y1 - p.y) as usize][p.x as usize] = 'O';
+    }
+    let mut out = String::new();
+    for row in grid {
+        out.extend(row);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::comparator_cell;
+    use crate::sticks::positive_comparator_sticks;
+
+    #[test]
+    fn cell_render_shows_rails_and_transistors() {
+        let art = render_cell(&comparator_cell());
+        let first_line = art.lines().next().unwrap();
+        assert!(first_line.contains('M'), "Vdd rail on top:\n{art}");
+        assert!(art.contains('T'), "transistors present:\n{art}");
+        assert!(art.contains('+'), "depletion pullups present:\n{art}");
+        assert!(art.contains('O'), "contacts present:\n{art}");
+    }
+
+    #[test]
+    fn stick_render_marks_fifteen_transistor_sites() {
+        let d = positive_comparator_sticks();
+        let art = render_sticks(&d);
+        let sites = art.chars().filter(|&c| c == 'T' || c == '+').count();
+        assert_eq!(sites, 15, "{art}");
+        assert_eq!(art.chars().filter(|&c| c == '+').count(), 4, "{art}");
+    }
+
+    #[test]
+    fn render_dimensions_match_frame() {
+        let cell = comparator_cell();
+        let art = render_cell(&cell);
+        assert_eq!(art.lines().count() as i64, cell.height());
+        assert!(art.lines().all(|l| l.len() as i64 == cell.width()));
+    }
+}

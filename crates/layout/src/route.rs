@@ -1,0 +1,187 @@
+//! Inter-cell routing (the "Cell Boundary Layouts" station of §4).
+//!
+//! "The topology of the communication paths and dataflow control is
+//! known from the communication sticks. Wire lengths and spacings can
+//! be chosen, as can distances between cells." This module chooses
+//! them: straight and L-shaped wires of legal width, with contact cuts
+//! (plus the mandated conductor overlap) wherever a route changes
+//! layers. Every helper produces geometry the DRC accepts — checked in
+//! the tests, not assumed.
+
+use crate::drc::DesignRules;
+use crate::geom::{Point, Rect};
+use crate::layer::Layer;
+
+/// Minimum legal wire width on `layer` under `rules`.
+pub fn wire_width(layer: Layer, rules: &DesignRules) -> i64 {
+    rules.min_width(layer).unwrap_or(rules.contact_size)
+}
+
+/// A straight wire of legal width whose centreline runs from `a` to `b`
+/// (which must share an x or y coordinate).
+///
+/// # Panics
+///
+/// Panics if the points are not axis-aligned or coincide.
+pub fn straight_wire(layer: Layer, a: Point, b: Point, rules: &DesignRules) -> (Layer, Rect) {
+    assert!(
+        (a.x == b.x) ^ (a.y == b.y),
+        "wires are axis-aligned, non-degenerate"
+    );
+    let w = wire_width(layer, rules);
+    let half = w / 2;
+    let rect = if a.x == b.x {
+        let (lo, hi) = (a.y.min(b.y), a.y.max(b.y));
+        Rect::new(a.x - half, lo - half, a.x - half + w, hi - half + w)
+    } else {
+        let (lo, hi) = (a.x.min(b.x), a.x.max(b.x));
+        Rect::new(lo - half, a.y - half, hi - half + w, a.y - half + w)
+    };
+    (layer, rect)
+}
+
+/// An L-shaped route from `a` to `b` on one layer: horizontal first,
+/// then vertical. Straight routes degenerate to one rectangle.
+pub fn l_route(layer: Layer, a: Point, b: Point, rules: &DesignRules) -> Vec<(Layer, Rect)> {
+    if a.x == b.x || a.y == b.y {
+        if a == b {
+            return Vec::new();
+        }
+        return vec![straight_wire(layer, a, b, rules)];
+    }
+    let corner = Point::new(b.x, a.y);
+    vec![
+        straight_wire(layer, a, corner, rules),
+        straight_wire(layer, corner, b, rules),
+    ]
+}
+
+/// A layer-change via at `at`: a contact cut with both conductors
+/// padded to the mandated overlap.
+pub fn via(from: Layer, to: Layer, at: Point, rules: &DesignRules) -> Vec<(Layer, Rect)> {
+    let c = rules.contact_size;
+    let cut = Rect::new(
+        at.x - c / 2,
+        at.y - c / 2,
+        at.x - c / 2 + c,
+        at.y - c / 2 + c,
+    );
+    let pad = cut.inflated(rules.contact_overlap);
+    // Pads must also satisfy the conductors' width rules.
+    let mut shapes = Vec::new();
+    for layer in [from, to] {
+        let need = wire_width(layer, rules).max(pad.width());
+        let grow = (need - pad.width()) / 2;
+        shapes.push((layer, pad.inflated(grow)));
+    }
+    shapes.push((Layer::Contact, cut));
+    shapes
+}
+
+/// Routes between two points changing layers at the destination: an
+/// L-route on `from`, then a via to `to`.
+pub fn route_with_via(
+    from: Layer,
+    to: Layer,
+    a: Point,
+    b: Point,
+    rules: &DesignRules,
+) -> Vec<(Layer, Rect)> {
+    let mut shapes = l_route(from, a, b, rules);
+    shapes.extend(via(from, to, b, rules));
+    shapes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drc::check;
+
+    fn rules() -> DesignRules {
+        DesignRules::default()
+    }
+
+    #[test]
+    fn straight_wires_are_legal_width() {
+        let r = rules();
+        for layer in [Layer::Metal, Layer::Poly, Layer::Diffusion] {
+            let (l, rect) = straight_wire(layer, Point::new(10, 10), Point::new(40, 10), &r);
+            assert_eq!(l, layer);
+            assert!(rect.min_dimension() >= r.min_width(layer).unwrap());
+            assert!(check(&[(l, rect)], &r).is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "axis-aligned")]
+    fn diagonal_wire_panics() {
+        let _ = straight_wire(Layer::Metal, Point::new(0, 0), Point::new(5, 5), &rules());
+    }
+
+    #[test]
+    fn l_route_is_connected_and_clean() {
+        let r = rules();
+        let shapes = l_route(Layer::Metal, Point::new(0, 0), Point::new(30, 20), &r);
+        assert_eq!(shapes.len(), 2);
+        assert!(
+            shapes[0].1.touches(&shapes[1].1),
+            "legs must meet at the corner"
+        );
+        assert!(check(&shapes, &r).is_empty(), "{shapes:?}");
+    }
+
+    #[test]
+    fn degenerate_l_route() {
+        let r = rules();
+        assert!(l_route(Layer::Poly, Point::new(3, 3), Point::new(3, 3), &r).is_empty());
+        assert_eq!(
+            l_route(Layer::Poly, Point::new(0, 0), Point::new(0, 9), &r).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn via_passes_contact_rules() {
+        let r = rules();
+        let shapes = via(Layer::Metal, Layer::Poly, Point::new(50, 50), &r);
+        assert!(check(&shapes, &r).is_empty(), "{shapes:?}");
+        assert!(shapes.iter().any(|(l, _)| *l == Layer::Contact));
+    }
+
+    #[test]
+    fn routed_via_is_clean_end_to_end() {
+        let r = rules();
+        let shapes = route_with_via(
+            Layer::Metal,
+            Layer::Poly,
+            Point::new(0, 0),
+            Point::new(40, 24),
+            &r,
+        );
+        assert!(check(&shapes, &r).is_empty(), "{shapes:?}");
+    }
+
+    #[test]
+    fn parallel_routes_respect_spacing() {
+        // Two parallel metal wires at the minimum legal pitch.
+        let r = rules();
+        let w = wire_width(Layer::Metal, &r);
+        let pitch = w + r.metal_space;
+        let a = straight_wire(Layer::Metal, Point::new(0, 10), Point::new(50, 10), &r);
+        let b = straight_wire(
+            Layer::Metal,
+            Point::new(0, 10 + pitch),
+            Point::new(50, 10 + pitch),
+            &r,
+        );
+        assert!(check(&[a, b], &r).is_empty());
+        // One λ closer: violation.
+        let too_close = straight_wire(
+            Layer::Metal,
+            Point::new(0, 10 + pitch - 1),
+            Point::new(50, 10 + pitch - 1),
+            &r,
+        );
+        assert!(!check(&[a, too_close], &r).is_empty());
+    }
+}

@@ -1,0 +1,252 @@
+//! Stick diagrams (paper §3.2.2, Plate 1).
+//!
+//! "The stick diagram shows the relative positions of all signal paths,
+//! power connections, and components, but hides their absolute sizes
+//! and positions." A [`StickDiagram`] is exactly that: coloured line
+//! segments on a unit grid, contact dots, and implant marks. Crossings
+//! of poly over diffusion *are* the transistors, so device counts and
+//! simple electrical sanity checks fall out of the topology — which is
+//! what makes the stick level a useful design station.
+
+use crate::geom::Point;
+use crate::layer::Layer;
+use std::collections::HashSet;
+
+/// A horizontal or vertical line segment on a layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Stick {
+    /// Conduction layer (metal/poly/diffusion).
+    pub layer: Layer,
+    /// One end.
+    pub a: Point,
+    /// Other end (sticks are axis-aligned).
+    pub b: Point,
+}
+
+impl Stick {
+    /// Creates a stick.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the segment is not axis-aligned or is a point.
+    pub fn new(layer: Layer, a: Point, b: Point) -> Self {
+        assert!(
+            (a.x == b.x) ^ (a.y == b.y),
+            "sticks are axis-aligned, non-degenerate segments"
+        );
+        Stick { layer, a, b }
+    }
+
+    /// Whether this stick passes through the grid point `p`.
+    pub fn passes_through(&self, p: Point) -> bool {
+        let (lo_x, hi_x) = (self.a.x.min(self.b.x), self.a.x.max(self.b.x));
+        let (lo_y, hi_y) = (self.a.y.min(self.b.y), self.a.y.max(self.b.y));
+        (lo_x..=hi_x).contains(&p.x) && (lo_y..=hi_y).contains(&p.y)
+    }
+
+    /// Grid points covered by the stick.
+    pub fn points(&self) -> Vec<Point> {
+        let mut out = Vec::new();
+        if self.a.x == self.b.x {
+            let (lo, hi) = (self.a.y.min(self.b.y), self.a.y.max(self.b.y));
+            for y in lo..=hi {
+                out.push(Point::new(self.a.x, y));
+            }
+        } else {
+            let (lo, hi) = (self.a.x.min(self.b.x), self.a.x.max(self.b.x));
+            for x in lo..=hi {
+                out.push(Point::new(x, self.a.y));
+            }
+        }
+        out
+    }
+}
+
+/// A complete stick diagram.
+#[derive(Debug, Clone, Default)]
+pub struct StickDiagram {
+    /// Name of the cell being sketched.
+    pub name: String,
+    /// The coloured segments.
+    pub sticks: Vec<Stick>,
+    /// Contact cuts (the black dots) connecting the layers crossing at
+    /// a point.
+    pub contacts: Vec<Point>,
+    /// Implant marks: a poly–diffusion crossing at one of these points
+    /// is a depletion pullup.
+    pub implants: Vec<Point>,
+}
+
+impl StickDiagram {
+    /// Points where poly crosses diffusion — the transistor sites.
+    pub fn transistor_sites(&self) -> Vec<Point> {
+        let mut sites = HashSet::new();
+        for p in self.layer_points(Layer::Poly) {
+            if self.layer_covers(Layer::Diffusion, p) {
+                sites.insert(p);
+            }
+        }
+        let mut v: Vec<Point> = sites.into_iter().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Transistor sites marked as depletion pullups.
+    pub fn pullup_sites(&self) -> Vec<Point> {
+        self.transistor_sites()
+            .into_iter()
+            .filter(|p| self.implants.contains(p))
+            .collect()
+    }
+
+    /// Number of devices in the sketch.
+    pub fn device_count(&self) -> usize {
+        self.transistor_sites().len()
+    }
+
+    /// Points where two metal sticks cross — always a legal crossover
+    /// in one-metal NMOS only if they are the *same* net; the checker
+    /// reports them for review.
+    pub fn metal_metal_crossings(&self) -> Vec<Point> {
+        let metal: Vec<&Stick> = self
+            .sticks
+            .iter()
+            .filter(|s| s.layer == Layer::Metal)
+            .collect();
+        let mut out = HashSet::new();
+        for (i, s1) in metal.iter().enumerate() {
+            for s2 in metal.iter().skip(i + 1) {
+                // Perpendicular crossing test.
+                if s1.a.x == s1.b.x && s2.a.y == s2.b.y {
+                    let p = Point::new(s1.a.x, s2.a.y);
+                    if s1.passes_through(p) && s2.passes_through(p) {
+                        out.insert(p);
+                    }
+                } else if s1.a.y == s1.b.y && s2.a.x == s2.b.x {
+                    let p = Point::new(s2.a.x, s1.a.y);
+                    if s1.passes_through(p) && s2.passes_through(p) {
+                        out.insert(p);
+                    }
+                }
+            }
+        }
+        let mut v: Vec<Point> = out.into_iter().collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn layer_points(&self, layer: Layer) -> Vec<Point> {
+        self.sticks
+            .iter()
+            .filter(|s| s.layer == layer)
+            .flat_map(|s| s.points())
+            .collect()
+    }
+
+    fn layer_covers(&self, layer: Layer, p: Point) -> bool {
+        self.sticks
+            .iter()
+            .any(|s| s.layer == layer && s.passes_through(p))
+    }
+}
+
+/// The stick diagram of the positive comparator cell, encoding the
+/// topology the paper describes for Plate 1:
+///
+/// * power and ground run horizontally across the cell in metal;
+/// * the clock is poly along the top edge;
+/// * the `p` and `s` data paths run horizontally, `d` runs downward in
+///   diffusion;
+/// * fifteen poly/diffusion crossings — three clocked pass transistors
+///   and four gates' worth of pullups and pulldowns.
+pub fn positive_comparator_sticks() -> StickDiagram {
+    use Layer::{Diffusion, Metal, Poly};
+    let p = Point::new;
+    let mut d = StickDiagram {
+        name: "comparator+".into(),
+        ..Default::default()
+    };
+
+    // Power (y=10) and ground (y=0) rails in metal.
+    d.sticks.push(Stick::new(Metal, p(0, 10), p(16, 10)));
+    d.sticks.push(Stick::new(Metal, p(0, 0), p(16, 0)));
+    // Clock in poly across the top edge (y=9), gating the three pass
+    // transistors on short diffusion drops at x = 1, 5, 9. Gate legs
+    // stop at y=8 so the clock crosses only the pass devices.
+    d.sticks.push(Stick::new(Poly, p(0, 9), p(16, 9)));
+    for x in [1, 5, 9] {
+        d.sticks.push(Stick::new(Diffusion, p(x, 8), p(x, 10)));
+    }
+    // p and s inverters: pullup (implant) over the gate at y=6, input
+    // gate at y=4, on a vertical diffusion leg.
+    for x in [2, 6] {
+        d.sticks.push(Stick::new(Diffusion, p(x, 0), p(x, 8)));
+        d.sticks.push(Stick::new(Poly, p(x - 1, 6), p(x + 1, 6))); // pullup gate
+        d.implants.push(p(x, 6));
+        d.sticks.push(Stick::new(Poly, p(x - 1, 4), p(x + 1, 4)));
+    }
+    // XNOR complex gate: one pullup on the left leg plus two gate rows
+    // crossing both legs (2 chains × 2 transistors).
+    for x in [10, 11] {
+        d.sticks.push(Stick::new(Diffusion, p(x, 0), p(x, 8)));
+    }
+    d.sticks.push(Stick::new(Poly, p(9, 7), p(10, 7))); // pullup gate
+    d.implants.push(p(10, 7));
+    d.sticks.push(Stick::new(Poly, p(9, 5), p(12, 5)));
+    d.sticks.push(Stick::new(Poly, p(9, 3), p(12, 3)));
+    // NAND: pullup + two series pulldowns on one leg.
+    d.sticks.push(Stick::new(Diffusion, p(14, 0), p(14, 8)));
+    d.sticks.push(Stick::new(Poly, p(13, 7), p(15, 7)));
+    d.implants.push(p(14, 7));
+    d.sticks.push(Stick::new(Poly, p(13, 5), p(15, 5)));
+    d.sticks.push(Stick::new(Poly, p(13, 3), p(15, 3)));
+    // p/s data paths across the cell in metal (y=2), crossing d.
+    d.sticks.push(Stick::new(Metal, p(0, 2), p(16, 2)));
+    // Contacts where the data path meets gate inputs.
+    d.contacts.push(p(2, 2));
+    d.contacts.push(p(6, 2));
+
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stick_geometry() {
+        let s = Stick::new(Layer::Metal, Point::new(0, 3), Point::new(5, 3));
+        assert!(s.passes_through(Point::new(2, 3)));
+        assert!(!s.passes_through(Point::new(2, 4)));
+        assert_eq!(s.points().len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "axis-aligned")]
+    fn diagonal_stick_panics() {
+        let _ = Stick::new(Layer::Poly, Point::new(0, 0), Point::new(3, 3));
+    }
+
+    #[test]
+    fn comparator_sticks_have_fifteen_transistors() {
+        let d = positive_comparator_sticks();
+        // 3 pass + 2×2 inverters + 5 XNOR + 3 NAND = 15 sites, matching
+        // both Plate 1 and the pm-nmos netlist.
+        assert_eq!(d.device_count(), 15);
+    }
+
+    #[test]
+    fn comparator_has_four_pullups() {
+        let d = positive_comparator_sticks();
+        // One per gate: the two inverters, the XNOR and the NAND.
+        assert_eq!(d.pullup_sites().len(), 4);
+    }
+
+    #[test]
+    fn no_accidental_metal_crossings() {
+        // One-layer metal cannot cross itself; the rails and the data
+        // path are parallel.
+        let d = positive_comparator_sticks();
+        assert!(d.metal_metal_crossings().is_empty());
+    }
+}

@@ -1,0 +1,95 @@
+//! Property tests for the layout substrate: CIF round-trips, DRC
+//! geometry predicates, and synthesised cells staying rule-clean for
+//! arbitrary device lists.
+
+use pm_layout::cif::CifSymbol;
+use pm_layout::prelude::*;
+use proptest::prelude::*;
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (0i64..200, 0i64..200, 1i64..40, 1i64..40).prop_map(|(x, y, w, h)| Rect::with_size(x, y, w, h))
+}
+
+fn arb_layer() -> impl Strategy<Value = Layer> {
+    prop_oneof![
+        Just(Layer::Metal),
+        Just(Layer::Poly),
+        Just(Layer::Diffusion),
+        Just(Layer::Implant),
+        Just(Layer::Contact),
+        Just(Layer::Overglass),
+    ]
+}
+
+fn arb_device() -> impl Strategy<Value = DeviceSpec> {
+    prop_oneof![
+        Just(DeviceSpec::Pullup),
+        Just(DeviceSpec::Enhancement),
+        Just(DeviceSpec::Pass),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cif_roundtrips_arbitrary_shapes(
+        shapes in proptest::collection::vec((arb_layer(), arb_rect()), 0..40)
+    ) {
+        let symbol = CifSymbol { name: "prop".into(), shapes };
+        let text = emit_cif(&symbol);
+        let back = parse_cif(&text).expect("own output parses");
+        prop_assert_eq!(back, symbol);
+    }
+
+    #[test]
+    fn separation_is_symmetric_and_zero_iff_touching(a in arb_rect(), b in arb_rect()) {
+        prop_assert_eq!(a.separation(&b), b.separation(&a));
+        prop_assert_eq!(a.separation(&b) == 0, a.touches(&b));
+        prop_assert_eq!(a.separation(&a), 0);
+    }
+
+    #[test]
+    fn overlap_implies_touch(a in arb_rect(), b in arb_rect()) {
+        if a.overlaps(&b) {
+            prop_assert!(a.touches(&b));
+        }
+        prop_assert!(a.contains(&b) == (a.overlaps(&b) && a.separation(&b) == 0
+            && a.x0 <= b.x0 && a.y0 <= b.y0 && a.x1 >= b.x1 && a.y1 >= b.y1));
+    }
+
+    #[test]
+    fn synthesised_cells_always_pass_drc(
+        devices in proptest::collection::vec(arb_device(), 1..40)
+    ) {
+        // "The layout can be designed mechanically": the generator must
+        // be correct by construction for any device list.
+        let cell = synthesize_cell("prop", &devices);
+        let violations = cell.drc(&DesignRules::default());
+        prop_assert!(violations.is_empty(), "{violations:?}");
+        prop_assert_eq!(cell.device_count(), devices.len());
+    }
+
+    #[test]
+    fn cif_parser_never_panics_on_garbage(text in ".{0,200}") {
+        // Robustness: arbitrary input must yield None or a value, never
+        // a panic (the parser guards every numeric conversion).
+        let _ = parse_cif(&text);
+    }
+
+    #[test]
+    fn hier_parser_never_panics_on_garbage(text in ".{0,200}") {
+        let _ = pm_layout::hier::parse_hier_cif(&text);
+    }
+
+    #[test]
+    fn translation_preserves_drc(
+        devices in proptest::collection::vec(arb_device(), 1..10),
+        dx in -100i64..100,
+        dy in -100i64..100,
+    ) {
+        let cell = synthesize_cell("prop", &devices);
+        let moved = cell.shapes_at(dx, dy);
+        prop_assert!(pm_layout::drc::check(&moved, &DesignRules::default()).is_empty());
+    }
+}

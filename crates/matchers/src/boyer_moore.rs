@@ -1,0 +1,176 @@
+//! Boyer–Moore (the paper's [Boyer and Moore 77] reference).
+//!
+//! Sublinear on average by scanning the pattern right-to-left and
+//! skipping ahead using the bad-character and good-suffix rules. Like
+//! KMP it relies on transitivity of "matches", so [`BoyerMooreMatcher`]
+//! refuses wild cards — the second half of the paper's §3.3.1 argument.
+
+use crate::{MatchError, PatternMatcher};
+use pm_systolic::symbol::{PatSym, Pattern, Symbol};
+
+/// The Boyer–Moore matcher with both classic shift rules. Rejects wild
+/// cards.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BoyerMooreMatcher;
+
+impl BoyerMooreMatcher {
+    fn literals(pattern: &Pattern) -> Result<Vec<Symbol>, MatchError> {
+        pattern
+            .symbols()
+            .iter()
+            .map(|s| match s {
+                PatSym::Lit(sym) => Ok(*sym),
+                PatSym::Wild => Err(MatchError::WildcardsUnsupported {
+                    algorithm: "boyer-moore",
+                }),
+            })
+            .collect()
+    }
+
+    /// Bad-character table: for each alphabet symbol, the index of its
+    /// rightmost occurrence in the pattern (or `None`).
+    fn bad_char(pat: &[Symbol], alphabet_size: usize) -> Vec<Option<usize>> {
+        let mut table = vec![None; alphabet_size];
+        for (i, s) in pat.iter().enumerate() {
+            table[s.value() as usize] = Some(i);
+        }
+        table
+    }
+
+    /// Good-suffix shift table via the classic two-pass border
+    /// construction: `shift[j]` is how far to slide after a mismatch at
+    /// pattern index `j-1` (with `pat[j..]` already matched).
+    fn good_suffix(pat: &[Symbol]) -> Vec<usize> {
+        let m = pat.len();
+        let mut shift = vec![0usize; m + 1];
+        let mut border = vec![0usize; m + 1];
+
+        // Pass 1: borders of suffixes.
+        let mut i = m;
+        let mut j = m + 1;
+        border[i] = j;
+        while i > 0 {
+            while j <= m && pat[i - 1] != pat[j - 1] {
+                if shift[j] == 0 {
+                    shift[j] = j - i;
+                }
+                j = border[j];
+            }
+            i -= 1;
+            j -= 1;
+            border[i] = j;
+        }
+
+        // Pass 2: fill remaining shifts from the widest border.
+        let mut j = border[0];
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..=m {
+            if shift[i] == 0 {
+                shift[i] = j;
+            }
+            if i == j {
+                j = border[j];
+            }
+        }
+        shift
+    }
+}
+
+impl PatternMatcher for BoyerMooreMatcher {
+    fn name(&self) -> &'static str {
+        "boyer-moore"
+    }
+
+    fn supports_wildcards(&self) -> bool {
+        false
+    }
+
+    fn find(&self, text: &[Symbol], pattern: &Pattern) -> Result<Vec<bool>, MatchError> {
+        let pat = Self::literals(pattern)?;
+        let m = pat.len();
+        let mut out = vec![false; text.len()];
+        if text.len() < m {
+            return Ok(out);
+        }
+        let bad = Self::bad_char(&pat, pattern.alphabet().size());
+        let good = Self::good_suffix(&pat);
+
+        let mut s = 0usize; // current alignment: pattern starts at text[s]
+        while s + m <= text.len() {
+            let mut j = m;
+            while j > 0 && pat[j - 1] == text[s + j - 1] {
+                j -= 1;
+            }
+            if j == 0 {
+                out[s + m - 1] = true;
+                s += good[0];
+            } else {
+                let bc = match bad[text[s + j - 1].value() as usize] {
+                    // Align the rightmost occurrence under the mismatch;
+                    // occurrences to the right would shift backwards.
+                    Some(r) if r < j - 1 => j - 1 - r,
+                    Some(_) => 1,
+                    None => j,
+                };
+                s += bc.max(good[j]);
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_systolic::spec::match_spec;
+    use pm_systolic::symbol::text_from_letters;
+
+    fn check(pattern: &str, text: &str) {
+        let p = Pattern::parse(pattern).unwrap();
+        let t = text_from_letters(text).unwrap();
+        assert_eq!(
+            BoyerMooreMatcher.find(&t, &p).unwrap(),
+            match_spec(&t, &p),
+            "pattern={pattern} text={text}"
+        );
+    }
+
+    #[test]
+    fn simple_and_overlapping() {
+        check("ABC", "ABCABCABC");
+        check("AA", "AAAA");
+        check("A", "BBBABBA");
+    }
+
+    #[test]
+    fn periodic_patterns() {
+        check("ABAB", "ABABABABAB");
+        check("AAB", "AABAABAAB");
+    }
+
+    #[test]
+    fn no_match_cases() {
+        check("ABC", "CBACBACBA");
+        check("AAAA", "AAA");
+    }
+
+    #[test]
+    fn rejects_wildcards() {
+        let p = Pattern::parse("AXB").unwrap();
+        let t = text_from_letters("AAB").unwrap();
+        assert_eq!(
+            BoyerMooreMatcher.find(&t, &p),
+            Err(MatchError::WildcardsUnsupported {
+                algorithm: "boyer-moore"
+            })
+        );
+    }
+
+    #[test]
+    fn good_suffix_table_shape() {
+        let pat = text_from_letters("ABBAB").unwrap();
+        let shifts = BoyerMooreMatcher::good_suffix(&pat);
+        assert_eq!(shifts.len(), 6);
+        assert!(shifts.iter().all(|&s| (1..=5).contains(&s)));
+    }
+}

@@ -1,0 +1,131 @@
+//! Mukhopadhyay's broadcast cellular matcher (paper §3.3.1).
+//!
+//! "Mukhopadhyay has proposed several machines in which each cell stores
+//! a character of the pattern, and the text string is broadcast
+//! character by character to all cells." Functionally the machine is a
+//! hardware NFA for the pattern: cell `j` holds `p_j` and a match
+//! flip-flop; on every broadcast the flip-flop of cell `j` becomes
+//! *match-in from cell j−1* AND *p_j matches the broadcast character*.
+//! The flip-flop of the last cell is the result bit.
+//!
+//! The simulation is cell-accurate (one flip-flop per cell, one
+//! broadcast per text character) so the structural costs —
+//! linear fan-out on the broadcast bus, a pattern-loading phase — are
+//! real properties of the model, reported via
+//! [`CommunicationProfile::broadcast`](crate::comm::CommunicationProfile::broadcast).
+
+use crate::{MatchError, PatternMatcher};
+use pm_systolic::symbol::{PatSym, Pattern, Symbol};
+
+/// The broadcast machine as a [`PatternMatcher`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BroadcastMatcher;
+
+/// A stateful instance of the machine, usable for streaming.
+#[derive(Debug, Clone)]
+pub struct BroadcastMachine {
+    /// Pattern characters stored statically in the cells.
+    cells: Vec<PatSym>,
+    /// Match flip-flops, one per cell.
+    flip_flops: Vec<bool>,
+    /// Count of broadcasts performed (each drives all cells).
+    broadcasts: u64,
+}
+
+impl BroadcastMachine {
+    /// Loads the pattern into the cells. On real hardware this is the
+    /// serial loading phase the paper objects to; it costs
+    /// `pattern.len()` beats before any text can be matched.
+    pub fn load(pattern: &Pattern) -> Self {
+        BroadcastMachine {
+            cells: pattern.symbols().to_vec(),
+            flip_flops: vec![false; pattern.len()],
+            broadcasts: 0,
+        }
+    }
+
+    /// Broadcasts one text character to every cell and returns the
+    /// result bit (true iff a match ends at this character).
+    pub fn broadcast(&mut self, s: Symbol) -> bool {
+        self.broadcasts += 1;
+        // All cells update simultaneously from the previous state.
+        let prev = self.flip_flops.clone();
+        for j in 0..self.cells.len() {
+            let carry_in = if j == 0 { true } else { prev[j - 1] };
+            self.flip_flops[j] = carry_in && self.cells[j].matches(s);
+        }
+        *self.flip_flops.last().expect("patterns are non-empty")
+    }
+
+    /// Number of cells (pattern length).
+    pub fn cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Total cell-input events so far: every broadcast drives every
+    /// cell, which is the fan-out cost of §3.3.1 in action.
+    pub fn cell_drive_events(&self) -> u64 {
+        self.broadcasts * self.cells.len() as u64
+    }
+}
+
+impl PatternMatcher for BroadcastMatcher {
+    fn name(&self) -> &'static str {
+        "broadcast"
+    }
+
+    fn find(&self, text: &[Symbol], pattern: &Pattern) -> Result<Vec<bool>, MatchError> {
+        let mut machine = BroadcastMachine::load(pattern);
+        Ok(text.iter().map(|&s| machine.broadcast(s)).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_systolic::spec::match_spec;
+    use pm_systolic::symbol::text_from_letters;
+
+    fn check(pattern: &str, text: &str) {
+        let p = Pattern::parse(pattern).unwrap();
+        let t = text_from_letters(text).unwrap();
+        assert_eq!(
+            BroadcastMatcher.find(&t, &p).unwrap(),
+            match_spec(&t, &p),
+            "pattern={pattern} text={text}"
+        );
+    }
+
+    #[test]
+    fn agrees_with_spec() {
+        check("AXC", "ABCAACCAB");
+        check("AA", "AAAA");
+        check("ABAB", "ABABABAB");
+        check("A", "BAB");
+    }
+
+    #[test]
+    fn streaming_interface() {
+        let p = Pattern::parse("AB").unwrap();
+        let mut m = BroadcastMachine::load(&p);
+        assert!(!m.broadcast(Symbol::new(0))); // A
+        assert!(m.broadcast(Symbol::new(1))); // B → match ends here
+        assert!(!m.broadcast(Symbol::new(1))); // B
+    }
+
+    #[test]
+    fn drive_events_equal_broadcasts_times_cells() {
+        let p = Pattern::parse("ABC").unwrap();
+        let mut m = BroadcastMachine::load(&p);
+        for _ in 0..10 {
+            m.broadcast(Symbol::new(0));
+        }
+        assert_eq!(m.cell_drive_events(), 30);
+    }
+
+    #[test]
+    fn overlapping_matches_tracked_by_flip_flop_chain() {
+        // Pattern AAA over AAAAA: matches end at 2, 3, 4.
+        check("AAA", "AAAAA");
+    }
+}

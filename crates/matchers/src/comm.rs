@@ -1,0 +1,153 @@
+//! Communication-cost profiles for the hardware-shaped architectures.
+//!
+//! §3.3.1 rejects Mukhopadhyay's broadcast machines because "each cell
+//! requires a connection to the broadcast channel, which either
+//! increases the power requirements of the system as a whole or
+//! decreases its speed", and rejects the unidirectional static-pattern
+//! array because "loading the cells in preparation for a pattern match
+//! would require extra time and circuitry". This module turns those
+//! sentences into numbers for benchmark table E14.
+
+/// Static wiring and setup costs of one matcher architecture with `n`
+/// character cells, in abstract units (wire segments of one cell pitch;
+/// beats for times).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommunicationProfile {
+    /// Architecture name.
+    pub architecture: &'static str,
+    /// Number of character cells.
+    pub cells: usize,
+    /// Largest fan-out any single driver must support. Local-only
+    /// designs keep this constant; a broadcast design drives all cells.
+    pub max_fanout: usize,
+    /// Total length of data wiring, in cell pitches. A broadcast bus
+    /// spans the whole array *in addition to* local connections.
+    pub wire_length: usize,
+    /// Beats of setup work before matching can begin (pattern loading).
+    pub loading_beats: usize,
+    /// Whether the pattern can be changed without pausing the text
+    /// stream (the systolic design's recirculation allows this).
+    pub on_line_pattern_change: bool,
+}
+
+/// §3.3.1's power objection to broadcast — a connection to every cell
+/// "either increases the power requirements of the system as a whole or
+/// decreases its speed" — is about the *single worst driver*: it must
+/// charge its whole fan-out plus the bus capacitance each beat, so it
+/// needs to be physically large (power) or accept a slow edge (speed).
+impl CommunicationProfile {
+    /// Relative load on the most burdened driver: gate loads on its
+    /// fan-out plus the capacitance of the wire it drives (half a unit
+    /// per cell pitch). Constant for local-only designs; linear in the
+    /// array for a broadcast bus.
+    pub fn max_driver_load(&self) -> f64 {
+        let bus_span = if self.max_fanout > 1 {
+            // The broadcast wire spans the whole array.
+            self.cells as f64
+        } else {
+            1.0 // one cell pitch to the neighbour
+        };
+        self.max_fanout as f64 + 0.5 * bus_span
+    }
+}
+
+impl CommunicationProfile {
+    /// The bidirectional systolic array of the paper: purely local
+    /// neighbour wiring (pattern, text, result, λ, x — five signals per
+    /// boundary), no loading phase.
+    pub fn systolic(cells: usize) -> Self {
+        CommunicationProfile {
+            architecture: "systolic (Foster-Kung)",
+            cells,
+            // Each cell drives only its neighbour.
+            max_fanout: 1,
+            // Five inter-cell signals, each crossing n-1 boundaries.
+            wire_length: 5 * cells.saturating_sub(1),
+            loading_beats: 0,
+            on_line_pattern_change: true,
+        }
+    }
+
+    /// Mukhopadhyay's broadcast machine: the text character is broadcast
+    /// to every cell each beat.
+    pub fn broadcast(cells: usize) -> Self {
+        CommunicationProfile {
+            architecture: "broadcast (Mukhopadhyay)",
+            cells,
+            // The text driver sees every cell.
+            max_fanout: cells,
+            // The broadcast bus spans the array, plus the match-bit
+            // chain (1 signal) between neighbours.
+            wire_length: cells + cells.saturating_sub(1),
+            // The pattern must be loaded into the cells first.
+            loading_beats: cells,
+            on_line_pattern_change: false,
+        }
+    }
+
+    /// The unidirectional static-pattern array: local wiring (text and
+    /// half-speed results), but the pattern is preloaded.
+    pub fn unidirectional(cells: usize) -> Self {
+        CommunicationProfile {
+            architecture: "unidirectional (static pattern)",
+            cells,
+            max_fanout: 1,
+            // Text, result and a result-phase signal between neighbours.
+            wire_length: 3 * cells.saturating_sub(1),
+            loading_beats: cells,
+            on_line_pattern_change: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn systolic_fanout_is_constant() {
+        assert_eq!(CommunicationProfile::systolic(8).max_fanout, 1);
+        assert_eq!(CommunicationProfile::systolic(4096).max_fanout, 1);
+    }
+
+    #[test]
+    fn broadcast_fanout_grows_linearly() {
+        for n in [1usize, 8, 64, 1024] {
+            assert_eq!(CommunicationProfile::broadcast(n).max_fanout, n);
+        }
+    }
+
+    #[test]
+    fn only_systolic_avoids_loading() {
+        assert_eq!(CommunicationProfile::systolic(8).loading_beats, 0);
+        assert!(CommunicationProfile::broadcast(8).loading_beats > 0);
+        assert!(CommunicationProfile::unidirectional(8).loading_beats > 0);
+    }
+
+    #[test]
+    fn broadcast_driver_load_grows_linearly() {
+        // The §3.3.1 power/speed argument: the systolic design's worst
+        // driver is constant; the broadcast bus driver grows with n.
+        let sys_small = CommunicationProfile::systolic(8).max_driver_load();
+        let sys_large = CommunicationProfile::systolic(1024).max_driver_load();
+        assert!((sys_small - sys_large).abs() < 1e-9);
+        let bc_small = CommunicationProfile::broadcast(8).max_driver_load();
+        let bc_large = CommunicationProfile::broadcast(1024).max_driver_load();
+        assert!(
+            bc_large > 100.0 * bc_small / 2.0,
+            "bus driver must scale with n"
+        );
+    }
+
+    #[test]
+    fn single_cell_profiles_are_sane() {
+        for p in [
+            CommunicationProfile::systolic(1),
+            CommunicationProfile::broadcast(1),
+            CommunicationProfile::unidirectional(1),
+        ] {
+            assert_eq!(p.cells, 1);
+            assert!(p.max_fanout >= 1);
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! A self-contained radix-2 complex FFT.
+//!
+//! The Fischer–Paterson matcher (the paper's "fastest algorithm known
+//! for string matching with wild card characters … based on
+//! multiplication of large integers") needs fast convolution. Rather
+//! than pull in a dependency, this module implements the standard
+//! iterative Cooley–Tukey transform over a minimal complex type — large
+//! integer multiplication and convolution are the same algorithm.
+//!
+//! Accuracy: values in the matcher's convolutions are 0/1 indicators
+//! summing to at most the text length, so `f64` round-off is far below
+//! the 0.5 rounding threshold for any realistic input (`n ≲ 2^40`).
+
+use std::ops::{Add, Mul, Sub};
+
+/// A bare-bones complex number; just enough for the FFT.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Creates a complex number.
+    pub fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// `e^{iθ}`.
+    pub fn cis(theta: f64) -> Self {
+        Complex {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+/// Smallest power of two ≥ `n` (and ≥ 1).
+pub fn next_pow2(n: usize) -> usize {
+    n.max(1).next_power_of_two()
+}
+
+/// In-place iterative radix-2 FFT. `inverse` applies the conjugate
+/// transform and divides by the length.
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a power of two.
+pub fn fft(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "fft length must be a power of two");
+    if n <= 1 {
+        return;
+    }
+
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::cis(ang);
+        for start in (0..n).step_by(len) {
+            let mut w = Complex::new(1.0, 0.0);
+            for idx in 0..len / 2 {
+                let u = data[start + idx];
+                let v = data[start + idx + len / 2] * w;
+                data[start + idx] = u + v;
+                data[start + idx + len / 2] = u - v;
+                w = w * wlen;
+            }
+        }
+        len <<= 1;
+    }
+
+    if inverse {
+        let scale = 1.0 / n as f64;
+        for x in data.iter_mut() {
+            x.re *= scale;
+            x.im *= scale;
+        }
+    }
+}
+
+/// Linear convolution of two real sequences via FFT, rounded to the
+/// nearest integer (inputs are assumed integral).
+pub fn convolve_integer(a: &[f64], b: &[f64]) -> Vec<i64> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let out_len = a.len() + b.len() - 1;
+    let n = next_pow2(out_len);
+    let mut fa: Vec<Complex> = a.iter().map(|&x| Complex::new(x, 0.0)).collect();
+    let mut fb: Vec<Complex> = b.iter().map(|&x| Complex::new(x, 0.0)).collect();
+    fa.resize(n, Complex::default());
+    fb.resize(n, Complex::default());
+    fft(&mut fa, false);
+    fft(&mut fb, false);
+    for (x, y) in fa.iter_mut().zip(&fb) {
+        *x = *x * *y;
+    }
+    fft(&mut fa, true);
+    fa.truncate(out_len);
+    fa.iter().map(|c| c.re.round() as i64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fft_roundtrip_recovers_input() {
+        let orig: Vec<Complex> = (0..16)
+            .map(|i| Complex::new(i as f64, (i * 3 % 7) as f64))
+            .collect();
+        let mut data = orig.clone();
+        fft(&mut data, false);
+        fft(&mut data, true);
+        for (a, b) in data.iter().zip(&orig) {
+            assert!((a.re - b.re).abs() < 1e-9);
+            assert!((a.im - b.im).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut data = vec![Complex::default(); 8];
+        data[0] = Complex::new(1.0, 0.0);
+        fft(&mut data, false);
+        for c in data {
+            assert!((c.re - 1.0).abs() < 1e-12);
+            assert!(c.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_length_panics() {
+        let mut data = vec![Complex::default(); 6];
+        fft(&mut data, false);
+    }
+
+    #[test]
+    fn convolution_matches_schoolbook() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [4.0, 5.0];
+        // (1+2x+3x²)(4+5x) = 4 + 13x + 22x² + 15x³
+        assert_eq!(convolve_integer(&a, &b), vec![4, 13, 22, 15]);
+    }
+
+    #[test]
+    fn convolution_as_bignum_multiply() {
+        // 123 × 45 = 5535 via digit convolution with carries.
+        let a = [3.0, 2.0, 1.0];
+        let b = [5.0, 4.0];
+        let raw = convolve_integer(&a, &b);
+        let mut value = 0i64;
+        for (i, d) in raw.iter().enumerate() {
+            value += d * 10i64.pow(i as u32);
+        }
+        assert_eq!(value, 123 * 45);
+    }
+
+    #[test]
+    fn empty_convolution() {
+        assert!(convolve_integer(&[], &[1.0]).is_empty());
+    }
+
+    #[test]
+    fn next_pow2_values() {
+        assert_eq!(next_pow2(0), 1);
+        assert_eq!(next_pow2(1), 1);
+        assert_eq!(next_pow2(5), 8);
+        assert_eq!(next_pow2(8), 8);
+        assert_eq!(next_pow2(9), 16);
+    }
+}

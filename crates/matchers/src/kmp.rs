@@ -1,0 +1,114 @@
+//! Knuth–Morris–Pratt (the paper's [Knuth et al. 77] reference).
+//!
+//! Linear time on a random-access machine by exploiting self-overlap of
+//! the pattern — exactly the information the paper points out becomes
+//! *irrelevant* once wild cards are allowed, because "matches" stops
+//! being transitive (`AC` and `XB` both match `AX` but not each other).
+//! Accordingly [`KmpMatcher`] refuses patterns with wild cards, which is
+//! itself part of the reproduction: the design-space argument of §3.3.1.
+
+use crate::{MatchError, PatternMatcher};
+use pm_systolic::symbol::{PatSym, Pattern, Symbol};
+
+/// The Knuth–Morris–Pratt matcher. Rejects wild cards.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KmpMatcher;
+
+impl KmpMatcher {
+    /// The failure function: `fail[m]` is the length of the longest
+    /// proper border of `pat[..=m]`.
+    fn failure(pat: &[Symbol]) -> Vec<usize> {
+        let mut fail = vec![0usize; pat.len()];
+        let mut len = 0;
+        for m in 1..pat.len() {
+            while len > 0 && pat[m] != pat[len] {
+                len = fail[len - 1];
+            }
+            if pat[m] == pat[len] {
+                len += 1;
+            }
+            fail[m] = len;
+        }
+        fail
+    }
+
+    /// Extracts the literal symbols, failing on any wild card.
+    fn literals(pattern: &Pattern) -> Result<Vec<Symbol>, MatchError> {
+        pattern
+            .symbols()
+            .iter()
+            .map(|s| match s {
+                PatSym::Lit(sym) => Ok(*sym),
+                PatSym::Wild => Err(MatchError::WildcardsUnsupported { algorithm: "kmp" }),
+            })
+            .collect()
+    }
+}
+
+impl PatternMatcher for KmpMatcher {
+    fn name(&self) -> &'static str {
+        "kmp"
+    }
+
+    fn supports_wildcards(&self) -> bool {
+        false
+    }
+
+    fn find(&self, text: &[Symbol], pattern: &Pattern) -> Result<Vec<bool>, MatchError> {
+        let pat = Self::literals(pattern)?;
+        let fail = Self::failure(&pat);
+        let mut out = vec![false; text.len()];
+        let mut len = 0; // chars of the pattern currently matched
+        for (i, &s) in text.iter().enumerate() {
+            while len > 0 && s != pat[len] {
+                len = fail[len - 1];
+            }
+            if s == pat[len] {
+                len += 1;
+            }
+            if len == pat.len() {
+                out[i] = true;
+                len = fail[len - 1];
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_systolic::spec::match_spec;
+    use pm_systolic::symbol::text_from_letters;
+
+    #[test]
+    fn failure_function_of_classic_pattern() {
+        // "ABABAC"-style: borders grow and reset.
+        let pat: Vec<Symbol> = text_from_letters("ABABAC").unwrap();
+        assert_eq!(KmpMatcher::failure(&pat), vec![0, 0, 1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn finds_overlapping_matches() {
+        let p = Pattern::parse("AA").unwrap();
+        let t = text_from_letters("AAAA").unwrap();
+        assert_eq!(KmpMatcher.find(&t, &p).unwrap(), match_spec(&t, &p));
+    }
+
+    #[test]
+    fn agrees_with_spec_on_periodic_text() {
+        let p = Pattern::parse("ABAB").unwrap();
+        let t = text_from_letters("ABABABABAB").unwrap();
+        assert_eq!(KmpMatcher.find(&t, &p).unwrap(), match_spec(&t, &p));
+    }
+
+    #[test]
+    fn refuses_wildcards() {
+        let p = Pattern::parse("AXB").unwrap();
+        let t = text_from_letters("AAB").unwrap();
+        assert_eq!(
+            KmpMatcher.find(&t, &p),
+            Err(MatchError::WildcardsUnsupported { algorithm: "kmp" })
+        );
+    }
+}

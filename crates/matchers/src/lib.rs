@@ -1,0 +1,181 @@
+//! # pm-matchers — baseline and alternative pattern-matching algorithms
+//!
+//! Section 3.3.1 of Foster & Kung surveys the design space the systolic
+//! array was chosen from. This crate implements every algorithm the
+//! paper names (and two natural modern baselines), all behind one
+//! [`PatternMatcher`] trait so they can be cross-checked against each
+//! other and against the systolic array:
+//!
+//! | Module | Algorithm | Wild cards | Paper's verdict |
+//! |---|---|---|---|
+//! | [`naive`] | character-by-character scan | yes | implicit baseline |
+//! | [`kmp`] | Knuth–Morris–Pratt | **no** | "breaks down" with wild cards |
+//! | [`boyer_moore`] | Boyer–Moore | **no** | ditto |
+//! | [`shift_or`] | bit-parallel Shift-Or | yes | (modern baseline) |
+//! | [`fischer_paterson`] | FFT linear products | yes | "more than linear time" |
+//! | [`broadcast`] | Mukhopadhyay cellular machine | yes | rejected: broadcast wiring |
+//! | [`unidirectional`] | static-pattern linear array | yes | rejected: pattern loading |
+//! | [`systolic`] | adapter over `pm-systolic` | yes | the chosen design |
+//! | [`hybrid`] | Boyer–Moore around the wild cards | yes | (fairest 1980 software) |
+//!
+//! The hardware-shaped alternatives ([`broadcast`], [`unidirectional`],
+//! [`systolic`]) also expose a [`comm::CommunicationProfile`] quantifying
+//! the wiring arguments of §3.3.1 — fan-out, wire length, loading time —
+//! which benchmark E14 tabulates.
+//!
+//! ```
+//! use pm_matchers::prelude::*;
+//! use pm_systolic::prelude::{Pattern, Symbol};
+//!
+//! # fn main() -> Result<(), pm_matchers::MatchError> {
+//! let pattern = Pattern::parse("AXC").unwrap();
+//! let text: Vec<Symbol> = [0u8, 1, 2, 0, 0, 2, 2].iter().map(|&b| Symbol::new(b)).collect();
+//! let hits = NaiveMatcher.find(&text, &pattern)?;
+//! assert_eq!(hits, vec![false, false, true, false, false, true, true]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod boyer_moore;
+pub mod broadcast;
+pub mod comm;
+pub mod fft;
+pub mod fischer_paterson;
+pub mod hybrid;
+pub mod kmp;
+pub mod naive;
+pub mod shift_or;
+pub mod systolic;
+pub mod unidirectional;
+
+use pm_systolic::symbol::{Pattern, Symbol};
+use std::fmt;
+
+/// Errors a matcher can report for inputs it cannot handle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MatchError {
+    /// The algorithm cannot handle wild-card characters. The paper's
+    /// point about KMP/Boyer–Moore: "when wild card characters exist in
+    /// the pattern these methods break down, since the 'matches'
+    /// relation is no longer transitive".
+    WildcardsUnsupported {
+        /// Name of the algorithm that refused.
+        algorithm: &'static str,
+    },
+    /// The pattern exceeds an algorithm-specific length limit (e.g. the
+    /// machine word of the Shift-Or matcher).
+    PatternTooLong {
+        /// Name of the algorithm that refused.
+        algorithm: &'static str,
+        /// Its maximum supported pattern length.
+        max: usize,
+    },
+}
+
+impl fmt::Display for MatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatchError::WildcardsUnsupported { algorithm } => {
+                write!(f, "{algorithm} cannot match patterns containing wild cards")
+            }
+            MatchError::PatternTooLong { algorithm, max } => {
+                write!(
+                    f,
+                    "{algorithm} supports patterns of at most {max} characters"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for MatchError {}
+
+/// A string pattern matcher producing the paper's result-bit stream:
+/// `out[i]` is true iff the substring ending at text position `i`
+/// matches the pattern.
+pub trait PatternMatcher {
+    /// Human-readable algorithm name (used in benchmark tables).
+    fn name(&self) -> &'static str;
+
+    /// Whether the algorithm handles the wild-card character.
+    fn supports_wildcards(&self) -> bool {
+        true
+    }
+
+    /// Computes the result bits for `text` against `pattern`.
+    ///
+    /// # Errors
+    ///
+    /// [`MatchError::WildcardsUnsupported`] or
+    /// [`MatchError::PatternTooLong`] for inputs outside the
+    /// algorithm's domain.
+    fn find(&self, text: &[Symbol], pattern: &Pattern) -> Result<Vec<bool>, MatchError>;
+}
+
+/// All matchers in this crate, boxed, for exhaustive cross-checking.
+pub fn all_matchers() -> Vec<Box<dyn PatternMatcher>> {
+    vec![
+        Box::new(naive::NaiveMatcher),
+        Box::new(kmp::KmpMatcher),
+        Box::new(boyer_moore::BoyerMooreMatcher),
+        Box::new(shift_or::ShiftOrMatcher),
+        Box::new(fischer_paterson::FischerPatersonMatcher),
+        Box::new(broadcast::BroadcastMatcher),
+        Box::new(unidirectional::UnidirectionalMatcher),
+        Box::new(systolic::SystolicAlgorithm),
+        Box::new(hybrid::SegmentHybridMatcher),
+    ]
+}
+
+/// Convenient re-exports.
+pub mod prelude {
+    pub use crate::boyer_moore::BoyerMooreMatcher;
+    pub use crate::broadcast::BroadcastMatcher;
+    pub use crate::comm::CommunicationProfile;
+    pub use crate::fischer_paterson::FischerPatersonMatcher;
+    pub use crate::hybrid::SegmentHybridMatcher;
+    pub use crate::kmp::KmpMatcher;
+    pub use crate::naive::NaiveMatcher;
+    pub use crate::shift_or::ShiftOrMatcher;
+    pub use crate::systolic::SystolicAlgorithm;
+    pub use crate::unidirectional::UnidirectionalMatcher;
+    pub use crate::{all_matchers, MatchError, PatternMatcher};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        let e = MatchError::WildcardsUnsupported { algorithm: "kmp" };
+        assert!(e.to_string().contains("kmp"));
+        let e = MatchError::PatternTooLong {
+            algorithm: "shift-or",
+            max: 64,
+        };
+        assert!(e.to_string().contains("64"));
+    }
+
+    #[test]
+    fn registry_has_all_nine() {
+        let names: Vec<&str> = all_matchers().iter().map(|m| m.name()).collect();
+        assert_eq!(names.len(), 9);
+        let mut unique = names.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), 9, "{names:?}");
+    }
+
+    #[test]
+    fn wildcard_support_flags() {
+        for m in all_matchers() {
+            let expected = !matches!(m.name(), "kmp" | "boyer-moore");
+            assert_eq!(m.supports_wildcards(), expected, "{}", m.name());
+        }
+    }
+}

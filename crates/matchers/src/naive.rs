@@ -1,0 +1,59 @@
+//! The obvious quadratic matcher: compare every window directly.
+//!
+//! `O(n·k)` comparisons on a random-access machine. This is both the
+//! simplest correct implementation (it *is* the executable spec,
+//! restated) and the software baseline the paper's chip is implicitly
+//! compared against: a conventional computer doing one comparison at a
+//! time, memory-bandwidth bound.
+
+use crate::{MatchError, PatternMatcher};
+use pm_systolic::symbol::{Pattern, Symbol};
+
+/// Character-by-character window scan.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NaiveMatcher;
+
+impl PatternMatcher for NaiveMatcher {
+    fn name(&self) -> &'static str {
+        "naive"
+    }
+
+    fn find(&self, text: &[Symbol], pattern: &Pattern) -> Result<Vec<bool>, MatchError> {
+        let k = pattern.k();
+        Ok((0..text.len())
+            .map(|i| {
+                i >= k
+                    && pattern
+                        .symbols()
+                        .iter()
+                        .zip(&text[i - k..=i])
+                        .all(|(p, &s)| p.matches(s))
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_systolic::spec::match_spec;
+    use pm_systolic::symbol::text_from_letters;
+
+    #[test]
+    fn agrees_with_spec_on_figure_example() {
+        let p = Pattern::parse("AXC").unwrap();
+        let t = text_from_letters("ABCAACCAB").unwrap();
+        assert_eq!(NaiveMatcher.find(&t, &p).unwrap(), match_spec(&t, &p));
+    }
+
+    #[test]
+    fn empty_text_gives_empty_result() {
+        let p = Pattern::parse("A").unwrap();
+        assert_eq!(NaiveMatcher.find(&[], &p).unwrap(), Vec::<bool>::new());
+    }
+
+    #[test]
+    fn supports_wildcards() {
+        assert!(NaiveMatcher.supports_wildcards());
+    }
+}

@@ -1,0 +1,96 @@
+//! Bit-parallel Shift-And matching (a modern word-RAM baseline).
+//!
+//! Not in the 1979 paper — it post-dates it — but it is the natural
+//! software competitor today and it handles wild cards gracefully, so
+//! the benchmark tables include it to show where the systolic argument
+//! stands against word-level parallelism: Shift-And is linear only while
+//! the pattern fits in one machine word.
+
+use crate::{MatchError, PatternMatcher};
+use pm_systolic::symbol::{Pattern, Symbol};
+
+/// Bit-parallel matcher; patterns limited to 64 characters (one `u64`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShiftOrMatcher;
+
+impl ShiftOrMatcher {
+    /// Maximum supported pattern length (bits of the state word).
+    pub const MAX_PATTERN: usize = 64;
+}
+
+impl PatternMatcher for ShiftOrMatcher {
+    fn name(&self) -> &'static str {
+        "shift-or"
+    }
+
+    fn find(&self, text: &[Symbol], pattern: &Pattern) -> Result<Vec<bool>, MatchError> {
+        let m = pattern.len();
+        if m > Self::MAX_PATTERN {
+            return Err(MatchError::PatternTooLong {
+                algorithm: "shift-or",
+                max: Self::MAX_PATTERN,
+            });
+        }
+        // mask[a] bit j is set iff pattern position j matches symbol a.
+        let mut masks = vec![0u64; pattern.alphabet().size()];
+        for (j, p) in pattern.symbols().iter().enumerate() {
+            for (a, mask) in masks.iter_mut().enumerate() {
+                if p.matches(Symbol::new(a as u8)) {
+                    *mask |= 1u64 << j;
+                }
+            }
+        }
+        let goal = 1u64 << (m - 1);
+        let mut state = 0u64;
+        Ok(text
+            .iter()
+            .map(|s| {
+                state = ((state << 1) | 1) & masks[s.value() as usize];
+                state & goal != 0
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_systolic::spec::match_spec;
+    use pm_systolic::symbol::{text_from_letters, Alphabet, PatSym};
+
+    #[test]
+    fn wildcards_work() {
+        let p = Pattern::parse("AXC").unwrap();
+        let t = text_from_letters("ABCAACCAB").unwrap();
+        assert_eq!(ShiftOrMatcher.find(&t, &p).unwrap(), match_spec(&t, &p));
+    }
+
+    #[test]
+    fn sixty_four_char_pattern_is_accepted() {
+        let syms = vec![PatSym::Lit(Symbol::new(0)); 64];
+        let p = Pattern::new(syms, Alphabet::TWO_BIT).unwrap();
+        let t = vec![Symbol::new(0); 100];
+        let r = ShiftOrMatcher.find(&t, &p).unwrap();
+        assert_eq!(r.iter().filter(|&&b| b).count(), 100 - 63);
+    }
+
+    #[test]
+    fn sixty_five_char_pattern_is_rejected() {
+        let syms = vec![PatSym::Lit(Symbol::new(0)); 65];
+        let p = Pattern::new(syms, Alphabet::TWO_BIT).unwrap();
+        assert_eq!(
+            ShiftOrMatcher.find(&[], &p),
+            Err(MatchError::PatternTooLong {
+                algorithm: "shift-or",
+                max: 64
+            })
+        );
+    }
+
+    #[test]
+    fn overlapping_matches() {
+        let p = Pattern::parse("AAA").unwrap();
+        let t = text_from_letters("AAAAAB").unwrap();
+        assert_eq!(ShiftOrMatcher.find(&t, &p).unwrap(), match_spec(&t, &p));
+    }
+}

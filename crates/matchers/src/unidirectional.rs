@@ -1,0 +1,227 @@
+//! The unidirectional static-pattern array (paper §3.3.1).
+//!
+//! "An algorithm that is similar to ours uses a linear array of cells
+//! with data flowing in only one direction. The pattern is permanently
+//! stored in the array of cells, and the text string moves past it.
+//! Partial results move at half the speed of the text so that they
+//! accumulate results from an entire substring match. This algorithm
+//! was rejected because of the static storage of the pattern."
+//!
+//! The simulation is beat- and cell-accurate: cell `j` statically holds
+//! `p_j`; text items move one cell per beat; each partial result spends
+//! two beats per cell (absorbing the comparison on its first beat
+//! there), so the result for the window starting at text position `w`
+//! meets exactly the pairs `(p_j, s_{w+j})`. A `pattern.len()`-beat
+//! loading phase precedes matching, which is the cost the paper
+//! objects to.
+
+use crate::{MatchError, PatternMatcher};
+use pm_systolic::symbol::{PatSym, Pattern, Symbol};
+
+/// The unidirectional array as a [`PatternMatcher`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UnidirectionalMatcher;
+
+/// A text item moving through the array (one cell per beat).
+#[derive(Debug, Clone, Copy)]
+struct TxtItem {
+    sym: Symbol,
+    seq: u64,
+}
+
+/// A partial result moving at half speed (two beats per cell).
+#[derive(Debug, Clone, Copy)]
+struct ResItem {
+    /// True while every absorbed pair matched.
+    acc: bool,
+    /// Window start position `w`.
+    start: u64,
+    /// Beats spent in the current cell (0 on arrival, moves at 2).
+    age: u8,
+    /// True once the pair in this result's current cell was absorbed.
+    absorbed_here: bool,
+}
+
+/// A stateful instance of the array.
+#[derive(Debug, Clone)]
+pub struct UnidirectionalArray {
+    /// Statically stored pattern, one character per cell.
+    cells: Vec<PatSym>,
+    /// Text register of each cell.
+    text: Vec<Option<TxtItem>>,
+    /// Partial results present in each cell (at half speed, up to two
+    /// can share a cell — one old, one new).
+    results: Vec<Vec<ResItem>>,
+    beat: u64,
+    /// Beats spent loading the pattern before matching began.
+    loading_beats: u64,
+    next_window: u64,
+}
+
+impl UnidirectionalArray {
+    /// Loads the pattern, paying one beat per cell (serial shift-in).
+    pub fn load(pattern: &Pattern) -> Self {
+        let n = pattern.len();
+        UnidirectionalArray {
+            cells: pattern.symbols().to_vec(),
+            text: vec![None; n],
+            results: vec![Vec::new(); n],
+            beat: 0,
+            loading_beats: n as u64,
+            next_window: 0,
+        }
+    }
+
+    /// Number of beats spent loading before the first text character.
+    pub fn loading_beats(&self) -> u64 {
+        self.loading_beats
+    }
+
+    /// Advances one beat: text items move right one cell; results age
+    /// and move right every second beat; new text enters cell 0 along
+    /// with a fresh partial result for the window starting there.
+    ///
+    /// Returns `(end_position, matched)` for any result completed this
+    /// beat (its window's last pair was just absorbed in the final
+    /// cell).
+    pub fn step(&mut self, incoming: Option<Symbol>) -> Option<(u64, bool)> {
+        let n = self.cells.len();
+
+        // Results that have been in their cell for 2 beats move right;
+        // those finishing cell n-1 complete.
+        let mut completed = None;
+        for j in (0..n).rev() {
+            let mut stay = Vec::new();
+            for mut r in std::mem::take(&mut self.results[j]) {
+                if r.age >= 1 && r.absorbed_here {
+                    if j + 1 == n {
+                        completed = Some((r.start + n as u64 - 1, r.acc));
+                    } else {
+                        r.age = 0;
+                        r.absorbed_here = false;
+                        self.results[j + 1].push(r);
+                    }
+                } else {
+                    r.age += 1;
+                    stay.push(r);
+                }
+            }
+            self.results[j].extend(stay);
+        }
+
+        // Text moves right one cell per beat; the last register's item
+        // simply leaves the array.
+        for j in (1..n).rev() {
+            self.text[j] = self.text[j - 1];
+        }
+        self.text[0] = incoming.map(|sym| TxtItem {
+            sym,
+            seq: self.next_window,
+        });
+
+        // A new partial result is born in cell 0 with each text item.
+        if self.text[0].is_some() {
+            self.results[0].push(ResItem {
+                acc: true,
+                start: self.next_window,
+                age: 0,
+                absorbed_here: false,
+            });
+            self.next_window += 1;
+        }
+
+        // Absorption: a result meets the text character of its window in
+        // the cell it just entered.
+        for j in 0..n {
+            let txt = self.text[j];
+            for r in &mut self.results[j] {
+                if r.absorbed_here {
+                    continue;
+                }
+                if let Some(t) = txt {
+                    // The co-location invariant: in cell j a result for
+                    // window w meets s_{w+j}.
+                    if t.seq == r.start + j as u64 {
+                        r.acc = r.acc && self.cells[j].matches(t.sym);
+                        r.absorbed_here = true;
+                    }
+                }
+            }
+        }
+
+        self.beat += 1;
+        completed
+    }
+}
+
+impl PatternMatcher for UnidirectionalMatcher {
+    fn name(&self) -> &'static str {
+        "unidirectional"
+    }
+
+    fn find(&self, text: &[Symbol], pattern: &Pattern) -> Result<Vec<bool>, MatchError> {
+        let mut arr = UnidirectionalArray::load(pattern);
+        let mut out = vec![false; text.len()];
+        // Text streams in at full rate (one character per beat — the
+        // variant's selling point); results lag at half speed behind it.
+        let total = text.len() + 2 * pattern.len() + 8;
+        let mut fed = 0usize;
+        for _ in 0..total {
+            let inject = if fed < text.len() {
+                let s = text[fed];
+                fed += 1;
+                Some(s)
+            } else {
+                None
+            };
+            if let Some((end, matched)) = arr.step(inject) {
+                let end = end as usize;
+                if end < out.len() {
+                    out[end] = matched;
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_systolic::spec::match_spec;
+    use pm_systolic::symbol::text_from_letters;
+
+    fn check(pattern: &str, text: &str) {
+        let p = Pattern::parse(pattern).unwrap();
+        let t = text_from_letters(text).unwrap();
+        assert_eq!(
+            UnidirectionalMatcher.find(&t, &p).unwrap(),
+            match_spec(&t, &p),
+            "pattern={pattern} text={text}"
+        );
+    }
+
+    #[test]
+    fn agrees_with_spec() {
+        check("AXC", "ABCAACCAB");
+        check("AA", "AAAA");
+        check("ABAB", "ABABABAB");
+        check("A", "BAB");
+        check("ABC", "CABCABC");
+    }
+
+    #[test]
+    fn loading_cost_is_pattern_length() {
+        let p = Pattern::parse("ABCDE").unwrap();
+        assert_eq!(UnidirectionalArray::load(&p).loading_beats(), 5);
+    }
+
+    #[test]
+    fn empty_text() {
+        let p = Pattern::parse("AB").unwrap();
+        assert_eq!(
+            UnidirectionalMatcher.find(&[], &p).unwrap(),
+            Vec::<bool>::new()
+        );
+    }
+}

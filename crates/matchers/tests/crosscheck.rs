@@ -1,0 +1,75 @@
+//! Cross-check: every algorithm that accepts an input agrees with the
+//! executable spec (and therefore with every other algorithm).
+
+use pm_matchers::prelude::*;
+use pm_systolic::prelude::{match_spec, Alphabet, PatSym, Pattern, Symbol};
+use proptest::prelude::*;
+
+fn workload() -> impl Strategy<Value = (u32, Vec<Option<u8>>, Vec<u8>)> {
+    (1u32..=3).prop_flat_map(|bits| {
+        let max = (1u16 << bits) as u8 - 1;
+        let pat_sym = prop_oneof![
+            4 => (0..=max).prop_map(Some),
+            1 => Just(None),
+        ];
+        (
+            Just(bits),
+            proptest::collection::vec(pat_sym, 1..=8),
+            proptest::collection::vec(0..=max, 0..=48),
+        )
+    })
+}
+
+fn build(bits: u32, pat: &[Option<u8>]) -> Pattern {
+    let alphabet = Alphabet::new(bits).unwrap();
+    let syms: Vec<PatSym> = pat
+        .iter()
+        .map(|o| match o {
+            Some(v) => PatSym::Lit(Symbol::new(*v)),
+            None => PatSym::Wild,
+        })
+        .collect();
+    Pattern::new(syms, alphabet).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_matchers_agree_with_spec((bits, pat, text) in workload()) {
+        let pattern = build(bits, &pat);
+        let symbols: Vec<Symbol> = text.iter().map(|&b| Symbol::new(b)).collect();
+        let expected = match_spec(&symbols, &pattern);
+        for m in all_matchers() {
+            match m.find(&symbols, &pattern) {
+                Ok(got) => prop_assert_eq!(&got, &expected, "algorithm {}", m.name()),
+                Err(MatchError::WildcardsUnsupported { .. }) => {
+                    prop_assert!(pattern.has_wildcards(), "{} refused wrongly", m.name());
+                    prop_assert!(!m.supports_wildcards());
+                }
+                Err(e) => prop_assert!(false, "{}: unexpected error {e}", m.name()),
+            }
+        }
+    }
+
+    #[test]
+    fn wildcard_free_patterns_accepted_by_everyone(
+        (bits, pat, text) in (1u32..=3).prop_flat_map(|bits| {
+            let max = (1u16 << bits) as u8 - 1;
+            (
+                Just(bits),
+                proptest::collection::vec(0..=max, 1..=8),
+                proptest::collection::vec(0..=max, 0..=32),
+            )
+        })
+    ) {
+        let syms: Vec<PatSym> = pat.iter().map(|&v| PatSym::Lit(Symbol::new(v))).collect();
+        let pattern = Pattern::new(syms, Alphabet::new(bits).unwrap()).unwrap();
+        let symbols: Vec<Symbol> = text.iter().map(|&b| Symbol::new(b)).collect();
+        let expected = match_spec(&symbols, &pattern);
+        for m in all_matchers() {
+            let got = m.find(&symbols, &pattern);
+            prop_assert_eq!(got.as_deref(), Ok(expected.as_slice()), "algorithm {}", m.name());
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Property tests for the FFT and the convolution-based matcher on
+//! inputs the registry cross-check doesn't reach (wide alphabets,
+//! larger transforms).
+
+use pm_matchers::fft::{convolve_integer, fft, next_pow2, Complex};
+use pm_matchers::prelude::*;
+use pm_systolic::prelude::{match_spec, Alphabet, PatSym, Pattern, Symbol};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fft_roundtrip_random(values in proptest::collection::vec(-100.0f64..100.0, 1..64)) {
+        let n = next_pow2(values.len());
+        let mut data: Vec<Complex> =
+            values.iter().map(|&v| Complex::new(v, 0.0)).collect();
+        data.resize(n, Complex::default());
+        let orig = data.clone();
+        fft(&mut data, false);
+        fft(&mut data, true);
+        for (a, b) in data.iter().zip(&orig) {
+            prop_assert!((a.re - b.re).abs() < 1e-6);
+            prop_assert!(a.im.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn convolution_matches_schoolbook_random(
+        a in proptest::collection::vec(-30i64..30, 1..24),
+        b in proptest::collection::vec(-30i64..30, 1..24),
+    ) {
+        let fa: Vec<f64> = a.iter().map(|&x| x as f64).collect();
+        let fb: Vec<f64> = b.iter().map(|&x| x as f64).collect();
+        let got = convolve_integer(&fa, &fb);
+        let mut want = vec![0i64; a.len() + b.len() - 1];
+        for (i, &x) in a.iter().enumerate() {
+            for (j, &y) in b.iter().enumerate() {
+                want[i + j] += x * y;
+            }
+        }
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn fischer_paterson_on_wide_alphabets(
+        pat in proptest::collection::vec(proptest::option::weighted(0.8, 0u8..=255), 1..6),
+        text in proptest::collection::vec(0u8..=255, 0..24),
+    ) {
+        let symbols: Vec<PatSym> = pat
+            .iter()
+            .map(|o| match o {
+                Some(v) => PatSym::Lit(Symbol::new(*v)),
+                None => PatSym::Wild,
+            })
+            .collect();
+        let pattern = Pattern::new(symbols, Alphabet::EIGHT_BIT).unwrap();
+        let text: Vec<Symbol> = text.iter().map(|&b| Symbol::new(b)).collect();
+        let got = FischerPatersonMatcher.find(&text, &pattern).unwrap();
+        prop_assert_eq!(got, match_spec(&text, &pattern));
+    }
+
+    #[test]
+    fn hybrid_on_wide_alphabets(
+        pat in proptest::collection::vec(proptest::option::weighted(0.7, 0u8..=255), 1..8),
+        text in proptest::collection::vec(0u8..=255, 0..48),
+    ) {
+        let symbols: Vec<PatSym> = pat
+            .iter()
+            .map(|o| match o {
+                Some(v) => PatSym::Lit(Symbol::new(*v)),
+                None => PatSym::Wild,
+            })
+            .collect();
+        let pattern = Pattern::new(symbols, Alphabet::EIGHT_BIT).unwrap();
+        let text: Vec<Symbol> = text.iter().map(|&b| Symbol::new(b)).collect();
+        let got = SegmentHybridMatcher.find(&text, &pattern).unwrap();
+        prop_assert_eq!(got, match_spec(&text, &pattern));
+    }
+}

@@ -1,0 +1,258 @@
+//! Combinational arithmetic in ratioed NMOS.
+//!
+//! §3.4 replaces the comparator with "a difference cell" and the
+//! accumulator with "an adder cell" whose temporary accumulates `d²`.
+//! Building that in silicon needs word-level arithmetic; this module is
+//! the cell library: full adders, ripple-carry adders/subtractors,
+//! two's-complement negation, multiplexers and an array multiplier —
+//! all as pullup/pulldown complex gates, all exhaustively verified
+//! against integer arithmetic through the switch-level simulator.
+//!
+//! Constants are the rails: a gate terminal tied to `gnd` never
+//! conducts (logic 0), one tied to `vdd` always does (logic 1).
+
+use crate::netlist::{Netlist, NodeId};
+
+/// `out = a XOR b` (builds the complements it needs; 2 inverters + one
+/// complex gate).
+pub fn xor2(nl: &mut Netlist, name: &str, a: NodeId, b: NodeId) -> NodeId {
+    let na = nl.inverter(&format!("{name}.na"), a);
+    let nb = nl.inverter(&format!("{name}.nb"), b);
+    nl.xor(&format!("{name}.x"), a, na, b, nb)
+}
+
+/// `out = sel ? a : b` (a 2:1 multiplexer as an AOI pair).
+pub fn mux2(nl: &mut Netlist, name: &str, sel: NodeId, a: NodeId, b: NodeId) -> NodeId {
+    let nsel = nl.inverter(&format!("{name}.ns"), sel);
+    let na = nl.inverter(&format!("{name}.na"), a);
+    let nb = nl.inverter(&format!("{name}.nb"), b);
+    // out = NOT(sel·ā + sel̄·b̄).
+    nl.complex_gate(&format!("{name}.m"), &[&[sel, na], &[nsel, nb]])
+}
+
+/// A full adder: returns `(sum, carry_out)`.
+pub fn full_adder(
+    nl: &mut Netlist,
+    name: &str,
+    a: NodeId,
+    b: NodeId,
+    cin: NodeId,
+) -> (NodeId, NodeId) {
+    let ab = xor2(nl, &format!("{name}.ab"), a, b);
+    let sum = xor2(nl, &format!("{name}.s"), ab, cin);
+    // carry = majority(a, b, cin).
+    let maj_bar = nl.complex_gate(&format!("{name}.cb"), &[&[a, b], &[a, cin], &[b, cin]]);
+    let carry = nl.inverter(&format!("{name}.c"), maj_bar);
+    (sum, carry)
+}
+
+/// A ripple-carry adder over equal-width buses (LSB first); returns
+/// the sum bus (same width — overflow wraps) and the carry out.
+///
+/// # Panics
+///
+/// Panics on width mismatch or empty buses.
+pub fn adder(
+    nl: &mut Netlist,
+    name: &str,
+    a: &[NodeId],
+    b: &[NodeId],
+    cin: NodeId,
+) -> (Vec<NodeId>, NodeId) {
+    assert!(!a.is_empty() && a.len() == b.len(), "equal non-empty buses");
+    let mut carry = cin;
+    let mut sum = Vec::with_capacity(a.len());
+    for (w, (&ab, &bb)) in a.iter().zip(b).enumerate() {
+        let (s, c) = full_adder(nl, &format!("{name}.fa{w}"), ab, bb, carry);
+        sum.push(s);
+        carry = c;
+    }
+    (sum, carry)
+}
+
+/// `a − b` over equal-width buses (two's complement, wrapping).
+pub fn subtractor(nl: &mut Netlist, name: &str, a: &[NodeId], b: &[NodeId]) -> Vec<NodeId> {
+    let nb: Vec<NodeId> = b
+        .iter()
+        .enumerate()
+        .map(|(w, &x)| nl.inverter(&format!("{name}.nb{w}"), x))
+        .collect();
+    let vdd = nl.vdd();
+    adder(nl, &format!("{name}.add"), a, &nb, vdd).0
+}
+
+/// Two's-complement negation of a bus.
+pub fn negate(nl: &mut Netlist, name: &str, a: &[NodeId]) -> Vec<NodeId> {
+    let gnd = nl.gnd();
+    let zeros = vec![gnd; a.len()];
+    subtractor(nl, name, &zeros, a)
+}
+
+/// `|a|` of a two's-complement bus (MSB last): negates when the sign
+/// bit is set.
+pub fn absolute(nl: &mut Netlist, name: &str, a: &[NodeId]) -> Vec<NodeId> {
+    let sign = *a.last().expect("non-empty bus");
+    let neg = negate(nl, &format!("{name}.neg"), a);
+    a.iter()
+        .zip(&neg)
+        .enumerate()
+        .map(|(w, (&pos, &n))| mux2(nl, &format!("{name}.m{w}"), sign, n, pos))
+        .collect()
+}
+
+/// An unsigned array multiplier: `a × b` with a `2·width`-bit product
+/// (never overflows).
+///
+/// # Panics
+///
+/// Panics on width mismatch or empty buses.
+pub fn multiplier(nl: &mut Netlist, name: &str, a: &[NodeId], b: &[NodeId]) -> Vec<NodeId> {
+    assert!(!a.is_empty() && a.len() == b.len(), "equal non-empty buses");
+    let width = a.len();
+    let gnd = nl.gnd();
+
+    // Partial products pp[i][j] = a_j AND b_i.
+    let and2 = |nl: &mut Netlist, n: String, x: NodeId, y: NodeId| {
+        let nand = nl.nand2(&format!("{n}.na"), x, y);
+        nl.inverter(&format!("{n}.a"), nand)
+    };
+
+    // Accumulate row by row: acc holds the running product, 2W bits.
+    let mut acc: Vec<NodeId> = vec![gnd; 2 * width];
+    for (i, &bi) in b.iter().enumerate() {
+        // Row i: pp shifted left by i.
+        let mut row: Vec<NodeId> = vec![gnd; 2 * width];
+        for (j, &aj) in a.iter().enumerate() {
+            row[i + j] = and2(nl, format!("{name}.pp{i}_{j}"), aj, bi);
+        }
+        let (sum, _) = adder(nl, &format!("{name}.r{i}"), &acc, &row, gnd);
+        acc = sum;
+    }
+    acc
+}
+
+/// Squares a two's-complement bus: `|a|²`, `2·width` bits.
+pub fn square(nl: &mut Netlist, name: &str, a: &[NodeId]) -> Vec<NodeId> {
+    let mag = absolute(nl, &format!("{name}.abs"), a);
+    multiplier(nl, &format!("{name}.mul"), &mag, &mag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Sim;
+
+    /// Evaluate a bus-level circuit for every input assignment.
+    fn eval<F>(width: usize, inputs: usize, build: F) -> Vec<(Vec<i64>, i64)>
+    where
+        F: Fn(&mut Netlist, &[Vec<NodeId>]) -> Vec<NodeId>,
+    {
+        let mut nl = Netlist::new();
+        let buses: Vec<Vec<NodeId>> = (0..inputs)
+            .map(|i| {
+                (0..width)
+                    .map(|w| {
+                        let n = nl.node(format!("in{i}_{w}"));
+                        nl.input(n);
+                        n
+                    })
+                    .collect()
+            })
+            .collect();
+        let out = build(&mut nl, &buses);
+        let mut sim = Sim::new(nl);
+        let mut results = Vec::new();
+        let combos = 1usize << (width * inputs);
+        for assignment in 0..combos {
+            let mut values = Vec::new();
+            for (i, bus) in buses.iter().enumerate() {
+                let v = (assignment >> (i * width)) & ((1 << width) - 1);
+                for (w, &node) in bus.iter().enumerate() {
+                    sim.set(node, (v >> w) & 1 == 1);
+                }
+                values.push(v as i64);
+            }
+            sim.settle().expect("combinational logic settles");
+            let mut got = 0i64;
+            for (w, &node) in out.iter().enumerate() {
+                if sim.get_bool(node).expect("defined output") {
+                    got |= 1 << w;
+                }
+            }
+            results.push((values, got));
+        }
+        results
+    }
+
+    #[test]
+    fn adder_is_exhaustively_correct() {
+        for (vals, got) in eval(3, 2, |nl, buses| {
+            let gnd = nl.gnd();
+            adder(nl, "add", &buses[0], &buses[1], gnd).0
+        }) {
+            assert_eq!(got, (vals[0] + vals[1]) % 8, "{vals:?}");
+        }
+    }
+
+    #[test]
+    fn subtractor_wraps_correctly() {
+        for (vals, got) in eval(3, 2, |nl, buses| {
+            subtractor(nl, "sub", &buses[0], &buses[1])
+        }) {
+            assert_eq!(got, (vals[0] - vals[1]).rem_euclid(8), "{vals:?}");
+        }
+    }
+
+    #[test]
+    fn negate_and_absolute() {
+        for (vals, got) in eval(3, 1, |nl, buses| negate(nl, "neg", &buses[0])) {
+            assert_eq!(got, (-vals[0]).rem_euclid(8), "{vals:?}");
+        }
+        for (vals, got) in eval(3, 1, |nl, buses| absolute(nl, "abs", &buses[0])) {
+            // Interpret the 3-bit input as two's complement.
+            let signed = if vals[0] >= 4 { vals[0] - 8 } else { vals[0] };
+            assert_eq!(got, signed.abs().rem_euclid(8), "{vals:?}");
+        }
+    }
+
+    #[test]
+    fn multiplier_is_exhaustively_correct() {
+        for (vals, got) in eval(3, 2, |nl, buses| {
+            multiplier(nl, "mul", &buses[0], &buses[1])
+        }) {
+            assert_eq!(got, vals[0] * vals[1], "{vals:?}");
+        }
+    }
+
+    #[test]
+    fn square_of_signed_values() {
+        for (vals, got) in eval(3, 1, |nl, buses| square(nl, "sq", &buses[0])) {
+            let signed = if vals[0] >= 4 { vals[0] - 8 } else { vals[0] };
+            assert_eq!(got, signed * signed, "{vals:?}");
+        }
+    }
+
+    #[test]
+    fn mux_selects() {
+        let mut nl = Netlist::new();
+        let sel = nl.node("sel");
+        let a = nl.node("a");
+        let b = nl.node("b");
+        for n in [sel, a, b] {
+            nl.input(n);
+        }
+        let out = mux2(&mut nl, "m", sel, a, b);
+        let mut sim = Sim::new(nl);
+        for (s, x, y, want) in [
+            (false, false, true, true),
+            (true, false, true, false),
+            (true, true, false, true),
+        ] {
+            sim.set(sel, s);
+            sim.set(a, x);
+            sim.set(b, y);
+            sim.settle().unwrap();
+            assert_eq!(sim.get_bool(out).unwrap(), want);
+        }
+    }
+}

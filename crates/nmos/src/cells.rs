@@ -1,0 +1,484 @@
+//! The chip's two cell types at transistor level (§3.2.2, Plate 1).
+//!
+//! ## One-bit comparator (Figure 3-6)
+//!
+//! Three pass transistors gated by the cell's clock phase latch `p`,
+//! `s` and `d` onto storage nodes; two inverters regenerate (and
+//! invert) `p` and `s` for the neighbours; an XNOR tests equality and a
+//! NAND folds it into the descending comparison result:
+//!
+//! ```text
+//! p_out ← NOT p_in    s_out ← NOT s_in    d_out ← d_in NAND (p_in = s_in)
+//! ```
+//!
+//! Because every cell inverts on the way through, two *twins* exist.
+//! The horizontal `p`/`s` polarity never changes the circuit (XNOR of
+//! two inverted inputs equals XNOR of the originals), so the twins
+//! differ only in the `d` path: the **positive** comparator takes true
+//! `d` and emits `d̄` (NAND), the **negative** twin takes `d̄` and emits
+//! true `d` (`NOR(d̄, p XOR s)`).
+//!
+//! ## Accumulator
+//!
+//! Implements the cell algorithm of §3.2.1 (with the completed result
+//! including the final comparison, matching
+//! [`BooleanMatch`](pm_systolic::semantics::BooleanMatch)):
+//!
+//! ```text
+//! λout ← λin;  xout ← xin
+//! m    = t AND (x OR d)
+//! IF λin THEN rout ← m; t ← TRUE   ELSE rout ← rin; t ← m
+//! ```
+//!
+//! as ratioed complex gates with a dynamic `t` loop refreshed through a
+//! pass transistor on every active beat — dynamic storage "refreshed
+//! only by shifting it", per §3.3.3. The builder is parameterised over
+//! the polarities of its horizontal (`λ`/`x`/`r`) and vertical (`d`)
+//! inputs, covering all four twin combinations that occur in the array.
+
+use crate::error::SimError;
+use crate::netlist::{Netlist, NodeId};
+use crate::sim::Sim;
+
+/// Output bundle of a comparator instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ComparatorOutputs {
+    /// Regenerated (inverted) pattern bit for the right neighbour.
+    pub p_out: NodeId,
+    /// Regenerated (inverted) text bit for the left neighbour.
+    pub s_out: NodeId,
+    /// Comparison result for the cell below (polarity opposite to the
+    /// `d` input).
+    pub d_out: NodeId,
+}
+
+/// Builds a one-bit comparator into `nl`.
+///
+/// `d_in_inverted` selects the twin: `false` = the positive comparator
+/// of Figure 3-6 (true `d` in, `d̄` out), `true` = the negative twin.
+pub fn build_comparator(
+    nl: &mut Netlist,
+    name: &str,
+    clk: NodeId,
+    p_in: NodeId,
+    s_in: NodeId,
+    d_in: NodeId,
+    d_in_inverted: bool,
+) -> ComparatorOutputs {
+    // Storage nodes behind pass transistors (the three at the top of
+    // Plate 1).
+    let sp = nl.node(format!("{name}.sp"));
+    let ss = nl.node(format!("{name}.ss"));
+    let sd = nl.node(format!("{name}.sd"));
+    nl.pass(clk, p_in, sp);
+    nl.pass(clk, s_in, ss);
+    nl.pass(clk, d_in, sd);
+
+    // Regenerating inverters; their outputs double as the complements
+    // the XNOR/XOR pulldown networks need.
+    let p_out = nl.inverter(&format!("{name}.pq"), sp);
+    let s_out = nl.inverter(&format!("{name}.sq"), ss);
+
+    let d_out = if d_in_inverted {
+        // Negative twin: d_out = NOT(d̄ OR (p XOR s)) = d AND (p = s).
+        let xor = nl.xor(&format!("{name}.xor"), sp, p_out, ss, s_out);
+        nl.nor2(&format!("{name}.dq"), sd, xor)
+    } else {
+        // Positive comparator: d_out = NOT(d AND (p = s)).
+        let eq = nl.xnor(&format!("{name}.eq"), sp, p_out, ss, s_out);
+        nl.nand2(&format!("{name}.dq"), sd, eq)
+    };
+
+    ComparatorOutputs {
+        p_out,
+        s_out,
+        d_out,
+    }
+}
+
+/// Output bundle of an accumulator instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccumulatorOutputs {
+    /// `λ` for the right neighbour (inverted relative to the input).
+    pub lambda_out: NodeId,
+    /// `x` for the right neighbour (inverted relative to the input).
+    pub x_out: NodeId,
+    /// Result for the left neighbour (inverted relative to the input).
+    pub r_out: NodeId,
+    /// The internal temporary-result node `t` (exposed for tests).
+    pub t_state: NodeId,
+}
+
+/// Builds an accumulator cell into `nl`.
+///
+/// * `clk` — the cell's own phase (inputs latch on it).
+/// * `clk_b` — the opposite phase; the `t` state updates on it, which
+///   sequences `rout ← …t…` before `t ← …` exactly as §4's "Cell Timing
+///   Signals" subsection requires ("the assignments `r_out ← t; t ←
+///   TRUE` must take place in the correct order").
+/// * `horiz_inverted` — true if `λ`/`x`/`r` arrive inverted (odd
+///   columns).
+/// * `d_inverted` — true if the comparison result from the row above
+///   arrives inverted (odd comparator row count).
+#[allow(clippy::too_many_arguments)]
+pub fn build_accumulator(
+    nl: &mut Netlist,
+    name: &str,
+    clk: NodeId,
+    clk_b: NodeId,
+    lambda_in: NodeId,
+    x_in: NodeId,
+    d_in: NodeId,
+    r_in: NodeId,
+    horiz_inverted: bool,
+    d_inverted: bool,
+) -> AccumulatorOutputs {
+    // Input storage, latched on the cell's own phase.
+    let sl = nl.node(format!("{name}.sl"));
+    let sx = nl.node(format!("{name}.sx"));
+    let sd = nl.node(format!("{name}.sd"));
+    let sr = nl.node(format!("{name}.sr"));
+    nl.pass(clk, lambda_in, sl);
+    nl.pass(clk, x_in, sx);
+    nl.pass(clk, d_in, sd);
+    nl.pass(clk, r_in, sr);
+
+    // Horizontal outputs always invert once on the way through.
+    let lambda_out = nl.inverter(&format!("{name}.lq"), sl);
+    let x_out = nl.inverter(&format!("{name}.xq"), sx);
+
+    // True-polarity views of the stored inputs.
+    let (lam_t, lam_f) = if horiz_inverted {
+        (lambda_out, sl)
+    } else {
+        (sl, lambda_out)
+    };
+    let x_t = if horiz_inverted { x_out } else { sx };
+    let d_t = if d_inverted {
+        nl.inverter(&format!("{name}.dn"), sd)
+    } else {
+        sd
+    };
+    // Complement of the true result value.
+    let r_f = if horiz_inverted {
+        sr
+    } else {
+        nl.inverter(&format!("{name}.rn"), sr)
+    };
+
+    // m = t AND (x OR d); t is stable during the cell's own phase
+    // because its register commits on the opposite one. `st` here is the
+    // *slave* storage node; the complex gate reads the true t through
+    // the slave inverter's complement trick below, so build the m gate
+    // against the driven t rail `t_rail`.
+    let slave = nl.node(format!("{name}.ts")); // holds t̄ (one inversion from master)
+    let t_rail = nl.inverter(&format!("{name}.tq"), slave); // driven true t
+    let m_bar = nl.complex_gate(&format!("{name}.mb"), &[&[t_rail, x_t], &[t_rail, d_t]]);
+    let m = nl.inverter(&format!("{name}.m"), m_bar);
+
+    // t_next = λ OR m, through a two-phase master/slave register: the
+    // new value is staged on the cell's phase (master) and committed on
+    // the opposite phase (slave), so the result selection below always
+    // sees the *old* t — the `r_out ← t; t ← …` sequencing that §4's
+    // "Cell Timing Signals" subsection calls for. Each hand-off is
+    // buffered by an inverter so a driven node, never bare charge, feeds
+    // every pass transistor; charge is refreshed each cycle (§3.3.3).
+    let t_next_bar = nl.nor2(&format!("{name}.tnb"), lam_t, m);
+    let t_next = nl.inverter(&format!("{name}.tn"), t_next_bar);
+    let master = nl.node(format!("{name}.tm"));
+    nl.pass(clk, t_next, master);
+    let master_bar = nl.inverter(&format!("{name}.tmb"), master); // = t̄_next, driven
+    nl.pass(clk_b, master_bar, slave);
+
+    // Result selection, true polarity: r_sel = λ·m + λ̄·r, built as
+    // NOT(λ·m̄ + λ̄·r̄). Latched into an output register on the cell's
+    // phase so the neighbour sees a stable level on its own phase.
+    let r_sel = nl.complex_gate(&format!("{name}.rs"), &[&[lam_t, m_bar], &[lam_f, r_f]]);
+    let r_store = nl.node(format!("{name}.rst"));
+    nl.pass(clk, r_sel, r_store);
+    let r_out_bar = nl.inverter(&format!("{name}.rq"), r_store);
+    let r_out = if horiz_inverted {
+        // Input was r̄, output must be true r.
+        nl.inverter(&format!("{name}.rqq"), r_out_bar)
+    } else {
+        r_out_bar
+    };
+
+    AccumulatorOutputs {
+        lambda_out,
+        x_out,
+        r_out,
+        t_state: t_rail,
+    }
+}
+
+/// A single clocked comparator cell with pads, for exhaustive testing.
+#[derive(Debug, Clone)]
+pub struct ComparatorCell {
+    sim: Sim,
+    clk: NodeId,
+    p_in: NodeId,
+    s_in: NodeId,
+    d_in: NodeId,
+    out: ComparatorOutputs,
+    d_in_inverted: bool,
+}
+
+impl ComparatorCell {
+    /// Builds a lone comparator of the requested twin.
+    pub fn new(d_in_inverted: bool) -> Self {
+        let mut nl = Netlist::new();
+        let clk = nl.node("clk");
+        let p_in = nl.node("p_in");
+        let s_in = nl.node("s_in");
+        let d_in = nl.node("d_in");
+        for n in [clk, p_in, s_in, d_in] {
+            nl.input(n);
+        }
+        let out = build_comparator(&mut nl, "cmp", clk, p_in, s_in, d_in, d_in_inverted);
+        let mut sim = Sim::new(nl);
+        sim.set(clk, false);
+        ComparatorCell {
+            sim,
+            clk,
+            p_in,
+            s_in,
+            d_in,
+            out,
+            d_in_inverted,
+        }
+    }
+
+    /// Device count of the cell (the paper notes the cells "contain only
+    /// four gates each").
+    pub fn device_count(&self) -> usize {
+        self.sim.netlist().device_count()
+    }
+
+    /// Applies inputs (true polarity), pulses the clock, and returns
+    /// `(p_out, s_out, d_out)` normalised back to true polarity.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors; `X` outputs become
+    /// [`SimError::UnknownOutput`].
+    pub fn step(&mut self, p: bool, s: bool, d: bool) -> Result<(bool, bool, bool), SimError> {
+        self.sim.set(self.p_in, p);
+        self.sim.set(self.s_in, s);
+        // The twin receives its d input in its native polarity.
+        self.sim
+            .set(self.d_in, if self.d_in_inverted { !d } else { d });
+        self.sim.set(self.clk, true);
+        self.sim.settle()?;
+        self.sim.set(self.clk, false);
+        self.sim.settle()?;
+        self.sim.end_beat();
+        let p_out = !self.sim.get_bool(self.out.p_out)?;
+        let s_out = !self.sim.get_bool(self.out.s_out)?;
+        let d_raw = self.sim.get_bool(self.out.d_out)?;
+        let d_out = if self.d_in_inverted { d_raw } else { !d_raw };
+        Ok((p_out, s_out, d_out))
+    }
+}
+
+/// A single clocked accumulator cell with pads, for sequence testing.
+#[derive(Debug, Clone)]
+pub struct AccumulatorCell {
+    sim: Sim,
+    clk: NodeId,
+    clk_b: NodeId,
+    lambda_in: NodeId,
+    x_in: NodeId,
+    d_in: NodeId,
+    r_in: NodeId,
+    out: AccumulatorOutputs,
+    horiz_inverted: bool,
+    d_inverted: bool,
+}
+
+impl AccumulatorCell {
+    /// Builds a lone accumulator of the requested twin combination.
+    pub fn new(horiz_inverted: bool, d_inverted: bool) -> Self {
+        let mut nl = Netlist::new();
+        let clk = nl.node("clk");
+        let clk_b = nl.node("clk_b");
+        let lambda_in = nl.node("l_in");
+        let x_in = nl.node("x_in");
+        let d_in = nl.node("d_in");
+        let r_in = nl.node("r_in");
+        for n in [clk, clk_b, lambda_in, x_in, d_in, r_in] {
+            nl.input(n);
+        }
+        let out = build_accumulator(
+            &mut nl,
+            "acc",
+            clk,
+            clk_b,
+            lambda_in,
+            x_in,
+            d_in,
+            r_in,
+            horiz_inverted,
+            d_inverted,
+        );
+        let mut sim = Sim::new(nl);
+        sim.set(clk, false);
+        sim.set(clk_b, false);
+        AccumulatorCell {
+            sim,
+            clk,
+            clk_b,
+            lambda_in,
+            x_in,
+            d_in,
+            r_in,
+            out,
+            horiz_inverted,
+            d_inverted,
+        }
+    }
+
+    /// Device count of the cell.
+    pub fn device_count(&self) -> usize {
+        self.sim.netlist().device_count()
+    }
+
+    /// Applies inputs (true polarity), pulses the clock, and returns
+    /// `(λ_out, x_out, r_out)` normalised to true polarity. `r_out` is
+    /// `None` while it carries power-on `X` (before the first λ flush).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors; unknown `λ`/`x` outputs become
+    /// [`SimError::UnknownOutput`].
+    pub fn step(
+        &mut self,
+        lambda: bool,
+        x: bool,
+        d: bool,
+        r: bool,
+    ) -> Result<(bool, bool, Option<bool>), SimError> {
+        let h = self.horiz_inverted;
+        self.sim
+            .set(self.lambda_in, if h { !lambda } else { lambda });
+        self.sim.set(self.x_in, if h { !x } else { x });
+        self.sim.set(self.r_in, if h { !r } else { r });
+        self.sim
+            .set(self.d_in, if self.d_inverted { !d } else { d });
+        // The cell's own phase latches inputs and stages t/r updates…
+        self.sim.set(self.clk, true);
+        self.sim.settle()?;
+        self.sim.set(self.clk, false);
+        self.sim.settle()?;
+        self.sim.end_beat();
+        // …and the opposite phase commits the staged t.
+        self.sim.set(self.clk_b, true);
+        self.sim.settle()?;
+        self.sim.set(self.clk_b, false);
+        self.sim.settle()?;
+        self.sim.end_beat();
+        // Outputs flip polarity relative to inputs.
+        let lam_out = self.sim.get_bool(self.out.lambda_out)? == h;
+        let x_out = self.sim.get_bool(self.out.x_out)? == h;
+        let r_out = self
+            .sim
+            .get(self.out.r_out)
+            .to_bool()
+            .map(|raw| if h { raw } else { !raw });
+        Ok((lam_out, x_out, r_out))
+    }
+
+    /// The current internal `t` (true polarity), if known.
+    pub fn t_state(&self) -> Option<bool> {
+        self.sim.get(self.out.t_state).to_bool()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparator_truth_table_both_twins() {
+        for twin in [false, true] {
+            let mut cell = ComparatorCell::new(twin);
+            for p in [false, true] {
+                for s in [false, true] {
+                    for d in [false, true] {
+                        let (p_out, s_out, d_out) = cell.step(p, s, d).unwrap();
+                        assert_eq!(p_out, p, "p passes through");
+                        assert_eq!(s_out, s, "s passes through");
+                        assert_eq!(d_out, d && (p == s), "twin={twin} p={p} s={s} d={d}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn comparator_is_four_gates() {
+        // Plate 1: two inverters, an XNOR, a NAND, three pass
+        // transistors. 3 pass + 2×2 inverter + 5 XNOR + 3 NAND = 15.
+        let cell = ComparatorCell::new(false);
+        assert_eq!(cell.device_count(), 15);
+    }
+
+    /// Behavioural reference for the accumulator twins.
+    fn acc_reference(seq: &[(bool, bool, bool, bool)]) -> Vec<(bool, bool, Option<bool>)> {
+        let mut t = true;
+        seq.iter()
+            .map(|&(lambda, x, d, r)| {
+                let m = t && (x || d);
+                let r_out = if lambda { m } else { r };
+                t = if lambda { true } else { m };
+                (lambda, x, Some(r_out))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn accumulator_matches_reference_all_twins() {
+        // A sequence exercising every input combination, with λ beats
+        // interleaved so t resets mid-stream. The first beat carries λ
+        // so the X initial charge on t flushes deterministically.
+        let seq: Vec<(bool, bool, bool, bool)> = vec![
+            (true, false, true, false),
+            (false, false, true, false),
+            (false, true, false, true),
+            (true, false, true, true),
+            (false, false, false, false),
+            (true, true, false, false),
+            (false, true, true, true),
+            (false, false, true, true),
+            (true, false, false, true),
+            (true, true, true, false),
+        ];
+        let expected = acc_reference(&seq);
+        for horiz in [false, true] {
+            for dinv in [false, true] {
+                let mut cell = AccumulatorCell::new(horiz, dinv);
+                // Flush the unknown initial t with one λ beat.
+                cell.step(true, true, true, false).unwrap();
+                assert_eq!(cell.t_state(), Some(true));
+                for (i, (&inp, &exp)) in seq.iter().zip(&expected).enumerate() {
+                    let got = cell.step(inp.0, inp.1, inp.2, inp.3).unwrap();
+                    assert_eq!(got, exp, "horiz={horiz} dinv={dinv} beat {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn accumulator_t_survives_between_beats() {
+        let mut cell = AccumulatorCell::new(false, false);
+        cell.step(true, false, true, false).unwrap(); // reset: t ← TRUE
+        cell.step(false, false, true, false).unwrap(); // match: t stays
+        assert_eq!(cell.t_state(), Some(true));
+        cell.step(false, false, false, false).unwrap(); // mismatch
+        assert_eq!(cell.t_state(), Some(false));
+        cell.step(false, true, false, false).unwrap(); // wild card: ignore d
+        assert_eq!(cell.t_state(), Some(false), "once false, stays false");
+        cell.step(true, false, true, false).unwrap(); // λ: emit and reset
+        assert_eq!(cell.t_state(), Some(true));
+    }
+}

@@ -1,0 +1,369 @@
+//! The character-level chip organisation (Figure 3-3).
+//!
+//! Before dividing the comparators into one-bit cells (Figure 3-4),
+//! the paper presents the array as whole-character comparators over
+//! accumulators: "Rather than using one large circuit to compare whole
+//! characters, we can divide each comparator into modules that can
+//! compare single bits." This module builds the *undivided* version,
+//! so the two organisations can be compared at transistor level:
+//!
+//! * a character comparator latches all `b` bits of `p` and `s` at
+//!   once and computes full equality in a single ratioed complex gate
+//!   (`eq = NOT Σ_v p_v ⊕ s_v`, one pulldown chain pair per bit);
+//! * the accumulator below is the same cell as in the bit-serial chip,
+//!   receiving `d` one beat after the comparator latches — there is no
+//!   descending `d` pipeline and no bit staggering;
+//! * the trade-off the paper implies: a shorter pipeline (latency
+//!   `1` instead of `b` beats to the accumulator) against a wider,
+//!   slower cell — quantified in [`CharChip::device_count`] and the
+//!   comparison tests.
+
+use crate::cells::build_accumulator;
+use crate::error::SimError;
+use crate::netlist::{Netlist, NodeId};
+use crate::sim::Sim;
+use pm_systolic::symbol::{Pattern, Symbol};
+
+/// A transistor-level pattern matcher with whole-character comparators.
+#[derive(Debug, Clone)]
+pub struct CharChip {
+    netlist: Netlist,
+    columns: usize,
+    bits: u32,
+    phi: [NodeId; 2],
+    /// Pattern bit pads (one per alphabet bit, left edge).
+    p_pads: Vec<NodeId>,
+    /// Text bit pads (right edge).
+    s_pads: Vec<NodeId>,
+    lam_pad: NodeId,
+    x_pad: NodeId,
+    r_pad: NodeId,
+    r_out: NodeId,
+}
+
+/// Outputs of one character comparator column.
+struct CharComparator {
+    p_out: Vec<NodeId>,
+    s_out: Vec<NodeId>,
+    /// `eq` — true character equality.
+    d_out: NodeId,
+}
+
+/// Builds one whole-character comparator.
+fn build_char_comparator(
+    nl: &mut Netlist,
+    name: &str,
+    clk: NodeId,
+    p_in: &[NodeId],
+    s_in: &[NodeId],
+) -> CharComparator {
+    let bits = p_in.len();
+    let mut sp = Vec::with_capacity(bits);
+    let mut ss = Vec::with_capacity(bits);
+    let mut p_out = Vec::with_capacity(bits);
+    let mut s_out = Vec::with_capacity(bits);
+    for v in 0..bits {
+        let spv = nl.node(format!("{name}.sp{v}"));
+        let ssv = nl.node(format!("{name}.ss{v}"));
+        nl.pass(clk, p_in[v], spv);
+        nl.pass(clk, s_in[v], ssv);
+        p_out.push(nl.inverter(&format!("{name}.pq{v}"), spv));
+        s_out.push(nl.inverter(&format!("{name}.sq{v}"), ssv));
+        sp.push(spv);
+        ss.push(ssv);
+    }
+    // eq = NOT(OR over bits of p XOR s) — one ratioed complex gate
+    // with a chain pair per bit computes full-character equality.
+    let mut chains: Vec<Vec<NodeId>> = Vec::with_capacity(2 * bits);
+    for v in 0..bits {
+        chains.push(vec![sp[v], s_out[v]]); // p·s̄
+        chains.push(vec![p_out[v], ss[v]]); // p̄·s
+    }
+    let chain_refs: Vec<&[NodeId]> = chains.iter().map(Vec::as_slice).collect();
+    let d_out = nl.complex_gate(&format!("{name}.eq"), &chain_refs);
+    CharComparator {
+        p_out,
+        s_out,
+        d_out,
+    }
+}
+
+impl CharChip {
+    /// Builds the Figure 3-3 organisation: `columns` character
+    /// comparators over `columns` accumulators.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `columns` or `bits` is zero.
+    pub fn new(columns: usize, bits: u32) -> Self {
+        assert!(
+            columns > 0 && bits > 0,
+            "chip needs at least one cell and one bit"
+        );
+        let b = bits as usize;
+        let mut nl = Netlist::new();
+        let phi0 = nl.node("phi0");
+        let phi1 = nl.node("phi1");
+        nl.input(phi0);
+        nl.input(phi1);
+        let phi = [phi0, phi1];
+        let vdd = nl.vdd();
+
+        let p_pads: Vec<NodeId> = (0..b)
+            .map(|v| {
+                let n = nl.node(format!("pad.p{v}"));
+                nl.input(n);
+                n
+            })
+            .collect();
+        let s_pads: Vec<NodeId> = (0..b)
+            .map(|v| {
+                let n = nl.node(format!("pad.s{v}"));
+                nl.input(n);
+                n
+            })
+            .collect();
+        let lam_pad = nl.node("pad.lam");
+        let x_pad = nl.node("pad.x");
+        let r_pad = nl.node("pad.r");
+        for n in [lam_pad, x_pad, r_pad] {
+            nl.input(n);
+        }
+
+        // Comparator row.
+        let mut p_prev: Vec<NodeId> = p_pads.clone();
+        let mut columns_built = Vec::with_capacity(columns);
+        for c in 0..columns {
+            let clk = phi[c % 2];
+            let s_in: Vec<NodeId> = (0..b).map(|v| nl.node(format!("w.s{v}.{c}"))).collect();
+            let cmp = build_char_comparator(&mut nl, &format!("cmp.{c}"), clk, &p_prev, &s_in);
+            p_prev = cmp.p_out.clone();
+            columns_built.push((s_in, cmp));
+        }
+        // Strap the s chains right-to-left.
+        #[allow(clippy::needless_range_loop)]
+        for c in 0..columns {
+            for v in 0..b {
+                let src = if c + 1 < columns {
+                    columns_built[c + 1].1.s_out[v]
+                } else {
+                    s_pads[v]
+                };
+                nl.pass(vdd, src, columns_built[c].0[v]);
+            }
+        }
+
+        // Accumulator row: phase (1 + c) % 2 so d (latched by the
+        // comparator at phase c%2) arrives one beat later.
+        let mut lam_prev = lam_pad;
+        let mut x_prev = x_pad;
+        let mut acc = Vec::with_capacity(columns);
+        for c in 0..columns {
+            let clk = phi[(1 + c) % 2];
+            let clk_b = phi[c % 2];
+            let r_in = nl.node(format!("w.r.{c}"));
+            let out = build_accumulator(
+                &mut nl,
+                &format!("acc.{c}"),
+                clk,
+                clk_b,
+                lam_prev,
+                x_prev,
+                columns_built[c].1.d_out,
+                r_in,
+                c % 2 == 1,
+                false, // the comparator emits true equality
+            );
+            lam_prev = out.lambda_out;
+            x_prev = out.x_out;
+            acc.push((r_in, out));
+        }
+        for c in 0..columns {
+            let src = if c + 1 < columns {
+                acc[c + 1].1.r_out
+            } else {
+                r_pad
+            };
+            nl.pass(vdd, src, acc[c].0);
+        }
+        let r_out = acc[0].1.r_out;
+
+        CharChip {
+            netlist: nl,
+            columns,
+            bits,
+            phi,
+            p_pads,
+            s_pads,
+            lam_pad,
+            x_pad,
+            r_pad,
+            r_out,
+        }
+    }
+
+    /// Number of character cells.
+    pub fn columns(&self) -> usize {
+        self.columns
+    }
+
+    /// Alphabet width.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Total device count (the organisational comparison with the
+    /// bit-serial [`PatternChip`](crate::chip::PatternChip)).
+    pub fn device_count(&self) -> usize {
+        self.netlist.device_count()
+    }
+
+    /// Matches `text` against `pattern` at transistor level. Same host
+    /// protocol as the bit-serial chip, minus the bit staggering: a
+    /// whole character is presented per injection beat.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Oscillation`] or [`SimError::UnknownOutput`] on
+    /// netlist misbehaviour.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern exceeds the array or the alphabet width.
+    pub fn match_pattern(&self, pattern: &Pattern, text: &[Symbol]) -> Result<Vec<bool>, SimError> {
+        assert!(pattern.len() <= self.columns, "pattern exceeds array");
+        assert!(pattern.alphabet().bits() <= self.bits, "alphabet too wide");
+        let n = self.columns;
+        let b = self.bits;
+        let plen = pattern.len();
+        let k = plen - 1;
+        let phi_off = ((n - 1) % 2) as u64;
+        let warmup = 2 * (plen as u64);
+        let right_flip = (n - 1) % 2 == 1;
+
+        let mut sim = Sim::new(self.netlist.clone());
+        sim.set(self.phi[0], false);
+        sim.set(self.phi[1], false);
+        sim.set(self.r_pad, right_flip);
+
+        let mut out = vec![false; text.len()];
+        let total = (n as u64) + phi_off + warmup + 2 * (text.len() as u64) + 6;
+
+        for t in 0..total {
+            // Pattern char j on all bit pads at beat 2j.
+            if t % 2 == 0 {
+                let j = (t / 2) as usize;
+                let idx = j % plen;
+                let sym = pattern.symbols()[idx];
+                for v in 0..b {
+                    let bit = sym
+                        .literal()
+                        .map(|s| s.bit_msb_first(v, b))
+                        .unwrap_or(false);
+                    sim.set(self.p_pads[v as usize], bit);
+                }
+            }
+            // Text char i at beat 2i + φ + warmup.
+            if let Some(i) = t
+                .checked_sub(phi_off + warmup)
+                .filter(|d| d % 2 == 0)
+                .map(|d| d / 2)
+            {
+                for v in 0..b {
+                    let bit = if (i as usize) < text.len() {
+                        text[i as usize].bit_msb_first(v, b)
+                    } else {
+                        false
+                    };
+                    sim.set(self.s_pads[v as usize], bit ^ right_flip);
+                }
+            }
+            // λ/x arrive at the accumulator one beat after the char.
+            if let Some(j) = t.checked_sub(1).filter(|d| d % 2 == 0).map(|d| d / 2) {
+                let idx = (j as usize) % plen;
+                sim.set(self.lam_pad, idx == k);
+                sim.set(self.x_pad, pattern.symbols()[idx].is_wild());
+            }
+
+            let phase = self.phi[(t % 2) as usize];
+            sim.set(phase, true);
+            sim.settle()?;
+            sim.set(phase, false);
+            sim.settle()?;
+            sim.end_beat();
+
+            // r_i appears at the result pad at beat n−1+φ+warmup+2i+1.
+            if let Some(i) = t
+                .checked_sub((n as u64) - 1 + phi_off + warmup + 1)
+                .filter(|d| d % 2 == 0)
+                .map(|d| d / 2)
+            {
+                let i = i as usize;
+                if i < text.len() && i >= k {
+                    let raw =
+                        sim.get(self.r_out)
+                            .to_bool()
+                            .ok_or_else(|| SimError::UnknownOutput {
+                                node: format!("r_out (result {i})"),
+                            })?;
+                    out[i] = !raw; // column-0 accumulator output is inverted
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chip::PatternChip;
+    use pm_systolic::spec::match_spec;
+    use pm_systolic::symbol::text_from_letters;
+
+    fn co_sim(pattern: &str, text: &str, columns: usize) {
+        let p = Pattern::parse(pattern).unwrap();
+        let t = text_from_letters(text).unwrap();
+        let chip = CharChip::new(columns, p.alphabet().bits());
+        let got = chip.match_pattern(&p, &t).unwrap();
+        assert_eq!(got, match_spec(&t, &p), "pattern={pattern} text={text}");
+    }
+
+    #[test]
+    fn char_level_chip_matches_spec() {
+        co_sim("AB", "ABAB", 2);
+        co_sim("AXC", "ABCAACCAB", 3);
+        co_sim("ABCA", "ABCAABCA", 4);
+    }
+
+    #[test]
+    fn prototype_size_char_level() {
+        co_sim("ABCDABCD", "ABCDABCDABCDABCD", 8);
+    }
+
+    #[test]
+    fn organisations_agree_at_transistor_level() {
+        let p = Pattern::parse("AXBA").unwrap();
+        let t = text_from_letters("ABBAAXBACBBA".replace('X', "C").as_str()).unwrap();
+        let bit_serial = PatternChip::new(4, 2);
+        let char_level = CharChip::new(4, 2);
+        assert_eq!(
+            bit_serial.match_pattern(&p, &t).unwrap(),
+            char_level.match_pattern(&p, &t).unwrap()
+        );
+    }
+
+    #[test]
+    fn char_comparator_is_wider_than_bit_serial_column() {
+        // The organisational trade-off: per column, the character-level
+        // comparator (2b latches + one 2b-chain gate) is a different
+        // balance from b one-bit cells; for b=2 the bit-serial column is
+        // at least as large because of the duplicated d plumbing.
+        let bit_serial = PatternChip::new(8, 2).device_count();
+        let char_level = CharChip::new(8, 2).device_count();
+        assert_ne!(bit_serial, char_level);
+        // Both are in the same few-hundred-device class.
+        assert!((300..1200).contains(&bit_serial));
+        assert!((300..1200).contains(&char_level));
+    }
+}

@@ -1,0 +1,426 @@
+//! The full pattern-matching chip at transistor level (Plate 2).
+//!
+//! The fabricated prototype handled "patterns containing up to eight
+//! two-bit characters": a grid of 8 columns × 2 one-bit comparator rows
+//! over an accumulator row. [`PatternChip`] assembles that netlist for
+//! any column/bit count from the cells of [`crate::cells`] and drives it
+//! from a host model with the exact injection schedule of the
+//! behavioural bit-serial array (`pm_systolic::bitserial`):
+//!
+//! * cell `(row v, column c)` is clocked by phase `(v+c) mod 2` — the
+//!   two-phase checkerboard of Figure 3-4;
+//! * pattern bits enter row `v` at the left pad on beats `2j+v` (MSB
+//!   row first), text bits at the right pads on beats `2i+φ+v`;
+//! * the `λ`/`x` control bits enter the accumulator row `b` beats after
+//!   their pattern character;
+//! * comparator rows alternate polarity twins down the `d` chain, and
+//!   accumulator columns alternate twins along the `λ`/`x`/`r` chain;
+//! * the result `r_i` is sampled at the left result pad at beat
+//!   `n−1+φ+2i+b` (it rides the same stream slot as `s_i`).
+//!
+//! Co-simulation against the behavioural model is the E7 experiment:
+//! same streams in, identical result bits out.
+
+use crate::cells::{build_accumulator, build_comparator};
+use crate::error::SimError;
+use crate::netlist::{Netlist, NodeId};
+use crate::sim::Sim;
+use pm_systolic::symbol::{Pattern, Symbol};
+
+/// A transistor-level pattern-matching chip.
+#[derive(Debug, Clone)]
+pub struct PatternChip {
+    netlist: Netlist,
+    columns: usize,
+    bits: u32,
+    phi: [NodeId; 2],
+    /// Pattern-bit pads, one per comparator row (left edge).
+    p_pads: Vec<NodeId>,
+    /// Text-bit pads, one per comparator row (right edge).
+    s_pads: Vec<NodeId>,
+    /// End-of-pattern pad (left edge of the accumulator row).
+    lam_pad: NodeId,
+    /// Wild-card pad (left edge of the accumulator row).
+    x_pad: NodeId,
+    /// Result input pad (right edge; grounded on a lone chip).
+    r_pad: NodeId,
+    /// Result output (left edge of the accumulator row).
+    r_out: NodeId,
+    /// True if the result output is inverted relative to true polarity.
+    r_out_inverted: bool,
+}
+
+impl PatternChip {
+    /// Builds a chip with `columns` character cells for a `bits`-bit
+    /// alphabet. The fabricated prototype is `PatternChip::new(8, 2)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `columns` or `bits` is zero.
+    pub fn new(columns: usize, bits: u32) -> Self {
+        assert!(
+            columns > 0 && bits > 0,
+            "chip needs at least one cell and one bit"
+        );
+        let b = bits as usize;
+        let mut nl = Netlist::new();
+        let phi0 = nl.node("phi0");
+        let phi1 = nl.node("phi1");
+        nl.input(phi0);
+        nl.input(phi1);
+        let phi = [phi0, phi1];
+        let vdd = nl.vdd();
+
+        let p_pads: Vec<NodeId> = (0..b)
+            .map(|v| {
+                let n = nl.node(format!("pad.p{v}"));
+                nl.input(n);
+                n
+            })
+            .collect();
+        let s_pads: Vec<NodeId> = (0..b)
+            .map(|v| {
+                let n = nl.node(format!("pad.s{v}"));
+                nl.input(n);
+                n
+            })
+            .collect();
+        let lam_pad = nl.node("pad.lam");
+        let x_pad = nl.node("pad.x");
+        let r_pad = nl.node("pad.r");
+        for n in [lam_pad, x_pad, r_pad] {
+            nl.input(n);
+        }
+
+        // Comparator grid. p wires run left→right within a row, s wires
+        // right→left, d wires top→bottom within a column.
+        // comp_out[v][c] = (p_out, s_out, d_out).
+        let mut d_below: Vec<NodeId> = vec![vdd; columns]; // row 0 d_in = TRUE
+        let mut s_chain_out: Vec<NodeId> = Vec::new();
+        for v in 0..b {
+            // Build the row right-to-left for s, left-to-right for p:
+            // create cells first with placeholder wires is awkward, so
+            // run two passes: first the cells' p chain left→right needs
+            // p_in known; s chain needs s_in from the right. We build
+            // columns in order and patch s inputs via dedicated nodes.
+            // Simpler: s enters column c from column c+1's s_out; build
+            // right-to-left would break p. Instead give every cell an
+            // explicit s_in node and strap it afterwards with an
+            // always-on pass transistor (zero-delay wire).
+            let mut p_prev = p_pads[v];
+            let mut cells = Vec::with_capacity(columns);
+            for c in 0..columns {
+                let clk = phi[(v + c) % 2];
+                let s_in = nl.node(format!("w.s{v}.{c}"));
+                let out = build_comparator(
+                    &mut nl,
+                    &format!("cmp{v}.{c}"),
+                    clk,
+                    p_prev,
+                    s_in,
+                    d_below[c],
+                    v % 2 == 1,
+                );
+                p_prev = out.p_out;
+                cells.push((s_in, out));
+            }
+            // Strap the s chain: cell c's s_in is cell c+1's s_out; the
+            // rightmost cell reads the pad.
+            for c in 0..columns {
+                let src = if c + 1 < columns {
+                    cells[c + 1].1.s_out
+                } else {
+                    s_pads[v]
+                };
+                nl.pass(vdd, src, cells[c].0);
+            }
+            for c in 0..columns {
+                d_below[c] = cells[c].1.d_out;
+            }
+            s_chain_out.push(cells[0].1.s_out);
+        }
+
+        // Accumulator row: λ/x left→right, r right→left, d from above.
+        let d_inverted = bits % 2 == 1;
+        let mut lam_prev = lam_pad;
+        let mut x_prev = x_pad;
+        let mut acc = Vec::with_capacity(columns);
+        for c in 0..columns {
+            let clk = phi[(b + c) % 2];
+            let clk_b = phi[(b + c + 1) % 2];
+            let r_in = nl.node(format!("w.r.{c}"));
+            let out = build_accumulator(
+                &mut nl,
+                &format!("acc.{c}"),
+                clk,
+                clk_b,
+                lam_prev,
+                x_prev,
+                d_below[c],
+                r_in,
+                c % 2 == 1,
+                d_inverted,
+            );
+            lam_prev = out.lambda_out;
+            x_prev = out.x_out;
+            acc.push((r_in, out));
+        }
+        for c in 0..columns {
+            let src = if c + 1 < columns {
+                acc[c + 1].1.r_out
+            } else {
+                r_pad
+            };
+            nl.pass(vdd, src, acc[c].0);
+        }
+
+        // Column 0's accumulator receives true-polarity λ/x/r, so its
+        // r_out is inverted.
+        let r_out = acc[0].1.r_out;
+
+        PatternChip {
+            netlist: nl,
+            columns,
+            bits,
+            phi,
+            p_pads,
+            s_pads,
+            lam_pad,
+            x_pad,
+            r_pad,
+            r_out,
+            r_out_inverted: true,
+        }
+    }
+
+    /// Number of character-cell columns.
+    pub fn columns(&self) -> usize {
+        self.columns
+    }
+
+    /// Alphabet width (comparator rows).
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Total device count of the netlist (transistors + pullups),
+    /// excluding pads.
+    pub fn device_count(&self) -> usize {
+        self.netlist.device_count()
+    }
+
+    /// Matches `text` against `pattern` by simulating the chip beat by
+    /// beat from power-on. Returns one result bit per text position
+    /// (`false` for incomplete windows, as the host discards those
+    /// slots).
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::Oscillation`] if the netlist misbehaves (a bug).
+    /// * [`SimError::UnknownOutput`] if a result slot for a complete
+    ///   window carries `X`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern is longer than the array or its alphabet
+    /// is wider than the chip's.
+    pub fn match_pattern(&self, pattern: &Pattern, text: &[Symbol]) -> Result<Vec<bool>, SimError> {
+        self.match_pattern_with_faults(pattern, text, &[])
+    }
+
+    /// The underlying netlist (for fault enumeration and statistics).
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Like [`match_pattern`](Self::match_pattern) with stuck-at faults
+    /// injected: each `(node, level)` pair shorts a net to a rail for
+    /// the whole run. Used by [`crate::faults`] to measure test-vector
+    /// coverage.
+    ///
+    /// # Errors
+    ///
+    /// As [`match_pattern`](Self::match_pattern); a faulty chip may
+    /// additionally yield [`SimError::UnknownOutput`] when the fault
+    /// corrupts a result slot into `X`.
+    ///
+    /// # Panics
+    ///
+    /// As [`match_pattern`](Self::match_pattern).
+    pub fn match_pattern_with_faults(
+        &self,
+        pattern: &Pattern,
+        text: &[Symbol],
+        faults: &[(NodeId, crate::level::Level)],
+    ) -> Result<Vec<bool>, SimError> {
+        assert!(
+            pattern.len() <= self.columns,
+            "pattern of {} chars exceeds {} cells",
+            pattern.len(),
+            self.columns
+        );
+        assert!(
+            pattern.alphabet().bits() <= self.bits,
+            "alphabet too wide for this chip"
+        );
+        let n = self.columns;
+        let b = self.bits as usize;
+        let plen = pattern.len();
+        let k = plen - 1;
+        let phi_off = ((n - 1) % 2) as u64;
+        // Host warm-up protocol: circulate the pattern once through the
+        // array before the first text character, so every accumulator's
+        // dynamic t node sees a λ flush before it touches a real window
+        // (power-on charge is undefined; §3.3.3).
+        let warmup = 2 * (plen as u64);
+
+        // Parity correction: a signal entering from the right passes
+        // through n−1−c inverters before meeting one that entered from
+        // the left (c inverters). For even n the parities differ by one,
+        // so the host feeds the right-edge streams (text bits, result
+        // slots) pre-inverted — a constant, per the chip's data sheet.
+        let right_flip = (n - 1) % 2 == 1;
+
+        let mut sim = Sim::new(self.netlist.clone());
+        sim.set(self.phi[0], false);
+        sim.set(self.phi[1], false);
+        sim.set(self.r_pad, right_flip);
+        for &(node, level) in faults {
+            sim.force(node, level);
+        }
+
+        let mut out = vec![false; text.len()];
+        let total_beats = (n as u64) + phi_off + warmup + 2 * (text.len() as u64) + (b as u64) + 4;
+
+        for t in 0..total_beats {
+            // --- pads for this beat.
+            for v in 0..b {
+                // Pattern char j's bit v enters row v at beat 2j+v.
+                if let Some(j) = t
+                    .checked_sub(v as u64)
+                    .filter(|d| d % 2 == 0)
+                    .map(|d| d / 2)
+                {
+                    let idx = (j as usize) % plen;
+                    let sym = pattern.symbols()[idx];
+                    let bit = sym
+                        .literal()
+                        .map(|s| s.bit_msb_first(v as u32, self.bits))
+                        .unwrap_or(false);
+                    sim.set(self.p_pads[v], bit);
+                }
+                // Text char i's bit v enters row v at beat 2i+φ+v.
+                if let Some(i) = t
+                    .checked_sub(phi_off + warmup + v as u64)
+                    .filter(|d| d % 2 == 0)
+                    .map(|d| d / 2)
+                {
+                    let bit = if (i as usize) < text.len() {
+                        text[i as usize].bit_msb_first(v as u32, self.bits)
+                    } else {
+                        false
+                    };
+                    sim.set(self.s_pads[v], bit ^ right_flip);
+                }
+            }
+            // λ/x for char j enter the accumulator row at beat 2j+b.
+            if let Some(j) = t
+                .checked_sub(b as u64)
+                .filter(|d| d % 2 == 0)
+                .map(|d| d / 2)
+            {
+                let idx = (j as usize) % plen;
+                sim.set(self.lam_pad, idx == k);
+                sim.set(self.x_pad, pattern.symbols()[idx].is_wild());
+            }
+
+            // --- pulse this beat's phase.
+            let phase = self.phi[(t % 2) as usize];
+            sim.set(phase, true);
+            sim.settle()?;
+            sim.set(phase, false);
+            sim.settle()?;
+            sim.end_beat();
+
+            // --- sample the result pad: r_i is present from beat
+            // n−1+φ+2i+b (it rides the slot of s_i).
+            if let Some(i) = t
+                .checked_sub((n as u64) - 1 + phi_off + warmup + b as u64)
+                .filter(|d| d % 2 == 0)
+                .map(|d| d / 2)
+            {
+                let i = i as usize;
+                if i < text.len() {
+                    let level = sim.get(self.r_out);
+                    if i >= k {
+                        let raw = level.to_bool().ok_or_else(|| SimError::UnknownOutput {
+                            node: format!("r_out (result {i})"),
+                        })?;
+                        out[i] = raw != self.r_out_inverted; // normalise
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_systolic::spec::match_spec;
+    use pm_systolic::symbol::text_from_letters;
+
+    fn co_sim(pattern: &str, text: &str, columns: usize) {
+        let p = Pattern::parse(pattern).unwrap();
+        let t = text_from_letters(text).unwrap();
+        let chip = PatternChip::new(columns, p.alphabet().bits());
+        let got = chip.match_pattern(&p, &t).unwrap();
+        assert_eq!(got, match_spec(&t, &p), "pattern={pattern} text={text}");
+    }
+
+    #[test]
+    fn two_cell_chip_matches() {
+        co_sim("AB", "ABAB", 2);
+    }
+
+    #[test]
+    fn figure_3_1_on_silicon() {
+        co_sim("AXC", "ABCAACCAB", 3);
+    }
+
+    #[test]
+    fn prototype_chip_eight_cells_two_bits() {
+        // The fabricated configuration of Plate 2.
+        co_sim("ABCDABCD", "ABCDABCDABCDABCD", 8);
+    }
+
+    #[test]
+    fn oversized_array_on_silicon() {
+        co_sim("AB", "ABBABA", 5);
+    }
+
+    #[test]
+    fn wildcards_on_silicon() {
+        co_sim("XX", "ABC", 2);
+        co_sim("AXA", "ABACADA", 3);
+    }
+
+    #[test]
+    fn device_count_scales_linearly() {
+        let c4 = PatternChip::new(4, 2).device_count();
+        let c8 = PatternChip::new(8, 2).device_count();
+        let c12 = PatternChip::new(12, 2).device_count();
+        assert_eq!(c8 - c4, c12 - c8, "per-column cost must be constant");
+        assert!(c8 > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn pattern_longer_than_array_panics() {
+        let p = Pattern::parse("ABCAB").unwrap();
+        let t = text_from_letters("AB").unwrap();
+        let chip = PatternChip::new(4, 2);
+        let _ = chip.match_pattern(&p, &t);
+    }
+}

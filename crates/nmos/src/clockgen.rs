@@ -1,0 +1,151 @@
+//! An on-chip two-phase non-overlapping clock generator.
+//!
+//! §4's data-flow-control task: "If a clock is to be used we decide
+//! whether to generate it on the chip or externally." The prototype
+//! took external phases; this module builds the classic on-chip
+//! alternative — a cross-coupled NOR pair with delay chains — and
+//! *proves the non-overlap property by simulation*:
+//!
+//! ```text
+//!          ┌─────┐
+//!  clk ───▸│ NOR ├──▸ delay ──▸ φ1
+//!     ┌───▸└─────┘                │ (cross-coupled)
+//!     │    ┌─────┐                │
+//!  ¬clk ──▸│ NOR ├──▸ delay ──▸ φ2
+//!          └─────┘
+//! ```
+//!
+//! Each NOR is blocked while the *other* phase is still high, so the
+//! rising edge of one phase always waits for the falling edge of the
+//! other — the "never a closed path between inverters that are
+//! separated by two transistors" guarantee of Figure 3-5.
+
+use crate::error::SimError;
+use crate::level::Level;
+use crate::netlist::{Netlist, NodeId};
+use crate::sim::Sim;
+
+/// A simulated two-phase clock generator.
+#[derive(Debug, Clone)]
+pub struct ClockGenerator {
+    sim: Sim,
+    clk_in: NodeId,
+    phi1: NodeId,
+    phi2: NodeId,
+}
+
+impl ClockGenerator {
+    /// Builds the generator with a delay chain of `delay_stages`
+    /// inverter pairs on each phase output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay_stages` is zero (some delay is required for
+    /// the feedback to be meaningful).
+    pub fn new(delay_stages: usize) -> Self {
+        assert!(delay_stages > 0, "the generator needs a delay chain");
+        let mut nl = Netlist::new();
+        let clk_in = nl.node("clk_in");
+        nl.input(clk_in);
+        let clk_bar = nl.inverter("clk_bar", clk_in);
+
+        // Cross-coupled NORs; the feedback inputs are patched in with
+        // always-on straps after the delay chains exist.
+        let fb1 = nl.node("fb1");
+        let fb2 = nl.node("fb2");
+        let nor1 = nl.nor2("nor1", clk_bar, fb1);
+        let nor2 = nl.nor2("nor2", clk_in, fb2);
+
+        // Delay chains (pairs of inverters keep polarity).
+        let mut phi1 = nor1;
+        let mut phi2 = nor2;
+        for i in 0..delay_stages {
+            let a = nl.inverter(&format!("d1a{i}"), phi1);
+            phi1 = nl.inverter(&format!("d1b{i}"), a);
+            let a = nl.inverter(&format!("d2a{i}"), phi2);
+            phi2 = nl.inverter(&format!("d2b{i}"), a);
+        }
+        // Cross-couple: each NOR is held low while the *other* phase is
+        // high.
+        let vdd = nl.vdd();
+        nl.pass(vdd, phi2, fb1);
+        nl.pass(vdd, phi1, fb2);
+
+        let mut sim = Sim::new(nl);
+        sim.set(clk_in, false);
+        ClockGenerator {
+            sim,
+            clk_in,
+            phi1,
+            phi2,
+        }
+    }
+
+    /// Applies one input-clock level and settles; returns `(φ1, φ2)`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Oscillation`] if the feedback fails to settle (it
+    /// must not, for any delay length).
+    pub fn drive(&mut self, clk: bool) -> Result<(Level, Level), SimError> {
+        self.sim.set(self.clk_in, clk);
+        self.sim.settle()?;
+        Ok((self.sim.get(self.phi1), self.sim.get(self.phi2)))
+    }
+
+    /// Device count of the generator.
+    pub fn device_count(&self) -> usize {
+        self.sim.netlist().device_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_are_complementary_and_never_both_high() {
+        let mut gen = ClockGenerator::new(2);
+        // Drive several input cycles; φ1 and φ2 must never both be
+        // high in any settled state.
+        let mut saw_phi1 = false;
+        let mut saw_phi2 = false;
+        for cycle in 0..6 {
+            for &level in &[true, false] {
+                let (p1, p2) = gen.drive(level).unwrap();
+                assert!(
+                    !(p1 == Level::High && p2 == Level::High),
+                    "overlap at cycle {cycle}: {p1} {p2}"
+                );
+                saw_phi1 |= p1 == Level::High;
+                saw_phi2 |= p2 == Level::High;
+            }
+        }
+        assert!(saw_phi1 && saw_phi2, "both phases must actually pulse");
+    }
+
+    #[test]
+    fn phase_follows_input_polarity() {
+        let mut gen = ClockGenerator::new(1);
+        // Flush start-up X.
+        let _ = gen.drive(true).unwrap();
+        let _ = gen.drive(false).unwrap();
+        let (p1, p2) = gen.drive(true).unwrap();
+        assert_eq!(p1, Level::High, "clk high selects φ1");
+        assert_eq!(p2, Level::Low);
+        let (p1, p2) = gen.drive(false).unwrap();
+        assert_eq!(p1, Level::Low);
+        assert_eq!(p2, Level::High, "clk low selects φ2");
+    }
+
+    #[test]
+    fn longer_delay_chains_cost_devices() {
+        let short = ClockGenerator::new(1).device_count();
+        let long = ClockGenerator::new(4).device_count();
+        assert_eq!(
+            long - short,
+            3 * 2 * 2 * 2,
+            "two inverters per stage per phase"
+        );
+    }
+}

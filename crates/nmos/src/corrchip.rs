@@ -1,0 +1,398 @@
+//! The correlation chip at transistor level (paper §3.4).
+//!
+//! "Correlations can be computed by a machine with identical data flow
+//! to the string matching chip, except that all streams contain
+//! numbers. The comparator is replaced by a difference cell … An adder
+//! cell replaces the accumulator." This module performs that
+//! replacement in silicon, using the arithmetic library of
+//! [`crate::arith`]:
+//!
+//! * the **difference-square cell** latches `W`-bit two's-complement
+//!   `p` and `s` buses and computes `(s−p)²` combinationally (ripple
+//!   subtractor → conditional negate → array multiplier);
+//! * the **adder cell** below accumulates into an `R`-bit register
+//!   under the same two-phase master/slave discipline as the boolean
+//!   accumulator, with `λ` emitting the finished sum-of-squared-
+//!   differences onto the `R`-bit result bus.
+//!
+//! The difference path is sign-extended internally, so any pair of
+//! `W`-bit samples subtracts exactly; the host's only contract is that
+//! each window's `Σ d²` fits the `R`-bit accumulator.
+
+use crate::arith::{adder, mux2, square, subtractor};
+use crate::error::SimError;
+use crate::netlist::{Netlist, NodeId};
+use crate::sim::Sim;
+
+/// A transistor-level sum-of-squared-differences correlator.
+#[derive(Debug, Clone)]
+pub struct CorrChip {
+    netlist: Netlist,
+    columns: usize,
+    width: usize,
+    phi: [NodeId; 2],
+    p_pads: Vec<NodeId>,
+    s_pads: Vec<NodeId>,
+    lam_pad: NodeId,
+    r_pads: Vec<NodeId>,
+    r_out: Vec<NodeId>,
+}
+
+/// A latched bus: stored nodes and their regenerating (inverted)
+/// outputs.
+struct LatchedBus {
+    stored: Vec<NodeId>,
+    inverted_out: Vec<NodeId>,
+}
+
+/// Latches `inputs` through pass transistors on `clk`; returns storage
+/// nodes and per-bit output inverters.
+fn latch_bus(nl: &mut Netlist, name: &str, clk: NodeId, inputs: &[NodeId]) -> LatchedBus {
+    let mut stored = Vec::with_capacity(inputs.len());
+    let mut inverted_out = Vec::with_capacity(inputs.len());
+    for (w, &i) in inputs.iter().enumerate() {
+        let s = nl.node(format!("{name}.s{w}"));
+        nl.pass(clk, i, s);
+        stored.push(s);
+        inverted_out.push(nl.inverter(&format!("{name}.q{w}"), s));
+    }
+    LatchedBus {
+        stored,
+        inverted_out,
+    }
+}
+
+impl LatchedBus {
+    /// The true-polarity view of the stored bus.
+    fn true_view(&self, arrived_inverted: bool) -> Vec<NodeId> {
+        if arrived_inverted {
+            self.inverted_out.clone()
+        } else {
+            self.stored.clone()
+        }
+    }
+}
+
+impl CorrChip {
+    /// Builds a correlator: `columns` cells, `width`-bit samples,
+    /// `acc_width`-bit accumulators/results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or `acc_width < 2·(width+1)`.
+    pub fn new(columns: usize, width: usize, acc_width: usize) -> Self {
+        assert!(columns > 0 && width > 0, "chip needs cells and sample bits");
+        assert!(
+            acc_width >= 2 * (width + 1),
+            "accumulator must hold one square"
+        );
+        let mut nl = Netlist::new();
+        let phi0 = nl.node("phi0");
+        let phi1 = nl.node("phi1");
+        nl.input(phi0);
+        nl.input(phi1);
+        let phi = [phi0, phi1];
+        let vdd = nl.vdd();
+        let gnd = nl.gnd();
+
+        let make_pads = |nl: &mut Netlist, tag: &str, n: usize| -> Vec<NodeId> {
+            (0..n)
+                .map(|w| {
+                    let p = nl.node(format!("pad.{tag}{w}"));
+                    nl.input(p);
+                    p
+                })
+                .collect()
+        };
+        let p_pads = make_pads(&mut nl, "p", width);
+        let s_pads = make_pads(&mut nl, "s", width);
+        let r_pads = make_pads(&mut nl, "r", acc_width);
+        let lam_pad = nl.node("pad.lam");
+        nl.input(lam_pad);
+
+        // Difference-square row.
+        let mut p_prev = p_pads.clone();
+        let mut diff_cells: Vec<(Vec<NodeId>, Vec<NodeId>, Vec<NodeId>)> = Vec::new();
+        for c in 0..columns {
+            let clk = phi[c % 2];
+            let inverted = c % 2 == 1;
+            let s_in: Vec<NodeId> = (0..width).map(|w| nl.node(format!("w.s{w}.{c}"))).collect();
+            let p_bus = latch_bus(&mut nl, &format!("dc{c}.p"), clk, &p_prev);
+            let s_bus = latch_bus(&mut nl, &format!("dc{c}.s"), clk, &s_in);
+            // Sign-extend by one bit so the difference of any two W-bit
+            // two's-complement samples is exact.
+            let mut p_true = p_bus.true_view(inverted);
+            let mut s_true = s_bus.true_view(inverted);
+            p_true.push(*p_true.last().expect("non-empty"));
+            s_true.push(*s_true.last().expect("non-empty"));
+            let d = subtractor(&mut nl, &format!("dc{c}.sub"), &s_true, &p_true);
+            let sq = square(&mut nl, &format!("dc{c}.sq"), &d);
+            p_prev = p_bus.inverted_out.clone();
+            diff_cells.push((s_in, s_bus.inverted_out.clone(), sq));
+        }
+        // Strap s chains right-to-left.
+        #[allow(clippy::needless_range_loop)]
+        for c in 0..columns {
+            for w in 0..width {
+                let src = if c + 1 < columns {
+                    diff_cells[c + 1].1[w]
+                } else {
+                    s_pads[w]
+                };
+                nl.pass(vdd, src, diff_cells[c].0[w]);
+            }
+        }
+
+        // Adder row (phase +1 per column).
+        let mut lam_prev = lam_pad;
+        let mut acc_cells: Vec<(Vec<NodeId>, Vec<NodeId>, NodeId)> = Vec::new();
+        for c in 0..columns {
+            let clk = phi[(1 + c) % 2];
+            let clk_b = phi[c % 2];
+            let inverted = c % 2 == 1;
+            let name = format!("ac{c}");
+
+            // λ and r/sq latches.
+            let sl = nl.node(format!("{name}.sl"));
+            nl.pass(clk, lam_prev, sl);
+            let lambda_out = nl.inverter(&format!("{name}.lq"), sl);
+            let lam_t = if inverted { lambda_out } else { sl };
+            let lam_f = if inverted { sl } else { lambda_out };
+
+            // sq arrives true-polarity (combinational within the column),
+            // zero-extended to the accumulator width.
+            let mut sq_in = diff_cells[c].2.clone();
+            sq_in.resize(acc_width, gnd);
+            let sq_bus = latch_bus(&mut nl, &format!("{name}.sq"), clk, &sq_in);
+            let sq_true = sq_bus.true_view(false);
+
+            let r_in: Vec<NodeId> = (0..acc_width)
+                .map(|w| nl.node(format!("w.r{w}.{c}")))
+                .collect();
+            let r_bus = latch_bus(&mut nl, &format!("{name}.r"), clk, &r_in);
+            let r_true = r_bus.true_view(inverted);
+
+            // t register (slave holds t̄) and incsum = t + sq.
+            let slaves: Vec<NodeId> = (0..acc_width)
+                .map(|w| nl.node(format!("{name}.ts{w}")))
+                .collect();
+            let t_true: Vec<NodeId> = slaves
+                .iter()
+                .enumerate()
+                .map(|(w, &s)| nl.inverter(&format!("{name}.tq{w}"), s))
+                .collect();
+            let (incsum, _) = adder(&mut nl, &format!("{name}.add"), &t_true, &sq_true, gnd);
+
+            let mut r_out = Vec::with_capacity(acc_width);
+            for w in 0..acc_width {
+                // t_next = λ̄ AND incsum.
+                let inc_bar = nl.inverter(&format!("{name}.ib{w}"), incsum[w]);
+                let t_next = nl.nor2(&format!("{name}.tn{w}"), lam_t, inc_bar);
+                let master = nl.node(format!("{name}.tm{w}"));
+                nl.pass(clk, t_next, master);
+                let master_bar = nl.inverter(&format!("{name}.tmb{w}"), master);
+                nl.pass(clk_b, master_bar, slaves[w]);
+
+                // r_sel = λ ? incsum : r, into an output register.
+                let sel = mux2(
+                    &mut nl,
+                    &format!("{name}.mx{w}"),
+                    lam_t,
+                    incsum[w],
+                    r_true[w],
+                );
+                let _ = lam_f; // polarity handled by true views
+                let r_store = nl.node(format!("{name}.rst{w}"));
+                nl.pass(clk, sel, r_store);
+                let out_bar = nl.inverter(&format!("{name}.rq{w}"), r_store);
+                r_out.push(if inverted {
+                    nl.inverter(&format!("{name}.rqq{w}"), out_bar)
+                } else {
+                    out_bar
+                });
+            }
+            lam_prev = lambda_out;
+            acc_cells.push((r_in, r_out, sl));
+        }
+        #[allow(clippy::needless_range_loop)]
+        for c in 0..columns {
+            for w in 0..acc_width {
+                let src = if c + 1 < columns {
+                    acc_cells[c + 1].1[w]
+                } else {
+                    r_pads[w]
+                };
+                nl.pass(vdd, src, acc_cells[c].0[w]);
+            }
+        }
+        let r_out = acc_cells[0].1.clone();
+
+        CorrChip {
+            netlist: nl,
+            columns,
+            width,
+            phi,
+            p_pads,
+            s_pads,
+            lam_pad,
+            r_pads,
+            r_out,
+        }
+    }
+
+    /// Sample width in bits.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Total device count.
+    pub fn device_count(&self) -> usize {
+        self.netlist.device_count()
+    }
+
+    /// Correlates `signal` against `reference` (the paper's `r_i =
+    /// Σ (s−p)²`), at transistor level.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Oscillation`] or [`SimError::UnknownOutput`] on
+    /// netlist misbehaviour.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reference exceeds the array, or any value breaks
+    /// the range contract.
+    pub fn correlate(&self, reference: &[i64], signal: &[i64]) -> Result<Vec<i64>, SimError> {
+        assert!(
+            !reference.is_empty() && reference.len() <= self.columns,
+            "reference must fit the array"
+        );
+        let half = 1i64 << (self.width - 1);
+        for &v in reference.iter().chain(signal) {
+            assert!((-half..half).contains(&v), "sample {v} outside W-bit range");
+        }
+        let n = self.columns;
+        let plen = reference.len();
+        let k = plen - 1;
+        let phi_off = ((n - 1) % 2) as u64;
+        let warmup = 2 * (plen as u64);
+        let right_flip = (n - 1) % 2 == 1;
+
+        let mut sim = Sim::new(self.netlist.clone());
+        sim.set(self.phi[0], false);
+        sim.set(self.phi[1], false);
+        for &pad in &self.r_pads {
+            sim.set(pad, right_flip);
+        }
+
+        let set_bus = |sim: &mut Sim, pads: &[NodeId], value: i64, flip: bool| {
+            for (w, &pad) in pads.iter().enumerate() {
+                let bit = (value >> w) & 1 == 1;
+                sim.set(pad, bit ^ flip);
+            }
+        };
+
+        let mut out = vec![0i64; signal.len()];
+        let total = (n as u64) + phi_off + warmup + 2 * (signal.len() as u64) + 6;
+
+        for t in 0..total {
+            if t % 2 == 0 {
+                let j = (t / 2) as usize % plen;
+                set_bus(&mut sim, &self.p_pads, reference[j], false);
+            }
+            if let Some(i) = t
+                .checked_sub(phi_off + warmup)
+                .filter(|d| d % 2 == 0)
+                .map(|d| d / 2)
+            {
+                let v = signal.get(i as usize).copied().unwrap_or(0);
+                set_bus(&mut sim, &self.s_pads, v, right_flip);
+            }
+            if let Some(j) = t.checked_sub(1).filter(|d| d % 2 == 0).map(|d| d / 2) {
+                sim.set(self.lam_pad, (j as usize) % plen == k);
+            }
+
+            let phase = self.phi[(t % 2) as usize];
+            sim.set(phase, true);
+            sim.settle()?;
+            sim.set(phase, false);
+            sim.settle()?;
+            sim.end_beat();
+
+            if let Some(i) = t
+                .checked_sub((n as u64) - 1 + phi_off + warmup + 1)
+                .filter(|d| d % 2 == 0)
+                .map(|d| d / 2)
+            {
+                let i = i as usize;
+                if i < signal.len() && i >= k {
+                    let mut value = 0i64;
+                    for (w, &node) in self.r_out.iter().enumerate() {
+                        let raw =
+                            sim.get(node)
+                                .to_bool()
+                                .ok_or_else(|| SimError::UnknownOutput {
+                                    node: format!("r_out[{w}] (result {i})"),
+                                })?;
+                        if !raw {
+                            value |= 1 << w; // column-0 output is inverted
+                        }
+                    }
+                    out[i] = value;
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_systolic::spec::correlation_spec;
+
+    #[test]
+    fn two_cell_correlator_matches_spec() {
+        let chip = CorrChip::new(2, 3, 8);
+        let reference = vec![1, -2];
+        let signal = vec![1, -2, 3, 0, -4];
+        let got = chip.correlate(&reference, &signal).unwrap();
+        assert_eq!(got, correlation_spec(&signal, &reference));
+    }
+
+    #[test]
+    fn perfect_match_scores_zero() {
+        let chip = CorrChip::new(3, 3, 9);
+        let reference = vec![3, -1, 2];
+        let mut signal = vec![0, 0];
+        signal.extend(&reference);
+        signal.push(1);
+        let got = chip.correlate(&reference, &signal).unwrap();
+        assert_eq!(got, correlation_spec(&signal, &reference));
+        assert_eq!(got[4], 0, "planted copy must score zero");
+    }
+
+    #[test]
+    fn single_cell_is_a_squarer() {
+        let chip = CorrChip::new(1, 3, 8);
+        let got = chip.correlate(&[2], &[-3, 2, 0]).unwrap();
+        assert_eq!(got, vec![25, 0, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside W-bit range")]
+    fn range_contract_enforced() {
+        let chip = CorrChip::new(1, 3, 8);
+        let _ = chip.correlate(&[1], &[9]);
+    }
+
+    #[test]
+    fn device_count_reflects_the_arithmetic() {
+        // The difference-square cell is an order of magnitude bigger
+        // than a boolean comparator — the price of §3.4's "streams of
+        // numbers".
+        let boolean = crate::chip::PatternChip::new(2, 2).device_count();
+        let corr = CorrChip::new(2, 3, 8).device_count();
+        assert!(corr > 5 * boolean, "corr {corr} vs boolean {boolean}");
+    }
+}

@@ -1,0 +1,57 @@
+//! Simulation errors.
+
+use std::fmt;
+
+/// Errors raised by the switch-level simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The relaxation loop failed to reach a fixpoint — the netlist
+    /// contains an unstable feedback loop (e.g. a ring oscillator or a
+    /// gated loop enabled on the wrong phase).
+    Oscillation {
+        /// Iterations attempted before giving up.
+        iterations: usize,
+    },
+    /// An output that must be valid carried `X` — typically stale or
+    /// decayed dynamic charge reaching an observable pin.
+    UnknownOutput {
+        /// Name of the observed node.
+        node: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Oscillation { iterations } => {
+                write!(
+                    f,
+                    "netlist failed to settle after {iterations} relaxation passes"
+                )
+            }
+            SimError::UnknownOutput { node } => {
+                write!(f, "output node {node:?} carries an unknown (X) level")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(SimError::Oscillation { iterations: 64 }
+            .to_string()
+            .contains("64"));
+        assert!(SimError::UnknownOutput {
+            node: "d_out".into()
+        }
+        .to_string()
+        .contains("d_out"));
+    }
+}

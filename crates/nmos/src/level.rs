@@ -1,0 +1,97 @@
+//! Ternary signal levels.
+
+use std::fmt;
+
+/// The value on a net: driven/stored low, driven/stored high, or
+/// unknown (`X`). `X` arises at power-up (uninitialised charge), from
+/// charge sharing between nodes holding different values, and from
+/// decayed dynamic storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Level {
+    /// Ground.
+    Low,
+    /// The supply voltage `Vdd`.
+    High,
+    /// Unknown or invalid.
+    #[default]
+    X,
+}
+
+impl Level {
+    /// Converts a boolean (true = `High`).
+    pub fn from_bool(b: bool) -> Self {
+        if b {
+            Level::High
+        } else {
+            Level::Low
+        }
+    }
+
+    /// The boolean value, if known.
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            Level::Low => Some(false),
+            Level::High => Some(true),
+            Level::X => None,
+        }
+    }
+
+    /// Whether the level is known (not `X`).
+    pub fn is_known(self) -> bool {
+        self != Level::X
+    }
+
+    /// Merge of two levels sharing charge: agreement keeps the value,
+    /// disagreement or any `X` yields `X`.
+    pub fn merge(self, other: Level) -> Level {
+        if self == other {
+            self
+        } else {
+            Level::X
+        }
+    }
+}
+
+impl From<bool> for Level {
+    fn from(b: bool) -> Self {
+        Level::from_bool(b)
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self {
+            Level::Low => '0',
+            Level::High => '1',
+            Level::X => 'X',
+        };
+        write!(f, "{c}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bool_roundtrip() {
+        assert_eq!(Level::from_bool(true).to_bool(), Some(true));
+        assert_eq!(Level::from_bool(false).to_bool(), Some(false));
+        assert_eq!(Level::X.to_bool(), None);
+    }
+
+    #[test]
+    fn merge_rules() {
+        assert_eq!(Level::High.merge(Level::High), Level::High);
+        assert_eq!(Level::Low.merge(Level::Low), Level::Low);
+        assert_eq!(Level::High.merge(Level::Low), Level::X);
+        assert_eq!(Level::High.merge(Level::X), Level::X);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Level::Low.to_string(), "0");
+        assert_eq!(Level::High.to_string(), "1");
+        assert_eq!(Level::X.to_string(), "X");
+    }
+}

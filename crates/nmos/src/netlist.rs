@@ -1,0 +1,246 @@
+//! Netlist construction: nodes, transistors, pullups, and the small
+//! gate library of §3.2.2.
+//!
+//! Silicon-gate NMOS offers exactly two active elements:
+//!
+//! * the **enhancement-mode transistor** ([`Netlist::nfet`]) — a switch
+//!   whose channel conducts when its gate is high; used both as a logic
+//!   pulldown and as a *pass transistor* isolating storage nodes;
+//! * the **depletion-mode pullup** ([`Netlist::pullup`]) — a resistor to
+//!   `Vdd` (the yellow ion-implant squares of Plate 1).
+//!
+//! Logic gates are ratioed: a pullup plus a pulldown network. The
+//! general form is the *complex gate* ([`Netlist::complex_gate`]): the
+//! output is low iff some series chain of the pulldown network conducts,
+//! i.e. `out = NOT(OR over chains of AND over chain gates)`. Inverter,
+//! NAND, NOR, XOR and XNOR are all instances.
+
+/// Identifies a net (an electrical node).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The index of this node in the netlist's tables.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An enhancement-mode NMOS transistor: `a` and `b` are connected while
+/// `gate` is high.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Nfet {
+    /// Gate net.
+    pub gate: NodeId,
+    /// One channel terminal.
+    pub a: NodeId,
+    /// The other channel terminal.
+    pub b: NodeId,
+}
+
+/// A complete circuit description.
+#[derive(Debug, Clone, Default)]
+pub struct Netlist {
+    names: Vec<String>,
+    fets: Vec<Nfet>,
+    /// Nodes tied to Vdd through a depletion load.
+    pullups: Vec<NodeId>,
+    /// Nodes driven externally (pads and rails); the simulator treats
+    /// their values as inputs rather than computing them.
+    inputs: Vec<NodeId>,
+    vdd: Option<NodeId>,
+    gnd: Option<NodeId>,
+}
+
+impl Netlist {
+    /// An empty netlist with `vdd` and `gnd` rails pre-created.
+    pub fn new() -> Self {
+        let mut nl = Netlist::default();
+        let vdd = nl.node("vdd");
+        let gnd = nl.node("gnd");
+        nl.vdd = Some(vdd);
+        nl.gnd = Some(gnd);
+        nl
+    }
+
+    /// Creates a named node.
+    pub fn node(&mut self, name: impl Into<String>) -> NodeId {
+        let id = NodeId(self.names.len() as u32);
+        self.names.push(name.into());
+        id
+    }
+
+    /// The positive supply rail.
+    pub fn vdd(&self) -> NodeId {
+        self.vdd.expect("netlists are created with rails")
+    }
+
+    /// The ground rail.
+    pub fn gnd(&self) -> NodeId {
+        self.gnd.expect("netlists are created with rails")
+    }
+
+    /// Number of nodes (including rails).
+    pub fn node_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Number of transistors (pass + pulldown), excluding pullups.
+    pub fn fet_count(&self) -> usize {
+        self.fets.len()
+    }
+
+    /// Number of depletion pullups.
+    pub fn pullup_count(&self) -> usize {
+        self.pullups.len()
+    }
+
+    /// Total device count (transistors + depletion loads), the number a
+    /// 1979 designer would quote for die-size estimates.
+    pub fn device_count(&self) -> usize {
+        self.fets.len() + self.pullups.len()
+    }
+
+    /// The name of a node.
+    pub fn name(&self, id: NodeId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// The transistors.
+    pub fn fets(&self) -> &[Nfet] {
+        &self.fets
+    }
+
+    /// The pulled-up nodes.
+    pub fn pullups(&self) -> &[NodeId] {
+        &self.pullups
+    }
+
+    /// The externally driven nodes.
+    pub fn inputs(&self) -> &[NodeId] {
+        &self.inputs
+    }
+
+    /// Adds an enhancement transistor.
+    pub fn nfet(&mut self, gate: NodeId, a: NodeId, b: NodeId) {
+        self.fets.push(Nfet { gate, a, b });
+    }
+
+    /// Adds a depletion pullup on `node`.
+    pub fn pullup(&mut self, node: NodeId) {
+        self.pullups.push(node);
+    }
+
+    /// Marks `node` as externally driven (an input pad or generated
+    /// clock). Rails are implicit inputs and need not be marked.
+    pub fn input(&mut self, node: NodeId) {
+        self.inputs.push(node);
+    }
+
+    /// A pass transistor gating `from` onto `to` while `clk` is high —
+    /// the storage element of every dynamic register (Figure 3-5).
+    pub fn pass(&mut self, clk: NodeId, from: NodeId, to: NodeId) {
+        self.nfet(clk, from, to);
+    }
+
+    /// A ratioed complex gate: `out = NOT(Σ chains Π gates)`. Each chain
+    /// is a series pulldown path from `out` to ground; the chains are in
+    /// parallel. Returns `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chains` is empty or any chain is empty (that would be
+    /// a bare pullup, which is a constant, not a gate).
+    pub fn complex_gate(&mut self, name: &str, chains: &[&[NodeId]]) -> NodeId {
+        assert!(
+            !chains.is_empty() && chains.iter().all(|c| !c.is_empty()),
+            "complex gate must have at least one non-empty pulldown chain"
+        );
+        let out = self.node(name);
+        self.pullup(out);
+        let gnd = self.gnd();
+        for chain in chains {
+            // Series path: out -- fet -- n1 -- fet -- … -- gnd.
+            let mut from = out;
+            for (i, &gate) in chain.iter().enumerate() {
+                let to = if i == chain.len() - 1 {
+                    gnd
+                } else {
+                    self.node(format!("{name}#ch{i}"))
+                };
+                self.nfet(gate, from, to);
+                from = to;
+            }
+        }
+        out
+    }
+
+    /// `out = NOT a`.
+    pub fn inverter(&mut self, name: &str, a: NodeId) -> NodeId {
+        self.complex_gate(name, &[&[a]])
+    }
+
+    /// `out = NOT (a AND b)`.
+    pub fn nand2(&mut self, name: &str, a: NodeId, b: NodeId) -> NodeId {
+        self.complex_gate(name, &[&[a, b]])
+    }
+
+    /// `out = NOT (a OR b)`.
+    pub fn nor2(&mut self, name: &str, a: NodeId, b: NodeId) -> NodeId {
+        self.complex_gate(name, &[&[a], &[b]])
+    }
+
+    /// `out = a XNOR b`, given both polarities of the inputs
+    /// (`out = NOT(a·nb OR na·b)`).
+    pub fn xnor(&mut self, name: &str, a: NodeId, na: NodeId, b: NodeId, nb: NodeId) -> NodeId {
+        self.complex_gate(name, &[&[a, nb], &[na, b]])
+    }
+
+    /// `out = a XOR b`, given both polarities (`NOT(a·b OR na·nb)`).
+    pub fn xor(&mut self, name: &str, a: NodeId, na: NodeId, b: NodeId, nb: NodeId) -> NodeId {
+        self.complex_gate(name, &[&[a, b], &[na, nb]])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rails_exist() {
+        let nl = Netlist::new();
+        assert_eq!(nl.name(nl.vdd()), "vdd");
+        assert_eq!(nl.name(nl.gnd()), "gnd");
+        assert_eq!(nl.node_count(), 2);
+    }
+
+    #[test]
+    fn inverter_is_one_pullup_one_fet() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let _out = nl.inverter("na", a);
+        assert_eq!(nl.fet_count(), 1);
+        assert_eq!(nl.pullup_count(), 1);
+        assert_eq!(nl.device_count(), 2);
+    }
+
+    #[test]
+    fn xnor_device_count() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let na = nl.node("na");
+        let b = nl.node("b");
+        let nb = nl.node("nb");
+        nl.xnor("eq", a, na, b, nb);
+        // Two chains of two series transistors plus a pullup.
+        assert_eq!(nl.fet_count(), 4);
+        assert_eq!(nl.pullup_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty pulldown chain")]
+    fn empty_chain_panics() {
+        let mut nl = Netlist::new();
+        nl.complex_gate("bad", &[]);
+    }
+}

@@ -1,0 +1,266 @@
+//! The dynamic shift register of Figure 3-5.
+//!
+//! "In NMOS … a shift register is composed of a chain of inverters
+//! separated by pass transistors. … A clock with two non-overlapping
+//! phases controls the pass transistors. Adjacent transistors are turned
+//! on by opposite phases of the clock, so that there is never a closed
+//! path between inverters that are separated by two transistors.
+//! Alternate inverters can therefore store independent data bits."
+//!
+//! One *beat* is one clock phase: even-indexed stages latch on φ1 beats,
+//! odd-indexed stages on φ2 beats, so a bit advances one stage per beat
+//! and is inverted at every stage. Because storage is dynamic, stalling
+//! the clock long enough rots the data — the §3.3.3 trade-off, verified
+//! by failure injection in the tests.
+
+use crate::error::SimError;
+use crate::level::Level;
+use crate::netlist::{Netlist, NodeId};
+use crate::sim::Sim;
+
+/// A dynamic NMOS shift register with one storage stage per beat of
+/// delay.
+#[derive(Debug, Clone)]
+pub struct DynamicShiftRegister {
+    sim: Sim,
+    input: NodeId,
+    phi1: NodeId,
+    phi2: NodeId,
+    /// Inverter output of each stage.
+    taps: Vec<NodeId>,
+    beat: u64,
+}
+
+impl DynamicShiftRegister {
+    /// Builds a register of `stages` pass-transistor/inverter stages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages` is zero.
+    pub fn new(stages: usize) -> Self {
+        assert!(stages > 0, "a shift register needs at least one stage");
+        let mut nl = Netlist::new();
+        let input = nl.node("in");
+        nl.input(input);
+        let phi1 = nl.node("phi1");
+        let phi2 = nl.node("phi2");
+        nl.input(phi1);
+        nl.input(phi2);
+
+        let mut taps = Vec::with_capacity(stages);
+        let mut from = input;
+        for i in 0..stages {
+            let clk = if i % 2 == 0 { phi1 } else { phi2 };
+            let store = nl.node(format!("s{i}"));
+            nl.pass(clk, from, store);
+            let out = nl.inverter(&format!("q{i}"), store);
+            taps.push(out);
+            from = out;
+        }
+
+        let mut sim = Sim::new(nl);
+        sim.set(phi1, false);
+        sim.set(phi2, false);
+        DynamicShiftRegister {
+            sim,
+            input,
+            phi1,
+            phi2,
+            taps,
+            beat: 0,
+        }
+    }
+
+    /// Number of stages.
+    pub fn stages(&self) -> usize {
+        self.taps.len()
+    }
+
+    /// Device count of the underlying netlist.
+    pub fn device_count(&self) -> usize {
+        self.sim.netlist().device_count()
+    }
+
+    /// Direct access to the simulator (for decay configuration).
+    pub fn sim_mut(&mut self) -> &mut Sim {
+        &mut self.sim
+    }
+
+    /// Performs one beat: pulses the phase whose stages latch this beat,
+    /// with `bit` presented at the input pad. Returns the level at the
+    /// final tap *after* the beat.
+    ///
+    /// The value emerging at the last tap is the input of `stages` beats
+    /// ago, inverted once per stage — callers must re-invert for odd
+    /// stage counts, exactly as the chip's neighbouring cells do.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Oscillation`] if the netlist fails to settle.
+    pub fn shift(&mut self, bit: bool) -> Result<Level, SimError> {
+        let phase = if self.beat.is_multiple_of(2) {
+            self.phi1
+        } else {
+            self.phi2
+        };
+        self.sim.set(self.input, bit);
+        self.sim.set(phase, true);
+        self.sim.settle()?;
+        self.sim.set(phase, false);
+        self.sim.settle()?;
+        self.sim.end_beat();
+        self.beat += 1;
+        Ok(self.sim.get(*self.taps.last().expect("stages > 0")))
+    }
+
+    /// A beat with the clock stopped: nothing latches, charge ages.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Oscillation`] if the netlist fails to settle.
+    pub fn stall(&mut self) -> Result<(), SimError> {
+        self.sim.settle()?;
+        self.sim.end_beat();
+        self.beat += 1;
+        Ok(())
+    }
+
+    /// The level at stage `i`'s inverter output.
+    pub fn tap(&self, i: usize) -> Level {
+        self.sim.get(self.taps[i])
+    }
+
+    /// Fault injection: drives **both** clock phases high at once,
+    /// violating the non-overlap requirement of §3.2.2 ("there is never
+    /// a closed path between inverters that are separated by two
+    /// transistors"). With the overlap, every pass transistor conducts
+    /// and the register degenerates into a combinational inverter
+    /// chain — all stored bits are destroyed by the value at the input
+    /// pad racing through. Returns the level at the last tap after the
+    /// violation.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Oscillation`] if the netlist fails to settle.
+    pub fn inject_clock_overlap(&mut self, input: bool) -> Result<Level, SimError> {
+        self.sim.set(self.input, input);
+        self.sim.set(self.phi1, true);
+        self.sim.set(self.phi2, true);
+        self.sim.settle()?;
+        self.sim.set(self.phi1, false);
+        self.sim.set(self.phi2, false);
+        self.sim.settle()?;
+        self.sim.end_beat();
+        self.beat += 1;
+        Ok(self.sim.get(*self.taps.last().expect("stages > 0")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Re-invert a tap reading for the number of inversions it suffered.
+    fn normalise(level: Level, stages: usize) -> Option<bool> {
+        level
+            .to_bool()
+            .map(|b| if stages % 2 == 1 { !b } else { b })
+    }
+
+    #[test]
+    fn data_propagates_with_per_stage_inversion() {
+        // New bits enter on φ1 beats only (stage 0's phase); a bit
+        // injected at beat 2i reaches the last of 4 stages at beat 2i+3.
+        let mut sr = DynamicShiftRegister::new(4);
+        let bits = [true, false, false, true, true, false, true, false];
+        let mut got = Vec::new();
+        for (beat, _) in (0..2 * bits.len()).enumerate() {
+            let inject = bits[beat / 2]; // held across both phases
+            got.push(sr.shift(inject).unwrap());
+        }
+        for (i, &b) in bits.iter().enumerate() {
+            let exit_beat = 2 * i + 3;
+            if exit_beat < got.len() {
+                assert_eq!(normalise(got[exit_beat], 4), Some(b), "bit {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn odd_stage_count_inverts() {
+        let mut sr = DynamicShiftRegister::new(3);
+        for _ in 0..3 {
+            sr.shift(true).unwrap();
+        }
+        // true through 3 inverters → Low at the tap.
+        assert_eq!(sr.shift(true).unwrap(), Level::Low);
+    }
+
+    #[test]
+    fn alternate_stages_hold_independent_bits() {
+        // The Figure 3-5 claim: two independent bits live in the four
+        // stages, one per pair of alternate inverters.
+        let mut sr = DynamicShiftRegister::new(4);
+        sr.shift(true).unwrap(); // beat 0: b0=true enters stage 0
+        sr.shift(true).unwrap(); // beat 1: b0 advances to stage 1
+        sr.shift(false).unwrap(); // beat 2: b1=false enters stage 0
+        sr.shift(false).unwrap(); // beat 3: b0 at stage 3, b1 at stage 1
+        assert_eq!(sr.tap(3).to_bool(), Some(true), "b0 after four inversions");
+        assert_eq!(sr.tap(1).to_bool(), Some(false), "b1 after two inversions");
+        assert_eq!(sr.tap(0).to_bool(), Some(true), "stage 0 holds !b1");
+    }
+
+    #[test]
+    fn stalled_clock_rots_data() {
+        let mut sr = DynamicShiftRegister::new(2);
+        sr.sim_mut().set_max_hold_beats(5);
+        sr.shift(true).unwrap();
+        sr.shift(false).unwrap();
+        // Data survives a short stall…
+        for _ in 0..4 {
+            sr.stall().unwrap();
+        }
+        assert!(sr.tap(1).is_known());
+        // …but not a long one: "data is refreshed only by shifting it".
+        for _ in 0..4 {
+            sr.stall().unwrap();
+        }
+        assert_eq!(sr.tap(1), Level::X);
+    }
+
+    #[test]
+    fn device_count_is_two_per_stage_plus_pass() {
+        // Each stage: 1 pass fet + 1 pulldown fet + 1 pullup = 3.
+        let sr = DynamicShiftRegister::new(8);
+        assert_eq!(sr.device_count(), 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn zero_stages_panics() {
+        let _ = DynamicShiftRegister::new(0);
+    }
+
+    #[test]
+    fn overlapping_clocks_destroy_the_pipeline() {
+        // Load distinct bits into a healthy register…
+        let mut sr = DynamicShiftRegister::new(4);
+        sr.shift(true).unwrap();
+        sr.shift(true).unwrap();
+        sr.shift(false).unwrap();
+        sr.shift(false).unwrap();
+        assert_eq!(sr.tap(3).to_bool(), Some(true));
+        assert_eq!(sr.tap(1).to_bool(), Some(false));
+        // …then violate the two-phase discipline: with both phases high
+        // the chain is transparent and the input races to the end in
+        // zero beats, obliterating both stored bits.
+        let end = sr.inject_clock_overlap(true).unwrap();
+        assert_eq!(end.to_bool(), Some(true), "input raced through 4 inverters");
+        for i in 0..4 {
+            // Every tap is now a function of the single input value
+            // (true through i+1 inverters) — the two independent bits
+            // are gone.
+            assert_eq!(sr.tap(i).to_bool(), Some(i % 2 == 1));
+        }
+    }
+}

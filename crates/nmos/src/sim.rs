@@ -1,0 +1,496 @@
+//! The switch-level relaxation solver.
+//!
+//! A settled NMOS network is a fixpoint: every net's level is consistent
+//! with the conduction state of every transistor, whose gates are nets
+//! themselves. [`Sim::settle`] finds that fixpoint by relaxation:
+//!
+//! 1. From the current net levels, classify each transistor as
+//!    conducting (gate high), off (gate low) or *maybe* (gate `X`).
+//! 2. Group nets into components connected by conducting channels and
+//!    assign each component a level by strength: a path to ground (or a
+//!    low-driving pad) wins over `Vdd`/pullups/high pads — that is what
+//!    makes ratioed logic work — and any driven level wins over stored
+//!    charge. An undriven component keeps its charge; nets whose stored
+//!    charges disagree go to `X` (charge sharing).
+//! 3. `maybe` transistors are handled conservatively by solving twice —
+//!    all-off and all-on — and `X`-ing nets where the solutions differ.
+//! 4. Repeat until nothing changes (or give up and report oscillation).
+//!
+//! Dynamic storage and its decay (§3.3.3) are modelled per *beat*: after
+//! each clock phase the host calls [`Sim::end_beat`]; nets that were not
+//! driven accumulate age and eventually rot to `X`, reproducing the
+//! "about 1 ms without shifting" limit of the paper's dynamic registers.
+
+use crate::error::SimError;
+use crate::level::Level;
+use crate::netlist::{Netlist, NodeId};
+
+/// How many beats an isolated node holds its charge before decaying,
+/// by default. At the prototype's 250 ns beat this corresponds to the
+/// ~1 ms retention the paper quotes (§3.3.3).
+pub const DEFAULT_MAX_HOLD_BEATS: u32 = 4000;
+
+/// Relaxation pass limit before declaring oscillation.
+const MAX_ITERATIONS: usize = 256;
+
+/// A switch-level simulator for one [`Netlist`].
+#[derive(Debug, Clone)]
+pub struct Sim {
+    nl: Netlist,
+    /// Current level of each net.
+    values: Vec<Level>,
+    /// Last driven (or shared) charge on each net.
+    stored: Vec<Level>,
+    /// Beats since each net was last driven.
+    age: Vec<u32>,
+    /// Whether the net was driven (not charge-retained) at last settle.
+    driven: Vec<bool>,
+    /// Externally imposed levels (pads, rails, clocks).
+    pins: Vec<Option<Level>>,
+    /// Adjacency: for each net, the (gate, other-end) channel list.
+    adj: Vec<Vec<(NodeId, NodeId)>>,
+    /// Whether each net has a depletion pullup.
+    pulled_up: Vec<bool>,
+    /// Absolute overrides for fault injection (stuck-at faults).
+    forced: Vec<Option<Level>>,
+    max_hold_beats: u32,
+}
+
+impl Sim {
+    /// Wraps a netlist; all storage starts as `X` (uninitialised
+    /// charge), rails are pre-driven.
+    pub fn new(nl: Netlist) -> Self {
+        let n = nl.node_count();
+        let mut adj: Vec<Vec<(NodeId, NodeId)>> = vec![Vec::new(); n];
+        for fet in nl.fets() {
+            adj[fet.a.index()].push((fet.gate, fet.b));
+            adj[fet.b.index()].push((fet.gate, fet.a));
+        }
+        let mut pins = vec![None; n];
+        pins[nl.vdd().index()] = Some(Level::High);
+        pins[nl.gnd().index()] = Some(Level::Low);
+        let mut pulled_up = vec![false; n];
+        for p in nl.pullups() {
+            pulled_up[p.index()] = true;
+        }
+        Sim {
+            values: vec![Level::X; n],
+            stored: vec![Level::X; n],
+            age: vec![0; n],
+            driven: vec![false; n],
+            pins,
+            adj,
+            pulled_up,
+            forced: vec![None; n],
+            nl,
+            max_hold_beats: DEFAULT_MAX_HOLD_BEATS,
+        }
+    }
+
+    /// The wrapped netlist.
+    pub fn netlist(&self) -> &Netlist {
+        &self.nl
+    }
+
+    /// Overrides the charge-retention limit (beats).
+    pub fn set_max_hold_beats(&mut self, beats: u32) {
+        self.max_hold_beats = beats;
+    }
+
+    /// Drives an external node (pad or clock). Takes effect at the next
+    /// [`settle`](Sim::settle).
+    pub fn set(&mut self, node: NodeId, level: impl Into<Level>) {
+        self.pins[node.index()] = Some(level.into());
+    }
+
+    /// Stops driving an external node (tri-states the pad).
+    pub fn release(&mut self, node: NodeId) {
+        self.pins[node.index()] = None;
+    }
+
+    /// Injects a stuck-at fault: the node reads `level` no matter what
+    /// drives it, modelling a hard short. Used by the test-vector and
+    /// fault-coverage machinery of [`crate::faults`].
+    pub fn force(&mut self, node: NodeId, level: Level) {
+        self.forced[node.index()] = Some(level);
+    }
+
+    /// Removes an injected fault.
+    pub fn unforce(&mut self, node: NodeId) {
+        self.forced[node.index()] = None;
+    }
+
+    /// The current level of a node.
+    pub fn get(&self, node: NodeId) -> Level {
+        self.values[node.index()]
+    }
+
+    /// The current level as a boolean.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnknownOutput`] if the node is `X`.
+    pub fn get_bool(&self, node: NodeId) -> Result<bool, SimError> {
+        self.values[node.index()]
+            .to_bool()
+            .ok_or_else(|| SimError::UnknownOutput {
+                node: self.nl.name(node).to_string(),
+            })
+    }
+
+    /// Solves the network for the current pin levels.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Oscillation`] if no fixpoint is reached.
+    pub fn settle(&mut self) -> Result<(), SimError> {
+        for _ in 0..MAX_ITERATIONS {
+            let (next, driven) = self.solve_once();
+            let changed = next != self.values;
+            self.values = next;
+            self.driven = driven;
+            if !changed {
+                // Commit charge: every net remembers its settled level.
+                self.stored.copy_from_slice(&self.values);
+                return Ok(());
+            }
+        }
+        Err(SimError::Oscillation {
+            iterations: MAX_ITERATIONS,
+        })
+    }
+
+    /// Ends a beat: isolated nets age and eventually decay to `X`.
+    pub fn end_beat(&mut self) {
+        for i in 0..self.values.len() {
+            if self.driven[i] {
+                self.age[i] = 0;
+            } else {
+                self.age[i] = self.age[i].saturating_add(1);
+                if self.age[i] > self.max_hold_beats {
+                    self.stored[i] = Level::X;
+                    self.values[i] = Level::X;
+                }
+            }
+        }
+    }
+
+    /// One relaxation pass: returns (levels, driven flags).
+    fn solve_once(&self) -> (Vec<Level>, Vec<bool>) {
+        let (mut values, mut driven) = self.solve_unforced();
+        for (i, f) in self.forced.iter().enumerate() {
+            if let Some(level) = f {
+                values[i] = *level;
+                driven[i] = true;
+            }
+        }
+        (values, driven)
+    }
+
+    /// Relaxation without fault overrides.
+    fn solve_unforced(&self) -> (Vec<Level>, Vec<bool>) {
+        let certain = self.flood(false);
+        let has_maybe = self
+            .nl
+            .fets()
+            .iter()
+            .any(|f| self.values[f.gate.index()] == Level::X);
+        if !has_maybe {
+            return certain;
+        }
+        let optimistic = self.flood(true);
+        let merged = certain
+            .0
+            .iter()
+            .zip(&optimistic.0)
+            .map(|(&a, &b)| if a == b { a } else { Level::X })
+            .collect();
+        let driven = certain
+            .1
+            .iter()
+            .zip(&optimistic.1)
+            .map(|(&a, &b)| a && b)
+            .collect();
+        (merged, driven)
+    }
+
+    /// Component analysis with `maybe` transistors treated as conducting
+    /// (`maybe_on`) or off.
+    fn flood(&self, maybe_on: bool) -> (Vec<Level>, Vec<bool>) {
+        let n = self.values.len();
+        let mut comp = vec![usize::MAX; n];
+        let mut levels: Vec<Level> = Vec::new();
+        let mut drivens: Vec<bool> = Vec::new();
+
+        let conducts = |gate: NodeId| -> bool {
+            match self.values[gate.index()] {
+                Level::High => true,
+                Level::Low => false,
+                Level::X => maybe_on,
+            }
+        };
+
+        let mut stack = Vec::new();
+        for start in 0..n {
+            if comp[start] != usize::MAX {
+                continue;
+            }
+            let cid = levels.len();
+            // Gather the component.
+            let mut members = Vec::new();
+            stack.push(start);
+            comp[start] = cid;
+            while let Some(u) = stack.pop() {
+                members.push(u);
+                for &(gate, other) in &self.adj[u] {
+                    if conducts(gate) && comp[other.index()] == usize::MAX {
+                        comp[other.index()] = cid;
+                        stack.push(other.index());
+                    }
+                }
+            }
+            // Classify by strength: low drive > high drive > charge.
+            let mut has_low = false;
+            let mut has_high = false;
+            let mut has_x_drive = false;
+            let mut charge = None::<Level>;
+            for &m in &members {
+                // A forced (stuck) node drives its component like a rail.
+                match self.forced[m].or(self.pins[m]) {
+                    Some(Level::Low) => has_low = true,
+                    Some(Level::High) => has_high = true,
+                    Some(Level::X) => has_x_drive = true,
+                    None => {}
+                }
+                if self.pulled_up[m] {
+                    has_high = true;
+                }
+            }
+            let driven = has_low || has_high || has_x_drive;
+            if !driven {
+                for &m in &members {
+                    charge = Some(match charge {
+                        None => self.stored[m],
+                        Some(c) => c.merge(self.stored[m]),
+                    });
+                }
+            }
+            let level = if has_low {
+                Level::Low
+            } else if has_x_drive {
+                Level::X
+            } else if has_high {
+                Level::High
+            } else {
+                charge.unwrap_or(Level::X)
+            };
+            levels.push(level);
+            drivens.push(driven);
+        }
+
+        let values = (0..n).map(|i| levels[comp[i]]).collect();
+        let driven = (0..n).map(|i| drivens[comp[i]]).collect();
+        (values, driven)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build, drive, settle, read — one gate at a time.
+    fn eval(build: impl Fn(&mut Netlist) -> (Vec<NodeId>, NodeId), inputs: &[bool]) -> Level {
+        let mut nl = Netlist::new();
+        let (ins, out) = build(&mut nl);
+        let mut sim = Sim::new(nl);
+        for (&node, &val) in ins.iter().zip(inputs) {
+            sim.set(node, val);
+        }
+        sim.settle().unwrap();
+        sim.get(out)
+    }
+
+    #[test]
+    fn inverter_truth_table() {
+        let build = |nl: &mut Netlist| {
+            let a = nl.node("a");
+            let out = nl.inverter("na", a);
+            (vec![a], out)
+        };
+        assert_eq!(eval(build, &[false]), Level::High);
+        assert_eq!(eval(build, &[true]), Level::Low);
+    }
+
+    #[test]
+    fn nand_truth_table() {
+        let build = |nl: &mut Netlist| {
+            let a = nl.node("a");
+            let b = nl.node("b");
+            let out = nl.nand2("nab", a, b);
+            (vec![a, b], out)
+        };
+        assert_eq!(eval(build, &[false, false]), Level::High);
+        assert_eq!(eval(build, &[false, true]), Level::High);
+        assert_eq!(eval(build, &[true, false]), Level::High);
+        assert_eq!(eval(build, &[true, true]), Level::Low);
+    }
+
+    #[test]
+    fn nor_truth_table() {
+        let build = |nl: &mut Netlist| {
+            let a = nl.node("a");
+            let b = nl.node("b");
+            let out = nl.nor2("nab", a, b);
+            (vec![a, b], out)
+        };
+        assert_eq!(eval(build, &[false, false]), Level::High);
+        assert_eq!(eval(build, &[true, false]), Level::Low);
+        assert_eq!(eval(build, &[false, true]), Level::Low);
+        assert_eq!(eval(build, &[true, true]), Level::Low);
+    }
+
+    #[test]
+    fn xnor_truth_table() {
+        let build = |nl: &mut Netlist| {
+            let a = nl.node("a");
+            let b = nl.node("b");
+            let na = nl.inverter("na", a);
+            let nb = nl.inverter("nb", b);
+            let out = nl.xnor("eq", a, na, b, nb);
+            (vec![a, b], out)
+        };
+        assert_eq!(eval(build, &[false, false]), Level::High);
+        assert_eq!(eval(build, &[true, true]), Level::High);
+        assert_eq!(eval(build, &[true, false]), Level::Low);
+        assert_eq!(eval(build, &[false, true]), Level::Low);
+    }
+
+    #[test]
+    fn two_inverter_chain() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let n1 = nl.inverter("n1", a);
+        let n2 = nl.inverter("n2", n1);
+        let mut sim = Sim::new(nl);
+        sim.set(a, true);
+        sim.settle().unwrap();
+        assert_eq!(sim.get(n1), Level::Low);
+        assert_eq!(sim.get(n2), Level::High);
+    }
+
+    #[test]
+    fn pass_transistor_stores_charge() {
+        let mut nl = Netlist::new();
+        let clk = nl.node("clk");
+        let pad = nl.node("pad");
+        let store = nl.node("store");
+        nl.pass(clk, pad, store);
+        let out = nl.inverter("out", store);
+        let mut sim = Sim::new(nl);
+
+        // Clock high: pad drives the storage node.
+        sim.set(clk, true);
+        sim.set(pad, true);
+        sim.settle().unwrap();
+        assert_eq!(sim.get(store), Level::High);
+        assert_eq!(sim.get(out), Level::Low);
+
+        // Clock low, pad changes: storage holds its charge.
+        sim.set(clk, false);
+        sim.set(pad, false);
+        sim.settle().unwrap();
+        assert_eq!(sim.get(store), Level::High, "dynamic node must hold charge");
+        assert_eq!(sim.get(out), Level::Low);
+    }
+
+    #[test]
+    fn stored_charge_decays_after_max_hold() {
+        let mut nl = Netlist::new();
+        let clk = nl.node("clk");
+        let pad = nl.node("pad");
+        let store = nl.node("store");
+        nl.pass(clk, pad, store);
+        let mut sim = Sim::new(nl);
+        sim.set_max_hold_beats(3);
+        sim.set(clk, true);
+        sim.set(pad, true);
+        sim.settle().unwrap();
+        sim.end_beat();
+        sim.set(clk, false);
+        for _ in 0..3 {
+            sim.settle().unwrap();
+            sim.end_beat();
+            assert_eq!(sim.get(store), Level::High);
+        }
+        // One beat past the limit: the charge has leaked away.
+        sim.settle().unwrap();
+        sim.end_beat();
+        assert_eq!(
+            sim.get(store),
+            Level::X,
+            "charge must decay without refresh"
+        );
+    }
+
+    #[test]
+    fn charge_sharing_of_conflicting_values_is_x() {
+        let mut nl = Netlist::new();
+        let clk = nl.node("clk");
+        let a = nl.node("a");
+        let b = nl.node("b");
+        let sa = nl.node("sa");
+        let sb = nl.node("sb");
+        let join = nl.node("join");
+        nl.pass(clk, a, sa);
+        nl.pass(clk, b, sb);
+        nl.pass(join, sa, sb);
+        let mut sim = Sim::new(nl);
+        // Store opposite values.
+        sim.set(clk, true);
+        sim.set(a, true);
+        sim.set(b, false);
+        sim.set(join, false);
+        sim.settle().unwrap();
+        // Isolate from pads, then connect the two storage nodes.
+        sim.set(clk, false);
+        sim.set(join, true);
+        sim.settle().unwrap();
+        assert_eq!(sim.get(sa), Level::X);
+        assert_eq!(sim.get(sb), Level::X);
+    }
+
+    #[test]
+    fn ring_oscillator_reports_oscillation() {
+        // Three inverters in a ring, closed through an enable pass
+        // transistor. Seed the loop while it is open, then close it.
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let en = nl.node("en");
+        let n1 = nl.inverter("n1", a);
+        let n2 = nl.inverter("n2", n1);
+        let n3 = nl.inverter("n3", n2);
+        nl.pass(en, n3, a);
+        let mut sim = Sim::new(nl);
+        sim.set(en, false);
+        sim.set(a, true);
+        sim.settle().unwrap();
+        sim.release(a);
+        sim.set(en, true);
+        assert!(matches!(sim.settle(), Err(SimError::Oscillation { .. })));
+    }
+
+    #[test]
+    fn unknown_output_error_names_node() {
+        let mut nl = Netlist::new();
+        let a = nl.node("floaty");
+        let mut sim = Sim::new(nl);
+        sim.settle().unwrap();
+        let err = sim.get_bool(a).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::UnknownOutput {
+                node: "floaty".into()
+            }
+        );
+    }
+}

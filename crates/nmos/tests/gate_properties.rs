@@ -1,0 +1,148 @@
+//! Property tests for the switch-level simulator: arbitrary ratioed
+//! complex gates must compute exactly their AND-OR-INVERT function, and
+//! the relaxation must be confluent (input order never matters).
+
+use pm_nmos::netlist::{Netlist, NodeId};
+use pm_nmos::sim::Sim;
+use proptest::prelude::*;
+
+/// A random pulldown network: up to 4 chains of up to 3 gate inputs,
+/// each input drawn from a pool of up to 4 primary inputs.
+fn network() -> impl Strategy<Value = (usize, Vec<Vec<usize>>)> {
+    (1usize..=4).prop_flat_map(|inputs| {
+        (
+            Just(inputs),
+            proptest::collection::vec(proptest::collection::vec(0..inputs, 1..=3), 1..=4),
+        )
+    })
+}
+
+/// Evaluate a 4-bit arithmetic circuit for given operand values.
+fn eval_buses(
+    build: impl Fn(&mut Netlist, &[NodeId], &[NodeId]) -> Vec<NodeId>,
+    a: i64,
+    b: i64,
+) -> i64 {
+    let mut nl = Netlist::new();
+    let mk = |nl: &mut Netlist, tag: &str| -> Vec<NodeId> {
+        (0..4)
+            .map(|w| {
+                let n = nl.node(format!("{tag}{w}"));
+                nl.input(n);
+                n
+            })
+            .collect()
+    };
+    let bus_a = mk(&mut nl, "a");
+    let bus_b = mk(&mut nl, "b");
+    let out = build(&mut nl, &bus_a, &bus_b);
+    let mut sim = pm_nmos::sim::Sim::new(nl);
+    for (w, &n) in bus_a.iter().enumerate() {
+        sim.set(n, (a >> w) & 1 == 1);
+    }
+    for (w, &n) in bus_b.iter().enumerate() {
+        sim.set(n, (b >> w) & 1 == 1);
+    }
+    sim.settle().unwrap();
+    let mut got = 0i64;
+    for (w, &n) in out.iter().enumerate() {
+        if sim.get_bool(n).unwrap() {
+            got |= 1 << w;
+        }
+    }
+    got
+}
+
+/// Reference: out = NOT (OR over chains of AND over gates).
+fn aoi(values: &[bool], chains: &[Vec<usize>]) -> bool {
+    !chains.iter().any(|chain| chain.iter().all(|&g| values[g]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn complex_gate_computes_aoi((inputs, chains) in network(), assignment in proptest::collection::vec(any::<bool>(), 4)) {
+        let mut nl = Netlist::new();
+        let pins: Vec<NodeId> = (0..inputs).map(|i| {
+            let n = nl.node(format!("in{i}"));
+            nl.input(n);
+            n
+        }).collect();
+        let chain_nodes: Vec<Vec<NodeId>> =
+            chains.iter().map(|c| c.iter().map(|&g| pins[g]).collect()).collect();
+        let chain_refs: Vec<&[NodeId]> = chain_nodes.iter().map(Vec::as_slice).collect();
+        let out = nl.complex_gate("g", &chain_refs);
+
+        let mut sim = Sim::new(nl);
+        for (i, &pin) in pins.iter().enumerate() {
+            sim.set(pin, assignment[i]);
+        }
+        sim.settle().unwrap();
+        let values = &assignment[..inputs];
+        prop_assert_eq!(sim.get(out).to_bool(), Some(aoi(values, &chains)));
+    }
+
+    #[test]
+    fn four_bit_adder_matches_integers(a in 0i64..16, b in 0i64..16) {
+        let got = eval_buses(
+            |nl, x, y| {
+                let gnd = nl.gnd();
+                pm_nmos::arith::adder(nl, "add", x, y, gnd).0
+            },
+            a,
+            b,
+        );
+        prop_assert_eq!(got, (a + b) % 16);
+    }
+
+    #[test]
+    fn four_bit_multiplier_matches_integers(a in 0i64..16, b in 0i64..16) {
+        let got = eval_buses(
+            |nl, x, y| pm_nmos::arith::multiplier(nl, "mul", x, y),
+            a,
+            b,
+        );
+        prop_assert_eq!(got, a * b);
+    }
+
+    #[test]
+    fn settling_is_confluent((inputs, chains) in network(), a in proptest::collection::vec(any::<bool>(), 4), b in proptest::collection::vec(any::<bool>(), 4)) {
+        // Settle to assignment `a` directly, or via `b` first: the
+        // final state must be identical (combinational network).
+        let build = |nl: &mut Netlist| -> (Vec<NodeId>, NodeId) {
+            let pins: Vec<NodeId> = (0..inputs).map(|i| {
+                let n = nl.node(format!("in{i}"));
+                nl.input(n);
+                n
+            }).collect();
+            let chain_nodes: Vec<Vec<NodeId>> =
+                chains.iter().map(|c| c.iter().map(|&g| pins[g]).collect()).collect();
+            let chain_refs: Vec<&[NodeId]> = chain_nodes.iter().map(Vec::as_slice).collect();
+            let out = nl.complex_gate("g", &chain_refs);
+            (pins, out)
+        };
+
+        let mut nl1 = Netlist::new();
+        let (pins1, out1) = build(&mut nl1);
+        let mut direct = Sim::new(nl1);
+        for (i, &p) in pins1.iter().enumerate() {
+            direct.set(p, a[i]);
+        }
+        direct.settle().unwrap();
+
+        let mut nl2 = Netlist::new();
+        let (pins2, out2) = build(&mut nl2);
+        let mut detour = Sim::new(nl2);
+        for (i, &p) in pins2.iter().enumerate() {
+            detour.set(p, b[i]);
+        }
+        detour.settle().unwrap();
+        for (i, &p) in pins2.iter().enumerate() {
+            detour.set(p, a[i]);
+        }
+        detour.settle().unwrap();
+
+        prop_assert_eq!(direct.get(out1), detour.get(out2));
+    }
+}

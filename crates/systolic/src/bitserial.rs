@@ -1,0 +1,397 @@
+//! The bit-serial pipelined comparator array (paper Figure 3-4).
+//!
+//! §3.2.1 divides each character comparator into one-bit comparators:
+//! characters enter the array one *bit* per beat, high-order bit first,
+//! so that a `b`-bit alphabet needs `b` rows of one-bit comparator cells
+//! above the accumulator row. Each one-bit cell runs
+//!
+//! ```text
+//! p_out ← p_in;   s_out ← s_in;   d_out ← d_in AND (p_in = s_in)
+//! ```
+//!
+//! with `p` bits flowing left→right, `s` bits right→left, and the
+//! comparison result `d` trickling *down* one row per beat, meeting the
+//! next lower bits of the same character pair. Active cells form a
+//! checkerboard in both dimensions. The `λ` and `x` control bits enter
+//! the accumulator row directly, delayed by `b` beats so they arrive
+//! together with the fully-reduced `d` for their pattern character.
+//!
+//! The observable behaviour is identical to the character-level array of
+//! [`crate::matcher`]; the integration tests prove it. This model is the
+//! bridge between the behavioural matcher and the NMOS netlist of
+//! `pm-nmos`, which implements exactly these one-bit cells.
+
+use crate::engine::MatchBits;
+use crate::error::Error;
+use crate::symbol::{Pattern, Symbol};
+
+/// A bit item travelling through a comparator row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct BitItem {
+    bit: bool,
+    /// Simulation metadata: which character this bit belongs to
+    /// (pattern index j for `p` bits, text index i for `s` bits).
+    seq: u64,
+}
+
+/// A partial comparison result descending the `d` pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct DItem {
+    value: bool,
+    /// Text character index the comparison belongs to.
+    seq: u64,
+}
+
+/// A `λ`/`x` control item travelling through the accumulator row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct CtlItem {
+    lambda: bool,
+    wild: bool,
+}
+
+/// A completed result in the result stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ResItem {
+    value: bool,
+    seq: u64,
+}
+
+/// One beat's worth of activity, passed to observers registered with
+/// [`BitSerialMatcher::match_symbols_observed`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitBeatView {
+    /// Beat number.
+    pub beat: u64,
+    /// `(row, column)` of every comparator cell that computed this beat —
+    /// the checkerboard of Figure 3-4.
+    pub active: Vec<(usize, usize)>,
+}
+
+/// The bit-serial systolic matcher: `bits` rows of one-bit comparators
+/// over `cells` columns, plus an accumulator row.
+#[derive(Debug, Clone)]
+pub struct BitSerialMatcher {
+    pattern: Pattern,
+    cells: usize,
+    bits: u32,
+}
+
+/// Transient per-run state of the grid.
+struct Grid {
+    /// Pattern bit slots per row, index `[row][col]`.
+    p: Vec<Vec<Option<BitItem>>>,
+    /// Text bit slots per row.
+    s: Vec<Vec<Option<BitItem>>>,
+    /// `d` pipeline registers: `d[v][c]` is the input to row `v`'s cell
+    /// this beat (written by row `v-1` last beat). Row index `bits` is
+    /// the accumulator's `d` input.
+    d: Vec<Vec<Option<DItem>>>,
+    /// Control items in the accumulator row.
+    ctl: Vec<Option<CtlItem>>,
+    /// Result stream slots in the accumulator row.
+    r: Vec<Option<ResItem>>,
+    /// Temporary results `t`.
+    t: Vec<bool>,
+}
+
+impl Grid {
+    fn new(bits: usize, cells: usize) -> Self {
+        Grid {
+            p: vec![vec![None; cells]; bits],
+            s: vec![vec![None; cells]; bits],
+            d: vec![vec![None; cells]; bits + 1],
+            ctl: vec![None; cells],
+            r: vec![None; cells],
+            t: vec![true; cells],
+        }
+    }
+
+    /// Shift a row rightward, injecting at column 0.
+    fn shift_right<T: Copy>(row: &mut [Option<T>], inject: Option<T>) {
+        for c in (1..row.len()).rev() {
+            row[c] = row[c - 1];
+        }
+        row[0] = inject;
+    }
+
+    /// Shift a row leftward, injecting at the last column; returns the
+    /// item that fell off column 0.
+    fn shift_left<T: Copy>(row: &mut [Option<T>], inject: Option<T>) -> Option<T> {
+        let out = row[0];
+        for c in 0..row.len() - 1 {
+            row[c] = row[c + 1];
+        }
+        *row.last_mut().expect("rows are non-empty") = inject;
+        out
+    }
+}
+
+impl BitSerialMatcher {
+    /// Builds a bit-serial matcher with `k+1` columns and one comparator
+    /// row per alphabet bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::EmptyPattern`] for an empty pattern.
+    pub fn new(pattern: &Pattern) -> Result<Self, Error> {
+        Self::with_cells(pattern, pattern.len())
+    }
+
+    /// Builds a bit-serial matcher over `cells ≥ k+1` columns.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::ArrayTooSmall`] if `cells < pattern.len()`, or
+    /// [`Error::EmptyPattern`].
+    pub fn with_cells(pattern: &Pattern, cells: usize) -> Result<Self, Error> {
+        if pattern.is_empty() {
+            return Err(Error::EmptyPattern);
+        }
+        if cells < pattern.len() {
+            return Err(Error::ArrayTooSmall {
+                cells,
+                pattern_len: pattern.len(),
+            });
+        }
+        Ok(BitSerialMatcher {
+            pattern: pattern.clone(),
+            cells,
+            bits: pattern.alphabet().bits(),
+        })
+    }
+
+    /// Number of one-bit comparator rows (the alphabet width).
+    pub fn rows(&self) -> u32 {
+        self.bits
+    }
+
+    /// Number of columns (character cells).
+    pub fn cells(&self) -> usize {
+        self.cells
+    }
+
+    /// The pattern this matcher was built for.
+    pub fn pattern(&self) -> &Pattern {
+        &self.pattern
+    }
+
+    /// Matches a symbol stream; behaviourally identical to
+    /// [`crate::matcher::SystolicMatcher::match_symbols`].
+    pub fn match_symbols(&self, text: &[Symbol]) -> MatchBits {
+        self.match_symbols_observed(text, |_| {})
+    }
+
+    /// Like [`match_symbols`](Self::match_symbols) but calls `observe`
+    /// once per beat with the set of active comparator cells, which is
+    /// how the Figure 3-4 checkerboard is regenerated.
+    #[allow(clippy::needless_range_loop)] // grid indices mirror Figure 3-4
+    pub fn match_symbols_observed(
+        &self,
+        text: &[Symbol],
+        mut observe: impl FnMut(&BitBeatView),
+    ) -> MatchBits {
+        let b = self.bits as usize;
+        let n = self.cells;
+        let plen = self.pattern.len();
+        let k = plen - 1;
+        let phi = ((n - 1) % 2) as u64;
+        let mut grid = Grid::new(b, n);
+
+        let mut out = vec![false; text.len()];
+        // Last result r_{L-1} exits the accumulator row at beat
+        // N−1+φ+2(L−1)+b+1; run a little past that.
+        let total_beats =
+            (n as u64) + phi + 2 * (text.len() as u64) + (b as u64) + 2 * (plen as u64) + 8;
+
+        for t in 0..total_beats {
+            // --- result stream exits before anything else this beat.
+            let exited = Grid::shift_left(&mut grid.r, None);
+            if let Some(res) = exited {
+                let i = res.seq as usize;
+                if i >= k && i < out.len() {
+                    out[i] = res.value;
+                }
+            }
+
+            // --- shift the comparator rows with staggered injection.
+            for v in 0..b {
+                // Pattern char j's bit v enters row v at beat 2j + v.
+                let p_inj = t
+                    .checked_sub(v as u64)
+                    .filter(|d| d % 2 == 0)
+                    .map(|d| d / 2)
+                    .map(|j| {
+                        let idx = (j as usize) % plen;
+                        let sym = self.pattern.symbols()[idx];
+                        let bit = sym
+                            .literal()
+                            .map(|s| s.bit_msb_first(v as u32, self.bits))
+                            .unwrap_or(false); // wild card bits are don't-cares
+                        BitItem { bit, seq: j }
+                    });
+                Grid::shift_right(&mut grid.p[v], p_inj);
+
+                // Text char i's bit v enters row v at beat 2i + φ + v.
+                let s_inj = t
+                    .checked_sub(phi + v as u64)
+                    .filter(|d| d % 2 == 0)
+                    .map(|d| d / 2)
+                    .filter(|&i| (i as usize) < text.len())
+                    .map(|i| BitItem {
+                        bit: text[i as usize].bit_msb_first(v as u32, self.bits),
+                        seq: i,
+                    });
+                Grid::shift_left(&mut grid.s[v], s_inj);
+            }
+
+            // --- control items enter the accumulator row at beat 2j + b.
+            let ctl_inj = t
+                .checked_sub(b as u64)
+                .filter(|d| d % 2 == 0)
+                .map(|d| d / 2)
+                .map(|j| {
+                    let idx = (j as usize) % plen;
+                    CtlItem {
+                        lambda: idx == k,
+                        wild: self.pattern.symbols()[idx].is_wild(),
+                    }
+                });
+            Grid::shift_right(&mut grid.ctl, ctl_inj);
+
+            // --- the accumulator's d input is what row b−1 produced
+            // *last* beat (one register stage between the bottom
+            // comparator row and the accumulator, as in Figure 3-3).
+            let acc_d = grid.d[b].clone();
+
+            // --- comparator cells compute; d descends one row.
+            let mut next_d: Vec<Vec<Option<DItem>>> = vec![vec![None; n]; b + 1];
+            let mut active = Vec::new();
+            for v in 0..b {
+                for c in 0..n {
+                    let (Some(pb), Some(sb)) = (grid.p[v][c], grid.s[v][c]) else {
+                        continue;
+                    };
+                    active.push((v, c));
+                    let eq = pb.bit == sb.bit;
+                    let d_in = if v == 0 {
+                        // The top of each column starts a fresh comparison.
+                        DItem {
+                            value: true,
+                            seq: sb.seq,
+                        }
+                    } else {
+                        match grid.d[v][c] {
+                            Some(d) => {
+                                debug_assert_eq!(
+                                    d.seq, sb.seq,
+                                    "descending d must stay with its text character"
+                                );
+                                d
+                            }
+                            // Warm-up: bits meet before the d from above
+                            // exists (the text char entered mid-array).
+                            None => DItem {
+                                value: true,
+                                seq: sb.seq,
+                            },
+                        }
+                    };
+                    next_d[v + 1][c] = Some(DItem {
+                        value: d_in.value && eq,
+                        seq: d_in.seq,
+                    });
+                }
+            }
+            grid.d = next_d;
+
+            // --- accumulator row computes where control and d co-arrive.
+            for c in 0..n {
+                let (Some(ctl), Some(d)) = (grid.ctl[c], acc_d[c]) else {
+                    continue;
+                };
+                grid.t[c] = grid.t[c] && (ctl.wild || d.value);
+                if ctl.lambda {
+                    let value = std::mem::replace(&mut grid.t[c], true);
+                    grid.r[c] = Some(ResItem { value, seq: d.seq });
+                }
+            }
+
+            observe(&BitBeatView { beat: t, active });
+        }
+
+        MatchBits::new(out, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::match_spec;
+    use crate::symbol::{text_from_letters, Alphabet};
+
+    #[test]
+    fn figure_3_1_example_bit_serial() {
+        let p = Pattern::parse("AXC").unwrap();
+        let t = text_from_letters("ABCAACCAB").unwrap();
+        let m = BitSerialMatcher::new(&p).unwrap();
+        assert_eq!(m.match_symbols(&t).bits(), match_spec(&t, &p));
+    }
+
+    #[test]
+    fn wide_alphabet_bit_serial() {
+        // 8-bit characters: eight comparator rows.
+        let p = Pattern::from_bytes(&[0x41, 0xFF, 0x00], Some(0xFF), Alphabet::EIGHT_BIT).unwrap();
+        let m = BitSerialMatcher::new(&p).unwrap();
+        assert_eq!(m.rows(), 8);
+        let text: Vec<Symbol> = [0x41u8, 0x99, 0x00, 0x41, 0x41, 0x00]
+            .iter()
+            .map(|&b| Symbol::new(b))
+            .collect();
+        assert_eq!(m.match_symbols(&text).bits(), match_spec(&text, &p));
+    }
+
+    #[test]
+    fn oversized_grid_matches_spec() {
+        let p = Pattern::parse("ABBA").unwrap();
+        let t = text_from_letters("ABBAABBAABBA").unwrap();
+        for cells in 4..10 {
+            let m = BitSerialMatcher::with_cells(&p, cells).unwrap();
+            assert_eq!(
+                m.match_symbols(&t).bits(),
+                match_spec(&t, &p),
+                "cells={cells}"
+            );
+        }
+    }
+
+    #[test]
+    fn checkerboard_activity() {
+        // On any single beat, active comparator cells must not be
+        // adjacent horizontally or vertically (Figure 3-4).
+        let p = Pattern::parse("ABCA").unwrap();
+        let t = text_from_letters("ABCAABCA").unwrap();
+        let m = BitSerialMatcher::new(&p).unwrap();
+        let mut checked_beats = 0;
+        m.match_symbols_observed(&t, |view| {
+            for &(v, c) in &view.active {
+                for &(v2, c2) in &view.active {
+                    let manhattan = v.abs_diff(v2) + c.abs_diff(c2);
+                    assert_ne!(manhattan, 1, "adjacent active cells at beat {}", view.beat);
+                }
+            }
+            if !view.active.is_empty() {
+                checked_beats += 1;
+            }
+        });
+        assert!(checked_beats > 10, "activity must actually occur");
+    }
+
+    #[test]
+    fn rejects_undersized_grid() {
+        let p = Pattern::parse("ABCD").unwrap();
+        assert!(matches!(
+            BitSerialMatcher::with_cells(&p, 3),
+            Err(Error::ArrayTooSmall { .. })
+        ));
+    }
+}

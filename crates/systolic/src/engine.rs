@@ -1,0 +1,536 @@
+//! The beat engine: a host-side driver for a chain of array segments.
+//!
+//! The paper's host computer feeds the chip two interleaved streams over
+//! one bus — "the pattern and the text string arrive alternately over the
+//! bus one character at a time" (§3.2.1) — recirculates the pattern so
+//! that `p0` follows two beats after `pk`, and reads one result bit per
+//! text character. [`Driver`] plays that host role for any number of
+//! cascaded [`Segment`]s and any [`MeetSemantics`].
+//!
+//! ## Injection schedule
+//!
+//! Beats are numbered from 0. Pattern items are injected into the left
+//! end on every even beat (`p_j` at beat `2j`, recirculating with period
+//! `k+1` items). Text items are injected into the right end every other
+//! beat with a phase offset `φ = (N−1) mod 2` (`s_i` at beat `2i+φ`),
+//! where `N` is the total cell count. The offset makes `N−1+φ` even,
+//! which is the condition for opposing items to *meet* in a cell instead
+//! of passing between cells; for the even-sized arrays of the prototype
+//! chip it yields exactly the alternating pattern/text bus of Figure 3-1.
+//!
+//! With this schedule, `p_j` and `s_i` meet in cell `(N−1+φ)/2 + i − j`
+//! (mod the recirculation), all `k+1` pairs of one result meet in the
+//! *same* cell on consecutive active beats, and `r_i` leaves the left end
+//! of the array on the same beat as `s_i` — the invariants the paper
+//! walks through in §3.2.1, which the tests here check mechanically.
+
+use crate::error::Error;
+use crate::segment::{PatItem, ResItem, Segment, SegmentIo, TxtItem};
+use crate::semantics::MeetSemantics;
+
+/// What left the array chain during one beat.
+#[derive(Debug, Clone)]
+pub struct BeatExit<S: MeetSemantics> {
+    /// Beat number just completed.
+    pub beat: u64,
+    /// Text item that left the array's left end, if any.
+    pub text: Option<TxtItem<S::Txt>>,
+    /// Result item that left the array's left end, if any.
+    pub result: Option<ResItem<S::Out>>,
+    /// Pattern item that left the array's right end, if any. A lone chip
+    /// drops this on the floor; a cascade feeds it to the next chip.
+    pub pattern: Option<PatItem<S::Pat>>,
+}
+
+/// Host-side driver: owns a chain of segments, schedules injection,
+/// recirculates the pattern and collects results.
+#[derive(Debug, Clone)]
+pub struct Driver<S: MeetSemantics> {
+    segments: Vec<Segment<S>>,
+    pattern: Vec<S::Pat>,
+    beat: u64,
+    next_seq: u64,
+    total_cells: usize,
+}
+
+impl<S: MeetSemantics + Clone> Driver<S> {
+    /// Builds a driver over a chain of segments with the given cell
+    /// counts (one entry per chip, left to right) and the pattern items
+    /// to recirculate.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::EmptyPattern`] if `pattern` is empty.
+    /// * [`Error::NoSegments`] if `segment_cells` is empty.
+    /// * [`Error::ArrayTooSmall`] if the cells don't cover the pattern.
+    pub fn new(sem: S, pattern: Vec<S::Pat>, segment_cells: &[usize]) -> Result<Self, Error> {
+        if pattern.is_empty() {
+            return Err(Error::EmptyPattern);
+        }
+        if segment_cells.is_empty() {
+            return Err(Error::NoSegments);
+        }
+        let total: usize = segment_cells.iter().sum();
+        if total < pattern.len() {
+            return Err(Error::ArrayTooSmall {
+                cells: total,
+                pattern_len: pattern.len(),
+            });
+        }
+        let segments = segment_cells
+            .iter()
+            .map(|&n| Segment::new(sem.clone(), n))
+            .collect();
+        Ok(Driver {
+            segments,
+            pattern,
+            beat: 0,
+            next_seq: 0,
+            total_cells: total,
+        })
+    }
+}
+
+impl<S: MeetSemantics> Driver<S> {
+    /// Total number of character cells across all segments.
+    pub fn total_cells(&self) -> usize {
+        self.total_cells
+    }
+
+    /// Number of chained segments (chips).
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// The text injection phase `φ = (N−1) mod 2`.
+    pub fn phase(&self) -> u64 {
+        ((self.total_cells - 1) % 2) as u64
+    }
+
+    /// Pattern length `k+1`.
+    pub fn pattern_len(&self) -> usize {
+        self.pattern.len()
+    }
+
+    /// Read-only access to the segments (for tracing).
+    pub fn segments(&self) -> &[Segment<S>] {
+        &self.segments
+    }
+
+    /// Current beat number (the number of beats executed so far).
+    pub fn beat(&self) -> u64 {
+        self.beat
+    }
+
+    /// Clears all array state and restarts the beat counter.
+    pub fn reset(&mut self) {
+        for seg in &mut self.segments {
+            seg.reset();
+        }
+        self.beat = 0;
+        self.next_seq = 0;
+    }
+
+    /// Advances the whole chain one beat, injecting `text` at the right
+    /// end if this is a text beat and `text` is `Some`, and always
+    /// injecting the recirculating pattern on pattern beats.
+    ///
+    /// **Protocol note:** the host must fill every text slot for the
+    /// defining equation to hold — "the data streams move at a steady
+    /// rate … with a constant time between data items" (§3.1). A slot
+    /// left empty mid-stream contributes *no comparison* to the windows
+    /// that span it: for the boolean matcher the hole behaves like a
+    /// wild-card text character, for the counter like a mismatch. The
+    /// higher-level [`feed`](Driver::feed)/[`run`](Driver::run) APIs
+    /// never leave holes.
+    ///
+    /// Returns everything that left the chain this beat.
+    pub fn advance_beat(&mut self, text: Option<S::Txt>) -> BeatExit<S> {
+        let t = self.beat;
+
+        // Pattern port: p_j at beat 2j, recirculating.
+        let pattern_in = if t.is_multiple_of(2) {
+            let j = (t / 2) as usize;
+            let idx = j % self.pattern.len();
+            Some(PatItem {
+                payload: self.pattern[idx].clone(),
+                lambda: idx == self.pattern.len() - 1,
+            })
+        } else {
+            None
+        };
+
+        // Text port: s_i at beat 2i + φ.
+        let text_in = if t >= self.phase() && (t - self.phase()).is_multiple_of(2) {
+            text.map(|payload| {
+                let item = TxtItem {
+                    payload,
+                    seq: self.next_seq,
+                };
+                self.next_seq += 1;
+                item
+            })
+        } else {
+            debug_assert!(text.is_none(), "text offered on a non-text beat");
+            None
+        };
+
+        // Read all boundary wires from pre-beat state (synchronous step).
+        let outs: Vec<SegmentIo<S>> = self.segments.iter().map(|s| s.outputs()).collect();
+        let n = self.segments.len();
+
+        let exit = BeatExit {
+            beat: t,
+            text: outs[0].text.clone(),
+            result: outs[0].result.clone(),
+            pattern: outs[n - 1].pattern.clone(),
+        };
+
+        // Wire and step: pattern flows left→right (segment i feeds i+1),
+        // text/result right→left (segment i+1 feeds i).
+        for i in 0..n {
+            let pattern = if i == 0 {
+                pattern_in.clone()
+            } else {
+                outs[i - 1].pattern.clone()
+            };
+            let (txt, res) = if i == n - 1 {
+                (text_in.clone(), None)
+            } else {
+                (outs[i + 1].text.clone(), outs[i + 1].result.clone())
+            };
+            self.segments[i].step(SegmentIo {
+                pattern,
+                text: txt,
+                result: res,
+            });
+        }
+
+        self.beat += 1;
+        exit
+    }
+
+    /// Feeds one text character and advances two beats (one bus cycle:
+    /// a pattern beat and a text beat). Returns any result that left the
+    /// array during the cycle, tagged with its text position.
+    pub fn feed(&mut self, txt: S::Txt) -> Vec<(u64, S::Out)> {
+        let mut done = Vec::new();
+        let mut txt = Some(txt);
+        for _ in 0..2 {
+            let is_text_beat =
+                self.beat >= self.phase() && (self.beat - self.phase()).is_multiple_of(2);
+            let inject = if is_text_beat { txt.take() } else { None };
+            let exit = self.advance_beat(inject);
+            if let Some(res) = exit.result {
+                done.push((res.seq, res.value));
+            }
+        }
+        debug_assert!(
+            txt.is_none(),
+            "driver failed to find a text slot in one bus cycle"
+        );
+        done
+    }
+
+    /// Runs the array until every in-flight text item has exited,
+    /// returning remaining results.
+    pub fn drain(&mut self) -> Vec<(u64, S::Out)> {
+        let mut done = Vec::new();
+        // Everything injected exits after at most N more beats; add the
+        // recirculation period as slack for the final λ.
+        let slack = (self.total_cells + 2 * self.pattern.len() + 4) as u64;
+        for _ in 0..(2 * slack) {
+            let exit = self.advance_beat(None);
+            if let Some(res) = exit.result {
+                done.push((res.seq, res.value));
+            }
+        }
+        done
+    }
+
+    /// Complete run over a finite text: resets the array, feeds every
+    /// character, drains, and returns one output per text position.
+    /// Positions `i < k` (incomplete windows) hold `S::Out::default()`.
+    pub fn run(&mut self, text: &[S::Txt]) -> Vec<S::Out>
+    where
+        S::Txt: Clone,
+    {
+        self.reset();
+        let k = self.pattern.len() - 1;
+        let mut out: Vec<S::Out> = vec![S::Out::default(); text.len()];
+        let mut seen = vec![false; text.len()];
+        let record = |pairs: Vec<(u64, S::Out)>, out: &mut Vec<S::Out>, seen: &mut Vec<bool>| {
+            for (seq, value) in pairs {
+                let i = seq as usize;
+                if i >= k && i < out.len() {
+                    out[i] = value;
+                    seen[i] = true;
+                }
+            }
+        };
+        for ch in text {
+            let pairs = self.feed(ch.clone());
+            record(pairs, &mut out, &mut seen);
+        }
+        let pairs = self.drain();
+        record(pairs, &mut out, &mut seen);
+        debug_assert!(
+            seen.iter().skip(k).all(|&b| b),
+            "every complete window must produce a result"
+        );
+        out
+    }
+}
+
+/// The result-bit stream of the boolean matcher, aligned to text
+/// positions: `bit(i)` is `r_i`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatchBits {
+    bits: Vec<bool>,
+    k: usize,
+}
+
+impl MatchBits {
+    /// Wraps a result vector; `k` is the index of the last pattern char.
+    pub fn new(bits: Vec<bool>, k: usize) -> Self {
+        MatchBits { bits, k }
+    }
+
+    /// The raw result bits, one per text position.
+    pub fn bits(&self) -> &[bool] {
+        &self.bits
+    }
+
+    /// `r_i` for a single position (false out of range).
+    pub fn bit(&self, i: usize) -> bool {
+        self.bits.get(i).copied().unwrap_or(false)
+    }
+
+    /// Text positions where a match ends, in increasing order.
+    ///
+    /// ```
+    /// use pm_systolic::engine::MatchBits;
+    /// let m = MatchBits::new(vec![false, false, true, true], 1);
+    /// assert_eq!(m.ending_positions(), vec![2, 3]);
+    /// ```
+    pub fn ending_positions(&self) -> Vec<usize> {
+        self.bits
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Text positions where a match *starts* (`end − k`).
+    pub fn starting_positions(&self) -> Vec<usize> {
+        self.ending_positions()
+            .iter()
+            .map(|&e| e - self.k)
+            .collect()
+    }
+
+    /// Number of matches found.
+    pub fn count(&self) -> usize {
+        self.bits.iter().filter(|&&b| b).count()
+    }
+
+    /// Whether any match was found.
+    pub fn any(&self) -> bool {
+        self.bits.iter().any(|&b| b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semantics::BooleanMatch;
+    use crate::spec::match_spec;
+    use crate::symbol::{text_from_letters, Pattern};
+
+    fn run_match(pattern: &str, text: &str, cells: &[usize]) -> Vec<bool> {
+        let p = Pattern::parse(pattern).unwrap();
+        let t = text_from_letters(text).unwrap();
+        let mut d = Driver::new(BooleanMatch, p.symbols().to_vec(), cells).unwrap();
+        d.run(&t)
+    }
+
+    fn spec(pattern: &str, text: &str) -> Vec<bool> {
+        let p = Pattern::parse(pattern).unwrap();
+        let t = text_from_letters(text).unwrap();
+        match_spec(&t, &p)
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        let p = Pattern::parse("ABC").unwrap();
+        assert!(matches!(
+            Driver::new(BooleanMatch, p.symbols().to_vec(), &[]),
+            Err(Error::NoSegments)
+        ));
+        assert!(matches!(
+            Driver::new(BooleanMatch, p.symbols().to_vec(), &[2]),
+            Err(Error::ArrayTooSmall { .. })
+        ));
+        assert!(matches!(
+            Driver::new(BooleanMatch, vec![], &[4]),
+            Err(Error::EmptyPattern)
+        ));
+    }
+
+    #[test]
+    fn figure_3_1_on_the_array() {
+        // The paper's running example, on an exactly-sized array.
+        assert_eq!(
+            run_match("AXC", "ABCAACCAB", &[3]),
+            spec("AXC", "ABCAACCAB")
+        );
+    }
+
+    #[test]
+    fn oversized_array_matches_spec() {
+        // Arrays larger than the pattern redundantly recompute results;
+        // outputs must be identical (§3.2.1 says "no more than" k+1 cells
+        // are required — more must not hurt).
+        for cells in 3..12 {
+            assert_eq!(
+                run_match("AXC", "ABCAACCAB", &[cells]),
+                spec("AXC", "ABCAACCAB"),
+                "cells={cells}"
+            );
+        }
+    }
+
+    #[test]
+    fn even_and_odd_arrays_work() {
+        for cells in 1..10 {
+            assert_eq!(
+                run_match("A", "ABAACA", &[cells]),
+                spec("A", "ABAACA"),
+                "cells={cells}"
+            );
+        }
+    }
+
+    #[test]
+    fn cascade_equals_monolithic() {
+        let text = "ABCAACCABBACACBBAACCBA";
+        let mono = run_match("AXCX", text, &[8]);
+        let casc = run_match("AXCX", text, &[2, 2, 2, 2]);
+        let casc2 = run_match("AXCX", text, &[3, 5]);
+        assert_eq!(mono, casc);
+        assert_eq!(mono, casc2);
+        assert_eq!(mono, spec("AXCX", text));
+    }
+
+    #[test]
+    fn streaming_feed_yields_results_online() {
+        let p = Pattern::parse("AB").unwrap();
+        let t = text_from_letters("AABABB").unwrap();
+        let mut d = Driver::new(BooleanMatch, p.symbols().to_vec(), &[2]).unwrap();
+        let mut got = Vec::new();
+        for ch in &t {
+            for (seq, v) in d.feed(*ch) {
+                got.push((seq, v));
+            }
+        }
+        for (seq, v) in d.drain() {
+            got.push((seq, v));
+        }
+        // Results arrive in text order.
+        let seqs: Vec<u64> = got.iter().map(|&(s, _)| s).collect();
+        let mut sorted = seqs.clone();
+        sorted.sort_unstable();
+        assert_eq!(seqs, sorted);
+        // And agree with the spec for complete windows.
+        let spec_bits = spec("AB", "AABABB");
+        for (seq, v) in got {
+            if seq >= 1 {
+                assert_eq!(v, spec_bits[seq as usize], "r_{seq}");
+            }
+        }
+    }
+
+    #[test]
+    fn result_exits_with_its_text_char() {
+        // The alignment claim of §3.2.1: each match result leaves the
+        // array with the last character of its substring.
+        let p = Pattern::parse("AA").unwrap();
+        let t = text_from_letters("AAAA").unwrap();
+        let mut d = Driver::new(BooleanMatch, p.symbols().to_vec(), &[2]).unwrap();
+        let mut beats_text: Vec<(u64, u64)> = Vec::new(); // (seq, exit beat)
+        let mut beats_res: Vec<(u64, u64)> = Vec::new();
+        for i in 0..40 {
+            let is_text_beat = d.beat() >= d.phase() && (d.beat() - d.phase()).is_multiple_of(2);
+            let inject = if is_text_beat {
+                let i = (d.beat() - d.phase()) / 2;
+                if (i as usize) < t.len() {
+                    Some(t[i as usize])
+                } else {
+                    None
+                }
+            } else {
+                None
+            };
+            let exit = d.advance_beat(inject);
+            if let Some(txt) = exit.text {
+                beats_text.push((txt.seq, i));
+            }
+            if let Some(res) = exit.result {
+                beats_res.push((res.seq, i));
+            }
+        }
+        for (seq, beat) in &beats_res {
+            let text_beat = beats_text.iter().find(|(s, _)| s == seq).map(|(_, b)| *b);
+            assert_eq!(text_beat, Some(*beat), "r_{seq} must exit with s_{seq}");
+        }
+    }
+
+    #[test]
+    fn text_slot_holes_behave_like_wildcard_characters() {
+        // Documented protocol hazard: skipping a text beat leaves a
+        // hole whose comparisons are silently absent, so the window
+        // spanning it matches on the remaining positions only.
+        let p = Pattern::parse("AB").unwrap();
+        let mut d = Driver::new(BooleanMatch, p.symbols().to_vec(), &[2]).unwrap();
+        let text = text_from_letters("AB").unwrap();
+        let mut injected = 0usize;
+        let mut results = Vec::new();
+        for beat in 0..30u64 {
+            let is_text_beat = beat >= d.phase() && (beat - d.phase()).is_multiple_of(2);
+            // Inject A, skip one slot, inject B.
+            let slot_index = if is_text_beat {
+                (beat - d.phase()) / 2
+            } else {
+                u64::MAX
+            };
+            let inject = if is_text_beat && slot_index != 1 && injected < 2 {
+                let s = text[injected];
+                injected += 1;
+                Some(s)
+            } else {
+                None
+            };
+            let exit = d.advance_beat(inject);
+            if let Some(res) = exit.result {
+                results.push((res.seq, res.value));
+            }
+        }
+        // 'B' carries seq 1; its window spans the hole, so only the
+        // (p1='B', s1='B') comparison happened — reported as a match,
+        // i.e. the hole acted as a wild card. Hence: don't leave holes.
+        assert!(results.contains(&(1, true)), "{results:?}");
+    }
+
+    #[test]
+    fn match_bits_accessors() {
+        let m = MatchBits::new(vec![false, true, false, true], 1);
+        assert_eq!(m.ending_positions(), vec![1, 3]);
+        assert_eq!(m.starting_positions(), vec![0, 2]);
+        assert_eq!(m.count(), 2);
+        assert!(m.any());
+        assert!(m.bit(1));
+        assert!(!m.bit(99));
+        assert_eq!(m.bits().len(), 4);
+    }
+}

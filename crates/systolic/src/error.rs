@@ -1,0 +1,95 @@
+//! Error types for the systolic crate.
+
+use std::fmt;
+
+/// Errors produced while building or driving a systolic array.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The pattern was empty; the array needs at least one character cell.
+    EmptyPattern,
+    /// A symbol fell outside the configured alphabet.
+    ///
+    /// Holds the offending byte and the alphabet's bit width.
+    SymbolOutOfRange {
+        /// The raw byte that could not be encoded.
+        byte: u8,
+        /// The alphabet width in bits.
+        bits: u32,
+    },
+    /// A pattern string contained a character that is neither an alphabet
+    /// symbol nor the wild card.
+    BadPatternChar(char),
+    /// The array has fewer cells than the pattern has characters.
+    ArrayTooSmall {
+        /// Number of character cells available.
+        cells: usize,
+        /// Pattern length (k+1 in the paper's notation).
+        pattern_len: usize,
+    },
+    /// The requested alphabet width is unsupported (must be 1..=8 bits).
+    BadAlphabetWidth(u32),
+    /// A driver was asked to run with zero segments.
+    NoSegments,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::EmptyPattern => write!(f, "pattern must contain at least one character"),
+            Error::SymbolOutOfRange { byte, bits } => write!(
+                f,
+                "symbol byte {byte:#04x} does not fit in a {bits}-bit alphabet"
+            ),
+            Error::BadPatternChar(c) => {
+                write!(f, "pattern character {c:?} is not a symbol or wild card")
+            }
+            Error::ArrayTooSmall { cells, pattern_len } => write!(
+                f,
+                "array of {cells} cells cannot hold a pattern of {pattern_len} characters"
+            ),
+            Error::BadAlphabetWidth(bits) => {
+                write!(f, "alphabet width of {bits} bits is not in 1..=8")
+            }
+            Error::NoSegments => write!(f, "driver requires at least one array segment"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_nonempty() {
+        let errors = [
+            Error::EmptyPattern,
+            Error::SymbolOutOfRange {
+                byte: 0xff,
+                bits: 2,
+            },
+            Error::BadPatternChar('!'),
+            Error::ArrayTooSmall {
+                cells: 4,
+                pattern_len: 9,
+            },
+            Error::BadAlphabetWidth(0),
+            Error::NoSegments,
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            let first = msg.chars().next().unwrap();
+            assert!(first.is_lowercase() || !first.is_alphabetic());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

@@ -1,0 +1,367 @@
+//! A self-timed (handshaking) implementation of the matcher (§3.3.2).
+//!
+//! "In a self-timed implementation, data flow control is distributed
+//! among the cells, so that each cell controls its own data transfers.
+//! Neighboring cells must obey a signalling convention to coordinate
+//! their communication. … Each of the cells may run at its own pace,
+//! synchronizing with its neighbors only when communication is needed."
+//!
+//! [`HandshakeArray`] is that machine, simulated event-by-event: each
+//! cell *fires* when — and only when — both neighbours have completed
+//! the previous exchange, pays a signalling overhead plus its own
+//! (jittered) computation delay, and hands its outputs over through
+//! double buffers. There is no clock anywhere; firing order emerges
+//! from the event queue and is genuinely out of order under jitter.
+//!
+//! Two cross-validations pin it down:
+//!
+//! * **function** — the result bits equal the clocked array's for every
+//!   workload (the signalling convention changes *when*, never *what*);
+//! * **time** — the completion time equals the longest-path recurrence
+//!   of [`crate::selftimed`], computed independently, confirming that
+//!   model against an operational implementation.
+
+use crate::segment::{PatItem, TxtItem};
+use crate::selftimed::TimingParams;
+use crate::semantics::{BooleanMatch, MeetSemantics};
+use crate::symbol::{Pattern, Symbol};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// One cell's externally visible values after a firing.
+#[derive(Debug, Clone, Default)]
+struct CellOutputs {
+    p: Option<PatItem<crate::symbol::PatSym>>,
+    s: Option<TxtItem<Symbol>>,
+    r: Option<(u64, bool)>,
+}
+
+/// Result of one self-timed run.
+#[derive(Debug, Clone)]
+pub struct HandshakeRun {
+    /// Result bits, one per text position (`false` before the first
+    /// complete window).
+    pub bits: Vec<bool>,
+    /// Wall-clock completion time in nanoseconds.
+    pub completion_ns: f64,
+    /// Total cell firings.
+    pub firings: u64,
+    /// True if some cell fired step `n` before another cell had fired
+    /// step `n−1` — evidence of genuinely distributed timing.
+    pub out_of_order: bool,
+}
+
+/// The self-timed matcher array.
+#[derive(Debug, Clone)]
+pub struct HandshakeArray {
+    pattern: Pattern,
+    cells: usize,
+    params: TimingParams,
+    seed: u64,
+}
+
+impl HandshakeArray {
+    /// Builds an array of `k+1` self-timed cells.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::Error::EmptyPattern`] for an empty pattern.
+    pub fn new(pattern: &Pattern, params: TimingParams, seed: u64) -> Result<Self, crate::Error> {
+        if pattern.is_empty() {
+            return Err(crate::Error::EmptyPattern);
+        }
+        Ok(HandshakeArray {
+            pattern: pattern.clone(),
+            cells: pattern.len(),
+            params,
+            seed,
+        })
+    }
+
+    /// Number of cells.
+    pub fn cells(&self) -> usize {
+        self.cells
+    }
+
+    /// Per-firing delays, drawn step-major so the independent
+    /// longest-path model of [`crate::selftimed`] can reproduce them.
+    fn delays(&self, steps: usize) -> Vec<Vec<f64>> {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        (0..steps)
+            .map(|_| {
+                (0..self.cells)
+                    .map(|_| {
+                        self.params.mean_delay_ns
+                            + rng.gen_range(-self.params.jitter_ns..=self.params.jitter_ns)
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Runs the matcher over `text` with distributed control.
+    pub fn run(&self, text: &[Symbol]) -> HandshakeRun {
+        let n = self.cells;
+        let plen = self.pattern.len();
+        let k = plen - 1;
+        let phi = ((n - 1) % 2) as u64;
+        let steps = (phi as usize) + 2 * text.len() + n + 2 * plen + 8;
+        let delays = self.delays(steps);
+        let sem = BooleanMatch;
+
+        // Host injection schedules (identical to the clocked Driver).
+        let host_p = |step: u64| -> Option<PatItem<crate::symbol::PatSym>> {
+            if step.is_multiple_of(2) {
+                let j = (step / 2) as usize % plen;
+                Some(PatItem {
+                    payload: self.pattern.symbols()[j],
+                    lambda: j == k,
+                })
+            } else {
+                None
+            }
+        };
+        let host_s = |step: u64| -> Option<TxtItem<Symbol>> {
+            step.checked_sub(phi)
+                .filter(|d| d % 2 == 0)
+                .map(|d| d / 2)
+                .filter(|&i| (i as usize) < text.len())
+                .map(|i| TxtItem {
+                    payload: text[i as usize],
+                    seq: i,
+                })
+        };
+
+        // Cell state.
+        let mut p_slot: Vec<Option<PatItem<crate::symbol::PatSym>>> = vec![None; n];
+        let mut s_slot: Vec<Option<TxtItem<Symbol>>> = vec![None; n];
+        let mut r_slot: Vec<Option<(u64, bool)>> = vec![None; n];
+        let mut acc: Vec<bool> = vec![sem.fresh(); n];
+        // Double-buffered outputs: outputs[c][step % 2].
+        let mut outputs: Vec<[CellOutputs; 2]> =
+            vec![[CellOutputs::default(), CellOutputs::default()]; n];
+        // Progress: next step each cell will fire.
+        let mut fired: Vec<usize> = vec![0; n];
+        // Completion time of each cell's last two firings, indexed by
+        // step parity — the dependence is on the neighbour's step−1
+        // completion, not whatever it has raced ahead to.
+        let mut finish_hist: Vec<[f64; 2]> = vec![[0.0; 2]; n];
+
+        let ready = |c: usize, step: usize, fired: &[usize]| -> bool {
+            let left_ok = c == 0 || fired[c - 1] >= step; // left completed step-1 ⇔ fired[c-1] ≥ step
+            let right_ok = c + 1 >= n || fired[c + 1] >= step;
+            // fired[c] == step means c itself is at this step.
+            left_ok && right_ok
+        };
+
+        // Event queue of candidate firings.
+        let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+        let schedule = |heap: &mut BinaryHeap<Reverse<(u64, usize)>>, t: f64, c: usize| {
+            heap.push(Reverse(((t * 1000.0) as u64, c)));
+        };
+        for c in 0..n {
+            schedule(&mut heap, 0.0, c);
+        }
+
+        let mut out = vec![false; text.len()];
+        let mut firings = 0u64;
+        let mut out_of_order = false;
+        let mut completion = 0.0f64;
+        let mut max_step_seen = vec![0usize; n];
+
+        while let Some(Reverse((_, c))) = heap.pop() {
+            let step = fired[c];
+            if step >= steps {
+                continue;
+            }
+            if !ready(c, step, &fired) {
+                // Not ready: the neighbour's completion will reschedule
+                // us below; drop this stale event.
+                continue;
+            }
+            // Timing: wait for own and neighbours' step−1 completions.
+            let prev = |cell: usize| -> f64 {
+                if step == 0 {
+                    0.0
+                } else {
+                    finish_hist[cell][(step - 1) % 2]
+                }
+            };
+            let mut start = prev(c);
+            if c > 0 {
+                start = start.max(prev(c - 1));
+            }
+            if c + 1 < n {
+                start = start.max(prev(c + 1));
+            }
+            let t_done = start + self.params.handshake_overhead_ns + delays[step][c];
+            finish_hist[c][step % 2] = t_done;
+            completion = completion.max(t_done);
+            firings += 1;
+
+            // Out-of-order evidence: firing step `s` while a non-
+            // neighbour cell is still more than one step behind.
+            for (other, &ms) in max_step_seen.iter().enumerate() {
+                if other != c && step > ms + 1 {
+                    out_of_order = true;
+                }
+            }
+            max_step_seen[c] = max_step_seen[c].max(step);
+
+            // Data: consume neighbour outputs of step−1.
+            let buf = |s: usize| (s + 1) % 2; // (step-1) % 2 with step ≥ 1
+            let p_in = if c == 0 {
+                host_p(step as u64)
+            } else if step == 0 {
+                None
+            } else {
+                outputs[c - 1][buf(step)].p.clone()
+            };
+            let (s_in, r_in) = if c + 1 == n {
+                (host_s(step as u64), None)
+            } else if step == 0 {
+                (None, None)
+            } else {
+                let o = &outputs[c + 1][buf(step)];
+                (o.s.clone(), o.r)
+            };
+
+            // The cell algorithm (identical to Segment::step for one
+            // cell).
+            p_slot[c] = p_in;
+            s_slot[c] = s_in;
+            r_slot[c] = r_in;
+            if let (Some(p), Some(s)) = (&p_slot[c], &s_slot[c]) {
+                sem.absorb(&mut acc[c], &p.payload, &s.payload);
+                if p.lambda {
+                    let value = sem.emit(&mut acc[c]);
+                    r_slot[c] = Some((s.seq, value));
+                }
+            }
+            // Publish outputs for the neighbours' step+1.
+            outputs[c][step % 2] = CellOutputs {
+                p: p_slot[c].clone(),
+                s: s_slot[c].clone(),
+                r: r_slot[c],
+            };
+            // Host collects results leaving cell 0.
+            if c == 0 {
+                if let Some((seq, value)) = r_slot[0] {
+                    let i = seq as usize;
+                    if i >= k && i < out.len() {
+                        out[i] = value;
+                    }
+                }
+            }
+
+            fired[c] = step + 1;
+            // Reschedule self and wake neighbours.
+            if fired[c] < steps {
+                schedule(&mut heap, t_done, c);
+            }
+            if c > 0 && fired[c - 1] < steps {
+                schedule(&mut heap, t_done, c - 1);
+            }
+            if c + 1 < n && fired[c + 1] < steps {
+                schedule(&mut heap, t_done, c + 1);
+            }
+        }
+
+        HandshakeRun {
+            bits: out,
+            completion_ns: completion,
+            firings,
+            out_of_order,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matcher::SystolicMatcher;
+    use crate::spec::match_spec;
+    use crate::symbol::text_from_letters;
+
+    fn params() -> TimingParams {
+        TimingParams::default()
+    }
+
+    #[test]
+    fn self_timed_results_equal_clocked() {
+        let pattern = Pattern::parse("AXCA").unwrap();
+        let text = text_from_letters("ABCAACCABAACCA").unwrap();
+        let hs = HandshakeArray::new(&pattern, params(), 11).unwrap();
+        let run = hs.run(&text);
+        let mut clocked = SystolicMatcher::new(&pattern).unwrap();
+        assert_eq!(run.bits, clocked.match_symbols(&text).bits());
+        assert_eq!(run.bits.as_slice(), match_spec(&text, &pattern));
+    }
+
+    #[test]
+    fn results_are_timing_independent() {
+        // Different seeds (different delays, different firing orders)
+        // must never change the answer — delay-insensitivity is the
+        // whole point of the signalling convention.
+        let pattern = Pattern::parse("ABA").unwrap();
+        let text = text_from_letters("ABAABABBA").unwrap();
+        let reference = HandshakeArray::new(&pattern, params(), 0)
+            .unwrap()
+            .run(&text);
+        for seed in 1..8 {
+            let run = HandshakeArray::new(&pattern, params(), seed)
+                .unwrap()
+                .run(&text);
+            assert_eq!(run.bits, reference.bits, "seed {seed} changed the results");
+        }
+    }
+
+    #[test]
+    fn firing_is_genuinely_out_of_order() {
+        // With jitter, distant cells drift apart by more than one step.
+        let mut p = params();
+        p.jitter_ns = 80.0;
+        let pattern = Pattern::parse("ABCDABCD").unwrap();
+        let text: Vec<Symbol> = (0..40u8).map(|v| Symbol::new(v % 4)).collect();
+        let run = HandshakeArray::new(&pattern, p, 3).unwrap().run(&text);
+        assert!(run.out_of_order, "expected drift between distant cells");
+        assert!(run.firings > 0);
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn completion_time_matches_the_longest_path_model() {
+        // The independent recurrence of `selftimed::compare` must
+        // predict the event simulation exactly (same delays, same
+        // dependence structure).
+        let pattern = Pattern::parse("ABCA").unwrap();
+        let text = text_from_letters("ABCAABCAABCA").unwrap();
+        let p = params();
+        let hs = HandshakeArray::new(&pattern, p, 42).unwrap();
+        let run = hs.run(&text);
+
+        // Reproduce the delay matrix and the recurrence.
+        let n = hs.cells();
+        let steps = run.firings as usize / n;
+        let delays = hs.delays(steps + 2);
+        let mut finish = vec![0.0f64; n];
+        for step in 0..(run.firings as usize / n) {
+            let mut next = vec![0.0f64; n];
+            for c in 0..n {
+                let left = if c > 0 { finish[c - 1] } else { 0.0 };
+                let right = if c + 1 < n { finish[c + 1] } else { 0.0 };
+                next[c] =
+                    finish[c].max(left).max(right) + p.handshake_overhead_ns + delays[step][c];
+            }
+            finish = next;
+        }
+        let predicted = finish.iter().cloned().fold(0.0, f64::max);
+        assert!(
+            (predicted - run.completion_ns).abs() < 1e-6,
+            "model {predicted} vs event sim {}",
+            run.completion_ns
+        );
+    }
+}

@@ -1,0 +1,223 @@
+//! The character-level systolic pattern matcher (paper Figure 3-3).
+//!
+//! [`SystolicMatcher`] wraps the generic [`Driver`] with the boolean
+//! matching semantics and a byte-friendly API. It is the behavioural
+//! model of the fabricated chip: one comparator + accumulator pair per
+//! character cell, pattern recirculating, `λ`/`x` control bits riding
+//! with the pattern.
+
+use crate::engine::{Driver, MatchBits};
+use crate::error::Error;
+use crate::semantics::{BooleanMatch, CountMatch};
+use crate::symbol::{Pattern, Symbol};
+
+/// A ready-to-run systolic string matcher for a fixed pattern.
+///
+/// ```
+/// use pm_systolic::prelude::*;
+///
+/// # fn main() -> Result<(), Error> {
+/// let pattern = Pattern::parse("AXC")?;
+/// let mut m = SystolicMatcher::new(&pattern)?;
+/// let hits = m.match_letters("ABCAACCAB")?;
+/// assert_eq!(hits.ending_positions(), vec![2, 5, 6]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SystolicMatcher {
+    driver: Driver<BooleanMatch>,
+    pattern: Pattern,
+}
+
+impl SystolicMatcher {
+    /// Builds a matcher whose array has exactly `k+1` cells — the
+    /// minimum the paper derives in §3.2.1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::EmptyPattern`] for an empty pattern.
+    pub fn new(pattern: &Pattern) -> Result<Self, Error> {
+        Self::with_cells(pattern, pattern.len())
+    }
+
+    /// Builds a matcher over an array of `cells ≥ k+1` character cells
+    /// (an oversized array redundantly recomputes results, harmlessly —
+    /// this mirrors running a short pattern on a big chip).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::ArrayTooSmall`] if `cells < pattern.len()`, or
+    /// [`Error::EmptyPattern`].
+    pub fn with_cells(pattern: &Pattern, cells: usize) -> Result<Self, Error> {
+        let driver = Driver::new(BooleanMatch, pattern.symbols().to_vec(), &[cells])?;
+        Ok(SystolicMatcher {
+            driver,
+            pattern: pattern.clone(),
+        })
+    }
+
+    /// Builds a matcher over a cascade of segments, one per chip, as in
+    /// Figure 3-7.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::NoSegments`], [`Error::ArrayTooSmall`] or
+    /// [`Error::EmptyPattern`] as appropriate.
+    pub fn with_cascade(pattern: &Pattern, segment_cells: &[usize]) -> Result<Self, Error> {
+        let driver = Driver::new(BooleanMatch, pattern.symbols().to_vec(), segment_cells)?;
+        Ok(SystolicMatcher {
+            driver,
+            pattern: pattern.clone(),
+        })
+    }
+
+    /// The pattern this matcher was built for.
+    pub fn pattern(&self) -> &Pattern {
+        &self.pattern
+    }
+
+    /// Number of character cells in the array.
+    pub fn cells(&self) -> usize {
+        self.driver.total_cells()
+    }
+
+    /// Direct access to the underlying driver (for tracing and chip-level
+    /// composition).
+    pub fn driver_mut(&mut self) -> &mut Driver<BooleanMatch> {
+        &mut self.driver
+    }
+
+    /// Matches raw bytes against the pattern; every byte must belong to
+    /// the pattern's alphabet.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::SymbolOutOfRange`] if a byte exceeds the alphabet.
+    pub fn match_text(&mut self, text: &[u8]) -> Result<MatchBits, Error> {
+        let symbols = crate::symbol::text_from_bytes(text, self.pattern.alphabet())?;
+        Ok(self.match_symbols(&symbols))
+    }
+
+    /// Matches a pre-validated symbol stream.
+    pub fn match_symbols(&mut self, text: &[Symbol]) -> MatchBits {
+        let bits = self.driver.run(text);
+        MatchBits::new(bits, self.pattern.k())
+    }
+
+    /// Matches text written in the paper's figure notation (`A`, `B`,
+    /// `C`, … for symbols 0, 1, 2, …).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::BadPatternChar`] for characters outside `A..=W`, or
+    /// [`Error::SymbolOutOfRange`] if a letter exceeds the alphabet.
+    pub fn match_letters(&mut self, text: &str) -> Result<MatchBits, Error> {
+        let symbols = crate::symbol::text_from_letters(text)?;
+        for s in &symbols {
+            if !self.pattern.alphabet().contains(s.value()) {
+                return Err(Error::SymbolOutOfRange {
+                    byte: s.value(),
+                    bits: self.pattern.alphabet().bits(),
+                });
+            }
+        }
+        Ok(self.match_symbols(&symbols))
+    }
+}
+
+/// The match-counting variant of §3.4: same array, counting cells.
+///
+/// ```
+/// use pm_systolic::matcher::SystolicCounter;
+/// use pm_systolic::symbol::{Pattern, text_from_letters};
+///
+/// # fn main() -> Result<(), pm_systolic::Error> {
+/// let pattern = Pattern::parse("AXC")?;
+/// let mut c = SystolicCounter::new(&pattern)?;
+/// let counts = c.count_symbols(&text_from_letters("ABC")?);
+/// assert_eq!(counts, vec![0, 0, 3]); // A=A, X matches, C=C
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SystolicCounter {
+    driver: Driver<CountMatch>,
+    pattern: Pattern,
+}
+
+impl SystolicCounter {
+    /// Builds a counter with `k+1` counting cells.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::EmptyPattern`] for an empty pattern.
+    pub fn new(pattern: &Pattern) -> Result<Self, Error> {
+        let driver = Driver::new(CountMatch, pattern.symbols().to_vec(), &[pattern.len()])?;
+        Ok(SystolicCounter {
+            driver,
+            pattern: pattern.clone(),
+        })
+    }
+
+    /// Counts per-window agreements over a symbol stream; entries `i < k`
+    /// are 0 (incomplete windows).
+    pub fn count_symbols(&mut self, text: &[Symbol]) -> Vec<u32> {
+        self.driver.run(text)
+    }
+
+    /// The pattern this counter was built for.
+    pub fn pattern(&self) -> &Pattern {
+        &self.pattern
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{count_spec, match_spec};
+    use crate::symbol::text_from_letters;
+
+    #[test]
+    fn quickstart_example() {
+        let pattern = Pattern::parse("AXC").unwrap();
+        let mut m = SystolicMatcher::new(&pattern).unwrap();
+        let hits = m.match_text(&[0, 1, 2, 0, 0, 2, 2, 0, 1]).unwrap();
+        assert_eq!(hits.ending_positions(), vec![2, 5, 6]);
+    }
+
+    #[test]
+    fn match_text_validates_alphabet() {
+        let pattern = Pattern::parse("AB").unwrap(); // 2-bit alphabet
+        let mut m = SystolicMatcher::new(&pattern).unwrap();
+        assert!(m.match_text(&[0, 1, 77]).is_err());
+    }
+
+    #[test]
+    fn matcher_is_reusable_across_texts() {
+        let pattern = Pattern::parse("AA").unwrap();
+        let mut m = SystolicMatcher::new(&pattern).unwrap();
+        let t1 = text_from_letters("AABAA").unwrap();
+        let t2 = text_from_letters("BBBB").unwrap();
+        assert_eq!(m.match_symbols(&t1).bits(), match_spec(&t1, &pattern));
+        assert_eq!(m.match_symbols(&t2).bits(), match_spec(&t2, &pattern));
+        // And again with the first text: no state leaks between runs.
+        assert_eq!(m.match_symbols(&t1).bits(), match_spec(&t1, &pattern));
+    }
+
+    #[test]
+    fn counter_matches_count_spec() {
+        let pattern = Pattern::parse("AXCA").unwrap();
+        let text = text_from_letters("ABCAACCABA").unwrap();
+        let mut c = SystolicCounter::new(&pattern).unwrap();
+        assert_eq!(c.count_symbols(&text), count_spec(&text, &pattern));
+    }
+
+    #[test]
+    fn cascade_constructor_works() {
+        let pattern = Pattern::parse("ABAB").unwrap();
+        let text = text_from_letters("ABABABAB").unwrap();
+        let mut m = SystolicMatcher::with_cascade(&pattern, &[2, 2]).unwrap();
+        assert_eq!(m.match_symbols(&text).bits(), match_spec(&text, &pattern));
+    }
+}

@@ -1,0 +1,405 @@
+//! The port-level systolic array segment.
+//!
+//! A [`Segment`] is a run of consecutive character cells — on the real
+//! chip, the cells of one die. It exposes exactly the boundary wires the
+//! paper adds for extensibility in §3.4: pattern in/out (flowing
+//! left→right), text in/out and result in/out (flowing right→left), with
+//! the `λ` and `x` control bits riding on the pattern items. Several
+//! segments wired output-to-input behave identically to one long segment,
+//! which is the property behind the five-chip cascade of Figure 3-7
+//! (verified in this module's tests and again at chip level in
+//! `pm-chip`).
+//!
+//! ## Beat discipline
+//!
+//! A beat is one full cycle of the two-phase clock of §3.2.2. The
+//! segment is stepped synchronously:
+//!
+//! 1. [`Segment::outputs`] reads the items that will leave the segment
+//!    this beat — a pure function of pre-beat state, like the stable
+//!    outputs a neighbouring chip samples while the pass transistors are
+//!    off;
+//! 2. [`Segment::step`] shifts every stream by one cell (pattern
+//!    rightward, text and results leftward, taking this beat's inputs at
+//!    the boundaries) and then lets every cell where a pattern item and a
+//!    text item *meet* run its cell algorithm.
+//!
+//! Alternate cells are idle on alternate beats exactly as in Figure 3-2:
+//! the streams' items are spaced one empty slot apart, so meetings form
+//! the checkerboard the paper describes. The engine does not hard-code
+//! the checkerboard — it falls out of the data spacing, as it does in the
+//! NMOS implementation.
+
+use crate::semantics::MeetSemantics;
+use std::collections::VecDeque;
+
+/// One item of the pattern stream: the cell payload plus the `λ`
+/// (end-of-pattern) control bit of §3.2.1. For matchers whose pattern
+/// characters may be wild cards, the `x` bit is part of the payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatItem<P> {
+    /// The pattern payload delivered to meeting cells.
+    pub payload: P,
+    /// True on the last character of the pattern; tells the accumulator
+    /// to emit its temporary result into the result stream.
+    pub lambda: bool,
+}
+
+/// One item of the text stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TxtItem<T> {
+    /// The text payload delivered to meeting cells.
+    pub payload: T,
+    /// Position of this character in the text (`i` in `s_i`).
+    ///
+    /// The real chip has no such wire; it is simulation metadata used to
+    /// check that each result leaves the array in the same beat-slot as
+    /// its text character, which the paper asserts and the tests verify.
+    pub seq: u64,
+}
+
+/// One occupied slot of the result stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResItem<O> {
+    /// The completed result (`r_i`).
+    pub value: O,
+    /// Sequence number of the text character this result belongs to.
+    pub seq: u64,
+}
+
+/// The boundary wires of a segment for one beat.
+///
+/// `pattern` travels left→right; `text` and `result` travel right→left.
+/// In a cascade, the left neighbour's `pattern` output feeds this
+/// segment's input and this segment's `text`/`result` outputs feed the
+/// left neighbour's inputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentIo<S: MeetSemantics> {
+    /// Pattern wire (left boundary on input, right boundary on output).
+    pub pattern: Option<PatItem<S::Pat>>,
+    /// Text wire (right boundary on input, left boundary on output).
+    pub text: Option<TxtItem<S::Txt>>,
+    /// Result wire (right boundary on input, left boundary on output).
+    pub result: Option<ResItem<S::Out>>,
+}
+
+impl<S: MeetSemantics> SegmentIo<S> {
+    /// An all-idle bundle of wires (no items present this beat).
+    pub fn idle() -> Self {
+        SegmentIo {
+            pattern: None,
+            text: None,
+            result: None,
+        }
+    }
+}
+
+impl<S: MeetSemantics> Default for SegmentIo<S> {
+    fn default() -> Self {
+        Self::idle()
+    }
+}
+
+/// A run of `n` character cells with their comparator/accumulator pairs.
+///
+/// Generic over [`MeetSemantics`], so the same structure serves the
+/// boolean matcher, the match counter and the numeric arrays of
+/// `pm-correlator`.
+#[derive(Debug, Clone)]
+pub struct Segment<S: MeetSemantics> {
+    sem: S,
+    /// Pattern stream slots, index 0 = leftmost cell.
+    p: VecDeque<Option<PatItem<S::Pat>>>,
+    /// Text stream slots.
+    s: VecDeque<Option<TxtItem<S::Txt>>>,
+    /// Result stream slots.
+    r: VecDeque<Option<ResItem<S::Out>>>,
+    /// Per-cell temporary results (`t` of the accumulator algorithm).
+    t: Vec<S::Acc>,
+}
+
+impl<S: MeetSemantics> Segment<S> {
+    /// Creates a segment of `cells` character cells, all streams empty
+    /// and every temporary result freshly initialised.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells` is zero; a segment models at least one cell.
+    pub fn new(sem: S, cells: usize) -> Self {
+        assert!(cells > 0, "a segment must contain at least one cell");
+        let t = (0..cells).map(|_| sem.fresh()).collect();
+        Segment {
+            sem,
+            p: std::iter::repeat_with(|| None).take(cells).collect(),
+            s: std::iter::repeat_with(|| None).take(cells).collect(),
+            r: std::iter::repeat_with(|| None).take(cells).collect(),
+            t,
+        }
+    }
+
+    /// Number of character cells in this segment.
+    pub fn cells(&self) -> usize {
+        self.t.len()
+    }
+
+    /// The items that will leave the segment on the next [`step`]:
+    /// the pattern item in the rightmost cell, and the text and result
+    /// items in the leftmost cell. Pure read of pre-beat state.
+    ///
+    /// [`step`]: Segment::step
+    pub fn outputs(&self) -> SegmentIo<S> {
+        SegmentIo {
+            pattern: self.p.back().cloned().flatten(),
+            text: self.s.front().cloned().flatten(),
+            result: self.r.front().cloned().flatten(),
+        }
+    }
+
+    /// Advances the segment by one beat: shift all three streams one
+    /// cell, taking `input` at the boundaries, then run the cell
+    /// algorithm in every cell where a pattern item meets a text item.
+    pub fn step(&mut self, input: SegmentIo<S>) {
+        // Pattern shifts rightward: drop rightmost, insert input at left.
+        self.p.pop_back();
+        self.p.push_front(input.pattern);
+        // Text and results shift leftward: drop leftmost, insert at right.
+        self.s.pop_front();
+        self.s.push_back(input.text);
+        self.r.pop_front();
+        self.r.push_back(input.result);
+
+        // Meetings: the active cells of this beat. Because both streams
+        // carry items in every other slot, these form the checkerboard of
+        // Figure 3-4 — no explicit activation logic is needed.
+        for c in 0..self.t.len() {
+            let (Some(p), Some(s)) = (&self.p[c], &self.s[c]) else {
+                continue;
+            };
+            self.sem.absorb(&mut self.t[c], &p.payload, &s.payload);
+            if p.lambda {
+                // λ beat: place the completed result into the result
+                // stream, in the slot that rides with this text item, and
+                // re-initialise the temporary result.
+                let value = self.sem.emit(&mut self.t[c]);
+                self.r[c] = Some(ResItem { value, seq: s.seq });
+            }
+        }
+    }
+
+    /// The pattern item currently in cell `c`, if any (for tracing).
+    pub fn pattern_slot(&self, c: usize) -> Option<&PatItem<S::Pat>> {
+        self.p[c].as_ref()
+    }
+
+    /// The text item currently in cell `c`, if any (for tracing).
+    pub fn text_slot(&self, c: usize) -> Option<&TxtItem<S::Txt>> {
+        self.s[c].as_ref()
+    }
+
+    /// The result item currently in cell `c`, if any (for tracing).
+    pub fn result_slot(&self, c: usize) -> Option<&ResItem<S::Out>> {
+        self.r[c].as_ref()
+    }
+
+    /// The temporary result `t` of cell `c` (for tracing).
+    pub fn acc(&self, c: usize) -> &S::Acc {
+        &self.t[c]
+    }
+
+    /// Clears all streams and re-initialises every temporary result,
+    /// as on power-up. (The real chip's dynamic registers have no reset;
+    /// the host simply runs the array until stale charge flushes out —
+    /// see `pm-nmos` for that behaviour.)
+    pub fn reset(&mut self) {
+        for slot in self.p.iter_mut() {
+            *slot = None;
+        }
+        for slot in self.s.iter_mut() {
+            *slot = None;
+        }
+        for slot in self.r.iter_mut() {
+            *slot = None;
+        }
+        for acc in self.t.iter_mut() {
+            *acc = self.sem.fresh();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semantics::BooleanMatch;
+    use crate::symbol::{PatSym, Symbol};
+
+    fn pat(v: u8, lambda: bool) -> Option<PatItem<PatSym>> {
+        Some(PatItem {
+            payload: PatSym::Lit(Symbol::new(v)),
+            lambda,
+        })
+    }
+
+    fn txt(v: u8, seq: u64) -> Option<TxtItem<Symbol>> {
+        Some(TxtItem {
+            payload: Symbol::new(v),
+            seq,
+        })
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cell")]
+    fn zero_cells_panics() {
+        let _ = Segment::new(BooleanMatch, 0);
+    }
+
+    #[test]
+    fn items_move_one_cell_per_beat() {
+        let mut seg = Segment::new(BooleanMatch, 4);
+        seg.step(SegmentIo {
+            pattern: pat(0, false),
+            text: None,
+            result: None,
+        });
+        assert!(seg.pattern_slot(0).is_some());
+        seg.step(SegmentIo::idle());
+        assert!(seg.pattern_slot(0).is_none());
+        assert!(seg.pattern_slot(1).is_some());
+        seg.step(SegmentIo::idle());
+        seg.step(SegmentIo::idle());
+        // Now at the right boundary; visible as output, then gone.
+        assert!(seg.outputs().pattern.is_some());
+        seg.step(SegmentIo::idle());
+        assert!(seg.outputs().pattern.is_none());
+    }
+
+    #[test]
+    fn text_moves_right_to_left() {
+        let mut seg = Segment::new(BooleanMatch, 3);
+        seg.step(SegmentIo {
+            pattern: None,
+            text: txt(1, 0),
+            result: None,
+        });
+        assert!(seg.text_slot(2).is_some());
+        seg.step(SegmentIo::idle());
+        assert!(seg.text_slot(1).is_some());
+        seg.step(SegmentIo::idle());
+        assert_eq!(seg.outputs().text.as_ref().map(|t| t.seq), Some(0));
+    }
+
+    #[test]
+    fn meeting_runs_cell_algorithm_and_lambda_emits() {
+        // 1-cell "array": pattern char and text char injected on the same
+        // beat meet immediately in cell 0.
+        let mut seg = Segment::new(BooleanMatch, 1);
+        seg.step(SegmentIo {
+            pattern: pat(2, true),
+            text: txt(2, 7),
+            result: None,
+        });
+        let res = seg.result_slot(0).expect("λ must emit a result");
+        assert!(res.value);
+        assert_eq!(res.seq, 7);
+        // The accumulator was re-initialised.
+        assert!(*seg.acc(0));
+    }
+
+    #[test]
+    fn mismatch_emits_false() {
+        let mut seg = Segment::new(BooleanMatch, 1);
+        seg.step(SegmentIo {
+            pattern: pat(2, true),
+            text: txt(3, 0),
+            result: None,
+        });
+        assert!(!seg.result_slot(0).unwrap().value);
+    }
+
+    #[test]
+    fn result_stream_rides_leftward_with_text() {
+        let mut seg = Segment::new(BooleanMatch, 3);
+        let r_in = Some(ResItem {
+            value: true,
+            seq: 9,
+        });
+        seg.step(SegmentIo {
+            pattern: None,
+            text: txt(0, 9),
+            result: r_in,
+        });
+        seg.step(SegmentIo::idle());
+        seg.step(SegmentIo::idle());
+        let out = seg.outputs();
+        assert_eq!(out.result.as_ref().map(|r| r.seq), Some(9));
+        assert_eq!(out.text.as_ref().map(|t| t.seq), Some(9));
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut seg = Segment::new(BooleanMatch, 2);
+        seg.step(SegmentIo {
+            pattern: pat(0, false),
+            text: txt(1, 0),
+            result: None,
+        });
+        seg.reset();
+        for c in 0..2 {
+            assert!(seg.pattern_slot(c).is_none());
+            assert!(seg.text_slot(c).is_none());
+            assert!(seg.result_slot(c).is_none());
+            assert!(*seg.acc(c));
+        }
+    }
+
+    #[test]
+    fn split_segments_equal_one_long_segment() {
+        // The extensibility property of §3.4 at segment level: a 2+3 cell
+        // chain behaves exactly like one 5-cell segment for an arbitrary
+        // input stimulus.
+        let mut whole = Segment::new(BooleanMatch, 5);
+        let mut left = Segment::new(BooleanMatch, 2);
+        let mut right = Segment::new(BooleanMatch, 3);
+
+        let stim: Vec<SegmentIo<BooleanMatch>> = (0..40u64)
+            .map(|t| SegmentIo {
+                pattern: if t % 2 == 0 {
+                    pat((t / 2 % 3) as u8, t / 2 % 3 == 2)
+                } else {
+                    None
+                },
+                text: if t % 2 == 1 {
+                    txt((t % 4) as u8, t / 2)
+                } else {
+                    None
+                },
+                result: None,
+            })
+            .collect();
+
+        for io in stim {
+            let whole_out = whole.outputs();
+            // Wire the pair: host pattern → left → right; host text/result
+            // → right → left.
+            let left_out = left.outputs();
+            let right_out = right.outputs();
+            let chain_out: SegmentIo<BooleanMatch> = SegmentIo {
+                pattern: right_out.pattern.clone(),
+                text: left_out.text.clone(),
+                result: left_out.result.clone(),
+            };
+            assert_eq!(whole_out, chain_out);
+
+            whole.step(io.clone());
+            left.step(SegmentIo {
+                pattern: io.pattern.clone(),
+                text: right_out.text,
+                result: right_out.result,
+            });
+            right.step(SegmentIo {
+                pattern: left_out.pattern,
+                text: io.text,
+                result: io.result,
+            });
+        }
+    }
+}

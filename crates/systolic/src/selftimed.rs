@@ -1,0 +1,192 @@
+//! Clocked vs. self-timed data flow (paper §3.3.2).
+//!
+//! The paper chose a clocked (synchronous) implementation for the
+//! pattern matcher because the chip is small, noting that "for larger
+//! systems, of course, self-timed communication may have to be used".
+//! This module puts numbers behind that trade-off with a Monte-Carlo
+//! timing model:
+//!
+//! * **Clocked**: a global two-phase clock. Every beat lasts as long as
+//!   the *worst-case* cell delay plus the clock distribution skew, which
+//!   grows with the array length (a long resistive clock line must be
+//!   driven across all cells).
+//! * **Self-timed**: each cell handshakes with its neighbours, paying a
+//!   fixed signalling overhead per beat but waiting only for *actual*
+//!   delays. Completion time is the longest path through the
+//!   (beat × cell) dependency graph: a cell can fire once the neighbours
+//!   it exchanges data with have finished the previous beat.
+//!
+//! The crossover — small arrays favour the clock, large arrays favour
+//! handshakes — is experiment E18 of DESIGN.md.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Physical timing assumptions for the comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingParams {
+    /// Mean per-beat computation delay of one cell, in nanoseconds.
+    pub mean_delay_ns: f64,
+    /// Half-width of the uniform jitter around the mean (process and
+    /// data-dependent variation), in nanoseconds.
+    pub jitter_ns: f64,
+    /// Additional clock period per cell of array length, modelling skew
+    /// and RC degradation of the global clock line, in nanoseconds.
+    pub clock_skew_per_cell_ns: f64,
+    /// Per-beat handshake signalling overhead of a self-timed cell, in
+    /// nanoseconds (the "extra circuitry" cost the paper mentions).
+    pub handshake_overhead_ns: f64,
+}
+
+impl Default for TimingParams {
+    /// Defaults loosely calibrated to the paper's prototype: a 250 ns
+    /// beat dominated by the comparator's pass-transistor + XNOR + NAND
+    /// path, with ±15 % jitter.
+    fn default() -> Self {
+        TimingParams {
+            mean_delay_ns: 210.0,
+            jitter_ns: 32.0,
+            clock_skew_per_cell_ns: 1.5,
+            handshake_overhead_ns: 45.0,
+        }
+    }
+}
+
+/// Result of one clocked-vs-self-timed comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingComparison {
+    /// Number of cells in the array.
+    pub cells: usize,
+    /// Number of beats simulated.
+    pub beats: usize,
+    /// Total clocked run time in nanoseconds.
+    pub clocked_ns: f64,
+    /// Total self-timed run time in nanoseconds.
+    pub selftimed_ns: f64,
+}
+
+impl TimingComparison {
+    /// Speedup of self-timed over clocked (>1 means self-timed wins).
+    pub fn selftimed_speedup(&self) -> f64 {
+        self.clocked_ns / self.selftimed_ns
+    }
+}
+
+/// Simulates `beats` beats of an `cells`-cell linear array under both
+/// disciplines with the same sampled delays. Deterministic for a given
+/// `seed`.
+///
+/// # Panics
+///
+/// Panics if `cells` or `beats` is zero.
+pub fn compare(cells: usize, beats: usize, params: TimingParams, seed: u64) -> TimingComparison {
+    assert!(cells > 0 && beats > 0, "array and run must be non-empty");
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Worst-case bound the clock designer must assume: mean + full jitter.
+    let worst = params.mean_delay_ns + params.jitter_ns;
+    let period = worst + params.clock_skew_per_cell_ns * cells as f64;
+    let clocked_ns = period * beats as f64;
+
+    // Self-timed: longest-path over the beat×cell dependency DAG.
+    // finish[c] = completion time of cell c at the previous beat.
+    let mut finish = vec![0.0f64; cells];
+    for _ in 0..beats {
+        let mut next = vec![0.0f64; cells];
+        for c in 0..cells {
+            let delay: f64 =
+                params.mean_delay_ns + rng.gen_range(-params.jitter_ns..=params.jitter_ns);
+            // A cell exchanges data with both neighbours each beat.
+            let left = if c > 0 { finish[c - 1] } else { 0.0 };
+            let right = if c + 1 < cells { finish[c + 1] } else { 0.0 };
+            let ready = finish[c].max(left).max(right);
+            next[c] = ready + params.handshake_overhead_ns + delay;
+        }
+        finish = next;
+    }
+    let selftimed_ns = finish.iter().cloned().fold(0.0, f64::max);
+
+    TimingComparison {
+        cells,
+        beats,
+        clocked_ns,
+        selftimed_ns,
+    }
+}
+
+/// Sweeps array sizes and reports the comparison for each, for the E18
+/// crossover table.
+pub fn sweep(
+    sizes: &[usize],
+    beats: usize,
+    params: TimingParams,
+    seed: u64,
+) -> Vec<TimingComparison> {
+    sizes
+        .iter()
+        .map(|&n| compare(n, beats, params, seed.wrapping_add(n as u64)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let p = TimingParams::default();
+        let a = compare(8, 100, p, 42);
+        let b = compare(8, 100, p, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn clocked_time_is_linear_in_beats() {
+        let p = TimingParams::default();
+        let a = compare(8, 100, p, 1);
+        let b = compare(8, 200, p, 1);
+        assert!((b.clocked_ns / a.clocked_ns - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn small_array_favours_clock_large_array_favours_handshake() {
+        // The paper's qualitative claim (§3.3.2), quantified: with skew
+        // growing linearly in array length, there is a crossover.
+        let p = TimingParams::default();
+        let small = compare(4, 400, p, 7);
+        let large = compare(512, 400, p, 7);
+        assert!(
+            small.selftimed_speedup() < 1.0,
+            "8-cell array should prefer the clock: {:?}",
+            small
+        );
+        assert!(
+            large.selftimed_speedup() > 1.0,
+            "512-cell array should prefer self-timing: {:?}",
+            large
+        );
+    }
+
+    #[test]
+    fn selftimed_not_faster_than_ideal() {
+        // Self-timed time can never beat beats × (handshake + min delay).
+        let p = TimingParams::default();
+        let r = compare(16, 50, p, 3);
+        let ideal = 50.0 * (p.handshake_overhead_ns + p.mean_delay_ns - p.jitter_ns);
+        assert!(r.selftimed_ns >= ideal);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_cells_panics() {
+        let _ = compare(0, 10, TimingParams::default(), 0);
+    }
+
+    #[test]
+    fn sweep_covers_all_sizes() {
+        let out = sweep(&[2, 4, 8], 10, TimingParams::default(), 0);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].cells, 2);
+        assert_eq!(out[2].cells, 8);
+    }
+}

@@ -1,0 +1,156 @@
+//! What happens when a pattern item meets a text item.
+//!
+//! The paper points out (§3.4) that the pattern matcher, the match
+//! counter, the correlator, the convolver and FIR filters all share one
+//! data flow — two streams moving against each other through a linear
+//! array, with control bits `λ` (end of pattern) and `x` (don't care)
+//! riding along the pattern. Only the *cell function* differs.
+//!
+//! [`MeetSemantics`] captures that cell function, so a single systolic
+//! engine ([`crate::segment`], [`crate::engine`]) hosts every variant.
+//! Boolean matching and match counting live here; the numeric variants
+//! live in the `pm-correlator` crate.
+
+use std::fmt::Debug;
+
+/// The cell function of a systolic character cell.
+///
+/// `Pat` and `Txt` are the payloads carried by the pattern and text
+/// streams; `Acc` is the temporary result `t` held in each cell; `Out`
+/// is what enters the result stream when the `λ` (end-of-pattern) bit
+/// arrives.
+///
+/// The engine guarantees the calls a cell sees for one result are exactly
+/// `absorb(p0, s_{i-k})`, `absorb(p1, s_{i-k+1})`, …, `absorb(pk, s_i)`
+/// with `emit` called immediately after the last absorb (the beat the `λ`
+/// bit is present), mirroring the accumulator algorithm of §3.2.1:
+///
+/// ```text
+/// λout ← λin;  xout ← xin
+/// IF λin THEN rout ← t AND (xin OR din); t ← TRUE
+///        ELSE rout ← rin;  t ← t AND (xin OR din)
+/// ```
+///
+/// (shown here for the boolean matcher; the `x` bit is folded into the
+/// `Pat` payload in this model).
+pub trait MeetSemantics {
+    /// Payload of one pattern stream item.
+    type Pat: Clone + Debug;
+    /// Payload of one text stream item.
+    type Txt: Clone + Debug;
+    /// The temporary result `t` kept in each cell.
+    type Acc: Clone + Debug;
+    /// The completed result placed on the result stream.
+    type Out: Clone + Debug + Default;
+
+    /// The value of `t` in a freshly initialised cell (the assignment
+    /// `t ← TRUE` of the paper, generalised).
+    fn fresh(&self) -> Self::Acc;
+
+    /// Folds one pattern/text pair into the temporary result.
+    fn absorb(&self, acc: &mut Self::Acc, pat: &Self::Pat, txt: &Self::Txt);
+
+    /// Takes the completed result out of the cell and re-initialises the
+    /// temporary result, as on a `λ` beat.
+    fn emit(&self, acc: &mut Self::Acc) -> Self::Out {
+        let done = std::mem::replace(acc, self.fresh());
+        self.finish(done)
+    }
+
+    /// Converts a completed accumulator into a result-stream item.
+    fn finish(&self, acc: Self::Acc) -> Self::Out;
+}
+
+/// Boolean pattern matching: the accumulator algorithm of §3.2.1.
+///
+/// The pattern payload is a `(symbol, wild)` pair — `wild` is the `x`
+/// control bit; the comparator output `d` is the symbol equality test.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BooleanMatch;
+
+impl MeetSemantics for BooleanMatch {
+    type Pat = crate::symbol::PatSym;
+    type Txt = crate::symbol::Symbol;
+    type Acc = bool;
+    type Out = bool;
+
+    fn fresh(&self) -> bool {
+        true // t ← TRUE
+    }
+
+    fn absorb(&self, acc: &mut bool, pat: &Self::Pat, txt: &Self::Txt) {
+        // t ← t AND (x OR d)   where d = (p = s)
+        *acc = *acc && pat.matches(*txt);
+    }
+
+    fn finish(&self, acc: bool) -> bool {
+        acc
+    }
+}
+
+/// Match counting (first extension of §3.4): replaces the accumulator
+/// with a counting cell, so the result stream carries the number of
+/// character positions that agree with the pattern.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CountMatch;
+
+impl MeetSemantics for CountMatch {
+    type Pat = crate::symbol::PatSym;
+    type Txt = crate::symbol::Symbol;
+    type Acc = u32;
+    type Out = u32;
+
+    fn fresh(&self) -> u32 {
+        0 // t ← 0
+    }
+
+    fn absorb(&self, acc: &mut u32, pat: &Self::Pat, txt: &Self::Txt) {
+        // IF x OR d THEN t ← t + 1
+        if pat.matches(*txt) {
+            *acc += 1;
+        }
+    }
+
+    fn finish(&self, acc: u32) -> u32 {
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::{PatSym, Symbol};
+
+    #[test]
+    fn boolean_match_is_conjunction() {
+        let sem = BooleanMatch;
+        let mut t = sem.fresh();
+        sem.absorb(&mut t, &PatSym::Lit(Symbol::new(1)), &Symbol::new(1));
+        assert!(t);
+        sem.absorb(&mut t, &PatSym::Lit(Symbol::new(0)), &Symbol::new(1));
+        assert!(!t);
+        // Once false, stays false even through wild cards.
+        sem.absorb(&mut t, &PatSym::Wild, &Symbol::new(1));
+        assert!(!t);
+    }
+
+    #[test]
+    fn boolean_emit_resets_to_true() {
+        let sem = BooleanMatch;
+        let mut t = false;
+        assert!(!sem.emit(&mut t));
+        assert!(t, "emit must re-initialise t to TRUE");
+    }
+
+    #[test]
+    fn count_match_counts_wildcards_as_hits() {
+        let sem = CountMatch;
+        let mut t = sem.fresh();
+        sem.absorb(&mut t, &PatSym::Wild, &Symbol::new(3));
+        sem.absorb(&mut t, &PatSym::Lit(Symbol::new(2)), &Symbol::new(3));
+        sem.absorb(&mut t, &PatSym::Lit(Symbol::new(3)), &Symbol::new(3));
+        assert_eq!(t, 2);
+        assert_eq!(sem.emit(&mut t), 2);
+        assert_eq!(t, 0, "emit must re-initialise t to 0");
+    }
+}

@@ -1,0 +1,182 @@
+//! Executable specification of the pattern-matching problem.
+//!
+//! These functions implement the defining equation of paper §3.1
+//!
+//! ```text
+//! r_i = (s_{i-k} = p0) ∧ (s_{i-k+1} = p1) ∧ … ∧ (s_i = pk)
+//! ```
+//!
+//! directly and obviously, with no pipelining or parallelism. Every
+//! hardware-shaped engine in the workspace (character-level array,
+//! bit-serial array, NMOS netlist, cascaded chips, every alternative
+//! algorithm) is tested against these functions.
+
+use crate::symbol::{Pattern, Symbol};
+
+/// Reference semantics of the matcher: `out[i]` is `r_i`, true iff the
+/// substring of `text` ending at position `i` equals `pattern`
+/// (wild cards match anything). Positions `i < k` are false by
+/// definition — no complete substring ends there.
+///
+/// ```
+/// use pm_systolic::spec::match_spec;
+/// use pm_systolic::symbol::{Pattern, text_from_letters};
+/// let p = Pattern::parse("AXC").unwrap();
+/// let t = text_from_letters("ABCAACCAB").unwrap();
+/// let r = match_spec(&t, &p);
+/// let hits: Vec<usize> = r.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i).collect();
+/// assert_eq!(hits, vec![2, 5, 6]); // Figure 3-1 of the paper
+/// ```
+pub fn match_spec(text: &[Symbol], pattern: &Pattern) -> Vec<bool> {
+    let k = pattern.k();
+    (0..text.len())
+        .map(|i| {
+            i >= k
+                && pattern
+                    .symbols()
+                    .iter()
+                    .zip(&text[i - k..=i])
+                    .all(|(p, &s)| p.matches(s))
+        })
+        .collect()
+}
+
+/// Reference semantics of the match-*counting* extension (paper §3.4):
+/// `out[i]` is the number of positions at which the substring ending at
+/// `i` agrees with the pattern (wild cards always count as agreement).
+/// Positions `i < k` report 0.
+pub fn count_spec(text: &[Symbol], pattern: &Pattern) -> Vec<u32> {
+    let k = pattern.k();
+    (0..text.len())
+        .map(|i| {
+            if i < k {
+                0
+            } else {
+                pattern
+                    .symbols()
+                    .iter()
+                    .zip(&text[i - k..=i])
+                    .filter(|(p, &s)| p.matches(s))
+                    .count() as u32
+            }
+        })
+        .collect()
+}
+
+/// Reference semantics of the correlation extension (paper §3.4):
+/// `out[i] = Σ_m (s_{i-k+m} - p_m)²` for `i ≥ k`, with values taken as
+/// signed integers. Positions `i < k` report 0.
+///
+/// The paper replaces the comparator with a difference cell and the
+/// accumulator with an adder cell; this is the equation those cells
+/// implement.
+pub fn correlation_spec(text: &[i64], pattern: &[i64]) -> Vec<i64> {
+    let k = pattern.len() - 1;
+    (0..text.len())
+        .map(|i| {
+            if i < k {
+                0
+            } else {
+                pattern
+                    .iter()
+                    .zip(&text[i - k..=i])
+                    .map(|(p, s)| (s - p) * (s - p))
+                    .sum()
+            }
+        })
+        .collect()
+}
+
+/// Reference semantics of a sliding dot product (convolution/FIR form,
+/// paper §3.4): `out[i] = Σ_m p_m · s_{i-k+m}` for `i ≥ k`, 0 before.
+pub fn dot_spec(text: &[i64], pattern: &[i64]) -> Vec<i64> {
+    let k = pattern.len() - 1;
+    (0..text.len())
+        .map(|i| {
+            if i < k {
+                0
+            } else {
+                pattern
+                    .iter()
+                    .zip(&text[i - k..=i])
+                    .map(|(p, s)| p * s)
+                    .sum()
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::{text_from_letters, Pattern};
+
+    #[test]
+    fn figure_3_1_example() {
+        // Paper Figure 3-1: pattern AXC over ABCAACC… sets r2, r5, r6.
+        let p = Pattern::parse("AXC").unwrap();
+        let t = text_from_letters("ABCAACC").unwrap();
+        let r = match_spec(&t, &p);
+        assert_eq!(r, vec![false, false, true, false, false, true, true]);
+    }
+
+    #[test]
+    fn all_wildcards_match_everywhere_after_k() {
+        let p = Pattern::parse("XXX").unwrap();
+        let t = text_from_letters("ABCD").unwrap();
+        assert_eq!(match_spec(&t, &p), vec![false, false, true, true]);
+    }
+
+    #[test]
+    fn text_shorter_than_pattern_matches_nothing() {
+        let p = Pattern::parse("ABCD").unwrap();
+        let t = text_from_letters("ABC").unwrap();
+        assert_eq!(match_spec(&t, &p), vec![false; 3]);
+    }
+
+    #[test]
+    fn single_char_pattern_matches_each_occurrence() {
+        let p = Pattern::parse("B").unwrap();
+        let t = text_from_letters("ABBA").unwrap();
+        assert_eq!(match_spec(&t, &p), vec![false, true, true, false]);
+    }
+
+    #[test]
+    fn count_spec_counts_agreements() {
+        let p = Pattern::parse("AXC").unwrap();
+        let t = text_from_letters("ABC").unwrap();
+        // Only position 2 has a complete substring: A=A, X matches, C=C → 3.
+        assert_eq!(count_spec(&t, &p), vec![0, 0, 3]);
+        let t2 = text_from_letters("BBC").unwrap();
+        // B≠A, X matches, C=C → 2.
+        assert_eq!(count_spec(&t2, &p), vec![0, 0, 2]);
+    }
+
+    #[test]
+    fn count_spec_upper_bound_is_pattern_len() {
+        let p = Pattern::parse("AAAA").unwrap();
+        let t = text_from_letters("AAAAAA").unwrap();
+        let c = count_spec(&t, &p);
+        assert!(c.iter().all(|&v| v <= 4));
+        assert_eq!(c[3..], [4, 4, 4]);
+    }
+
+    #[test]
+    fn correlation_spec_zero_for_identical() {
+        let pat = [1, 2, 3];
+        let txt = [5, 1, 2, 3, 9];
+        let r = correlation_spec(&txt, &pat);
+        // r_2: substring [5,1,2]: (5-1)²+(1-2)²+(2-3)² = 16+1+1 = 18
+        // r_3: substring [1,2,3]: identical to the pattern → 0
+        // r_4: substring [2,3,9]: 1+1+36 = 38
+        assert_eq!(r, vec![0, 0, 18, 0, 38]);
+    }
+
+    #[test]
+    fn dot_spec_matches_manual() {
+        let pat = [1, -1];
+        let txt = [3, 4, 10];
+        // i=1: 1*3 + (-1)*4 = -1 ; i=2: 1*4 + (-1)*10 = -6
+        assert_eq!(dot_spec(&txt, &pat), vec![0, -1, -6]);
+    }
+}

@@ -1,0 +1,172 @@
+//! Iterator-style on-line matching.
+//!
+//! The chip is an *on-line* device: "The data streams move at a steady
+//! rate between the host computer and the pattern matcher, with a
+//! constant time between data items" (§3.1). [`MatchStream`] exposes
+//! that behaviour as a lazy adaptor over any `Iterator<Item = Symbol>`:
+//! result bits come out one per consumed character, after the array's
+//! fixed pipeline latency, without ever buffering the text.
+
+use crate::engine::Driver;
+use crate::error::Error;
+use crate::semantics::BooleanMatch;
+use crate::symbol::{Pattern, Symbol};
+use std::collections::VecDeque;
+
+/// A lazy match-bit stream over a symbol iterator.
+///
+/// Yields `(position, matched)` for every text position, in order.
+/// Positions `i < k` are reported as unmatched (incomplete windows).
+///
+/// ```
+/// use pm_systolic::stream::MatchStream;
+/// use pm_systolic::symbol::{Pattern, Symbol};
+///
+/// # fn main() -> Result<(), pm_systolic::Error> {
+/// let pattern = Pattern::parse("AB")?;
+/// let text = [0u8, 1, 0, 1].into_iter().map(Symbol::new);
+/// let hits: Vec<(u64, bool)> = MatchStream::new(&pattern, text)?.collect();
+/// assert_eq!(hits, vec![(0, false), (1, true), (2, false), (3, true)]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct MatchStream<I: Iterator<Item = Symbol>> {
+    driver: Driver<BooleanMatch>,
+    source: I,
+    k: u64,
+    /// Results that have arrived but not been yielded yet.
+    ready: VecDeque<(u64, bool)>,
+    /// Next position to yield (results must come out in order).
+    next_out: u64,
+    /// Characters fed so far.
+    fed: u64,
+    /// Source exhausted and array drained.
+    drained: bool,
+}
+
+impl<I: Iterator<Item = Symbol>> MatchStream<I> {
+    /// Builds the stream for `pattern` over `source`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::EmptyPattern`] for an empty pattern.
+    pub fn new(pattern: &Pattern, source: I) -> Result<Self, Error> {
+        let driver = Driver::new(BooleanMatch, pattern.symbols().to_vec(), &[pattern.len()])?;
+        Ok(MatchStream {
+            driver,
+            source,
+            k: pattern.k() as u64,
+            ready: VecDeque::new(),
+            next_out: 0,
+            fed: 0,
+            drained: false,
+        })
+    }
+
+    fn absorb(&mut self, results: Vec<(u64, bool)>) {
+        for (seq, hit) in results {
+            if seq >= self.k {
+                self.ready.push_back((seq, hit));
+            }
+        }
+    }
+}
+
+impl<I: Iterator<Item = Symbol>> Iterator for MatchStream<I> {
+    type Item = (u64, bool);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if self.next_out < self.k {
+                // Positions below k never produce a hardware result;
+                // report them unmatched once the character has actually
+                // been consumed.
+                if self.next_out < self.fed {
+                    let pos = self.next_out;
+                    self.next_out += 1;
+                    return Some((pos, false));
+                }
+            } else if let Some(&(seq, hit)) = self.ready.front() {
+                debug_assert!(seq >= self.next_out, "results must arrive in order");
+                if seq == self.next_out {
+                    self.ready.pop_front();
+                    self.next_out += 1;
+                    return Some((seq, hit));
+                }
+            }
+            if self.drained {
+                return None;
+            }
+            match self.source.next() {
+                Some(sym) => {
+                    self.fed += 1;
+                    let results = self.driver.feed(sym);
+                    self.absorb(results);
+                }
+                None => {
+                    let results = self.driver.drain();
+                    self.absorb(results);
+                    self.drained = true;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::match_spec;
+    use crate::symbol::text_from_letters;
+
+    fn stream_bits(pattern: &str, text: &str) -> Vec<bool> {
+        let p = Pattern::parse(pattern).unwrap();
+        let t = text_from_letters(text).unwrap();
+        let got: Vec<(u64, bool)> = MatchStream::new(&p, t.iter().copied()).unwrap().collect();
+        // Positions must be 0..len in order.
+        for (i, &(pos, _)) in got.iter().enumerate() {
+            assert_eq!(pos, i as u64);
+        }
+        got.into_iter().map(|(_, b)| b).collect()
+    }
+
+    #[test]
+    fn stream_equals_spec() {
+        for (p, t) in [("AXC", "ABCAACCAB"), ("AA", "AAAA"), ("ABAB", "ABABABAB")] {
+            let pat = Pattern::parse(p).unwrap();
+            let txt = text_from_letters(t).unwrap();
+            assert_eq!(stream_bits(p, t), match_spec(&txt, &pat), "{p} over {t}");
+        }
+    }
+
+    #[test]
+    fn empty_source_yields_nothing() {
+        let p = Pattern::parse("AB").unwrap();
+        let got: Vec<_> = MatchStream::new(&p, std::iter::empty()).unwrap().collect();
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn text_shorter_than_pattern() {
+        assert_eq!(stream_bits("ABCD", "AB"), vec![false, false]);
+    }
+
+    #[test]
+    fn stream_is_lazy() {
+        // Consuming one output must not exhaust the source.
+        let p = Pattern::parse("A").unwrap();
+        let mut consumed = 0usize;
+        let source = (0..1000u32)
+            .map(|v| Symbol::new((v % 4) as u8))
+            .inspect(|_| consumed += 1);
+        let mut s = MatchStream::new(&p, source).unwrap();
+        let first = s.next().unwrap();
+        assert_eq!(first, (0, true)); // 'A' matches pattern "A"
+        drop(s);
+        assert!(
+            consumed < 20,
+            "consumed {consumed} characters for one result"
+        );
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests: every systolic engine agrees with the
+//! executable specification on arbitrary patterns and texts.
+
+use pm_systolic::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: an alphabet width, a pattern over it (with wild cards), and
+/// a text over it.
+fn workload() -> impl Strategy<Value = (u32, Vec<Option<u8>>, Vec<u8>)> {
+    (1u32..=4).prop_flat_map(|bits| {
+        let max = (1u16 << bits) as u8 - 1;
+        let pat_sym = prop_oneof![
+            3 => (0..=max).prop_map(Some),
+            1 => Just(None), // wild card
+        ];
+        (
+            Just(bits),
+            proptest::collection::vec(pat_sym, 1..=9),
+            proptest::collection::vec(0..=max, 0..=40),
+        )
+    })
+}
+
+fn build(bits: u32, pat: &[Option<u8>]) -> Pattern {
+    let alphabet = Alphabet::new(bits).unwrap();
+    let syms: Vec<PatSym> = pat
+        .iter()
+        .map(|o| match o {
+            Some(v) => PatSym::Lit(Symbol::new(*v)),
+            None => PatSym::Wild,
+        })
+        .collect();
+    Pattern::new(syms, alphabet).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn char_level_array_equals_spec((bits, pat, text) in workload()) {
+        let pattern = build(bits, &pat);
+        let symbols: Vec<Symbol> = text.iter().map(|&b| Symbol::new(b)).collect();
+        let mut m = SystolicMatcher::new(&pattern).unwrap();
+        let got = m.match_symbols(&symbols);
+        prop_assert_eq!(got.bits(), match_spec(&symbols, &pattern));
+    }
+
+    #[test]
+    fn oversized_array_equals_spec((bits, pat, text) in workload(), extra in 0usize..6) {
+        let pattern = build(bits, &pat);
+        let symbols: Vec<Symbol> = text.iter().map(|&b| Symbol::new(b)).collect();
+        let mut m = SystolicMatcher::with_cells(&pattern, pattern.len() + extra).unwrap();
+        let got = m.match_symbols(&symbols);
+        prop_assert_eq!(got.bits(), match_spec(&symbols, &pattern));
+    }
+
+    #[test]
+    fn bit_serial_equals_spec((bits, pat, text) in workload()) {
+        let pattern = build(bits, &pat);
+        let symbols: Vec<Symbol> = text.iter().map(|&b| Symbol::new(b)).collect();
+        let m = BitSerialMatcher::new(&pattern).unwrap();
+        let got = m.match_symbols(&symbols);
+        prop_assert_eq!(got.bits(), match_spec(&symbols, &pattern));
+    }
+
+    #[test]
+    fn cascade_equals_monolithic(
+        (bits, pat, text) in workload(),
+        cuts in proptest::collection::vec(1usize..4, 1..4)
+    ) {
+        let pattern = build(bits, &pat);
+        let symbols: Vec<Symbol> = text.iter().map(|&b| Symbol::new(b)).collect();
+        // Build a segmentation covering at least the pattern.
+        let mut sizes = cuts;
+        while sizes.iter().sum::<usize>() < pattern.len() {
+            sizes.push(pattern.len());
+        }
+        let total: usize = sizes.iter().sum();
+        let mut mono = SystolicMatcher::with_cells(&pattern, total).unwrap();
+        let mut casc = SystolicMatcher::with_cascade(&pattern, &sizes).unwrap();
+        let a = mono.match_symbols(&symbols);
+        let b = casc.match_symbols(&symbols);
+        prop_assert_eq!(a.bits(), b.bits());
+    }
+
+    #[test]
+    fn counter_equals_count_spec((bits, pat, text) in workload()) {
+        let pattern = build(bits, &pat);
+        let symbols: Vec<Symbol> = text.iter().map(|&b| Symbol::new(b)).collect();
+        let mut c = pm_systolic::matcher::SystolicCounter::new(&pattern).unwrap();
+        prop_assert_eq!(c.count_symbols(&symbols), count_spec(&symbols, &pattern));
+    }
+
+    #[test]
+    fn self_timed_equals_spec((bits, pat, text) in workload(), seed in 0u64..1000) {
+        let pattern = build(bits, &pat);
+        let symbols: Vec<Symbol> = text.iter().map(|&b| Symbol::new(b)).collect();
+        let hs = pm_systolic::handshake::HandshakeArray::new(
+            &pattern,
+            pm_systolic::selftimed::TimingParams::default(),
+            seed,
+        )
+        .unwrap();
+        let run = hs.run(&symbols);
+        let expected = match_spec(&symbols, &pattern);
+        prop_assert_eq!(run.bits.as_slice(), expected.as_slice());
+    }
+
+    #[test]
+    fn match_count_never_exceeds_windows((bits, pat, text) in workload()) {
+        let pattern = build(bits, &pat);
+        let symbols: Vec<Symbol> = text.iter().map(|&b| Symbol::new(b)).collect();
+        let mut m = SystolicMatcher::new(&pattern).unwrap();
+        let hits = m.match_symbols(&symbols);
+        let windows = symbols.len().saturating_sub(pattern.k());
+        prop_assert!(hits.count() <= windows);
+    }
+}

@@ -1,0 +1,39 @@
+//! Quickstart: match a wild-card pattern against a text stream, the
+//! Figure 3-1 workload of Foster & Kung (ISCA 1980).
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use systolic_pm::systolic::prelude::*;
+
+fn main() -> Result<(), Error> {
+    // The paper's running example: AXC, where X matches anything.
+    let pattern = Pattern::parse("AXC")?;
+    let mut matcher = SystolicMatcher::new(&pattern)?;
+
+    let text = "ABCAACCAB";
+    let hits = matcher.match_letters(text)?;
+
+    println!("pattern : {pattern}");
+    println!("text    : {text}");
+    print!("bits    : ");
+    for i in 0..text.len() {
+        print!("{}", u8::from(hits.bit(i)));
+    }
+    println!();
+    println!("matches end at {:?}", hits.ending_positions());
+    println!("matches start at {:?}", hits.starting_positions());
+
+    // The same answer from the bit-serial array — the organisation the
+    // chip was actually fabricated in (2-bit characters, Figure 3-4).
+    let symbols = pm_systolic::symbol::text_from_letters(text)?;
+    let bitwise = BitSerialMatcher::new(&pattern)?;
+    assert_eq!(bitwise.match_symbols(&symbols).bits(), hits.bits());
+    println!("bit-serial array agrees: true");
+
+    // And from the executable specification.
+    assert_eq!(match_spec(&symbols, &pattern), hits.bits());
+    println!("specification agrees   : true");
+    Ok(())
+}

@@ -1,0 +1,30 @@
+//! # systolic-pm — facade crate
+//!
+//! Re-exports every subsystem of the Foster–Kung systolic
+//! pattern-matching chip reproduction (ISCA 1980). See the individual
+//! crates for detail: [`systolic`], [`matchers`], [`nmos`], [`chip`],
+//! [`correlator`], [`layout`] and [`design`], and the repository's
+//! `README.md` / `DESIGN.md` / `EXPERIMENTS.md` for the map.
+//!
+//! ```
+//! use systolic_pm::systolic::prelude::*;
+//!
+//! # fn main() -> Result<(), Error> {
+//! let pattern = Pattern::parse("AXC")?;
+//! let mut matcher = SystolicMatcher::new(&pattern)?;
+//! let hits = matcher.match_letters("ABCAACC")?;
+//! assert_eq!(hits.ending_positions(), vec![2, 5, 6]); // Figure 3-1
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use pm_chip as chip;
+pub use pm_correlator as correlator;
+pub use pm_design as design;
+pub use pm_layout as layout;
+pub use pm_matchers as matchers;
+pub use pm_nmos as nmos;
+pub use pm_systolic as systolic;

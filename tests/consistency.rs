@@ -1,0 +1,62 @@
+//! Cross-crate consistency: independent models of the same artifact
+//! must report the same structural numbers — device counts, pin
+//! budgets, timing — because they describe one chip.
+
+use systolic_pm::chip::pins::PinBudget;
+use systolic_pm::chip::timing::ClockModel;
+use systolic_pm::layout::cell::{accumulator_cell, comparator_cell};
+use systolic_pm::layout::floorplan::ChipFloorplan;
+use systolic_pm::layout::sticks::positive_comparator_sticks;
+use systolic_pm::nmos::cells::{AccumulatorCell, ComparatorCell};
+
+#[test]
+fn comparator_device_count_is_consistent_everywhere() {
+    // Netlist, stick diagram and synthesised layout all describe the
+    // same 15-device cell of Plate 1 / Figure 3-6.
+    let netlist = ComparatorCell::new(false).device_count();
+    let sticks = positive_comparator_sticks().device_count();
+    let layout = comparator_cell().device_count();
+    assert_eq!(netlist, 15);
+    assert_eq!(sticks, netlist);
+    assert_eq!(layout, netlist);
+}
+
+#[test]
+fn accumulator_device_count_matches_layout() {
+    let netlist = AccumulatorCell::new(false, false).device_count();
+    let layout = accumulator_cell().device_count();
+    assert_eq!(layout, netlist, "layout generator must track the netlist");
+}
+
+#[test]
+fn floorplan_pads_match_pin_budget() {
+    for bits in [1u32, 2, 4, 8] {
+        let budget = PinBudget::new(bits).total_pins();
+        let plan = ChipFloorplan::new(8, bits);
+        assert_eq!(plan.pads(), budget, "bits={bits}");
+    }
+}
+
+#[test]
+fn prototype_netlist_fits_the_multiproject_budget() {
+    // The whole 8×2 prototype: hundreds of devices — consistent with a
+    // 1979 multi-project chip slot, and linear per column.
+    let chip = systolic_pm::nmos::chip::PatternChip::new(8, 2);
+    let per_column = {
+        let c9 = systolic_pm::nmos::chip::PatternChip::new(9, 2).device_count();
+        c9 - chip.device_count()
+    };
+    // 2 comparators (15) + 1 accumulator (~35) + wiring straps.
+    assert!(
+        (60..=75).contains(&per_column),
+        "per-column devices: {per_column}"
+    );
+}
+
+#[test]
+fn timing_model_matches_the_paper() {
+    let clock = ClockModel::prototype();
+    assert!((clock.char_period_ns() - 250.0).abs() < 5.0);
+    // 1 Mbyte/s ≈ a fast 1979 minicomputer memory; the chip beats it.
+    assert!(clock.chars_per_second() > 1.0e6);
+}

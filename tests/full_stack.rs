@@ -1,0 +1,96 @@
+//! Cross-crate integration: the same workload must give identical
+//! answers at every level of the abstraction hierarchy the paper walks
+//! through — specification, character-level array, bit-serial array,
+//! transistor-level chip, multi-chip cascade, multi-pass system, and
+//! every software algorithm that accepts the input.
+
+use systolic_pm::chip::cascade::ChipCascade;
+use systolic_pm::chip::multipass::MultipassMatcher;
+use systolic_pm::matchers::prelude::*;
+use systolic_pm::nmos::prelude::PatternChip;
+use systolic_pm::systolic::prelude::*;
+
+fn workload() -> (Pattern, Vec<Symbol>) {
+    let pattern = Pattern::parse("AXCAABXA").unwrap();
+    let letters = "ABCAABCAABCDABCAABCABBCAAXCAABDA".replace('X', "C");
+    let text = pm_systolic::symbol::text_from_letters(&letters).unwrap();
+    (pattern, text)
+}
+
+#[test]
+fn every_level_of_the_hierarchy_agrees() {
+    let (pattern, text) = workload();
+    let spec = match_spec(&text, &pattern);
+
+    // Character-level behavioural array (Figure 3-3).
+    let mut char_level = SystolicMatcher::new(&pattern).unwrap();
+    assert_eq!(
+        char_level.match_symbols(&text).bits(),
+        spec,
+        "char-level array"
+    );
+
+    // Bit-serial array (Figure 3-4).
+    let bit_serial = BitSerialMatcher::new(&pattern).unwrap();
+    assert_eq!(
+        bit_serial.match_symbols(&text).bits(),
+        spec,
+        "bit-serial array"
+    );
+
+    // Transistor-level chip (Plate 2).
+    let chip = PatternChip::new(pattern.len(), pattern.alphabet().bits());
+    assert_eq!(
+        chip.match_pattern(&pattern, &text).unwrap(),
+        spec,
+        "switch-level chip"
+    );
+
+    // Multi-chip cascade (Figure 3-7).
+    let mut cascade = ChipCascade::new(&pattern, 4, 2).unwrap();
+    assert_eq!(cascade.match_symbols(&text).bits(), spec, "cascade");
+
+    // Multi-pass on an undersized system (§3.4).
+    let multipass = MultipassMatcher::new(&pattern, 3).unwrap();
+    assert_eq!(multipass.match_symbols(&text).bits(), spec, "multi-pass");
+
+    // Every software algorithm that accepts wild cards.
+    for m in all_matchers() {
+        match m.find(&text, &pattern) {
+            Ok(bits) => assert_eq!(bits, spec, "algorithm {}", m.name()),
+            Err(MatchError::WildcardsUnsupported { .. }) => {
+                assert!(!m.supports_wildcards(), "{} refused wrongly", m.name());
+            }
+            Err(e) => panic!("{}: {e}", m.name()),
+        }
+    }
+}
+
+#[test]
+fn streaming_and_batch_agree() {
+    let (pattern, text) = workload();
+    let mut batch = SystolicMatcher::new(&pattern).unwrap();
+    let expected = batch.match_symbols(&text);
+
+    // The on-line interface: one character per bus cycle.
+    let mut driver = pm_systolic::engine::Driver::new(
+        pm_systolic::semantics::BooleanMatch,
+        pattern.symbols().to_vec(),
+        &[pattern.len()],
+    )
+    .unwrap();
+    let mut got = vec![false; text.len()];
+    for &ch in &text {
+        for (seq, v) in driver.feed(ch) {
+            if seq as usize >= pattern.k() {
+                got[seq as usize] = v;
+            }
+        }
+    }
+    for (seq, v) in driver.drain() {
+        if (seq as usize) >= pattern.k() && (seq as usize) < got.len() {
+            got[seq as usize] = v;
+        }
+    }
+    assert_eq!(got.as_slice(), expected.bits());
+}

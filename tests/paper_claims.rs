@@ -1,0 +1,94 @@
+//! Machine-checked versions of the headline claims in EXPERIMENTS.md,
+//! so the table can never drift from the code.
+
+use systolic_pm::chip::timing::ClockModel;
+use systolic_pm::chip::wafer::yield_curve;
+use systolic_pm::design::figure41::figure_4_1;
+use systolic_pm::layout::drc::DesignRules;
+use systolic_pm::layout::floorplan::ChipFloorplan;
+use systolic_pm::matchers::comm::CommunicationProfile;
+use systolic_pm::matchers::prelude::*;
+use systolic_pm::systolic::prelude::*;
+
+#[test]
+fn e8_one_character_every_250_ns() {
+    let clock = ClockModel::prototype();
+    assert!((clock.char_period_ns() - 250.0).abs() < 5.0);
+    // Rate is independent of pattern length (cells only affect fill).
+    let r1 = clock.effective_rate(1_000_000, 1);
+    let r512 = clock.effective_rate(1_000_000, 512);
+    assert!((r1 - r512).abs() / r1 < 0.01);
+}
+
+#[test]
+fn e14_structural_costs_favour_the_systolic_design() {
+    let n = 64;
+    let sys = CommunicationProfile::systolic(n);
+    let bc = CommunicationProfile::broadcast(n);
+    let uni = CommunicationProfile::unidirectional(n);
+    assert_eq!(sys.max_fanout, 1);
+    assert_eq!(bc.max_fanout, n);
+    assert_eq!(sys.loading_beats, 0);
+    assert!(bc.loading_beats > 0 && uni.loading_beats > 0);
+    assert!(sys.on_line_pattern_change);
+    assert!(!bc.on_line_pattern_change && !uni.on_line_pattern_change);
+    // The broadcast driver's burden grows with the array; the systolic
+    // cells' stays constant — §3.3.1's power/speed objection.
+    assert_eq!(
+        CommunicationProfile::systolic(1024).max_fanout,
+        sys.max_fanout
+    );
+    assert!(CommunicationProfile::broadcast(1024).max_fanout > bc.max_fanout);
+}
+
+#[test]
+fn e15_wildcards_break_the_fast_sequential_algorithms() {
+    let pattern = Pattern::parse("AXB").unwrap();
+    assert!(matches!(
+        KmpMatcher.find(&[], &pattern),
+        Err(MatchError::WildcardsUnsupported { .. })
+    ));
+    assert!(matches!(
+        BoyerMooreMatcher.find(&[], &pattern),
+        Err(MatchError::WildcardsUnsupported { .. })
+    ));
+    // While the systolic array and the FFT method accept them.
+    assert!(SystolicAlgorithm.find(&[], &pattern).is_ok());
+    assert!(FischerPatersonMatcher.find(&[], &pattern).is_ok());
+}
+
+#[test]
+fn e16_two_man_months_dominated_by_the_algorithm() {
+    let (g, _) = figure_4_1();
+    assert!((g.total_days() - 42.0).abs() < 1e-9);
+    let (path, days) = g.critical_path().unwrap();
+    assert_eq!(path.len(), 9, "every task is on the critical path");
+    assert!((days - 42.0).abs() < 1e-9);
+}
+
+#[test]
+fn e17_area_grows_linearly_and_drc_clean() {
+    let areas: Vec<i64> = [8usize, 16, 24]
+        .iter()
+        .map(|&c| ChipFloorplan::new(c, 2).area())
+        .collect();
+    assert_eq!(areas[1] - areas[0], areas[2] - areas[1]);
+    assert!(ChipFloorplan::new(8, 2)
+        .drc(&DesignRules::default())
+        .is_empty());
+}
+
+#[test]
+fn e19_harvesting_beats_monolithic_yield() {
+    let points = yield_curve(8, 32, &[0.02], 2, 30, 99);
+    assert!(points[0].monolithic_yield < 0.2);
+    assert!(points[0].harvested_fraction > 0.9);
+}
+
+#[test]
+fn e1_figure_3_1_verbatim() {
+    let pattern = Pattern::parse("AXC").unwrap();
+    let mut m = SystolicMatcher::new(&pattern).unwrap();
+    let hits = m.match_letters("ABCAACC").unwrap();
+    assert_eq!(hits.ending_positions(), vec![2, 5, 6]);
+}
