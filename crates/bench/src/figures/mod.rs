@@ -8,6 +8,7 @@ pub mod extensions;
 pub mod hardware;
 pub mod inventory;
 pub mod methodology;
+pub mod resilience;
 
 /// A named figure renderer.
 pub type FigureEntry = (&'static str, fn() -> String);
@@ -37,6 +38,7 @@ pub fn all() -> Vec<FigureEntry> {
         ("fig4_1", evaluation::fig4_1),
         ("faults", engineering::fault_coverage),
         ("wafer", engineering::wafer_yield),
+        ("healing", resilience::healing),
         ("organisations", engineering::organisations),
         ("fig1_1", engineering::host_interface),
         ("inventory", inventory::inventory),

@@ -32,10 +32,15 @@ pub enum DeviceState {
     Idle,
     /// Pattern loaded; text may be streamed.
     Streaming,
+    /// The hardware array is out of service; a software matcher is
+    /// standing in for it (see `recovery::ResilientHostBus`).
+    Degraded,
 }
 
-/// Protocol errors a sloppy driver can provoke.
+/// Protocol errors a sloppy driver can provoke — or a sick device can
+/// report.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum HostError {
     /// Text written before a pattern was loaded.
     NoPattern,
@@ -43,6 +48,15 @@ pub enum HostError {
     BadByte(u8),
     /// The pattern could not be loaded.
     BadPattern(Error),
+    /// The device stopped producing results: the host's watchdog saw no
+    /// result strobe for `beats` array beats after one was due. This is
+    /// the host-observed face of a hardware fault (e.g. a dead result
+    /// driver pin) and what triggers the recovery cascade's emergency
+    /// scrub.
+    Stalled {
+        /// Beats the watchdog waited past the device's fixed latency.
+        beats: u64,
+    },
 }
 
 impl std::fmt::Display for HostError {
@@ -51,11 +65,70 @@ impl std::fmt::Display for HostError {
             HostError::NoPattern => write!(f, "text written with no pattern loaded"),
             HostError::BadByte(b) => write!(f, "text byte {b:#04x} outside the alphabet"),
             HostError::BadPattern(e) => write!(f, "pattern rejected: {e}"),
+            HostError::Stalled { beats } => {
+                write!(f, "device produced no result for {beats} beats past due")
+            }
         }
     }
 }
 
-impl std::error::Error for HostError {}
+impl std::error::Error for HostError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HostError::BadPattern(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<Error> for HostError {
+    fn from(e: Error) -> Self {
+        HostError::BadPattern(e)
+    }
+}
+
+/// Retry discipline for a driver talking to possibly-sick hardware:
+/// how long to wait for a result, how many times to re-test a chip
+/// before condemning it, and how the wait grows between attempts.
+///
+/// Exponential backoff between built-in-self-test retries separates
+/// transient upsets (a supply glitch — passes on retry) from hard
+/// stuck-at faults (§4's fabrication defects — fail every retry and
+/// get the chip condemned).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Characters the watchdog waits past the device's fixed latency
+    /// before declaring [`HostError::Stalled`].
+    pub stall_timeout_chars: u64,
+    /// BIST re-runs granted to a failing chip before it is condemned.
+    pub max_retries: u32,
+    /// Beats of idle backoff before the first retry.
+    pub backoff_base_beats: u64,
+    /// Multiplier applied to the backoff per further retry.
+    pub backoff_factor: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            stall_timeout_chars: 16,
+            max_retries: 2,
+            backoff_base_beats: 8,
+            backoff_factor: 4,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff in beats before retry number `attempt` (1-based).
+    pub fn backoff_beats(&self, attempt: u32) -> u64 {
+        let mut beats = self.backoff_base_beats;
+        for _ in 1..attempt {
+            beats = beats.saturating_mul(self.backoff_factor);
+        }
+        beats
+    }
+}
 
 /// The pattern matcher as a bus peripheral.
 #[derive(Debug, Clone)]
@@ -279,5 +352,36 @@ mod tests {
     fn error_display() {
         assert!(HostError::NoPattern.to_string().contains("no pattern"));
         assert!(HostError::BadByte(0xff).to_string().contains("0xff"));
+        assert!(HostError::Stalled { beats: 12 }.to_string().contains("12"));
+    }
+
+    #[test]
+    fn bad_pattern_exposes_its_cause() {
+        use std::error::Error as _;
+        let cause = Error::EmptyPattern;
+        let e: HostError = cause.clone().into();
+        assert_eq!(e, HostError::BadPattern(cause));
+        assert!(e.source().is_some(), "BadPattern must chain its cause");
+        assert!(HostError::NoPattern.source().is_none());
+    }
+
+    #[test]
+    fn backoff_grows_exponentially() {
+        let p = RetryPolicy {
+            stall_timeout_chars: 4,
+            max_retries: 3,
+            backoff_base_beats: 8,
+            backoff_factor: 4,
+        };
+        assert_eq!(p.backoff_beats(1), 8);
+        assert_eq!(p.backoff_beats(2), 32);
+        assert_eq!(p.backoff_beats(3), 128);
+        // Saturates instead of overflowing.
+        let huge = RetryPolicy {
+            backoff_base_beats: u64::MAX / 2,
+            backoff_factor: 100,
+            ..p
+        };
+        assert_eq!(huge.backoff_beats(5), u64::MAX);
     }
 }

@@ -19,7 +19,12 @@
 //!   memory-mapped device with FIFOs and a match interrupt, as a host
 //!   computer's driver would see it;
 //! * [`wafer`] — §5's wafer-scale integration: defect maps,
-//!   interconnect harvesting and the modularity yield dividend.
+//!   interconnect harvesting and the modularity yield dividend;
+//! * [`bist`] — built-in self-test: the §4 production test program
+//!   repackaged so a running system can re-verify a chip in the field;
+//! * [`recovery`] — the self-healing cascade closing the
+//!   detect → isolate → remap → resume loop over [`bist`], the
+//!   [`wafer`] rewiring logic and a software fallback matcher.
 
 //! ```
 //! use pm_chip::prelude::*;
@@ -33,21 +38,28 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bist;
 pub mod cascade;
 pub mod datasheet;
 pub mod host;
 pub mod multipass;
 pub mod pins;
+pub mod recovery;
 pub mod timing;
 pub mod wafer;
 
 /// Convenient re-exports.
 pub mod prelude {
+    pub use crate::bist::{BistFailure, BistOutcome, BistPort, BistProgram, BistVector};
     pub use crate::cascade::ChipCascade;
     pub use crate::datasheet::DataSheet;
-    pub use crate::host::{HostBus, MatchEvent};
+    pub use crate::host::{DeviceState, HostBus, HostError, MatchEvent, RetryPolicy};
     pub use crate::multipass::MultipassMatcher;
     pub use crate::pins::{Package, PinBudget};
+    pub use crate::recovery::{
+        ChipFault, FaultError, Mode, RecoveryEvent, RecoveryPolicy, ResilientHostBus,
+        SelfHealingCascade,
+    };
     pub use crate::timing::{ClockModel, GateDelays};
     pub use crate::wafer::{Wafer, YieldPoint};
 }

@@ -63,6 +63,31 @@ impl Wafer {
         }
     }
 
+    /// Builds a wafer from an explicit defect map, one `Vec<bool>` per
+    /// row (`true` = defective). This lets the §5 interconnect-rewiring
+    /// logic be reused at *any* granularity: the self-healing cascade
+    /// hands in one row of chip-socket health bits and harvests a chain
+    /// of working sockets exactly as a wafer harvests working cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map is empty or the rows are ragged.
+    pub fn from_defects(defective: Vec<Vec<bool>>) -> Self {
+        let rows = defective.len();
+        assert!(rows > 0, "wafer must have cells");
+        let cols = defective[0].len();
+        assert!(cols > 0, "wafer must have cells");
+        assert!(
+            defective.iter().all(|row| row.len() == cols),
+            "defect map rows must be equal length"
+        );
+        Wafer {
+            rows,
+            cols,
+            defective,
+        }
+    }
+
     /// Grid dimensions.
     pub fn dims(&self) -> (usize, usize) {
         (self.rows, self.cols)
@@ -235,6 +260,26 @@ mod tests {
         let text = text_from_letters("ABBAABBAACBA").unwrap();
         assert_eq!(m.match_symbols(&text).bits(), match_spec(&text, &pattern));
         assert!(m.cells() < wafer.cells(), "some cells were lost to defects");
+    }
+
+    #[test]
+    fn from_defects_matches_harvest_semantics() {
+        // One row of chip sockets, third socket dead: the chain skips
+        // it and keeps physical order — the cascade-remap primitive.
+        let wafer = Wafer::from_defects(vec![vec![false, false, true, false, false]]);
+        let h = wafer.harvest(1);
+        assert_eq!(h.chain, vec![(0, 0), (0, 1), (0, 3), (0, 4)]);
+        assert_eq!(h.stranded, 0);
+        // With no bypass wiring, everything past the dead socket strands.
+        let h0 = wafer.harvest(0);
+        assert_eq!(h0.chain, vec![(0, 0), (0, 1)]);
+        assert_eq!(h0.stranded, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn from_defects_rejects_ragged_maps() {
+        let _ = Wafer::from_defects(vec![vec![false], vec![false, true]]);
     }
 
     #[test]

@@ -149,6 +149,8 @@ impl fmt::Display for DrcViolation {
     }
 }
 
+impl std::error::Error for DrcViolation {}
+
 /// Checks a flat list of `(layer, rect)` shapes against `rules`.
 /// Returns every violation found (empty = clean).
 pub fn check(shapes: &[(Layer, Rect)], rules: &DesignRules) -> Vec<DrcViolation> {

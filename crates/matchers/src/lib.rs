@@ -131,6 +131,26 @@ pub fn all_matchers() -> Vec<Box<dyn PatternMatcher>> {
     ]
 }
 
+/// The software matcher a degraded host driver falls back to when the
+/// hardware cascade runs out of spare chips (§5: graceful degradation
+/// beats a dead board).
+///
+/// Literal patterns get Knuth–Morris–Pratt — the strongest software
+/// baseline the paper names. Patterns with wild cards get the naive
+/// scanner, because with wild cards "the 'matches' relation is no
+/// longer transitive" and KMP's prefix function is unsound; the naive
+/// scanner handles them exactly. Either way the returned matcher's
+/// output is golden-checked against `match_spec` by the cross-check
+/// suites, so a fallback result stream is bit-identical to what a
+/// healthy array would have produced.
+pub fn software_fallback(pattern: &Pattern) -> Box<dyn PatternMatcher> {
+    if pattern.has_wildcards() {
+        Box::new(naive::NaiveMatcher)
+    } else {
+        Box::new(kmp::KmpMatcher)
+    }
+}
+
 /// Convenient re-exports.
 pub mod prelude {
     pub use crate::boyer_moore::BoyerMooreMatcher;
@@ -143,7 +163,7 @@ pub mod prelude {
     pub use crate::shift_or::ShiftOrMatcher;
     pub use crate::systolic::SystolicAlgorithm;
     pub use crate::unidirectional::UnidirectionalMatcher;
-    pub use crate::{all_matchers, MatchError, PatternMatcher};
+    pub use crate::{all_matchers, software_fallback, MatchError, PatternMatcher};
 }
 
 #[cfg(test)]
@@ -169,6 +189,27 @@ mod tests {
         unique.sort_unstable();
         unique.dedup();
         assert_eq!(unique.len(), 9, "{names:?}");
+    }
+
+    #[test]
+    fn fallback_picks_kmp_unless_wildcards_force_naive() {
+        use pm_systolic::spec::match_spec;
+        use pm_systolic::symbol::text_from_letters;
+
+        let literal = Pattern::parse("ABCA").unwrap();
+        assert_eq!(software_fallback(&literal).name(), "kmp");
+        let wild = Pattern::parse("AXCA").unwrap();
+        assert_eq!(software_fallback(&wild).name(), "naive");
+
+        let text = text_from_letters("ABCABCAADCA").unwrap();
+        for pattern in [literal, wild] {
+            let m = software_fallback(&pattern);
+            assert_eq!(
+                m.find(&text, &pattern).unwrap(),
+                match_spec(&text, &pattern),
+                "fallback must be golden for {pattern:?}"
+            );
+        }
     }
 
     #[test]

@@ -17,6 +17,7 @@ use crate::chip::PatternChip;
 use crate::level::Level;
 use crate::netlist::NodeId;
 use pm_systolic::symbol::{Pattern, Symbol};
+use std::collections::HashSet;
 use std::fmt;
 
 /// One single-stuck-at fault site.
@@ -45,7 +46,9 @@ impl fmt::Display for Fault {
 pub fn enumerate_faults(chip: &PatternChip, sample_every: usize) -> Vec<Fault> {
     assert!(sample_every > 0, "sampling step must be positive");
     let nl = chip.netlist();
-    let skip: Vec<usize> = nl
+    // HashSet rather than a Vec skip-list: the pad count grows with the
+    // chip's pin-out, and the membership probe runs once per net.
+    let skip: HashSet<usize> = nl
         .inputs()
         .iter()
         .map(|n| n.index())
@@ -271,6 +274,29 @@ mod tests {
         }
         // Two faults per eligible node.
         assert!(faults.len() > 2 * 10);
+    }
+
+    #[test]
+    fn enumeration_never_touches_rails_or_pads_at_any_size_or_stride() {
+        for (columns, bits) in [(1, 1), (2, 1), (2, 2), (3, 2)] {
+            let chip = PatternChip::new(columns, bits);
+            let nl = chip.netlist();
+            let pads: Vec<_> = nl.inputs().to_vec();
+            for stride in [1usize, 2, 3, 7] {
+                for f in enumerate_faults(&chip, stride) {
+                    assert_ne!(f.node, nl.vdd(), "{columns}x{bits}b stride {stride}");
+                    assert_ne!(f.node, nl.gnd(), "{columns}x{bits}b stride {stride}");
+                    assert!(
+                        !pads.contains(&f.node),
+                        "{columns}x{bits}b stride {stride}: pad {f}"
+                    );
+                }
+            }
+            // Exhaustive enumeration is exactly two faults per
+            // non-rail, non-pad net — nothing dropped, nothing extra.
+            let eligible = nl.node_count() - pads.len() - 2;
+            assert_eq!(enumerate_faults(&chip, 1).len(), 2 * eligible);
+        }
     }
 
     #[test]

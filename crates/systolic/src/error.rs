@@ -31,6 +31,16 @@ pub enum Error {
     BadAlphabetWidth(u32),
     /// A driver was asked to run with zero segments.
     NoSegments,
+    /// A segment of the array has been condemned by self-test and no
+    /// replacement is wired in; the chain cannot carry a stream.
+    ///
+    /// Produced by the fault-tolerance runtime in `pm-chip` (§5: a
+    /// defective circuit must be "replaced by a functioning one" — this
+    /// error is what the driver sees when no functioning one remains).
+    SegmentFaulted {
+        /// Index of the condemned segment (chip) in the chain.
+        segment: usize,
+    },
 }
 
 impl fmt::Display for Error {
@@ -52,6 +62,10 @@ impl fmt::Display for Error {
                 write!(f, "alphabet width of {bits} bits is not in 1..=8")
             }
             Error::NoSegments => write!(f, "driver requires at least one array segment"),
+            Error::SegmentFaulted { segment } => write!(
+                f,
+                "array segment {segment} is condemned and no spare replaces it"
+            ),
         }
     }
 }
@@ -77,6 +91,7 @@ mod tests {
             },
             Error::BadAlphabetWidth(0),
             Error::NoSegments,
+            Error::SegmentFaulted { segment: 3 },
         ];
         for e in errors {
             let msg = e.to_string();

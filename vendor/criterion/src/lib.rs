@@ -1,0 +1,202 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses.
+//!
+//! The build environment has no crates.io access. This vendored crate
+//! keeps the benches compiling and runnable: each benchmark times a
+//! small fixed number of iterations and prints a per-iteration mean.
+//! It does **no** statistical analysis — numbers are indicative only,
+//! which matches how `EXPERIMENTS.md` treats debug timings.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value passthrough.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Label for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// A parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Units for group throughput annotations (accepted, echoed, ignored).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The timing loop handed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    /// Mean seconds per iteration, recorded by [`Bencher::iter`].
+    mean: f64,
+    iters: u32,
+}
+
+impl Bencher {
+    /// Times `routine` over a fixed number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One untimed warm-up iteration.
+        black_box(routine());
+        let iters = 5u32;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.mean = start.elapsed().as_secs_f64() / f64::from(iters);
+        self.iters = iters;
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for compatibility; the stub's iteration count is fixed.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility; the stub ignores measurement time.
+    pub fn measurement_time(&mut self, _time: Duration) -> &mut Self {
+        self
+    }
+
+    /// Records the work per iteration (echoed in output only).
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher::default();
+        f(&mut b);
+        println!(
+            "bench {}/{}: {:.3} µs/iter (stub timing, {} iters)",
+            self.name,
+            id.label,
+            b.mean * 1e6,
+            b.iters
+        );
+        self
+    }
+
+    /// Runs one benchmark parameterised by an input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        println!(
+            "bench {}/{}: {:.3} µs/iter (stub timing, {} iters)",
+            self.name,
+            id.label,
+            b.mean * 1e6,
+            b.iters
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// The top-level benchmark harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Begins a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        f(&mut b);
+        println!(
+            "bench {}: {:.3} µs/iter (stub timing, {} iters)",
+            name,
+            b.mean * 1e6,
+            b.iters
+        );
+        self
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,29 @@
+//! `Option` strategies (`proptest::option::weighted`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// Strategy producing `Some(inner)` with probability `prob`, else `None`.
+pub fn weighted<S: Strategy>(prob: f64, inner: S) -> Weighted<S> {
+    assert!((0.0..=1.0).contains(&prob), "probability must be in [0, 1]");
+    Weighted { prob, inner }
+}
+
+/// See [`weighted`].
+#[derive(Debug, Clone)]
+pub struct Weighted<S> {
+    prob: f64,
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for Weighted<S> {
+    type Value = Option<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.rng.gen_bool(self.prob) {
+            Some(self.inner.sample(rng))
+        } else {
+            None
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! The case loop: sample, run, report. No shrinking — failures carry
+//! the case number and per-test seed, which reproduce the input.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The RNG handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    /// Underlying deterministic generator (vendored SplitMix64).
+    pub rng: StdRng,
+}
+
+impl TestRng {
+    /// Deterministic stream for one named test.
+    pub fn for_test(name: &str, salt: u64) -> Self {
+        // FNV-1a over the test name, salted by the case index, so each
+        // test gets a distinct but fixed input stream.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng {
+            rng: StdRng::seed_from_u64(h ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+        }
+    }
+}
+
+/// Runner configuration. Only the fields this workspace touches.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Maximum rejected (`prop_assume!`/filter) cases tolerated.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65536,
+        }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the input; try another.
+    Reject,
+    /// An assertion failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// An assertion failure with a message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+}
+
+/// Result type of one property-test case body.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Drives one property test to its configured case count.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+    name: &'static str,
+}
+
+impl TestRunner {
+    /// A runner for the named test.
+    pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+        TestRunner { config, name }
+    }
+
+    /// Samples inputs from `strategy` and runs `case` until
+    /// `config.cases` inputs pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first failing case (reporting case number and
+    /// message) or when rejects exceed the configured budget.
+    pub fn run<S, F>(&mut self, strategy: &S, mut case: F)
+    where
+        S: Strategy,
+        F: FnMut(S::Value) -> TestCaseResult,
+    {
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        let mut attempt = 0u64;
+        while passed < self.config.cases {
+            let mut rng = TestRng::for_test(self.name, attempt);
+            let value = strategy.sample(&mut rng);
+            match case(value) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject) => {
+                    rejected += 1;
+                    assert!(
+                        rejected <= self.config.max_global_rejects,
+                        "{}: too many rejected inputs ({} rejects for {} passes)",
+                        self.name,
+                        rejected,
+                        passed
+                    );
+                }
+                Err(TestCaseError::Fail(message)) => panic!(
+                    "{}: property failed at case #{} (attempt {}, deterministic seed — rerun reproduces it)\n{}",
+                    self.name, passed, attempt, message
+                ),
+            }
+            attempt += 1;
+        }
+    }
+}

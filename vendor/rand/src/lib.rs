@@ -1,0 +1,194 @@
+//! Offline stand-in for the subset of the `rand` crate this workspace
+//! uses (`StdRng`, `SeedableRng::seed_from_u64`, `Rng::gen_range`,
+//! `Rng::gen_bool`).
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a deterministic, dependency-free implementation instead.
+//! The generator is SplitMix64 — statistically fine for simulation
+//! workloads and property-test inputs, **not** cryptographic. Streams
+//! differ from the real `rand::StdRng` (ChaCha12), so seeds produce
+//! different-but-still-deterministic sequences.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level generator interface: a source of uniform `u64`s.
+pub trait RngCore {
+    /// Next uniformly distributed machine word.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next uniformly distributed 32-bit value.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// High-level sampling helpers, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from a range (`a..b` or `a..=b`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Seedable construction, matching the real crate's entry point.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Maps a `u64` to `[0, 1)` using the high 53 bits.
+fn unit_f64(word: u64) -> f64 {
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Types that can be sampled uniformly from a range. The single
+/// generic [`SampleRange`] impl over this trait is what lets integer
+/// literal inference flow through `gen_range` exactly as with the real
+/// crate.
+pub trait SampleUniform: Sized + PartialOrd {
+    /// Uniform sample from `[start, end)`.
+    fn sample_half_open<R: RngCore>(start: Self, end: Self, rng: &mut R) -> Self;
+    /// Uniform sample from `[start, end]`.
+    fn sample_inclusive<R: RngCore>(start: Self, end: Self, rng: &mut R) -> Self;
+}
+
+macro_rules! int_sample_uniform {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore>(start: $t, end: $t, rng: &mut R) -> $t {
+                assert!(start < end, "cannot sample empty range");
+                let span = (end as u64).wrapping_sub(start as u64);
+                let offset = rng.next_u64() % span;
+                (start as u64).wrapping_add(offset) as $t
+            }
+            fn sample_inclusive<R: RngCore>(start: $t, end: $t, rng: &mut R) -> $t {
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as u64).wrapping_sub(start as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full-domain range: every word is a valid sample.
+                    return rng.next_u64() as $t;
+                }
+                let offset = rng.next_u64() % span;
+                (start as u64).wrapping_add(offset) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_half_open<R: RngCore>(start: f64, end: f64, rng: &mut R) -> f64 {
+        assert!(start < end, "cannot sample empty range");
+        start + unit_f64(rng.next_u64()) * (end - start)
+    }
+    fn sample_inclusive<R: RngCore>(start: f64, end: f64, rng: &mut R) -> f64 {
+        assert!(start <= end, "cannot sample empty range");
+        start + unit_f64(rng.next_u64()) * (end - start)
+    }
+}
+
+/// A range that can produce a uniform sample of `T`.
+pub trait SampleRange<T> {
+    /// Draws one sample.
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T {
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform + Copy> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T {
+        T::sample_inclusive(*self.start(), *self.end(), rng)
+    }
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: SplitMix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea & Flood 2014).
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u32..1000), b.gen_range(0u32..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&v));
+            let u = rng.gen_range(0u16..4);
+            assert!(u < 4);
+            let f = rng.gen_range(-2.0f64..=2.0);
+            assert!((-2.0..=2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+        let hits = (0..1000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((350..=650).contains(&hits), "about half: {hits}");
+    }
+}
