@@ -1,13 +1,15 @@
 //! E8: simulator beat rate and the modelled chip data rate, plus E18's
-//! clocked/self-timed sweep.
+//! clocked/self-timed sweep and E29's batched/threaded aggregate rates.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use pm_bench::workloads;
 use pm_chip::multipass::MultipassMatcher;
+use pm_chip::throughput::{Job, ThroughputEngine};
 use pm_chip::timing::ClockModel;
+use pm_systolic::batch::BatchMatcher;
 use pm_systolic::matcher::SystolicMatcher;
 use pm_systolic::selftimed::{compare, TimingParams};
-use pm_systolic::symbol::Alphabet;
+use pm_systolic::symbol::{Alphabet, Symbol};
 
 fn bench_beat_rate(c: &mut Criterion) {
     // How many text characters per second the *behavioural simulator*
@@ -29,6 +31,42 @@ fn bench_beat_rate(c: &mut Criterion) {
     // Sanity anchor for EXPERIMENTS.md: the modelled silicon rate.
     let clock = ClockModel::prototype();
     assert!((clock.char_period_ns() - 250.0).abs() < 5.0);
+}
+
+fn bench_batched_rate(c: &mut Criterion) {
+    // E29: the bit-plane engine's aggregate rate on a 64-stream
+    // workload, and the threaded scheduler on top of it.
+    let alphabet = Alphabet::TWO_BIT;
+    let pattern = workloads::random_pattern(alphabet, 16, 10, 3);
+    let texts: Vec<Vec<Symbol>> = (0..64)
+        .map(|i| workloads::random_text(alphabet, 4_096, 100 + i as u64))
+        .collect();
+    let total = (texts.len() * 4_096) as u64;
+
+    let mut group = c.benchmark_group("batched_char_rate");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(total));
+    group.bench_function("bit_plane_64_lanes", |b| {
+        let m = BatchMatcher::new(&pattern);
+        let lanes: Vec<&[Symbol]> = texts.iter().map(|t| t.as_slice()).collect();
+        b.iter(|| m.match_streams(&lanes).expect("ok"))
+    });
+    for &workers in &[1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("scheduler", workers),
+            &workers,
+            |b, &workers| {
+                let jobs: Vec<Job> = texts
+                    .iter()
+                    .enumerate()
+                    .map(|(i, t)| Job::new(i as u64, pattern.clone(), t.clone()))
+                    .collect();
+                let engine = ThroughputEngine::new(workers, 8);
+                b.iter(|| engine.run(&jobs).expect("ok"))
+            },
+        );
+    }
+    group.finish();
 }
 
 fn bench_multipass(c: &mut Criterion) {
@@ -62,6 +100,7 @@ fn bench_selftimed_model(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_beat_rate,
+    bench_batched_rate,
     bench_multipass,
     bench_selftimed_model
 );

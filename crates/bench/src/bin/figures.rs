@@ -19,6 +19,8 @@ const FAILURE_MARKERS: &[&str] = &[
     "equals direct computation: false",
     "equals clocked array: false",
     "overlap observed: true",
+    "equal specification: false",
+    "≥10× scalar: false",
     "MISMATCH",
 ];
 

@@ -9,6 +9,7 @@ pub mod hardware;
 pub mod inventory;
 pub mod methodology;
 pub mod resilience;
+pub mod throughput;
 
 /// A named figure renderer.
 pub type FigureEntry = (&'static str, fn() -> String);
@@ -26,6 +27,7 @@ pub fn all() -> Vec<FigureEntry> {
         ("plate1", hardware::plate1),
         ("plate2", hardware::plate2),
         ("rate", evaluation::data_rate),
+        ("throughput", throughput::throughput),
         ("fig3_7", extensions::fig3_7),
         ("multipass", extensions::multipass),
         ("counting", extensions::counting),

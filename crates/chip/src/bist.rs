@@ -27,6 +27,23 @@
 //! The single-port subtlety is why result-only self-test is not enough
 //! for a cascade: a chip whose comparators are perfect can still
 //! poison its neighbours through a bad boundary driver.
+//!
+//! # Example
+//!
+//! The §4 production test for an 8-cell, 2-bit chip, replayed in the
+//! field against a healthy behavioural chip model:
+//!
+//! ```
+//! use pm_chip::bist::BistProgram;
+//! use pm_systolic::segment::Segment;
+//! use pm_systolic::semantics::BooleanMatch;
+//!
+//! let program = BistProgram::standard(8, 2);
+//! let mut chip = Segment::new(BooleanMatch, 8);
+//! let outcome = program.run(&mut chip);
+//! assert!(outcome.passed);
+//! assert_eq!(outcome.beats, program.beats_bound(8));
+//! ```
 
 use pm_nmos::chip::PatternChip;
 use pm_nmos::faults::{self, CoverageReport};

@@ -1,0 +1,207 @@
+//! Lightweight shared counters for the throughput engine.
+//!
+//! The paper quotes one headline number — 4.0 Mchar/s — and the
+//! reproduction's scheduler needs to report its own equivalents without
+//! perturbing the hot path it is measuring. [`Counter`] is a relaxed
+//! atomic that worker threads bump freely; [`ThroughputCounters`]
+//! groups the ones the scheduler maintains and folds them into a
+//! [`CounterSnapshot`] of derived rates (chars/sec, lane occupancy,
+//! cache hit rate) at reporting time.
+//!
+//! Relaxed ordering is sufficient: counters are statistics, not
+//! synchronisation. The scheduler joins its workers before reading, so
+//! every increment is visible by the time a snapshot is taken.
+//!
+//! ```
+//! use pm_chip::counters::ThroughputCounters;
+//! use std::time::Duration;
+//!
+//! let c = ThroughputCounters::new();
+//! c.chars.add(500_000);
+//! c.lane_slots_used.add(96);
+//! c.lane_slots_total.add(128);
+//! c.cache_hits.add(3);
+//! c.cache_misses.add(1);
+//! let snap = c.snapshot(Duration::from_millis(125));
+//! assert_eq!(snap.chars_per_sec() as u64, 4_000_000); // the paper's rate
+//! assert_eq!(snap.lane_occupancy(), 0.75);
+//! assert_eq!(snap.cache_hit_rate(), 0.75);
+//! ```
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A monotonically increasing event counter shared between threads.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter starting at zero.
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds `n` events.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current count.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// The counters the throughput scheduler maintains while running.
+#[derive(Debug, Default)]
+pub struct ThroughputCounters {
+    /// Text characters pushed through an engine (all lanes, all jobs).
+    pub chars: Counter,
+    /// Jobs completed.
+    pub jobs: Counter,
+    /// Word batches executed.
+    pub batches: Counter,
+    /// Lane slots actually carrying a stream, summed over batches.
+    pub lane_slots_used: Counter,
+    /// Lane slots available (64 × batches).
+    pub lane_slots_total: Counter,
+    /// Compiled-pattern cache hits.
+    pub cache_hits: Counter,
+    /// Compiled-pattern cache misses (compilations performed).
+    pub cache_misses: Counter,
+}
+
+impl ThroughputCounters {
+    /// Fresh, all-zero counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds the current counts and a wall-clock duration into derived
+    /// rates.
+    pub fn snapshot(&self, elapsed: Duration) -> CounterSnapshot {
+        CounterSnapshot {
+            chars: self.chars.get(),
+            jobs: self.jobs.get(),
+            batches: self.batches.get(),
+            lane_slots_used: self.lane_slots_used.get(),
+            lane_slots_total: self.lane_slots_total.get(),
+            cache_hits: self.cache_hits.get(),
+            cache_misses: self.cache_misses.get(),
+            elapsed,
+        }
+    }
+}
+
+/// A point-in-time reading of [`ThroughputCounters`] with the derived
+/// rates the EXPERIMENTS table reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterSnapshot {
+    /// Text characters processed.
+    pub chars: u64,
+    /// Jobs completed.
+    pub jobs: u64,
+    /// Word batches executed.
+    pub batches: u64,
+    /// Lane slots carrying a stream.
+    pub lane_slots_used: u64,
+    /// Lane slots available.
+    pub lane_slots_total: u64,
+    /// Pattern-cache hits.
+    pub cache_hits: u64,
+    /// Pattern-cache misses.
+    pub cache_misses: u64,
+    /// Wall-clock time covered by this snapshot.
+    pub elapsed: Duration,
+}
+
+impl CounterSnapshot {
+    /// Characters per second over the snapshot window (0 for an empty
+    /// window).
+    pub fn chars_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.chars as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of lane slots that carried a stream (1.0 = every word
+    /// batch was full).
+    pub fn lane_occupancy(&self) -> f64 {
+        if self.lane_slots_total > 0 {
+            self.lane_slots_used as f64 / self.lane_slots_total as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of pattern lookups served from the compiled cache.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total > 0 {
+            self.cache_hits as f64 / total as f64
+        } else {
+            0.0
+        }
+    }
+}
+
+impl fmt::Display for CounterSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} jobs, {} chars in {:.3} s → {:.2} Mchar/s; {} batches at {:.0} % lane occupancy; cache {:.0} % hits",
+            self.jobs,
+            self.chars,
+            self.elapsed.as_secs_f64(),
+            self.chars_per_sec() / 1e6,
+            self.batches,
+            self.lane_occupancy() * 100.0,
+            self.cache_hit_rate() * 100.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_across_threads() {
+        let c = ThroughputCounters::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        c.chars.add(2);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.chars.get(), 8000);
+    }
+
+    #[test]
+    fn empty_snapshot_has_no_rates() {
+        let snap = ThroughputCounters::new().snapshot(Duration::ZERO);
+        assert_eq!(snap.chars_per_sec(), 0.0);
+        assert_eq!(snap.lane_occupancy(), 0.0);
+        assert_eq!(snap.cache_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn display_mentions_rate_and_occupancy() {
+        let c = ThroughputCounters::new();
+        c.jobs.add(2);
+        c.chars.add(1_000_000);
+        c.batches.add(1);
+        c.lane_slots_used.add(32);
+        c.lane_slots_total.add(64);
+        let text = c.snapshot(Duration::from_secs(1)).to_string();
+        assert!(text.contains("1.00 Mchar/s"), "{text}");
+        assert!(text.contains("50 % lane occupancy"), "{text}");
+    }
+}

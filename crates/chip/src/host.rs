@@ -9,6 +9,24 @@
 //! interrupt, read match positions from the result queue. The paper's
 //! on-line property — one result per character at fixed latency, no
 //! buffering of the text — is what makes this interface natural.
+//!
+//! # Example
+//!
+//! The driver's life cycle on Figure 3-1's workload (`AXC` against
+//! `ABCAACC`, written as raw symbol values `A=0, B=1, C=2`):
+//!
+//! ```
+//! use pm_chip::host::HostBus;
+//! use pm_systolic::symbol::Pattern;
+//!
+//! let mut bus = HostBus::new(8);
+//! bus.load_pattern(&Pattern::parse("AXC").unwrap()).unwrap();
+//! bus.write(&[0, 1, 2, 0, 0, 2, 2]).unwrap();
+//! bus.flush().unwrap();
+//! assert!(bus.irq_pending());
+//! let first = bus.read_event().unwrap();
+//! assert_eq!((first.start, first.end), (0, 2)); // "ABC" matches A·C
+//! ```
 
 use pm_systolic::engine::Driver;
 use pm_systolic::error::Error;

@@ -24,7 +24,11 @@
 //!   repackaged so a running system can re-verify a chip in the field;
 //! * [`recovery`] — the self-healing cascade closing the
 //!   detect → isolate → remap → resume loop over [`bist`], the
-//!   [`wafer`] rewiring logic and a software fallback matcher.
+//!   [`wafer`] rewiring logic and a software fallback matcher;
+//! * [`throughput`] — the multi-stream job scheduler: N `(pattern,
+//!   text)` jobs sharded across worker threads driving the bit-plane
+//!   batch engine of `pm_systolic::batch`, with an LRU compiled-pattern
+//!   cache, reporting through the [`counters`] module.
 
 //! ```
 //! use pm_chip::prelude::*;
@@ -40,11 +44,13 @@
 
 pub mod bist;
 pub mod cascade;
+pub mod counters;
 pub mod datasheet;
 pub mod host;
 pub mod multipass;
 pub mod pins;
 pub mod recovery;
+pub mod throughput;
 pub mod timing;
 pub mod wafer;
 
@@ -52,6 +58,7 @@ pub mod wafer;
 pub mod prelude {
     pub use crate::bist::{BistFailure, BistOutcome, BistPort, BistProgram, BistVector};
     pub use crate::cascade::ChipCascade;
+    pub use crate::counters::{CounterSnapshot, ThroughputCounters};
     pub use crate::datasheet::DataSheet;
     pub use crate::host::{DeviceState, HostBus, HostError, MatchEvent, RetryPolicy};
     pub use crate::multipass::MultipassMatcher;
@@ -60,6 +67,7 @@ pub mod prelude {
         ChipFault, FaultError, Mode, RecoveryEvent, RecoveryPolicy, ResilientHostBus,
         SelfHealingCascade,
     };
+    pub use crate::throughput::{Job, JobOutput, PatternCache, ThroughputEngine, WorkerStats};
     pub use crate::timing::{ClockModel, GateDelays};
     pub use crate::wafer::{Wafer, YieldPoint};
 }

@@ -13,6 +13,26 @@
 //! the window ending at (run-relative) position `i` accumulates in cell
 //! `i−k`. Exactly the `n` windows ending at positions `k … k+n−1` fit
 //! in the array; the next pass advances the text window by `n`.
+//!
+//! # Example
+//!
+//! A four-character pattern forced through a three-cell array: more
+//! than one pass over the text, same answer as the specification.
+//!
+//! ```
+//! use pm_chip::multipass::MultipassMatcher;
+//! use pm_systolic::prelude::*;
+//! use pm_systolic::symbol::text_from_letters;
+//!
+//! # fn main() -> Result<(), Error> {
+//! let pattern = Pattern::parse("AXCA")?;
+//! let text = text_from_letters("ABCAACCAABCA")?;
+//! let m = MultipassMatcher::new(&pattern, 3)?;
+//! assert!(m.passes_needed(text.len()) > 1);
+//! assert_eq!(m.match_symbols(&text).bits(), match_spec(&text, &pattern));
+//! # Ok(())
+//! # }
+//! ```
 
 use pm_systolic::engine::MatchBits;
 use pm_systolic::error::Error;

@@ -40,6 +40,29 @@
 //! quarantined results it may have corrupted. The price is delivery
 //! latency bounded by the scrub interval — the classic
 //! availability-versus-integrity trade a device driver makes.
+//!
+//! # Example
+//!
+//! A two-chip board with one spare socket loses a chip to a stuck
+//! result driver mid-stream; the committed stream still equals the
+//! fault-free reference and the board stays in hardware mode:
+//!
+//! ```
+//! use pm_chip::prelude::*;
+//! use pm_systolic::prelude::*;
+//! use pm_systolic::symbol::text_from_letters;
+//!
+//! let pattern = Pattern::parse("ABCDACBD").unwrap();
+//! let text = text_from_letters(&"ABCDACBDAB".repeat(20)).unwrap();
+//! let mut board =
+//!     SelfHealingCascade::new(&pattern, 2, 4, 1, RecoveryPolicy::default()).unwrap();
+//! board.write_all(&text[..100]).unwrap();
+//! board.inject_fault(1, ChipFault::ResultStuck(true));
+//! board.write_all(&text[100..]).unwrap();
+//! let bits = board.finish().unwrap();
+//! assert_eq!(bits.bits(), match_spec(&text, &pattern));
+//! assert_eq!(board.mode(), Mode::Hardware); // healed onto the spare
+//! ```
 
 use crate::bist::{BistPort, BistProgram, BistTarget};
 use crate::host::{DeviceState, HostError, MatchEvent, RetryPolicy};

@@ -1,0 +1,531 @@
+//! Multi-stream job scheduling over the bit-plane batch engine.
+//!
+//! The paper's throughput claim (§1: one character every 250 ns,
+//! "higher than the memory bandwidth of most conventional computers")
+//! describes a chip serving *one* stream very fast. A host with many
+//! concurrent search jobs — the ROADMAP's "heavy traffic" scenario —
+//! wants the aggregate rate instead, and the bit-plane engine of
+//! [`pm_systolic::batch`] supplies it: 64 independent streams per
+//! machine word. This module is the host-side scheduler that keeps
+//! those lanes full:
+//!
+//! * [`ThroughputEngine::run`] shards N incoming [`Job`]s across
+//!   `std::thread` workers;
+//! * each worker groups its jobs by pattern, packs them 64 lanes to a
+//!   word batch (same-pattern groups run on the zero-setup uniform
+//!   path; leftover singletons share mixed batches), and steps every
+//!   lane together;
+//! * a [`PatternCache`] memoises pattern → control-bit-plane
+//!   compilation with LRU eviction, so the setup cost the paper's
+//!   §3.3.1 analysis worries about ("loading this pattern") is paid
+//!   once per *distinct* pattern, not once per job;
+//! * per-worker [`WorkerStats`] and whole-run rates (chars/sec, lane
+//!   occupancy, cache hit rate) are surfaced through the
+//!   [`counters`](crate::counters) module.
+//!
+//! Results are bit-identical to running every job alone through the
+//! scalar array — property-tested against the executable spec.
+//!
+//! ```
+//! use pm_chip::throughput::{Job, ThroughputEngine};
+//! use pm_systolic::symbol::{Pattern, text_from_letters};
+//!
+//! # fn main() -> Result<(), pm_systolic::Error> {
+//! let pattern = Pattern::parse("AXC")?;
+//! let jobs: Vec<Job> = (0..3)
+//!     .map(|id| Job::new(id, pattern.clone(), text_from_letters("ABCAACCAB").unwrap()))
+//!     .collect();
+//! let engine = ThroughputEngine::new(2, 16);
+//! let report = engine.run(&jobs)?;
+//! assert_eq!(report.outputs[0].hits.ending_positions(), vec![2, 5, 6]);
+//! assert_eq!(report.totals.jobs, 3);
+//! let again = engine.run(&jobs)?; // the compiled planes are cached now
+//! assert_eq!(again.totals.cache_misses, 0);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::counters::{CounterSnapshot, ThroughputCounters};
+use pm_systolic::batch::{match_lanes, match_uniform, CompiledPattern, LANES};
+use pm_systolic::engine::MatchBits;
+use pm_systolic::error::Error;
+use pm_systolic::symbol::{Pattern, Symbol};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// One incoming unit of work: match `pattern` against `text`.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// Caller-chosen identifier, echoed in the [`JobOutput`].
+    pub id: u64,
+    /// The pattern to search for (wild cards allowed).
+    pub pattern: Pattern,
+    /// The text stream to search.
+    pub text: Vec<Symbol>,
+}
+
+impl Job {
+    /// Bundles a job.
+    pub fn new(id: u64, pattern: Pattern, text: Vec<Symbol>) -> Self {
+        Job { id, pattern, text }
+    }
+}
+
+/// The completed result of one [`Job`].
+#[derive(Debug, Clone)]
+pub struct JobOutput {
+    /// The job's identifier.
+    pub id: u64,
+    /// One result bit per text position, as from the scalar matcher.
+    pub hits: MatchBits,
+}
+
+/// An LRU cache of compiled pattern control planes, keyed by pattern.
+///
+/// Compilation walks the pattern and allocates its broadcast planes;
+/// a hot service sees the same handful of patterns over and over, so
+/// the cache turns per-job setup into per-*distinct*-pattern setup.
+///
+/// ```
+/// use pm_chip::throughput::PatternCache;
+/// use pm_systolic::symbol::Pattern;
+///
+/// let mut cache = PatternCache::new(2);
+/// let a = Pattern::parse("AB").unwrap();
+/// let (_, hit) = cache.get_or_compile(&a);
+/// assert!(!hit); // first sight compiles
+/// let (_, hit) = cache.get_or_compile(&a);
+/// assert!(hit); // second is served from cache
+/// ```
+#[derive(Debug)]
+pub struct PatternCache {
+    capacity: usize,
+    tick: u64,
+    map: HashMap<Pattern, CacheEntry>,
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    compiled: Arc<CompiledPattern>,
+    last_used: u64,
+}
+
+impl PatternCache {
+    /// A cache holding at most `capacity` compiled patterns (at least
+    /// one).
+    pub fn new(capacity: usize) -> Self {
+        PatternCache {
+            capacity: capacity.max(1),
+            tick: 0,
+            map: HashMap::new(),
+        }
+    }
+
+    /// Returns the compiled planes for `pattern` and whether the lookup
+    /// was a hit, compiling and (LRU-)evicting on a miss.
+    pub fn get_or_compile(&mut self, pattern: &Pattern) -> (Arc<CompiledPattern>, bool) {
+        self.tick += 1;
+        if let Some(entry) = self.map.get_mut(pattern) {
+            entry.last_used = self.tick;
+            return (Arc::clone(&entry.compiled), true);
+        }
+        let compiled = Arc::new(CompiledPattern::compile(pattern));
+        if self.map.len() >= self.capacity {
+            if let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(p, _)| p.clone())
+            {
+                self.map.remove(&oldest);
+            }
+        }
+        self.map.insert(
+            pattern.clone(),
+            CacheEntry {
+                compiled: Arc::clone(&compiled),
+                last_used: self.tick,
+            },
+        );
+        (compiled, false)
+    }
+
+    /// Number of patterns currently cached.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Maximum number of cached patterns.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+/// What one worker thread did during a run.
+#[derive(Debug, Clone)]
+pub struct WorkerStats {
+    /// Worker index (0-based).
+    pub worker: usize,
+    /// Jobs this worker completed.
+    pub jobs: u64,
+    /// Text characters this worker pushed through the engine.
+    pub chars: u64,
+    /// Word batches this worker executed.
+    pub batches: u64,
+    /// Lane slots this worker filled, out of `64 × batches`.
+    pub lanes_used: u64,
+    /// Wall-clock time this worker spent matching.
+    pub elapsed: Duration,
+}
+
+impl WorkerStats {
+    /// This worker's character rate.
+    pub fn chars_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.chars as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of this worker's lane slots that carried a stream.
+    pub fn lane_occupancy(&self) -> f64 {
+        let total = self.batches * LANES as u64;
+        if total > 0 {
+            self.lanes_used as f64 / total as f64
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The outcome of one [`ThroughputEngine::run`].
+#[derive(Debug, Clone)]
+pub struct ThroughputReport {
+    /// One output per input job, in input order.
+    pub outputs: Vec<JobOutput>,
+    /// Per-worker statistics (idle workers report zero batches).
+    pub workers: Vec<WorkerStats>,
+    /// Whole-run counters and derived rates.
+    pub totals: CounterSnapshot,
+}
+
+/// Shards jobs across worker threads, each driving the bit-plane batch
+/// engine with a shared compiled-pattern cache. The cache persists
+/// across runs, so a long-lived engine keeps its hot patterns warm.
+#[derive(Debug)]
+pub struct ThroughputEngine {
+    workers: usize,
+    cache: Mutex<PatternCache>,
+}
+
+impl ThroughputEngine {
+    /// An engine with `workers` threads (at least one) and a pattern
+    /// cache of `cache_capacity` entries.
+    pub fn new(workers: usize, cache_capacity: usize) -> Self {
+        ThroughputEngine {
+            workers: workers.max(1),
+            cache: Mutex::new(PatternCache::new(cache_capacity)),
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Number of distinct patterns currently cached.
+    pub fn cached_patterns(&self) -> usize {
+        self.cache.lock().expect("cache poisoned").len()
+    }
+
+    /// Runs every job to completion and reports results plus stats.
+    /// Output `i` belongs to input job `i` regardless of which worker
+    /// or word batch carried it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors (none are currently reachable: the
+    /// scheduler never overfills a word batch).
+    pub fn run(&self, jobs: &[Job]) -> Result<ThroughputReport, Error> {
+        let started = Instant::now();
+        let counters = ThroughputCounters::new();
+        let mut outputs: Vec<Option<JobOutput>> = vec![None; jobs.len()];
+        let mut worker_stats = Vec::with_capacity(self.workers);
+
+        let shard = jobs.len().div_ceil(self.workers).max(1);
+        let shards: Vec<(usize, &[Job])> = jobs
+            .chunks(shard)
+            .enumerate()
+            .map(|(w, chunk)| (w * shard, chunk))
+            .collect();
+
+        let results: Vec<Result<WorkerYield, Error>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = shards
+                .iter()
+                .enumerate()
+                .map(|(w, &(offset, chunk))| {
+                    let counters = &counters;
+                    let cache = &self.cache;
+                    scope.spawn(move || worker_run(w, offset, chunk, cache, counters))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        });
+
+        for res in results {
+            let (outs, stats) = res?;
+            for (idx, out) in outs {
+                outputs[idx] = Some(out);
+            }
+            worker_stats.push(stats);
+        }
+        // Idle workers (more threads than shards) still appear in the
+        // report, with empty stats.
+        for w in worker_stats.len()..self.workers {
+            worker_stats.push(WorkerStats {
+                worker: w,
+                jobs: 0,
+                chars: 0,
+                batches: 0,
+                lanes_used: 0,
+                elapsed: Duration::ZERO,
+            });
+        }
+        worker_stats.sort_by_key(|s| s.worker);
+
+        let outputs = outputs
+            .into_iter()
+            .map(|o| o.expect("every job produces an output"))
+            .collect();
+        Ok(ThroughputReport {
+            outputs,
+            workers: worker_stats,
+            totals: counters.snapshot(started.elapsed()),
+        })
+    }
+}
+
+/// What one worker hands back: outputs tagged with their global job
+/// index, plus the worker's own statistics.
+type WorkerYield = (Vec<(usize, JobOutput)>, WorkerStats);
+
+/// One worker: group its shard by pattern, fill word batches, match.
+fn worker_run(
+    worker: usize,
+    offset: usize,
+    chunk: &[Job],
+    cache: &Mutex<PatternCache>,
+    counters: &ThroughputCounters,
+) -> Result<WorkerYield, Error> {
+    let started = Instant::now();
+    let mut stats = WorkerStats {
+        worker,
+        jobs: 0,
+        chars: 0,
+        batches: 0,
+        lanes_used: 0,
+        elapsed: Duration::ZERO,
+    };
+    let mut outs: Vec<(usize, JobOutput)> = Vec::with_capacity(chunk.len());
+
+    // Group this shard's jobs by pattern, preserving first-seen order
+    // so batches are deterministic for a given sharding.
+    let mut order: Vec<&Pattern> = Vec::new();
+    let mut groups: HashMap<&Pattern, Vec<usize>> = HashMap::new();
+    for (i, job) in chunk.iter().enumerate() {
+        groups.entry(&job.pattern).or_insert_with(|| {
+            order.push(&job.pattern);
+            Vec::new()
+        });
+        groups.get_mut(&job.pattern).expect("just inserted").push(i);
+    }
+
+    // Same-pattern groups of two or more ride the zero-setup uniform
+    // path; singletons pool into mixed batches below.
+    let mut singles: Vec<(usize, Arc<CompiledPattern>)> = Vec::new();
+    for pattern in order {
+        let members = &groups[pattern];
+        let (compiled, hit) = cache
+            .lock()
+            .expect("cache poisoned")
+            .get_or_compile(pattern);
+        if hit {
+            counters.cache_hits.add(1);
+        } else {
+            counters.cache_misses.add(1);
+        }
+        if members.len() == 1 {
+            singles.push((members[0], compiled));
+            continue;
+        }
+        for batch in members.chunks(LANES) {
+            let texts: Vec<&[Symbol]> = batch.iter().map(|&i| chunk[i].text.as_slice()).collect();
+            let hits = match_uniform(&compiled, &texts)?;
+            record_batch(batch, hits, chunk, offset, &mut outs, &mut stats, counters);
+        }
+    }
+    for batch in singles.chunks(LANES) {
+        let lanes: Vec<(&CompiledPattern, &[Symbol])> = batch
+            .iter()
+            .map(|(i, c)| (c.as_ref(), chunk[*i].text.as_slice()))
+            .collect();
+        let hits = match_lanes(&lanes)?;
+        let members: Vec<usize> = batch.iter().map(|&(i, _)| i).collect();
+        record_batch(
+            &members, hits, chunk, offset, &mut outs, &mut stats, counters,
+        );
+    }
+
+    stats.elapsed = started.elapsed();
+    Ok((outs, stats))
+}
+
+/// Books one completed word batch into outputs, stats and counters.
+fn record_batch(
+    members: &[usize],
+    hits: Vec<MatchBits>,
+    chunk: &[Job],
+    offset: usize,
+    outs: &mut Vec<(usize, JobOutput)>,
+    stats: &mut WorkerStats,
+    counters: &ThroughputCounters,
+) {
+    debug_assert_eq!(members.len(), hits.len());
+    let mut batch_chars = 0u64;
+    for (&i, hit) in members.iter().zip(hits) {
+        batch_chars += chunk[i].text.len() as u64;
+        outs.push((
+            offset + i,
+            JobOutput {
+                id: chunk[i].id,
+                hits: hit,
+            },
+        ));
+    }
+    stats.jobs += members.len() as u64;
+    stats.chars += batch_chars;
+    stats.batches += 1;
+    stats.lanes_used += members.len() as u64;
+    counters.jobs.add(members.len() as u64);
+    counters.chars.add(batch_chars);
+    counters.batches.add(1);
+    counters.lane_slots_used.add(members.len() as u64);
+    counters.lane_slots_total.add(LANES as u64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_systolic::spec::match_spec;
+    use pm_systolic::symbol::text_from_letters;
+
+    fn jobs_fixture() -> Vec<Job> {
+        let p1 = Pattern::parse("AXC").unwrap();
+        let p2 = Pattern::parse("BB").unwrap();
+        let p3 = Pattern::parse("CABX").unwrap();
+        let texts = ["ABCAACCAB", "BBABBB", "CABACABC", "", "AACCA"];
+        let mut jobs = Vec::new();
+        for (i, t) in texts.iter().enumerate() {
+            for (j, p) in [&p1, &p2, &p3].iter().enumerate() {
+                jobs.push(Job::new(
+                    (i * 3 + j) as u64,
+                    (*p).clone(),
+                    text_from_letters(t).unwrap(),
+                ));
+            }
+        }
+        jobs
+    }
+
+    #[test]
+    fn outputs_equal_spec_for_any_worker_count() {
+        let jobs = jobs_fixture();
+        for workers in [1, 2, 3, 7] {
+            let engine = ThroughputEngine::new(workers, 8);
+            let report = engine.run(&jobs).unwrap();
+            assert_eq!(report.outputs.len(), jobs.len());
+            for (out, job) in report.outputs.iter().zip(&jobs) {
+                assert_eq!(out.id, job.id);
+                assert_eq!(
+                    out.hits.bits(),
+                    match_spec(&job.text, &job.pattern),
+                    "job {} under {workers} workers",
+                    job.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_patterns_hit_the_cache() {
+        let jobs = jobs_fixture();
+        let engine = ThroughputEngine::new(1, 8);
+        let report = engine.run(&jobs).unwrap();
+        // 3 distinct patterns; one worker sees each exactly once.
+        assert_eq!(report.totals.cache_misses, 3);
+        assert_eq!(engine.cached_patterns(), 3);
+        // A second run over the same patterns is all hits.
+        let report2 = engine.run(&jobs).unwrap();
+        assert_eq!(report2.totals.cache_misses, 0);
+        assert!(report2.totals.cache_hit_rate() == 1.0);
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_pattern() {
+        let mut cache = PatternCache::new(2);
+        let a = Pattern::parse("A").unwrap();
+        let b = Pattern::parse("B").unwrap();
+        let c = Pattern::parse("C").unwrap();
+        cache.get_or_compile(&a);
+        cache.get_or_compile(&b);
+        cache.get_or_compile(&a); // refresh a; b is now coldest
+        cache.get_or_compile(&c); // evicts b
+        assert_eq!(cache.len(), 2);
+        let (_, hit_a) = cache.get_or_compile(&a);
+        assert!(hit_a, "a was refreshed and must survive");
+        let (_, hit_b) = cache.get_or_compile(&b);
+        assert!(!hit_b, "b was the LRU entry and must be gone");
+    }
+
+    #[test]
+    fn stats_account_for_every_character() {
+        let jobs = jobs_fixture();
+        let total_chars: u64 = jobs.iter().map(|j| j.text.len() as u64).sum();
+        let engine = ThroughputEngine::new(3, 8);
+        let report = engine.run(&jobs).unwrap();
+        assert_eq!(report.totals.chars, total_chars);
+        let worker_chars: u64 = report.workers.iter().map(|w| w.chars).sum();
+        assert_eq!(worker_chars, total_chars);
+        assert_eq!(report.totals.jobs, jobs.len() as u64);
+        assert!(report.totals.lane_occupancy() > 0.0);
+        assert!(report.totals.lane_occupancy() <= 1.0);
+    }
+
+    #[test]
+    fn more_workers_than_jobs_is_fine() {
+        let jobs = jobs_fixture().into_iter().take(2).collect::<Vec<_>>();
+        let engine = ThroughputEngine::new(8, 4);
+        let report = engine.run(&jobs).unwrap();
+        assert_eq!(report.outputs.len(), 2);
+        assert_eq!(report.workers.len(), 8);
+    }
+
+    #[test]
+    fn empty_job_list_yields_empty_report() {
+        let engine = ThroughputEngine::new(2, 4);
+        let report = engine.run(&[]).unwrap();
+        assert!(report.outputs.is_empty());
+        assert_eq!(report.totals.chars, 0);
+    }
+}

@@ -69,6 +69,17 @@ impl Wafer {
     /// hands in one row of chip-socket health bits and harvests a chain
     /// of working sockets exactly as a wafer harvests working cells.
     ///
+    /// ```
+    /// use pm_chip::wafer::Wafer;
+    ///
+    /// // One row of chip-socket health bits: socket 1 is dead.
+    /// let board = Wafer::from_defects(vec![vec![false, true, false, false]]);
+    /// assert_eq!(board.working_cells(), 3);
+    /// let harvest = board.harvest(1); // bypass wiring jumps one socket
+    /// assert_eq!(harvest.chain, vec![(0, 0), (0, 2), (0, 3)]);
+    /// assert_eq!(harvest.stranded, 0);
+    /// ```
+    ///
     /// # Panics
     ///
     /// Panics if the map is empty or the rows are ragged.

@@ -1,0 +1,91 @@
+//! Property tests: the threaded job scheduler returns exactly what the
+//! executable specification returns, job for job, for arbitrary job
+//! mixes, worker counts and cache sizes.
+
+use pm_chip::throughput::{Job, ThroughputEngine};
+use pm_systolic::prelude::*;
+use proptest::prelude::*;
+
+/// A pattern pool (each pattern a list of literal-or-wild symbols) and
+/// a job list of (pool index, text) pairs.
+type JobWorkload = (Vec<Vec<Option<u8>>>, Vec<(usize, Vec<u8>)>);
+
+/// Strategy: a small pool of patterns (so jobs repeat patterns and the
+/// cache / uniform-batch paths fire) and a list of jobs drawn from it.
+fn job_workload() -> impl Strategy<Value = JobWorkload> {
+    let pat_sym = prop_oneof![
+        4 => (0u8..=3).prop_map(Some),
+        1 => Just(None), // wild card
+    ];
+    let pool = proptest::collection::vec(proptest::collection::vec(pat_sym, 1..=8), 1..=4);
+    pool.prop_flat_map(|pool| {
+        let picks = pool.len();
+        (
+            Just(pool),
+            proptest::collection::vec(
+                (0..picks, proptest::collection::vec(0u8..=3, 0..=30)),
+                0..=80,
+            ),
+        )
+    })
+}
+
+fn build(pat: &[Option<u8>]) -> Pattern {
+    let syms: Vec<PatSym> = pat
+        .iter()
+        .map(|o| match o {
+            Some(v) => PatSym::Lit(Symbol::new(*v)),
+            None => PatSym::Wild,
+        })
+        .collect();
+    Pattern::new(syms, Alphabet::TWO_BIT).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn scheduler_equals_spec_per_job(
+        (pool, specs) in job_workload(),
+        workers in 1usize..6,
+        cache in 1usize..5,
+    ) {
+        let patterns: Vec<Pattern> = pool.iter().map(|p| build(p)).collect();
+        let jobs: Vec<Job> = specs
+            .iter()
+            .enumerate()
+            .map(|(id, (pick, text))| {
+                let symbols: Vec<Symbol> =
+                    text.iter().map(|&b| Symbol::new(b)).collect();
+                Job::new(id as u64, patterns[*pick].clone(), symbols)
+            })
+            .collect();
+        let report = ThroughputEngine::new(workers, cache).run(&jobs).unwrap();
+
+        // One output per job, in job order, each equal to the spec.
+        prop_assert_eq!(report.outputs.len(), jobs.len());
+        for (job, out) in jobs.iter().zip(&report.outputs) {
+            prop_assert_eq!(out.id, job.id);
+            prop_assert_eq!(
+                out.hits.bits(),
+                match_spec(&job.text, &job.pattern)
+            );
+        }
+
+        // Accounting invariants: every character is counted exactly
+        // once, lanes never overfill, and cache lookups are bounded by
+        // distinct patterns below (each must be compiled at least once
+        // somewhere) and by the job count above (one lookup per
+        // pattern group per worker).
+        let chars: u64 = jobs.iter().map(|j| j.text.len() as u64).sum();
+        prop_assert_eq!(report.totals.chars, chars);
+        prop_assert!(report.totals.lane_slots_used <= report.totals.lane_slots_total);
+        let lookups = report.totals.cache_hits + report.totals.cache_misses;
+        let distinct: std::collections::HashSet<&Pattern> =
+            jobs.iter().map(|j| &j.pattern).collect();
+        prop_assert!(lookups >= distinct.len() as u64);
+        prop_assert!(lookups <= jobs.len() as u64);
+        let worker_chars: u64 = report.workers.iter().map(|w| w.chars).sum();
+        prop_assert_eq!(worker_chars, chars);
+    }
+}

@@ -40,6 +40,17 @@ impl fmt::Display for Fault {
 /// class). `sample_every` thins the list for tractable simulation:
 /// 1 = exhaustive.
 ///
+/// ```
+/// use pm_nmos::chip::PatternChip;
+/// use pm_nmos::faults::enumerate_faults;
+///
+/// let chip = PatternChip::new(2, 1);
+/// let all = enumerate_faults(&chip, 1); // exhaustive
+/// assert!(all.len() % 2 == 0); // stuck-at-0 and stuck-at-1 per net
+/// let sampled = enumerate_faults(&chip, 10); // every tenth, for speed
+/// assert!(sampled.len() <= all.len() / 10 + 1);
+/// ```
+///
 /// # Panics
 ///
 /// Panics if `sample_every` is zero.

@@ -1,0 +1,655 @@
+//! Bit-plane batched matching: 64 independent text streams per word.
+//!
+//! The paper's throughput argument (§1) is that the chip's data rate —
+//! one character every 250 ns — comes from doing all `k+1` comparisons
+//! of a window concurrently in space. This module makes the transposed
+//! observation for software: the per-cell state of the boolean matcher
+//! is *one bit* (`t`, `λ`, `x`, the per-bit comparator outputs of
+//! Figure 3-4), so 64 **independent** streams can be packed into the 64
+//! bit positions of a `u64` and stepped together with branch-free
+//! bitwise logic. Each bit position is called a *lane*; a `u64` holding
+//! one state bit for every lane is a *plane*.
+//!
+//! Two engines live here, at opposite ends of a fidelity/throughput
+//! trade:
+//!
+//! * [`PlaneDriver`] runs lane-planes through the **existing** systolic
+//!   machinery — [`LaneBoolean`] is a [`MeetSemantics`] instance whose
+//!   accumulator is a `u64` plane, so the unmodified
+//!   [`Driver`](crate::engine::Driver)/[`Segment`](crate::segment::Segment)
+//!   choreography (opposing streams, recirculation, `λ` emission)
+//!   advances 64 matches per beat. This is the beat-accurate batched
+//!   array, golden-tested against the scalar engines.
+//! * [`BatchMatcher`] is the throughput engine: it drops the beat
+//!   choreography and keeps only the cell algebra, advancing every lane
+//!   one text position per step with `k+1` word operations — the
+//!   accumulator recurrence `t ← t ∧ (x ∨ d)` evaluated as plane
+//!   arithmetic. Patterns are pre-compiled to control-bit planes
+//!   ([`CompiledPattern`]), which is what the `pm-chip` pattern cache
+//!   stores. Lanes may carry *different* patterns of *different*
+//!   lengths ([`match_lanes`]); ragged lane counts (`N % 64 ≠ 0`) are
+//!   handled by chunking.
+//!
+//! Both are bit-identical to [`match_spec`](crate::spec::match_spec) on
+//! every lane (property-tested in `tests/proptests.rs`).
+//!
+//! ```
+//! use pm_systolic::batch::BatchMatcher;
+//! use pm_systolic::symbol::{Pattern, text_from_letters};
+//!
+//! # fn main() -> Result<(), pm_systolic::Error> {
+//! let m = BatchMatcher::new(&Pattern::parse("AXC")?);
+//! let texts = [
+//!     text_from_letters("ABCAACCAB")?, // the paper's Figure 3-1 text
+//!     text_from_letters("CCCAAC")?,
+//! ];
+//! let lanes: Vec<&[_]> = texts.iter().map(|t| t.as_slice()).collect();
+//! let hits = m.match_streams(&lanes)?;
+//! assert_eq!(hits[0].ending_positions(), vec![2, 5, 6]);
+//! assert_eq!(hits[1].ending_positions(), vec![5]);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::engine::{Driver, MatchBits};
+use crate::error::Error;
+use crate::semantics::MeetSemantics;
+use crate::symbol::{PatSym, Pattern, Symbol};
+
+/// Number of independent streams packed into one word of planes.
+pub const LANES: usize = 64;
+
+/// Maximum alphabet width in bits (mirrors [`crate::symbol::Alphabet`]).
+const MAX_BITS: usize = 8;
+
+/// Comparator plane: lanes where the pattern bit planes equal the text
+/// bit planes on every alphabet bit. This is the column of Figure 3-4
+/// one-bit comparators evaluated 64 lanes at a time: `d = ∧_b ¬(p_b ⊕ s_b)`.
+#[inline]
+fn eq_plane(pat_bits: &[u64; MAX_BITS], txt_bits: &[u64; MAX_BITS], bits: u32) -> u64 {
+    let mut ne = 0u64;
+    for b in 0..bits as usize {
+        ne |= pat_bits[b] ^ txt_bits[b];
+    }
+    !ne
+}
+
+/// A pattern compiled to broadcast control-bit planes: for each pattern
+/// position `m`, the `x` (wild card) plane and the literal's bit planes,
+/// each either all-zeros or all-ones so the same compilation serves any
+/// lane assignment. Compiling walks the pattern once; the `pm-chip`
+/// scheduler caches these keyed by pattern so repeated patterns skip it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledPattern {
+    pattern: Pattern,
+    /// `wild[m]`: all-ones iff `p_m` is the wild card.
+    wild: Vec<u64>,
+    /// `bits[m][b]`: all-ones iff bit `b` (LSB first) of `p_m` is set.
+    bits: Vec<[u64; MAX_BITS]>,
+}
+
+impl CompiledPattern {
+    /// Compiles a pattern into broadcast control planes.
+    pub fn compile(pattern: &Pattern) -> Self {
+        let mut wild = Vec::with_capacity(pattern.len());
+        let mut bits = Vec::with_capacity(pattern.len());
+        for sym in pattern.symbols() {
+            match sym {
+                PatSym::Wild => {
+                    wild.push(!0u64);
+                    bits.push([0u64; MAX_BITS]);
+                }
+                PatSym::Lit(s) => {
+                    wild.push(0u64);
+                    let v = s.value();
+                    let mut planes = [0u64; MAX_BITS];
+                    for (b, plane) in planes.iter_mut().enumerate() {
+                        if (v >> b) & 1 == 1 {
+                            *plane = !0u64;
+                        }
+                    }
+                    bits.push(planes);
+                }
+            }
+        }
+        CompiledPattern {
+            pattern: pattern.clone(),
+            wild,
+            bits,
+        }
+    }
+
+    /// The source pattern.
+    pub fn pattern(&self) -> &Pattern {
+        &self.pattern
+    }
+
+    /// Pattern length `k+1`.
+    pub fn len(&self) -> usize {
+        self.wild.len()
+    }
+
+    /// Never true: patterns are non-empty by construction.
+    pub fn is_empty(&self) -> bool {
+        self.wild.is_empty()
+    }
+}
+
+/// Per-lane control planes for one word batch: the merged compiled
+/// patterns of up to 64 lanes, plus the `λ` planes marking each lane's
+/// pattern end.
+#[derive(Debug, Clone)]
+struct LanePlanes {
+    /// Longest pattern across the lanes.
+    kmax: usize,
+    /// Widest alphabet across the lanes, in bits.
+    bits: u32,
+    wild: Vec<u64>,
+    pbits: Vec<[u64; MAX_BITS]>,
+    /// `end[m]` bit `l`: position `m` is lane `l`'s last pattern char.
+    end: Vec<u64>,
+}
+
+impl LanePlanes {
+    /// All lanes share one pattern: planes are the broadcast compilation
+    /// itself, so per-batch setup is O(k) regardless of lane count.
+    fn uniform(compiled: &CompiledPattern) -> LanePlanes {
+        let k1 = compiled.len();
+        let mut end = vec![0u64; k1];
+        end[k1 - 1] = !0u64;
+        LanePlanes {
+            kmax: k1,
+            bits: compiled.pattern.alphabet().bits(),
+            wild: compiled.wild.clone(),
+            pbits: compiled.bits.clone(),
+            end,
+        }
+    }
+
+    /// Each lane carries its own pattern (lengths may differ).
+    fn merge(compiled: &[&CompiledPattern]) -> Result<LanePlanes, Error> {
+        if compiled.len() > LANES {
+            return Err(Error::TooManyLanes {
+                lanes: compiled.len(),
+            });
+        }
+        let kmax = compiled.iter().map(|c| c.len()).max().unwrap_or(0);
+        let bits = compiled
+            .iter()
+            .map(|c| c.pattern.alphabet().bits())
+            .max()
+            .unwrap_or(1);
+        let mut planes = LanePlanes {
+            kmax,
+            bits,
+            wild: vec![0u64; kmax],
+            pbits: vec![[0u64; MAX_BITS]; kmax],
+            end: vec![0u64; kmax],
+        };
+        for (l, c) in compiled.iter().enumerate() {
+            let lane = 1u64 << l;
+            for m in 0..c.len() {
+                if c.wild[m] != 0 {
+                    planes.wild[m] |= lane;
+                }
+                for b in 0..MAX_BITS {
+                    if c.bits[m][b] != 0 {
+                        planes.pbits[m][b] |= lane;
+                    }
+                }
+            }
+            planes.end[c.len() - 1] |= lane;
+        }
+        Ok(planes)
+    }
+
+    /// Advances every lane one text position and returns the result
+    /// plane for this position. `state[m]` is the plane "lane's pattern
+    /// prefix `p_0 … p_m` matches the text ending here" — the batched
+    /// `t` accumulators, updated with the §3.2.1 recurrence
+    /// `t ← t ∧ (x ∨ d)` as pure word arithmetic, high positions first
+    /// so each prefix extends the previous step's shorter prefix.
+    #[inline]
+    fn step(&self, state: &mut [u64], txt_bits: &[u64; MAX_BITS]) -> u64 {
+        for m in (1..self.kmax).rev() {
+            let d = self.wild[m] | eq_plane(&self.pbits[m], txt_bits, self.bits);
+            state[m] = state[m - 1] & d;
+        }
+        state[0] = self.wild[0] | eq_plane(&self.pbits[0], txt_bits, self.bits);
+        state
+            .iter()
+            .zip(&self.end)
+            .fold(0u64, |out, (s, e)| out | (s & e))
+    }
+
+    /// Runs the engine over per-lane texts (lengths may differ) and
+    /// returns one result vector per lane, aligned to text positions
+    /// exactly like [`match_spec`](crate::spec::match_spec).
+    fn run(&self, texts: &[&[Symbol]]) -> Vec<Vec<bool>> {
+        debug_assert!(texts.len() <= LANES);
+        let tmax = texts.iter().map(|t| t.len()).max().unwrap_or(0);
+        let mut state = vec![0u64; self.kmax];
+        let mut out: Vec<Vec<bool>> = texts.iter().map(|t| vec![false; t.len()]).collect();
+        for i in 0..tmax {
+            // Transpose this text position into bit planes. Exhausted
+            // lanes contribute zero planes; their state keeps stepping
+            // harmlessly because their outputs are no longer recorded.
+            let mut txt_bits = [0u64; MAX_BITS];
+            for (l, t) in texts.iter().enumerate() {
+                if let Some(sym) = t.get(i) {
+                    let v = sym.value();
+                    let lane = 1u64 << l;
+                    for (b, plane) in txt_bits.iter_mut().enumerate() {
+                        if (v >> b) & 1 == 1 {
+                            *plane |= lane;
+                        }
+                    }
+                }
+            }
+            let r = self.step(&mut state, &txt_bits);
+            for (l, o) in out.iter_mut().enumerate() {
+                if i < o.len() {
+                    o[i] = (r >> l) & 1 == 1;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Matches one compiled pattern against up to [`LANES`] texts in a
+/// single word batch. Lower-level building block for schedulers that
+/// manage their own chunking; most callers want
+/// [`BatchMatcher::match_streams`], which chunks automatically.
+///
+/// # Errors
+///
+/// [`Error::TooManyLanes`] if more than 64 texts are supplied.
+pub fn match_uniform(
+    compiled: &CompiledPattern,
+    texts: &[&[Symbol]],
+) -> Result<Vec<MatchBits>, Error> {
+    if texts.len() > LANES {
+        return Err(Error::TooManyLanes { lanes: texts.len() });
+    }
+    if texts.is_empty() {
+        return Ok(Vec::new());
+    }
+    let planes = LanePlanes::uniform(compiled);
+    let k = compiled.pattern.k();
+    Ok(planes
+        .run(texts)
+        .into_iter()
+        .map(|bits| MatchBits::new(bits, k))
+        .collect())
+}
+
+/// Matches up to [`LANES`] independent `(pattern, text)` jobs in one
+/// word batch; every lane may carry a different pattern of a different
+/// length. Returns one [`MatchBits`] per job, in order.
+///
+/// # Errors
+///
+/// [`Error::TooManyLanes`] if more than 64 jobs are supplied.
+pub fn match_lanes(jobs: &[(&CompiledPattern, &[Symbol])]) -> Result<Vec<MatchBits>, Error> {
+    if jobs.len() > LANES {
+        return Err(Error::TooManyLanes { lanes: jobs.len() });
+    }
+    if jobs.is_empty() {
+        return Ok(Vec::new());
+    }
+    let compiled: Vec<&CompiledPattern> = jobs.iter().map(|(c, _)| *c).collect();
+    let texts: Vec<&[Symbol]> = jobs.iter().map(|(_, t)| *t).collect();
+    let planes = LanePlanes::merge(&compiled)?;
+    Ok(planes
+        .run(&texts)
+        .into_iter()
+        .zip(&compiled)
+        .map(|(bits, c)| MatchBits::new(bits, c.pattern.k()))
+        .collect())
+}
+
+/// The batched throughput engine for one pattern: any number of
+/// independent text streams, processed 64 per word. See the
+/// [module docs](self) for how it relates to the systolic array.
+#[derive(Debug, Clone)]
+pub struct BatchMatcher {
+    compiled: CompiledPattern,
+}
+
+impl BatchMatcher {
+    /// Compiles `pattern` into control-bit planes.
+    pub fn new(pattern: &Pattern) -> Self {
+        BatchMatcher {
+            compiled: CompiledPattern::compile(pattern),
+        }
+    }
+
+    /// Wraps an already-compiled pattern (e.g. one from a cache).
+    pub fn from_compiled(compiled: CompiledPattern) -> Self {
+        BatchMatcher { compiled }
+    }
+
+    /// The compiled control planes.
+    pub fn compiled(&self) -> &CompiledPattern {
+        &self.compiled
+    }
+
+    /// The pattern this matcher was built for.
+    pub fn pattern(&self) -> &Pattern {
+        self.compiled.pattern()
+    }
+
+    /// Matches every text stream against the pattern, 64 lanes per word
+    /// batch; `texts.len()` is unbounded and need not be a multiple of
+    /// 64 (the last chunk simply runs with idle lanes).
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible; the `Result` reserves room for stream
+    /// validation, mirroring the scalar matcher's API.
+    pub fn match_streams(&self, texts: &[&[Symbol]]) -> Result<Vec<MatchBits>, Error> {
+        let mut out = Vec::with_capacity(texts.len());
+        for chunk in texts.chunks(LANES) {
+            out.extend(match_uniform(&self.compiled, chunk)?);
+        }
+        Ok(out)
+    }
+}
+
+// ---------------------------------------------------------------------
+// The MeetSemantics integration: lane planes through the real array.
+// ---------------------------------------------------------------------
+
+/// Pattern payload for the batched semantics: one pattern position
+/// across all lanes — the literal's bit planes and the `x` plane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LanePat {
+    /// Bit planes of the literal, LSB first.
+    pub bits: [u64; MAX_BITS],
+    /// Lanes where this position is the wild card.
+    pub wild: u64,
+}
+
+/// Text payload for the batched semantics: one text position across
+/// all lanes, as bit planes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaneTxt {
+    /// Bit planes of the symbols, LSB first.
+    pub bits: [u64; MAX_BITS],
+}
+
+/// [`MeetSemantics`] instance whose accumulator is a 64-lane plane:
+/// the unmodified systolic [`Driver`](crate::engine::Driver) advances
+/// 64 boolean matches per beat. All lanes share the pattern *length*
+/// (one `λ` bit serves every lane); contents may differ per lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaneBoolean {
+    /// Alphabet width in bits (the number of comparator planes).
+    pub bits: u32,
+}
+
+impl MeetSemantics for LaneBoolean {
+    type Pat = LanePat;
+    type Txt = LaneTxt;
+    type Acc = u64;
+    type Out = u64;
+
+    fn fresh(&self) -> u64 {
+        !0u64 // t ← TRUE, in every lane at once
+    }
+
+    fn absorb(&self, acc: &mut u64, pat: &LanePat, txt: &LaneTxt) {
+        // t ← t ∧ (x ∨ d), 64 lanes per word operation.
+        *acc &= pat.wild | eq_plane(&pat.bits, &txt.bits, self.bits);
+    }
+
+    fn finish(&self, acc: u64) -> u64 {
+        acc
+    }
+}
+
+/// Packs up to 64 equal-length patterns into lane-plane pattern items
+/// for [`LaneBoolean`].
+///
+/// # Errors
+///
+/// * [`Error::EmptyPattern`] if no patterns are given.
+/// * [`Error::TooManyLanes`] for more than 64.
+/// * [`Error::RaggedLanePatterns`] if the lengths differ — the shared
+///   `λ` bit of the pattern stream cannot serve two lengths at once
+///   (use [`match_lanes`] for ragged batches).
+pub fn pack_patterns(patterns: &[Pattern]) -> Result<Vec<LanePat>, Error> {
+    let first = patterns.first().ok_or(Error::EmptyPattern)?;
+    if patterns.len() > LANES {
+        return Err(Error::TooManyLanes {
+            lanes: patterns.len(),
+        });
+    }
+    let k1 = first.len();
+    if patterns.iter().any(|p| p.len() != k1) {
+        return Err(Error::RaggedLanePatterns);
+    }
+    let mut items = vec![
+        LanePat {
+            bits: [0u64; MAX_BITS],
+            wild: 0,
+        };
+        k1
+    ];
+    for (l, p) in patterns.iter().enumerate() {
+        let lane = 1u64 << l;
+        for (m, sym) in p.symbols().iter().enumerate() {
+            match sym {
+                PatSym::Wild => items[m].wild |= lane,
+                PatSym::Lit(s) => {
+                    let v = s.value();
+                    for (b, plane) in items[m].bits.iter_mut().enumerate() {
+                        if (v >> b) & 1 == 1 {
+                            *plane |= lane;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(items)
+}
+
+/// The beat-accurate batched matcher: lane planes flowing through the
+/// existing [`Driver`](crate::engine::Driver) with [`LaneBoolean`]
+/// semantics. One beat of this driver is one beat of the scalar array —
+/// in all 64 lanes simultaneously.
+#[derive(Debug, Clone)]
+pub struct PlaneDriver {
+    driver: Driver<LaneBoolean>,
+    k: usize,
+    lanes: usize,
+}
+
+impl PlaneDriver {
+    /// Builds a batched driver over `patterns` (up to 64, equal length;
+    /// the array gets exactly `k+1` cells as in §3.2.1).
+    ///
+    /// # Errors
+    ///
+    /// As [`pack_patterns`].
+    pub fn new(patterns: &[Pattern]) -> Result<Self, Error> {
+        let items = pack_patterns(patterns)?;
+        let bits = patterns
+            .iter()
+            .map(|p| p.alphabet().bits())
+            .max()
+            .unwrap_or(1);
+        let cells = items.len();
+        let k = cells - 1;
+        let driver = Driver::new(LaneBoolean { bits }, items, &[cells])?;
+        Ok(PlaneDriver {
+            driver,
+            k,
+            lanes: patterns.len(),
+        })
+    }
+
+    /// Number of occupied lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Runs every lane's text through the array (texts may have
+    /// different lengths; shorter lanes idle on zero planes, whose
+    /// results are discarded) and returns one [`MatchBits`] per lane.
+    pub fn run(&mut self, texts: &[&[Symbol]]) -> Result<Vec<MatchBits>, Error> {
+        if texts.len() != self.lanes {
+            return Err(Error::TooManyLanes { lanes: texts.len() });
+        }
+        let tmax = texts.iter().map(|t| t.len()).max().unwrap_or(0);
+        let stream: Vec<LaneTxt> = (0..tmax)
+            .map(|i| {
+                let mut bits = [0u64; MAX_BITS];
+                for (l, t) in texts.iter().enumerate() {
+                    if let Some(sym) = t.get(i) {
+                        let v = sym.value();
+                        let lane = 1u64 << l;
+                        for (b, plane) in bits.iter_mut().enumerate() {
+                            if (v >> b) & 1 == 1 {
+                                *plane |= lane;
+                            }
+                        }
+                    }
+                }
+                LaneTxt { bits }
+            })
+            .collect();
+        let planes = self.driver.run(&stream);
+        Ok(texts
+            .iter()
+            .enumerate()
+            .map(|(l, t)| {
+                let bits = (0..t.len()).map(|i| (planes[i] >> l) & 1 == 1).collect();
+                MatchBits::new(bits, self.k)
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::match_spec;
+    use crate::symbol::text_from_letters;
+
+    fn letters(s: &str) -> Vec<Symbol> {
+        text_from_letters(s).unwrap()
+    }
+
+    #[test]
+    fn figure_3_1_in_every_lane() {
+        let m = BatchMatcher::new(&Pattern::parse("AXC").unwrap());
+        let t = letters("ABCAACCAB");
+        let texts: Vec<&[Symbol]> = (0..LANES + 7).map(|_| t.as_slice()).collect();
+        let hits = m.match_streams(&texts).unwrap();
+        assert_eq!(hits.len(), LANES + 7);
+        for h in hits {
+            assert_eq!(h.ending_positions(), vec![2, 5, 6]);
+        }
+    }
+
+    #[test]
+    fn uniform_batch_matches_spec_on_distinct_texts() {
+        let p = Pattern::parse("ABXA").unwrap();
+        let m = BatchMatcher::new(&p);
+        let texts = [
+            letters("ABCABBAACBA"),
+            letters("ABBA"),
+            letters(""),
+            letters("A"),
+            letters("ABCAABBAABCAABBA"),
+        ];
+        let lanes: Vec<&[Symbol]> = texts.iter().map(|t| t.as_slice()).collect();
+        let hits = m.match_streams(&lanes).unwrap();
+        for (h, t) in hits.iter().zip(&texts) {
+            assert_eq!(h.bits(), match_spec(t, &p), "text {t:?}");
+        }
+    }
+
+    #[test]
+    fn mixed_lanes_with_ragged_pattern_lengths() {
+        let pats = [
+            Pattern::parse("A").unwrap(),
+            Pattern::parse("AXC").unwrap(),
+            Pattern::parse("BBBBB").unwrap(),
+            Pattern::parse("XX").unwrap(),
+        ];
+        let compiled: Vec<CompiledPattern> = pats.iter().map(CompiledPattern::compile).collect();
+        let text = letters("ABCAACCABBBBBAB");
+        let jobs: Vec<(&CompiledPattern, &[Symbol])> =
+            compiled.iter().map(|c| (c, text.as_slice())).collect();
+        let hits = match_lanes(&jobs).unwrap();
+        for (h, p) in hits.iter().zip(&pats) {
+            assert_eq!(h.bits(), match_spec(&text, p), "pattern {p}");
+        }
+    }
+
+    #[test]
+    fn lane_limits_are_enforced() {
+        let p = Pattern::parse("AB").unwrap();
+        let c = CompiledPattern::compile(&p);
+        let t = letters("AB");
+        let too_many: Vec<&[Symbol]> = (0..LANES + 1).map(|_| t.as_slice()).collect();
+        assert!(matches!(
+            match_uniform(&c, &too_many),
+            Err(Error::TooManyLanes { lanes: 65 })
+        ));
+        assert!(match_uniform(&c, &[]).unwrap().is_empty());
+        assert!(match_lanes(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn plane_driver_equals_spec_per_lane() {
+        let pats = [
+            Pattern::parse("AXC").unwrap(),
+            Pattern::parse("BBC").unwrap(),
+            Pattern::parse("XXX").unwrap(),
+            Pattern::parse("CAB").unwrap(),
+        ];
+        let texts = [
+            letters("ABCAACCAB"),
+            letters("BBCBBC"),
+            letters("AB"),
+            letters("CABCABCAB"),
+        ];
+        let mut d = PlaneDriver::new(&pats).unwrap();
+        let lanes: Vec<&[Symbol]> = texts.iter().map(|t| t.as_slice()).collect();
+        let hits = d.run(&lanes).unwrap();
+        for ((h, p), t) in hits.iter().zip(&pats).zip(&texts) {
+            assert_eq!(h.bits(), match_spec(t, p), "pattern {p}");
+        }
+    }
+
+    #[test]
+    fn plane_driver_rejects_ragged_patterns() {
+        let pats = [
+            Pattern::parse("AB").unwrap(),
+            Pattern::parse("ABC").unwrap(),
+        ];
+        assert!(matches!(
+            PlaneDriver::new(&pats),
+            Err(Error::RaggedLanePatterns)
+        ));
+        assert!(matches!(PlaneDriver::new(&[]), Err(Error::EmptyPattern)));
+    }
+
+    #[test]
+    fn eight_bit_alphabet_lanes() {
+        use crate::symbol::Alphabet;
+        let p = Pattern::from_bytes(b"ab*a", Some(b'*'), Alphabet::EIGHT_BIT).unwrap();
+        let m = BatchMatcher::new(&p);
+        let t1: Vec<Symbol> = b"abba abca".iter().map(|&b| Symbol::new(b)).collect();
+        let t2: Vec<Symbol> = b"xyz".iter().map(|&b| Symbol::new(b)).collect();
+        let hits = m.match_streams(&[&t1, &t2]).unwrap();
+        assert_eq!(hits[0].bits(), match_spec(&t1, &p));
+        assert_eq!(hits[1].bits(), match_spec(&t2, &p));
+        assert_eq!(hits[0].ending_positions(), vec![3, 8]);
+    }
+}

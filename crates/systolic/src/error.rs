@@ -41,6 +41,17 @@ pub enum Error {
         /// Index of the condemned segment (chip) in the chain.
         segment: usize,
     },
+    /// A bit-plane word batch was offered more lanes than fit in one
+    /// machine word (see [`crate::batch::LANES`]).
+    TooManyLanes {
+        /// Number of lanes requested.
+        lanes: usize,
+    },
+    /// A plane-driver batch mixed pattern lengths; the shared `λ` bit
+    /// of the pattern stream can only mark one end position, so every
+    /// lane of a [`crate::batch::PlaneDriver`] must carry a pattern of
+    /// the same length.
+    RaggedLanePatterns,
 }
 
 impl fmt::Display for Error {
@@ -65,6 +76,15 @@ impl fmt::Display for Error {
             Error::SegmentFaulted { segment } => write!(
                 f,
                 "array segment {segment} is condemned and no spare replaces it"
+            ),
+            Error::TooManyLanes { lanes } => write!(
+                f,
+                "{lanes} lanes exceed the {} lanes of one bit-plane word batch",
+                crate::batch::LANES
+            ),
+            Error::RaggedLanePatterns => write!(
+                f,
+                "plane-driver lanes must all carry patterns of one length"
             ),
         }
     }
@@ -92,6 +112,8 @@ mod tests {
             Error::BadAlphabetWidth(0),
             Error::NoSegments,
             Error::SegmentFaulted { segment: 3 },
+            Error::TooManyLanes { lanes: 65 },
+            Error::RaggedLanePatterns,
         ];
         for e in errors {
             let msg = e.to_string();

@@ -52,6 +52,12 @@
 //!   in which characters are compared one bit per beat, high-order bits
 //!   first, and comparison results trickle down a column of one-bit
 //!   comparators.
+//! * [`batch`] — the bit-plane batched engine: because the per-cell
+//!   state of the boolean matcher is one bit, 64 independent text
+//!   streams pack into the bit positions of a `u64` and advance together
+//!   with branch-free word operations — both through the unmodified
+//!   [`Driver`](engine::Driver) (via the [`LaneBoolean`](batch::LaneBoolean)
+//!   semantics) and through a stripped-down throughput engine.
 //! * [`schedule`] — the closed-form injection/meeting algebra of
 //!   §3.2.1, machine-checked against the simulator.
 //! * [`trace`] — beat-by-beat choreography recording, used to regenerate
@@ -78,6 +84,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod bitserial;
 pub mod engine;
 pub mod error;
@@ -96,6 +103,7 @@ pub use error::Error;
 
 /// Convenient re-exports of the items most users need.
 pub mod prelude {
+    pub use crate::batch::{BatchMatcher, CompiledPattern, PlaneDriver};
     pub use crate::bitserial::BitSerialMatcher;
     pub use crate::engine::{Driver, MatchBits};
     pub use crate::error::Error;

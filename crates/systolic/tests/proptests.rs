@@ -21,6 +21,71 @@ fn workload() -> impl Strategy<Value = (u32, Vec<Option<u8>>, Vec<u8>)> {
     })
 }
 
+/// Strategy: a shared pattern plus up to 70 independent lane texts —
+/// deliberately crossing the 64-lane word boundary so the ragged
+/// `N % 64 ≠ 0` chunking path is exercised.
+fn lane_workload() -> impl Strategy<Value = (u32, Vec<Option<u8>>, Vec<Vec<u8>>)> {
+    (1u32..=4).prop_flat_map(|bits| {
+        let max = (1u16 << bits) as u8 - 1;
+        let pat_sym = prop_oneof![
+            3 => (0..=max).prop_map(Some),
+            1 => Just(None), // wild card
+        ];
+        (
+            Just(bits),
+            proptest::collection::vec(pat_sym, 1..=9),
+            proptest::collection::vec(proptest::collection::vec(0..=max, 0..=24), 1..=70),
+        )
+    })
+}
+
+/// An alphabet width plus per-lane (pattern, text) pairs.
+type LaneJobs = (u32, Vec<(Vec<Option<u8>>, Vec<u8>)>);
+
+/// Strategy: per-lane (pattern, text) pairs with independent pattern
+/// lengths, for the mixed-lane plane merger.
+fn mixed_lane_workload() -> impl Strategy<Value = LaneJobs> {
+    (1u32..=4).prop_flat_map(|bits| {
+        let max = (1u16 << bits) as u8 - 1;
+        let pat_sym = prop_oneof![
+            3 => (0..=max).prop_map(Some),
+            1 => Just(None), // wild card
+        ];
+        (
+            Just(bits),
+            proptest::collection::vec(
+                (
+                    proptest::collection::vec(pat_sym, 1..=9),
+                    proptest::collection::vec(0..=max, 0..=24),
+                ),
+                1..=64,
+            ),
+        )
+    })
+}
+
+/// Strategy: equal-length per-lane patterns (the beat-accurate
+/// [`PlaneDriver`] shares one λ position across lanes) and texts.
+fn plane_workload() -> impl Strategy<Value = LaneJobs> {
+    (1u32..=4, 1usize..=6).prop_flat_map(|(bits, len)| {
+        let max = (1u16 << bits) as u8 - 1;
+        let pat_sym = prop_oneof![
+            3 => (0..=max).prop_map(Some),
+            1 => Just(None), // wild card
+        ];
+        (
+            Just(bits),
+            proptest::collection::vec(
+                (
+                    proptest::collection::vec(pat_sym, len),
+                    proptest::collection::vec(0..=max, 0..=20),
+                ),
+                1..=64,
+            ),
+        )
+    })
+}
+
 fn build(bits: u32, pat: &[Option<u8>]) -> Pattern {
     let alphabet = Alphabet::new(bits).unwrap();
     let syms: Vec<PatSym> = pat
@@ -104,6 +169,56 @@ proptest! {
         let run = hs.run(&symbols);
         let expected = match_spec(&symbols, &pattern);
         prop_assert_eq!(run.bits.as_slice(), expected.as_slice());
+    }
+
+    #[test]
+    fn batched_uniform_equals_spec_per_lane((bits, pat, texts) in lane_workload()) {
+        let pattern = build(bits, &pat);
+        let lanes: Vec<Vec<Symbol>> = texts
+            .iter()
+            .map(|t| t.iter().map(|&b| Symbol::new(b)).collect())
+            .collect();
+        let refs: Vec<&[Symbol]> = lanes.iter().map(|t| t.as_slice()).collect();
+        let got = BatchMatcher::new(&pattern).match_streams(&refs).unwrap();
+        prop_assert_eq!(got.len(), lanes.len());
+        for (t, hits) in lanes.iter().zip(&got) {
+            prop_assert_eq!(hits.bits(), match_spec(t, &pattern));
+        }
+    }
+
+    #[test]
+    fn batched_mixed_lanes_equal_spec((bits, jobs) in mixed_lane_workload()) {
+        let compiled: Vec<(CompiledPattern, Vec<Symbol>)> = jobs
+            .iter()
+            .map(|(pat, text)| {
+                let pattern = build(bits, pat);
+                let symbols = text.iter().map(|&b| Symbol::new(b)).collect();
+                (CompiledPattern::compile(&pattern), symbols)
+            })
+            .collect();
+        let lanes: Vec<(&CompiledPattern, &[Symbol])> =
+            compiled.iter().map(|(c, t)| (c, t.as_slice())).collect();
+        let got = pm_systolic::batch::match_lanes(&lanes).unwrap();
+        prop_assert_eq!(got.len(), compiled.len());
+        for ((c, t), hits) in compiled.iter().zip(&got) {
+            prop_assert_eq!(hits.bits(), match_spec(t, c.pattern()));
+        }
+    }
+
+    #[test]
+    fn plane_driver_equals_spec_per_lane((bits, jobs) in plane_workload()) {
+        let patterns: Vec<Pattern> =
+            jobs.iter().map(|(pat, _)| build(bits, pat)).collect();
+        let lanes: Vec<Vec<Symbol>> = jobs
+            .iter()
+            .map(|(_, t)| t.iter().map(|&b| Symbol::new(b)).collect())
+            .collect();
+        let refs: Vec<&[Symbol]> = lanes.iter().map(|t| t.as_slice()).collect();
+        let mut driver = PlaneDriver::new(&patterns).unwrap();
+        let got = driver.run(&refs).unwrap();
+        for ((pattern, t), hits) in patterns.iter().zip(&lanes).zip(&got) {
+            prop_assert_eq!(hits.bits(), match_spec(t, pattern));
+        }
     }
 
     #[test]
