@@ -1,0 +1,101 @@
+//! CI bench-regression gate: compares the `chars_per_sec` headline in a
+//! freshly generated `BENCH_telemetry.json` against the committed
+//! baseline and fails if throughput regressed by more than the allowed
+//! fraction.
+//!
+//! ```text
+//! bench_gate <baseline.json> <current.json> [max_regression]
+//! ```
+//!
+//! `max_regression` defaults to 0.15 (15 %): CI runners are noisy, so
+//! the gate is deliberately loose — it exists to catch "someone put a
+//! mutex in the hot loop", not 2 % jitter. Improvements always pass and
+//! are reported so the baseline can be refreshed.
+//!
+//! The JSON is scanned with plain string matching (the repo vendors no
+//! JSON parser); the snapshot writer in `pm_chip::telemetry` emits the
+//! `"chars_per_sec": <number>` field this reads.
+
+use std::process::ExitCode;
+
+/// Extracts the `"chars_per_sec"` number from a telemetry snapshot.
+fn chars_per_sec(json: &str) -> Option<f64> {
+    let key = "\"chars_per_sec\":";
+    let at = json.find(key)? + key.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn read_rate(path: &str) -> Result<f64, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    chars_per_sec(&text).ok_or_else(|| format!("no \"chars_per_sec\" field in {path}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 {
+        eprintln!("usage: bench_gate <baseline.json> <current.json> [max_regression]");
+        return ExitCode::from(2);
+    }
+    let max_regression: f64 = args
+        .get(2)
+        .map(|s| s.parse().expect("max_regression must be a number"))
+        .unwrap_or(0.15);
+
+    let (baseline, current) = match (read_rate(&args[0]), read_rate(&args[1])) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for err in [b.err(), c.err()].into_iter().flatten() {
+                eprintln!("bench_gate: {err}");
+            }
+            return ExitCode::from(2);
+        }
+    };
+
+    let change = if baseline > 0.0 {
+        (current - baseline) / baseline
+    } else {
+        0.0
+    };
+    println!(
+        "bench_gate: baseline {:.2} Mchar/s, current {:.2} Mchar/s, change {:+.1} % \
+         (gate: -{:.0} %)",
+        baseline / 1e6,
+        current / 1e6,
+        change * 100.0,
+        max_regression * 100.0
+    );
+    if change < -max_regression {
+        eprintln!(
+            "bench_gate: FAIL — throughput regressed {:.1} % (> {:.0} % allowed)",
+            -change * 100.0,
+            max_regression * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    if change > max_regression {
+        println!(
+            "bench_gate: note — throughput improved {:.1} %; consider refreshing \
+             ci/bench_baseline.json",
+            change * 100.0
+        );
+    }
+    println!("bench_gate: PASS");
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::chars_per_sec;
+
+    #[test]
+    fn extracts_the_rate() {
+        let json = "{\n  \"chars_per_sec\": 108625454.9,\n  \"counters\": {}\n}";
+        assert_eq!(chars_per_sec(json), Some(108625454.9));
+        assert_eq!(chars_per_sec("{}"), None);
+        assert_eq!(chars_per_sec("{\"chars_per_sec\": 0.0}"), Some(0.0));
+    }
+}

@@ -21,6 +21,7 @@ const FAILURE_MARKERS: &[&str] = &[
     "overlap observed: true",
     "equal specification: false",
     "≥10× scalar: false",
+    "telemetry equals ground truth: false",
     "MISMATCH",
 ];
 

@@ -9,6 +9,7 @@ pub mod hardware;
 pub mod inventory;
 pub mod methodology;
 pub mod resilience;
+pub mod telemetry;
 pub mod throughput;
 
 /// A named figure renderer.
@@ -28,6 +29,7 @@ pub fn all() -> Vec<FigureEntry> {
         ("plate2", hardware::plate2),
         ("rate", evaluation::data_rate),
         ("throughput", throughput::throughput),
+        ("telemetry", telemetry::telemetry),
         ("fig3_7", extensions::fig3_7),
         ("multipass", extensions::multipass),
         ("counting", extensions::counting),

@@ -1,0 +1,261 @@
+//! E30: beat-level telemetry — exact event counters over the throughput
+//! scheduler, both exposition formats, and the zero-cost-when-disabled
+//! claim for the beat-accurate path.
+//!
+//! The paper's silicon had exactly one observable: the match output pin.
+//! The reproduction threads a [`TraceSink`](pm_systolic::telemetry)
+//! through its engines instead, and this figure demonstrates the two
+//! promises that design makes: folded counters are *exact* (they equal
+//! the ground truth the engines return, not an estimate), and a
+//! disabled sink costs nothing (the `NullSink` A/B on the beat-accurate
+//! `PlaneDriver`). It also writes the `BENCH_telemetry.json` snapshot
+//! the CI bench-regression gate compares against its committed
+//! baseline.
+
+use crate::workloads;
+use pm_chip::telemetry::MetricsRegistry;
+use pm_chip::throughput::{Job, ThroughputEngine};
+use pm_systolic::batch::PlaneDriver;
+use pm_systolic::spec::match_spec;
+use pm_systolic::symbol::{Alphabet, Pattern, Symbol};
+use pm_systolic::telemetry::{NullSink, SinkHandle};
+use std::fmt::Write;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Streams in the scheduler workload: one full word of lanes plus a
+/// ragged tail, same shape as E29.
+const STREAMS: usize = 96;
+/// Characters per stream.
+const STREAM_LEN: usize = 4_096;
+/// Pattern length (`k+1`).
+const PATTERN_LEN: usize = 16;
+/// Worker threads for the scheduler run.
+const WORKERS: usize = 4;
+/// Scheduler repetitions; the best-of-N rate is the regression-gate
+/// headline, which rejects most scheduler noise on shared CI boxes.
+const SCHED_REPS: usize = 3;
+/// Repetitions for the NullSink A/B; the minimum over repeats rejects
+/// scheduler noise on a shared box.
+const AB_REPS: usize = 9;
+/// Lanes and characters for the A/B workload (the beat-accurate driver
+/// is the slow path; a modest size keeps the figure quick).
+const AB_LANES: usize = 64;
+const AB_LEN: usize = 1_024;
+
+/// Renders the E30 telemetry figure and writes `BENCH_telemetry.json`
+/// (path overridable via `PM_TELEMETRY_JSON`; write errors are
+/// ignored so read-only checkouts can still render the figure).
+pub fn telemetry() -> String {
+    let mut out = String::new();
+    let alphabet = Alphabet::TWO_BIT;
+    let pattern = workloads::random_pattern(alphabet, PATTERN_LEN, 10, 30);
+    // Matches are planted every 512 characters so the match counter has
+    // real events to mirror (a 16-char pattern over random 2-bit text
+    // matches with probability ≈ 4⁻¹⁶ otherwise).
+    let texts: Vec<Vec<Symbol>> = (0..STREAMS)
+        .map(|i| workloads::planted_text(&pattern, STREAM_LEN, 512, 3000 + i as u64).0)
+        .collect();
+
+    writeln!(
+        out,
+        "Beat-level telemetry (E30): {STREAMS} streams × {STREAM_LEN} chars, \
+         pattern of {PATTERN_LEN}, {WORKERS} workers"
+    )
+    .unwrap();
+
+    // Instrumented scheduler runs: every event folds into the registry.
+    // Each repetition gets a fresh engine + registry (so the exactness
+    // check below compares one run against one run's ground truth); the
+    // fastest repetition becomes the regression-gate headline.
+    let jobs: Vec<Job> = texts
+        .iter()
+        .enumerate()
+        .map(|(i, t)| Job::new(i as u64, pattern.clone(), t.clone()))
+        .collect();
+    let mut metrics = Arc::new(MetricsRegistry::new());
+    let mut engine = ThroughputEngine::with_sink(WORKERS, 16, SinkHandle::new(metrics.clone()));
+    let mut report = engine
+        .run(&jobs)
+        .expect("scheduler never overfills a batch");
+    let mut chars_per_sec = report.totals.chars_per_sec();
+    for _ in 1..SCHED_REPS {
+        let m = Arc::new(MetricsRegistry::new());
+        let e = ThroughputEngine::with_sink(WORKERS, 16, SinkHandle::new(m.clone()));
+        let r = e.run(&jobs).expect("scheduler never overfills a batch");
+        let rate = r.totals.chars_per_sec();
+        if rate > chars_per_sec {
+            (metrics, engine, report, chars_per_sec) = (m, e, r, rate);
+        }
+    }
+
+    let mut agree = true;
+    for (i, t) in texts.iter().enumerate() {
+        if report.outputs[i].hits.bits() != match_spec(t, &pattern) {
+            agree = false;
+        }
+    }
+
+    let snap = metrics.snapshot();
+    let truth_chars: u64 = jobs.iter().map(|j| j.text.len() as u64).sum();
+    let truth_matches: u64 = report.outputs.iter().map(|o| o.hits.count() as u64).sum();
+    let exact = snap.jobs_started == jobs.len() as u64
+        && snap.jobs_completed == jobs.len() as u64
+        && snap.chars == truth_chars
+        && snap.matches == truth_matches
+        && snap.batches == report.totals.batches
+        && snap.lane_slots_used == report.totals.lane_slots_used
+        && snap.cache_hits == report.totals.cache_hits
+        && snap.cache_misses == report.totals.cache_misses;
+
+    writeln!(
+        out,
+        "\n  scheduler rate: {:.2} Mchar/s, best of {SCHED_REPS} \
+         (windowed {:.2} Mchar/s over {:?})",
+        chars_per_sec / 1e6,
+        engine.windowed_chars_per_sec() / 1e6,
+        Duration::from_secs(30),
+    )
+    .unwrap();
+    writeln!(out, "\n  counters folded from the event stream:").unwrap();
+    for (name, value, truth) in [
+        ("jobs started", snap.jobs_started, jobs.len() as u64),
+        ("jobs completed", snap.jobs_completed, jobs.len() as u64),
+        ("chars", snap.chars, truth_chars),
+        ("matches", snap.matches, truth_matches),
+        ("batches", snap.batches, report.totals.batches),
+        (
+            "lane slots used",
+            snap.lane_slots_used,
+            report.totals.lane_slots_used,
+        ),
+        ("cache hits", snap.cache_hits, report.totals.cache_hits),
+        (
+            "cache misses",
+            snap.cache_misses,
+            report.totals.cache_misses,
+        ),
+    ] {
+        writeln!(
+            out,
+            "    {name:<16} {value:>10}   (ground truth {truth:>10})"
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "  batch occupancy histogram: {} batches, mean {:.1} lanes",
+        snap.batch_occupancy.count,
+        if snap.batch_occupancy.count > 0 {
+            snap.batch_occupancy.sum as f64 / snap.batch_occupancy.count as f64
+        } else {
+            0.0
+        }
+    )
+    .unwrap();
+
+    // Prometheus exposition excerpt: enough lines to show the format
+    // without flooding the figure.
+    let prom = snap.to_prometheus();
+    writeln!(out, "\n  Prometheus exposition (excerpt):").unwrap();
+    for line in prom
+        .lines()
+        .filter(|l| {
+            l.contains("pm_jobs_completed")
+                || l.contains("pm_chars_total")
+                || l.contains("pm_batch_occupancy_bucket{le=\"64\"}")
+                || l.contains("pm_batch_occupancy_count")
+        })
+        .take(8)
+    {
+        writeln!(out, "    {line}").unwrap();
+    }
+
+    // JSON snapshot for the CI regression gate.
+    let json = snap.to_json(chars_per_sec);
+    let path = std::env::var("PM_TELEMETRY_JSON").unwrap_or_else(|_| "BENCH_telemetry.json".into());
+    let wrote = std::fs::write(&path, &json).is_ok();
+    writeln!(
+        out,
+        "\n  JSON snapshot ({} bytes) {} {path}",
+        json.len(),
+        if wrote {
+            "written to"
+        } else {
+            "NOT written to"
+        },
+    )
+    .unwrap();
+
+    // NullSink A/B on the beat-accurate path: `run` is the untouched
+    // PR 2 baseline; `run_with_sink(&NullSink)` is the traced twin
+    // monomorphised over a sink that is constantly disabled.
+    let ab_pattern = workloads::random_pattern(alphabet, PATTERN_LEN, 10, 31);
+    let ab_patterns: Vec<Pattern> = (0..AB_LANES).map(|_| ab_pattern.clone()).collect();
+    let ab_texts: Vec<Vec<Symbol>> = (0..AB_LANES)
+        .map(|i| workloads::random_text(alphabet, AB_LEN, 3100 + i as u64))
+        .collect();
+    let lanes: Vec<&[Symbol]> = ab_texts.iter().map(|t| t.as_slice()).collect();
+    let mut driver = PlaneDriver::new(&ab_patterns).expect("uniform pattern lengths");
+
+    let mut base = Duration::MAX;
+    let mut nulled = Duration::MAX;
+    for _ in 0..AB_REPS {
+        let t = Instant::now();
+        let a = driver.run(&lanes).expect("lane count matches");
+        base = base.min(t.elapsed());
+        let t = Instant::now();
+        let b = driver
+            .run_with_sink(&lanes, &NullSink)
+            .expect("lane count matches");
+        nulled = nulled.min(t.elapsed());
+        assert_eq!(a, b, "traced twin must be bit-identical");
+    }
+    let overhead =
+        (nulled.as_secs_f64() - base.as_secs_f64()).max(0.0) / base.as_secs_f64().max(1e-12);
+    writeln!(
+        out,
+        "\n  NullSink A/B (beat-accurate PlaneDriver, {AB_LANES} lanes × {AB_LEN} chars, \
+         min of {AB_REPS}):"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "    baseline run       : {:>8.3} ms",
+        base.as_secs_f64() * 1e3
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "    run_with_sink(Null): {:>8.3} ms",
+        nulled.as_secs_f64() * 1e3
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "    disabled-sink overhead: {:.2} % (within 1 %: {})",
+        overhead * 100.0,
+        overhead < 0.01
+    )
+    .unwrap();
+
+    writeln!(out, "\n  all outputs equal specification: {agree}").unwrap();
+    writeln!(out, "  telemetry equals ground truth: {exact}").unwrap();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn telemetry_figure_is_exact() {
+        // Route the JSON somewhere harmless for the test run.
+        std::env::set_var("PM_TELEMETRY_JSON", "/tmp/pm_test_telemetry.json");
+        let text = super::telemetry();
+        assert!(text.contains("equal specification: true"), "{text}");
+        assert!(
+            text.contains("telemetry equals ground truth: true"),
+            "{text}"
+        );
+        assert!(text.contains("chars"), "{text}");
+    }
+}

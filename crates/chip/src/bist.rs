@@ -7,7 +7,7 @@
 //! program so that a *running system* can re-apply it in the field —
 //! at attach time and periodically while streaming (scrubbing) — which
 //! is the detection half of §5's requirement that "a defective circuit
-//! [be] replaced by a functioning one".
+//! \[be\] replaced by a functioning one".
 //!
 //! A [`BistProgram`] is a set of [`BistVector`]s: a pattern, a text and
 //! the golden result bits from the executable specification. Running

@@ -28,7 +28,11 @@
 //! * [`throughput`] — the multi-stream job scheduler: N `(pattern,
 //!   text)` jobs sharded across worker threads driving the bit-plane
 //!   batch engine of `pm_systolic::batch`, with an LRU compiled-pattern
-//!   cache, reporting through the [`counters`] module.
+//!   cache, reporting through the [`counters`] module;
+//! * [`telemetry`] — counters, fixed-bucket histograms and the
+//!   Prometheus/JSON exporters built over the
+//!   `pm_systolic::telemetry` trace-event taxonomy; the scheduler,
+//!   host bus and recovery cascade all emit into it.
 
 //! ```
 //! use pm_chip::prelude::*;
@@ -50,6 +54,7 @@ pub mod host;
 pub mod multipass;
 pub mod pins;
 pub mod recovery;
+pub mod telemetry;
 pub mod throughput;
 pub mod timing;
 pub mod wafer;
@@ -58,7 +63,7 @@ pub mod wafer;
 pub mod prelude {
     pub use crate::bist::{BistFailure, BistOutcome, BistPort, BistProgram, BistVector};
     pub use crate::cascade::ChipCascade;
-    pub use crate::counters::{CounterSnapshot, ThroughputCounters};
+    pub use crate::counters::{CounterSnapshot, RateWindow, ThroughputCounters};
     pub use crate::datasheet::DataSheet;
     pub use crate::host::{DeviceState, HostBus, HostError, MatchEvent, RetryPolicy};
     pub use crate::multipass::MultipassMatcher;
@@ -67,6 +72,7 @@ pub mod prelude {
         ChipFault, FaultError, Mode, RecoveryEvent, RecoveryPolicy, ResilientHostBus,
         SelfHealingCascade,
     };
+    pub use crate::telemetry::{Histogram, HistogramSnapshot, MetricsRegistry, TelemetrySnapshot};
     pub use crate::throughput::{Job, JobOutput, PatternCache, ThroughputEngine, WorkerStats};
     pub use crate::timing::{ClockModel, GateDelays};
     pub use crate::wafer::{Wafer, YieldPoint};

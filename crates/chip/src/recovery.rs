@@ -74,6 +74,7 @@ use pm_systolic::error::Error as ArrayError;
 use pm_systolic::segment::{PatItem, ResItem, Segment, SegmentIo, TxtItem};
 use pm_systolic::semantics::BooleanMatch;
 use pm_systolic::symbol::{PatSym, Pattern, Symbol};
+use pm_systolic::telemetry::{SinkHandle, TraceEvent};
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 
@@ -400,6 +401,9 @@ pub struct SelfHealingCascade {
     watermark: u64,
     chars_since_scrub: u64,
     log: Vec<RecoveryEvent>,
+    /// Trace sink mirroring the recovery log as workspace-wide
+    /// [`TraceEvent`]s (disabled by default).
+    sink: SinkHandle,
 }
 
 impl SelfHealingCascade {
@@ -420,6 +424,31 @@ impl SelfHealingCascade {
         cells_per_chip: usize,
         spares: usize,
         policy: RecoveryPolicy,
+    ) -> Result<Self, FaultError> {
+        Self::with_sink(
+            pattern,
+            chips,
+            cells_per_chip,
+            spares,
+            policy,
+            SinkHandle::null(),
+        )
+    }
+
+    /// As [`new`](Self::new), with a trace sink that mirrors the
+    /// recovery log (scrub outcomes, condemnations, remaps, commits) as
+    /// workspace-wide [`TraceEvent`]s — attach-time self-tests included.
+    ///
+    /// # Errors
+    ///
+    /// As [`new`](Self::new).
+    pub fn with_sink(
+        pattern: &Pattern,
+        chips: usize,
+        cells_per_chip: usize,
+        spares: usize,
+        policy: RecoveryPolicy,
+        sink: SinkHandle,
     ) -> Result<Self, FaultError> {
         if pattern.is_empty() {
             return Err(ArrayError::EmptyPattern.into());
@@ -456,6 +485,7 @@ impl SelfHealingCascade {
             watermark: 0,
             chars_since_scrub: 0,
             log: Vec::new(),
+            sink,
         };
         // Attach-time self-test of every socket: chips can be born bad.
         for socket in 0..cascade.pool.len() {
@@ -509,6 +539,12 @@ impl SelfHealingCascade {
     /// The recovery log.
     pub fn log(&self) -> &[RecoveryEvent] {
         &self.log
+    }
+
+    /// Replaces the trace sink (events from now on; the existing log is
+    /// not replayed).
+    pub fn set_sink(&mut self, sink: SinkHandle) {
+        self.sink = sink;
     }
 
     /// Verified-final result bits (grows at each passing scrub).
@@ -586,6 +622,9 @@ impl SelfHealingCascade {
             self.log.push(RecoveryEvent::StallDetected {
                 missing_from: self.watermark,
                 beat: self.beat,
+            });
+            self.sink.record(TraceEvent::HostStall {
+                missing_from: self.watermark,
             });
             self.chars_since_scrub = 0;
             return self.scrub();
@@ -796,6 +835,11 @@ impl SelfHealingCascade {
         loop {
             let outcome = self.bist.run(&mut self.pool[socket]);
             self.beat += outcome.beats;
+            self.sink.record(TraceEvent::ScrubOutcome {
+                socket: socket as u32,
+                passed: outcome.passed,
+                beats: outcome.beats,
+            });
             if outcome.passed {
                 if attach {
                     self.log.push(RecoveryEvent::AttachBist {
@@ -832,6 +876,10 @@ impl SelfHealingCascade {
                 backoff_beats: backoff,
                 beat: self.beat,
             });
+            self.sink.record(TraceEvent::HostRetry {
+                attempt,
+                backoff_beats: backoff,
+            });
         }
     }
 
@@ -841,6 +889,9 @@ impl SelfHealingCascade {
             self.log.push(RecoveryEvent::Condemned {
                 socket,
                 beat: self.beat,
+            });
+            self.sink.record(TraceEvent::Condemned {
+                socket: socket as u32,
             });
         }
     }
@@ -868,6 +919,9 @@ impl SelfHealingCascade {
         self.log.push(RecoveryEvent::Committed {
             upto: self.committed.len() as u64,
             beat: self.beat,
+        });
+        self.sink.record(TraceEvent::Committed {
+            upto: self.committed.len() as u64,
         });
     }
 
@@ -907,6 +961,10 @@ impl SelfHealingCascade {
                 replayed_chars: replayed,
                 beat: self.beat,
             });
+            self.sink.record(TraceEvent::Remapped {
+                chain_len: self.chain.len() as u32,
+                replayed_chars: replayed,
+            });
             return Ok(());
         }
     }
@@ -944,6 +1002,7 @@ impl SelfHealingCascade {
                 algorithm,
                 beat: self.beat,
             });
+            self.sink.record(TraceEvent::FallbackEngaged);
             self.commit_degraded()
         } else {
             self.mode = Mode::Failed;
@@ -969,6 +1028,9 @@ impl SelfHealingCascade {
             upto: self.committed.len() as u64,
             beat: self.beat,
         });
+        self.sink.record(TraceEvent::Committed {
+            upto: self.committed.len() as u64,
+        });
         Ok(())
     }
 }
@@ -988,6 +1050,8 @@ pub struct ResilientHostBus {
     spares: usize,
     policy: RecoveryPolicy,
     device: Option<ResilientDevice>,
+    /// Trace sink handed to each cascade this bus builds.
+    sink: SinkHandle,
 }
 
 #[derive(Debug, Clone)]
@@ -1014,7 +1078,17 @@ impl ResilientHostBus {
             spares,
             policy,
             device: None,
+            sink: SinkHandle::null(),
         }
+    }
+
+    /// Installs a trace sink: future cascades (and the current one, if
+    /// a pattern is loaded) emit stall/scrub/recovery events into it.
+    pub fn set_sink(&mut self, sink: SinkHandle) {
+        if let Some(dev) = &mut self.device {
+            dev.cascade.set_sink(sink.clone());
+        }
+        self.sink = sink;
     }
 
     /// Device state: `Idle` before a pattern is loaded, `Streaming` on
@@ -1047,12 +1121,13 @@ impl ResilientHostBus {
     ///
     /// Any [`FaultError`] from board bring-up.
     pub fn load_pattern(&mut self, pattern: &Pattern) -> Result<(), FaultError> {
-        let cascade = SelfHealingCascade::new(
+        let cascade = SelfHealingCascade::with_sink(
             pattern,
             self.chips,
             self.cells_per_chip,
             self.spares,
             self.policy,
+            self.sink.clone(),
         )?;
         self.device = Some(ResilientDevice {
             cascade,
@@ -1467,6 +1542,58 @@ mod tests {
             .map(|(i, _)| i)
             .collect();
         assert_eq!(ends, expected);
+    }
+
+    #[test]
+    fn sink_mirrors_the_recovery_log() {
+        use crate::telemetry::MetricsRegistry;
+        use std::sync::Arc;
+        let metrics = Arc::new(MetricsRegistry::new());
+        let mut bus = ResilientHostBus::new(3, 2, 2, quick_policy());
+        bus.set_sink(SinkHandle::new(metrics.clone()));
+        let p = Pattern::parse("ABA").unwrap();
+        bus.load_pattern(&p).unwrap();
+        // Attach-time BIST of all 5 sockets (plus the initial remap's
+        // re-test of the 3 chained ones) reached the sink.
+        assert!(metrics.snapshot().scrubs_passed >= 5);
+        let text_src = "ABAAB".repeat(10);
+        let bytes: Vec<u8> = text_from_letters(&text_src)
+            .unwrap()
+            .iter()
+            .map(|s| s.value())
+            .collect();
+        bus.write(&bytes[..10]).unwrap();
+        bus.cascade_mut()
+            .unwrap()
+            .inject_fault(2, ChipFault::ResultDead);
+        bus.write(&bytes[10..]).unwrap();
+        bus.flush().unwrap();
+        let snap = metrics.snapshot();
+        let cascade = bus.cascade().unwrap();
+        let log = cascade.log();
+        let log_count = |f: fn(&RecoveryEvent) -> bool| log.iter().filter(|e| f(e)).count() as u64;
+        assert_eq!(
+            snap.condemned,
+            log_count(|e| matches!(e, RecoveryEvent::Condemned { .. }))
+        );
+        assert_eq!(
+            snap.remaps,
+            log_count(|e| matches!(e, RecoveryEvent::Remapped { .. }))
+        );
+        assert_eq!(
+            snap.commits,
+            log_count(|e| matches!(e, RecoveryEvent::Committed { .. }))
+        );
+        assert_eq!(
+            snap.host_stalls,
+            log_count(|e| matches!(e, RecoveryEvent::StallDetected { .. }))
+        );
+        assert_eq!(
+            snap.host_retries,
+            log_count(|e| matches!(e, RecoveryEvent::BistRetried { .. }))
+        );
+        assert!(snap.condemned >= 1, "the dead chip must be condemned");
+        assert!(snap.scrub_beats > 0);
     }
 
     #[test]

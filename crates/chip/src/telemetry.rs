@@ -1,0 +1,674 @@
+//! Metrics built on the workspace trace-event taxonomy: counters,
+//! fixed-bucket histograms and the two exporters CI consumes.
+//!
+//! `pm_systolic::telemetry` defines *what can be observed* (the
+//! [`TraceEvent`] taxonomy and the [`TraceSink`] contract); this module
+//! defines *what is kept*: [`MetricsRegistry`] is a sink that folds the
+//! event stream into monotonic [`Counter`]s and fixed-bucket
+//! [`Histogram`]s — the same shared-atomic discipline as
+//! [`crate::counters`] — and snapshots into a [`TelemetrySnapshot`]
+//! with two exporters:
+//!
+//! * [`TelemetrySnapshot::to_prometheus`] — Prometheus text exposition
+//!   (`pm_*_total` counters, `_bucket{le=…}/_sum/_count` histograms),
+//!   for scraping a long-running scheduler;
+//! * [`TelemetrySnapshot::to_json`] — the `BENCH_telemetry.json`
+//!   snapshot the E30 figure writes and the CI `bench-smoke` gate
+//!   reads (hand-rolled: the workspace is offline and carries no serde).
+//!
+//! ```
+//! use pm_chip::telemetry::MetricsRegistry;
+//! use pm_systolic::telemetry::{TraceEvent, TraceSink};
+//!
+//! let metrics = MetricsRegistry::new();
+//! metrics.record(TraceEvent::JobCompleted { job: 0, worker: 0, chars: 4096, matches: 3 });
+//! let snap = metrics.snapshot();
+//! assert_eq!(snap.jobs_completed, 1);
+//! assert!(snap.to_prometheus().contains("pm_chars_total 4096"));
+//! ```
+
+use crate::counters::Counter;
+use pm_systolic::telemetry::{TraceEvent, TraceSink};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Default occupancy buckets: lane slots carried per word batch (≤ 64).
+pub const OCCUPANCY_BOUNDS: &[u64] = &[1, 8, 16, 32, 48, 64];
+
+/// Default batch-latency buckets, in microseconds.
+pub const LATENCY_BOUNDS_MICROS: &[u64] = &[10, 50, 100, 500, 1_000, 5_000, 10_000];
+
+/// A fixed-bucket histogram of `u64` observations, shared between
+/// threads with the same relaxed-atomic discipline as
+/// [`Counter`]: statistics, not synchronisation.
+#[derive(Debug)]
+pub struct Histogram {
+    /// Inclusive upper bounds, ascending; one implicit +Inf bucket
+    /// follows the last.
+    bounds: Vec<u64>,
+    /// One count per bound, plus the overflow bucket.
+    buckets: Vec<AtomicU64>,
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram over the given ascending inclusive upper bounds.
+    pub fn new(bounds: &[u64]) -> Self {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds ascending");
+        Histogram {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, value: u64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the bucket counts.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            sum: self.sum.load(Ordering::Relaxed),
+            count: self.count.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time reading of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Inclusive upper bounds (the final +Inf bucket is implicit).
+    pub bounds: Vec<u64>,
+    /// Per-bucket counts; `counts.len() == bounds.len() + 1`.
+    pub counts: Vec<u64>,
+    /// Sum of all observations.
+    pub sum: u64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+impl HistogramSnapshot {
+    /// Appends this histogram in Prometheus exposition format
+    /// (cumulative `_bucket{le=…}` rows, then `_sum` and `_count`).
+    fn to_prometheus(&self, name: &str, help: &str, out: &mut String) {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cum = 0u64;
+        for (bound, n) in self.bounds.iter().zip(&self.counts) {
+            cum += n;
+            let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cum}");
+        }
+        cum += self.counts.last().copied().unwrap_or(0);
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cum}");
+        let _ = writeln!(out, "{name}_sum {}", self.sum);
+        let _ = writeln!(out, "{name}_count {}", self.count);
+    }
+
+    /// Appends this histogram as a JSON object.
+    fn to_json(&self, out: &mut String) {
+        out.push_str("{\"bounds\": [");
+        for (i, b) in self.bounds.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{b}");
+        }
+        out.push_str("], \"counts\": [");
+        for (i, n) in self.counts.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{n}");
+        }
+        let _ = write!(out, "], \"sum\": {}, \"count\": {}}}", self.sum, self.count);
+    }
+}
+
+/// A [`TraceSink`] that folds the event stream into counters and
+/// histograms. Share one behind an `Arc` (wrapped in a
+/// [`SinkHandle`](pm_systolic::telemetry::SinkHandle)) across workers;
+/// recording is a handful of relaxed atomic adds per event.
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    /// Clock phases observed (2 per array beat).
+    pub clock_phases: Counter,
+    /// Text items injected into a beat-accurate array.
+    pub texts_injected: Counter,
+    /// Complete-window results that exited an array.
+    pub comparator_fires: Counter,
+    /// Matching lanes summed over comparator fires (= total matches on
+    /// the beat-accurate path).
+    pub match_lanes: Counter,
+    /// Host watchdog stall declarations.
+    pub host_stalls: Counter,
+    /// Host retries after backoff.
+    pub host_retries: Counter,
+    /// Idle backoff beats summed over retries.
+    pub backoff_beats: Counter,
+    /// BIST scrubs that passed.
+    pub scrubs_passed: Counter,
+    /// BIST scrubs that failed.
+    pub scrubs_failed: Counter,
+    /// Array beats spent inside BIST programs.
+    pub scrub_beats: Counter,
+    /// Sockets condemned.
+    pub condemned: Counter,
+    /// Chain remaps performed.
+    pub remaps: Counter,
+    /// Characters replayed through healed chains.
+    pub replayed_chars: Counter,
+    /// Result-watermark commits.
+    pub commits: Counter,
+    /// Software-fallback engagements.
+    pub fallbacks: Counter,
+    /// Jobs handed to workers.
+    pub jobs_started: Counter,
+    /// Jobs whose results were recorded.
+    pub jobs_completed: Counter,
+    /// Text characters processed by completed jobs.
+    pub chars: Counter,
+    /// Matches found by completed jobs.
+    pub matches: Counter,
+    /// Word batches executed.
+    pub batches: Counter,
+    /// Engine steps summed over batches.
+    pub batch_steps: Counter,
+    /// Lane slots that carried a stream, summed over batches.
+    pub lane_slots_used: Counter,
+    /// Lane slots available (64 per batch).
+    pub lane_slots_total: Counter,
+    /// Compiled-pattern cache hits.
+    pub cache_hits: Counter,
+    /// Compiled-pattern cache misses.
+    pub cache_misses: Counter,
+    /// Lanes-per-batch distribution.
+    pub batch_occupancy: Histogram,
+    /// Batch wall-clock distribution, microseconds (only batches the
+    /// caller timed; untimed batches observe nothing).
+    pub batch_micros: Histogram,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsRegistry {
+    /// A fresh registry with the default bucket bounds.
+    pub fn new() -> Self {
+        MetricsRegistry {
+            clock_phases: Counter::new(),
+            texts_injected: Counter::new(),
+            comparator_fires: Counter::new(),
+            match_lanes: Counter::new(),
+            host_stalls: Counter::new(),
+            host_retries: Counter::new(),
+            backoff_beats: Counter::new(),
+            scrubs_passed: Counter::new(),
+            scrubs_failed: Counter::new(),
+            scrub_beats: Counter::new(),
+            condemned: Counter::new(),
+            remaps: Counter::new(),
+            replayed_chars: Counter::new(),
+            commits: Counter::new(),
+            fallbacks: Counter::new(),
+            jobs_started: Counter::new(),
+            jobs_completed: Counter::new(),
+            chars: Counter::new(),
+            matches: Counter::new(),
+            batches: Counter::new(),
+            batch_steps: Counter::new(),
+            lane_slots_used: Counter::new(),
+            lane_slots_total: Counter::new(),
+            cache_hits: Counter::new(),
+            cache_misses: Counter::new(),
+            batch_occupancy: Histogram::new(OCCUPANCY_BOUNDS),
+            batch_micros: Histogram::new(LATENCY_BOUNDS_MICROS),
+        }
+    }
+
+    /// Folds the current counts into an exportable snapshot.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            clock_phases: self.clock_phases.get(),
+            beats: self.clock_phases.get() / 2,
+            texts_injected: self.texts_injected.get(),
+            comparator_fires: self.comparator_fires.get(),
+            match_lanes: self.match_lanes.get(),
+            host_stalls: self.host_stalls.get(),
+            host_retries: self.host_retries.get(),
+            backoff_beats: self.backoff_beats.get(),
+            scrubs_passed: self.scrubs_passed.get(),
+            scrubs_failed: self.scrubs_failed.get(),
+            scrub_beats: self.scrub_beats.get(),
+            condemned: self.condemned.get(),
+            remaps: self.remaps.get(),
+            replayed_chars: self.replayed_chars.get(),
+            commits: self.commits.get(),
+            fallbacks: self.fallbacks.get(),
+            jobs_started: self.jobs_started.get(),
+            jobs_completed: self.jobs_completed.get(),
+            chars: self.chars.get(),
+            matches: self.matches.get(),
+            batches: self.batches.get(),
+            batch_steps: self.batch_steps.get(),
+            lane_slots_used: self.lane_slots_used.get(),
+            lane_slots_total: self.lane_slots_total.get(),
+            cache_hits: self.cache_hits.get(),
+            cache_misses: self.cache_misses.get(),
+            batch_occupancy: self.batch_occupancy.snapshot(),
+            batch_micros: self.batch_micros.snapshot(),
+        }
+    }
+}
+
+impl TraceSink for MetricsRegistry {
+    fn record(&self, event: TraceEvent) {
+        match event {
+            TraceEvent::Clock { .. } => self.clock_phases.add(1),
+            TraceEvent::TextInjected { .. } => self.texts_injected.add(1),
+            TraceEvent::ComparatorFire { lanes, .. } => {
+                self.comparator_fires.add(1);
+                self.match_lanes.add(u64::from(lanes));
+            }
+            TraceEvent::HostStall { .. } => self.host_stalls.add(1),
+            TraceEvent::HostRetry { backoff_beats, .. } => {
+                self.host_retries.add(1);
+                self.backoff_beats.add(backoff_beats);
+            }
+            TraceEvent::ScrubOutcome { passed, beats, .. } => {
+                if passed {
+                    self.scrubs_passed.add(1);
+                } else {
+                    self.scrubs_failed.add(1);
+                }
+                self.scrub_beats.add(beats);
+            }
+            TraceEvent::Condemned { .. } => self.condemned.add(1),
+            TraceEvent::Remapped { replayed_chars, .. } => {
+                self.remaps.add(1);
+                self.replayed_chars.add(replayed_chars);
+            }
+            TraceEvent::Committed { .. } => self.commits.add(1),
+            TraceEvent::FallbackEngaged => self.fallbacks.add(1),
+            TraceEvent::JobStarted { .. } => self.jobs_started.add(1),
+            TraceEvent::JobCompleted { chars, matches, .. } => {
+                self.jobs_completed.add(1);
+                self.chars.add(chars);
+                self.matches.add(matches);
+            }
+            TraceEvent::BatchExecuted {
+                lanes,
+                steps,
+                micros,
+                ..
+            } => {
+                self.batches.add(1);
+                self.batch_steps.add(steps);
+                self.lane_slots_used.add(u64::from(lanes));
+                self.lane_slots_total.add(pm_systolic::batch::LANES as u64);
+                self.batch_occupancy.observe(u64::from(lanes));
+                if micros > 0 {
+                    self.batch_micros.observe(micros);
+                }
+            }
+            TraceEvent::CacheLookup { hit } => {
+                if hit {
+                    self.cache_hits.add(1);
+                } else {
+                    self.cache_misses.add(1);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// One row of the counter table: `(metric name, help text, value)`.
+type CounterRow<'a> = (&'a str, &'a str, u64);
+
+/// A point-in-time reading of a [`MetricsRegistry`], ready to export.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TelemetrySnapshot {
+    /// Clock phases observed.
+    pub clock_phases: u64,
+    /// Array beats (clock phases ÷ 2).
+    pub beats: u64,
+    /// Text items injected.
+    pub texts_injected: u64,
+    /// Complete-window results exited.
+    pub comparator_fires: u64,
+    /// Matching lanes summed over fires.
+    pub match_lanes: u64,
+    /// Host stalls declared.
+    pub host_stalls: u64,
+    /// Host retries after backoff.
+    pub host_retries: u64,
+    /// Backoff beats summed over retries.
+    pub backoff_beats: u64,
+    /// BIST scrubs passed.
+    pub scrubs_passed: u64,
+    /// BIST scrubs failed.
+    pub scrubs_failed: u64,
+    /// Beats spent in BIST programs.
+    pub scrub_beats: u64,
+    /// Sockets condemned.
+    pub condemned: u64,
+    /// Chain remaps.
+    pub remaps: u64,
+    /// Characters replayed through healed chains.
+    pub replayed_chars: u64,
+    /// Watermark commits.
+    pub commits: u64,
+    /// Fallback engagements.
+    pub fallbacks: u64,
+    /// Jobs started.
+    pub jobs_started: u64,
+    /// Jobs completed.
+    pub jobs_completed: u64,
+    /// Characters processed.
+    pub chars: u64,
+    /// Matches found.
+    pub matches: u64,
+    /// Word batches executed.
+    pub batches: u64,
+    /// Engine steps summed over batches.
+    pub batch_steps: u64,
+    /// Lane slots carrying a stream.
+    pub lane_slots_used: u64,
+    /// Lane slots available.
+    pub lane_slots_total: u64,
+    /// Pattern-cache hits.
+    pub cache_hits: u64,
+    /// Pattern-cache misses.
+    pub cache_misses: u64,
+    /// Lanes-per-batch distribution.
+    pub batch_occupancy: HistogramSnapshot,
+    /// Batch latency distribution (µs).
+    pub batch_micros: HistogramSnapshot,
+}
+
+impl TelemetrySnapshot {
+    /// The counter table driving both exporters, so they cannot drift.
+    fn counter_rows(&self) -> Vec<CounterRow<'_>> {
+        vec![
+            (
+                "pm_clock_phases_total",
+                "Clock phases observed (2 per array beat).",
+                self.clock_phases,
+            ),
+            ("pm_beats_total", "Array beats executed.", self.beats),
+            (
+                "pm_texts_injected_total",
+                "Text items injected into beat-accurate arrays.",
+                self.texts_injected,
+            ),
+            (
+                "pm_comparator_fires_total",
+                "Complete-window results exited from arrays.",
+                self.comparator_fires,
+            ),
+            (
+                "pm_match_lanes_total",
+                "Matching lanes summed over comparator fires.",
+                self.match_lanes,
+            ),
+            (
+                "pm_host_stalls_total",
+                "Host watchdog stall declarations.",
+                self.host_stalls,
+            ),
+            (
+                "pm_host_retries_total",
+                "Host retries after backoff.",
+                self.host_retries,
+            ),
+            (
+                "pm_backoff_beats_total",
+                "Idle backoff beats summed over retries.",
+                self.backoff_beats,
+            ),
+            (
+                "pm_scrubs_passed_total",
+                "BIST scrubs that passed.",
+                self.scrubs_passed,
+            ),
+            (
+                "pm_scrubs_failed_total",
+                "BIST scrubs that failed.",
+                self.scrubs_failed,
+            ),
+            (
+                "pm_scrub_beats_total",
+                "Array beats spent inside BIST programs.",
+                self.scrub_beats,
+            ),
+            ("pm_condemned_total", "Sockets condemned.", self.condemned),
+            ("pm_remaps_total", "Chain remaps performed.", self.remaps),
+            (
+                "pm_replayed_chars_total",
+                "Characters replayed through healed chains.",
+                self.replayed_chars,
+            ),
+            (
+                "pm_commits_total",
+                "Result-watermark commits.",
+                self.commits,
+            ),
+            (
+                "pm_fallbacks_total",
+                "Software-fallback engagements.",
+                self.fallbacks,
+            ),
+            (
+                "pm_jobs_started_total",
+                "Jobs handed to workers.",
+                self.jobs_started,
+            ),
+            (
+                "pm_jobs_completed_total",
+                "Jobs whose results were recorded.",
+                self.jobs_completed,
+            ),
+            ("pm_chars_total", "Text characters processed.", self.chars),
+            ("pm_matches_total", "Matches found.", self.matches),
+            ("pm_batches_total", "Word batches executed.", self.batches),
+            (
+                "pm_batch_steps_total",
+                "Engine steps summed over batches.",
+                self.batch_steps,
+            ),
+            (
+                "pm_lane_slots_used_total",
+                "Lane slots that carried a stream.",
+                self.lane_slots_used,
+            ),
+            (
+                "pm_lane_slots_total",
+                "Lane slots available (64 per batch).",
+                self.lane_slots_total,
+            ),
+            (
+                "pm_cache_hits_total",
+                "Compiled-pattern cache hits.",
+                self.cache_hits,
+            ),
+            (
+                "pm_cache_misses_total",
+                "Compiled-pattern cache misses.",
+                self.cache_misses,
+            ),
+        ]
+    }
+
+    /// Renders the snapshot in Prometheus text exposition format.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, help, value) in self.counter_rows() {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        self.batch_occupancy.to_prometheus(
+            "pm_batch_occupancy",
+            "Lane slots carried per word batch.",
+            &mut out,
+        );
+        self.batch_micros.to_prometheus(
+            "pm_batch_micros",
+            "Word-batch wall clock, microseconds.",
+            &mut out,
+        );
+        out
+    }
+
+    /// Renders the snapshot as the `BENCH_telemetry.json` document:
+    /// `chars_per_sec` at top level (what the CI gate reads), then
+    /// every counter and histogram.
+    pub fn to_json(&self, chars_per_sec: f64) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"chars_per_sec\": {chars_per_sec:.1},");
+        out.push_str("  \"counters\": {\n");
+        let rows = self.counter_rows();
+        for (i, (name, _, value)) in rows.iter().enumerate() {
+            let comma = if i + 1 < rows.len() { "," } else { "" };
+            let _ = writeln!(out, "    \"{name}\": {value}{comma}");
+        }
+        out.push_str("  },\n");
+        out.push_str("  \"histograms\": {\n    \"pm_batch_occupancy\": ");
+        self.batch_occupancy.to_json(&mut out);
+        out.push_str(",\n    \"pm_batch_micros\": ");
+        self.batch_micros.to_json(&mut out);
+        out.push_str("\n  }\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let h = Histogram::new(&[10, 100]);
+        h.observe(5);
+        h.observe(10); // inclusive upper bound
+        h.observe(70);
+        h.observe(1000); // overflow
+        let s = h.snapshot();
+        assert_eq!(s.counts, vec![2, 1, 1]);
+        assert_eq!(s.sum, 1085);
+        assert_eq!(s.count, 4);
+    }
+
+    #[test]
+    fn registry_folds_events() {
+        let m = MetricsRegistry::new();
+        m.record(TraceEvent::Clock {
+            beat: 0,
+            phase: pm_systolic::telemetry::ClockPhase::Phi1,
+        });
+        m.record(TraceEvent::Clock {
+            beat: 0,
+            phase: pm_systolic::telemetry::ClockPhase::Phi2,
+        });
+        m.record(TraceEvent::ComparatorFire {
+            beat: 5,
+            seq: 2,
+            lanes: 7,
+        });
+        m.record(TraceEvent::JobCompleted {
+            job: 1,
+            worker: 0,
+            chars: 100,
+            matches: 4,
+        });
+        m.record(TraceEvent::BatchExecuted {
+            worker: 0,
+            lanes: 48,
+            steps: 4096,
+            micros: 120,
+        });
+        m.record(TraceEvent::CacheLookup { hit: true });
+        m.record(TraceEvent::CacheLookup { hit: false });
+        m.record(TraceEvent::ScrubOutcome {
+            socket: 2,
+            passed: false,
+            beats: 30,
+        });
+        let s = m.snapshot();
+        assert_eq!(s.beats, 1);
+        assert_eq!(s.match_lanes, 7);
+        assert_eq!(s.chars, 100);
+        assert_eq!(s.matches, 4);
+        assert_eq!(s.lane_slots_used, 48);
+        assert_eq!(s.lane_slots_total, 64);
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.cache_misses, 1);
+        assert_eq!(s.scrubs_failed, 1);
+        assert_eq!(s.scrub_beats, 30);
+        assert_eq!(s.batch_occupancy.count, 1);
+        assert_eq!(s.batch_micros.sum, 120);
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let m = MetricsRegistry::new();
+        m.record(TraceEvent::BatchExecuted {
+            worker: 0,
+            lanes: 64,
+            steps: 100,
+            micros: 0, // untimed: no latency observation
+        });
+        let text = m.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE pm_batches_total counter"), "{text}");
+        assert!(text.contains("pm_batches_total 1"), "{text}");
+        assert!(
+            text.contains("pm_batch_occupancy_bucket{le=\"64\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("pm_batch_occupancy_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("pm_batch_micros_count 0"), "{text}");
+    }
+
+    #[test]
+    fn json_snapshot_shape() {
+        let m = MetricsRegistry::new();
+        m.record(TraceEvent::JobCompleted {
+            job: 0,
+            worker: 0,
+            chars: 42,
+            matches: 1,
+        });
+        let json = m.snapshot().to_json(123456.7);
+        assert!(json.contains("\"chars_per_sec\": 123456.7"), "{json}");
+        assert!(json.contains("\"pm_chars_total\": 42"), "{json}");
+        assert!(json.contains("\"pm_batch_occupancy\""), "{json}");
+        // Crude but deliberate: balanced braces, no trailing commas.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+        assert!(!json.contains(",\n  }"), "{json}");
+    }
+}

@@ -45,14 +45,18 @@
 //! # }
 //! ```
 
-use crate::counters::{CounterSnapshot, ThroughputCounters};
+use crate::counters::{Counter, CounterSnapshot, RateWindow, ThroughputCounters};
 use pm_systolic::batch::{match_lanes, match_uniform, CompiledPattern, LANES};
 use pm_systolic::engine::MatchBits;
 use pm_systolic::error::Error;
 use pm_systolic::symbol::{Pattern, Symbol};
+use pm_systolic::telemetry::{SinkHandle, TraceEvent};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// Default sliding window for [`ThroughputEngine::windowed_chars_per_sec`].
+const RATE_WINDOW: Duration = Duration::from_secs(30);
 
 /// One incoming unit of work: match `pattern` against `text`.
 #[derive(Debug, Clone)]
@@ -224,16 +228,42 @@ pub struct ThroughputReport {
 pub struct ThroughputEngine {
     workers: usize,
     cache: Mutex<PatternCache>,
+    sink: SinkHandle,
+    /// Characters processed across every run of this engine's lifetime.
+    lifetime_chars: Counter,
+    /// Sliding window over `lifetime_chars`, sampled after each run.
+    rate: RateWindow,
 }
 
 impl ThroughputEngine {
     /// An engine with `workers` threads (at least one) and a pattern
-    /// cache of `cache_capacity` entries.
+    /// cache of `cache_capacity` entries. Telemetry is disabled; use
+    /// [`with_sink`](Self::with_sink) or [`set_sink`](Self::set_sink)
+    /// to attach a sink.
     pub fn new(workers: usize, cache_capacity: usize) -> Self {
+        Self::with_sink(workers, cache_capacity, SinkHandle::null())
+    }
+
+    /// As [`new`](Self::new), with a trace sink the workers emit job
+    /// lifecycle, batch and cache events into.
+    pub fn with_sink(workers: usize, cache_capacity: usize, sink: SinkHandle) -> Self {
         ThroughputEngine {
             workers: workers.max(1),
             cache: Mutex::new(PatternCache::new(cache_capacity)),
+            sink,
+            lifetime_chars: Counter::new(),
+            rate: {
+                let rate = RateWindow::new(RATE_WINDOW);
+                rate.sample(0); // construction anchors the window
+                rate
+            },
         }
+    }
+
+    /// Replaces the trace sink (e.g. to enable telemetry on a running
+    /// engine between runs).
+    pub fn set_sink(&mut self, sink: SinkHandle) {
+        self.sink = sink;
     }
 
     /// Number of worker threads.
@@ -244,6 +274,20 @@ impl ThroughputEngine {
     /// Number of distinct patterns currently cached.
     pub fn cached_patterns(&self) -> usize {
         self.cache.lock().expect("cache poisoned").len()
+    }
+
+    /// Characters processed across this engine's whole lifetime.
+    pub fn lifetime_chars(&self) -> u64 {
+        self.lifetime_chars.get()
+    }
+
+    /// Current throughput over the last ~30 s of wall clock — the
+    /// windowed rate a long-running scheduler should report, as opposed
+    /// to the lifetime average a finite benchmark wants
+    /// ([`CounterSnapshot::chars_per_sec`]). Returns 0.0 until two runs
+    /// have completed inside the window.
+    pub fn windowed_chars_per_sec(&self) -> f64 {
+        self.rate.rate()
     }
 
     /// Runs every job to completion and reports results plus stats.
@@ -274,7 +318,8 @@ impl ThroughputEngine {
                 .map(|(w, &(offset, chunk))| {
                     let counters = &counters;
                     let cache = &self.cache;
-                    scope.spawn(move || worker_run(w, offset, chunk, cache, counters))
+                    let sink = &self.sink;
+                    scope.spawn(move || worker_run(w, offset, chunk, cache, counters, sink))
                 })
                 .collect();
             handles
@@ -308,10 +353,13 @@ impl ThroughputEngine {
             .into_iter()
             .map(|o| o.expect("every job produces an output"))
             .collect();
+        let totals = counters.snapshot(started.elapsed());
+        self.lifetime_chars.add(totals.chars);
+        self.rate.sample(self.lifetime_chars.get());
         Ok(ThroughputReport {
             outputs,
             workers: worker_stats,
-            totals: counters.snapshot(started.elapsed()),
+            totals,
         })
     }
 }
@@ -327,8 +375,17 @@ fn worker_run(
     chunk: &[Job],
     cache: &Mutex<PatternCache>,
     counters: &ThroughputCounters,
+    sink: &SinkHandle,
 ) -> Result<WorkerYield, Error> {
     let started = Instant::now();
+    if sink.enabled() {
+        for job in chunk {
+            sink.record(TraceEvent::JobStarted {
+                job: job.id,
+                worker: worker as u32,
+            });
+        }
+    }
     let mut stats = WorkerStats {
         worker,
         jobs: 0,
@@ -365,14 +422,19 @@ fn worker_run(
         } else {
             counters.cache_misses.add(1);
         }
+        sink.record(TraceEvent::CacheLookup { hit });
         if members.len() == 1 {
             singles.push((members[0], compiled));
             continue;
         }
         for batch in members.chunks(LANES) {
             let texts: Vec<&[Symbol]> = batch.iter().map(|&i| chunk[i].text.as_slice()).collect();
+            let timer = sink.enabled().then(Instant::now);
             let hits = match_uniform(&compiled, &texts)?;
-            record_batch(batch, hits, chunk, offset, &mut outs, &mut stats, counters);
+            let micros = elapsed_micros(timer);
+            record_batch(
+                batch, hits, chunk, offset, &mut outs, &mut stats, counters, sink, micros,
+            );
         }
     }
     for batch in singles.chunks(LANES) {
@@ -380,10 +442,12 @@ fn worker_run(
             .iter()
             .map(|(i, c)| (c.as_ref(), chunk[*i].text.as_slice()))
             .collect();
+        let timer = sink.enabled().then(Instant::now);
         let hits = match_lanes(&lanes)?;
+        let micros = elapsed_micros(timer);
         let members: Vec<usize> = batch.iter().map(|&(i, _)| i).collect();
         record_batch(
-            &members, hits, chunk, offset, &mut outs, &mut stats, counters,
+            &members, hits, chunk, offset, &mut outs, &mut stats, counters, sink, micros,
         );
     }
 
@@ -391,7 +455,15 @@ fn worker_run(
     Ok((outs, stats))
 }
 
-/// Books one completed word batch into outputs, stats and counters.
+/// Microseconds since an optional batch timer was armed (0 when the
+/// sink was disabled and no timer ran).
+fn elapsed_micros(timer: Option<Instant>) -> u64 {
+    timer.map_or(0, |t| t.elapsed().as_micros() as u64)
+}
+
+/// Books one completed word batch into outputs, stats, counters and
+/// the trace sink.
+#[allow(clippy::too_many_arguments)]
 fn record_batch(
     members: &[usize],
     hits: Vec<MatchBits>,
@@ -400,18 +472,40 @@ fn record_batch(
     outs: &mut Vec<(usize, JobOutput)>,
     stats: &mut WorkerStats,
     counters: &ThroughputCounters,
+    sink: &SinkHandle,
+    micros: u64,
 ) {
     debug_assert_eq!(members.len(), hits.len());
+    let traced = sink.enabled();
     let mut batch_chars = 0u64;
+    let mut steps = 0u64;
     for (&i, hit) in members.iter().zip(hits) {
-        batch_chars += chunk[i].text.len() as u64;
+        let job = &chunk[i];
+        batch_chars += job.text.len() as u64;
+        steps = steps.max(job.text.len() as u64);
+        if traced {
+            sink.record(TraceEvent::JobCompleted {
+                job: job.id,
+                worker: stats.worker as u32,
+                chars: job.text.len() as u64,
+                matches: hit.count() as u64,
+            });
+        }
         outs.push((
             offset + i,
             JobOutput {
-                id: chunk[i].id,
+                id: job.id,
                 hits: hit,
             },
         ));
+    }
+    if traced {
+        sink.record(TraceEvent::BatchExecuted {
+            worker: stats.worker as u32,
+            lanes: members.len() as u32,
+            steps,
+            micros,
+        });
     }
     stats.jobs += members.len() as u64;
     stats.chars += batch_chars;
@@ -519,6 +613,28 @@ mod tests {
         let report = engine.run(&jobs).unwrap();
         assert_eq!(report.outputs.len(), 2);
         assert_eq!(report.workers.len(), 8);
+    }
+
+    #[test]
+    fn sinked_engine_reports_ground_truth_counts() {
+        use crate::telemetry::MetricsRegistry;
+        let jobs = jobs_fixture();
+        let metrics = Arc::new(MetricsRegistry::new());
+        let engine = ThroughputEngine::with_sink(2, 8, SinkHandle::new(metrics.clone()));
+        let report = engine.run(&jobs).unwrap();
+        let snap = metrics.snapshot();
+        assert_eq!(snap.jobs_started, jobs.len() as u64);
+        assert_eq!(snap.jobs_completed, jobs.len() as u64);
+        assert_eq!(snap.chars, report.totals.chars);
+        let truth_matches: u64 = report.outputs.iter().map(|o| o.hits.count() as u64).sum();
+        assert_eq!(snap.matches, truth_matches);
+        assert_eq!(snap.batches, report.totals.batches);
+        assert_eq!(snap.lane_slots_used, report.totals.lane_slots_used);
+        assert_eq!(snap.batch_occupancy.count, report.totals.batches);
+        assert_eq!(snap.batch_occupancy.sum, report.totals.lane_slots_used);
+        // The engine samples its rate window after each run.
+        assert_eq!(engine.lifetime_chars(), report.totals.chars);
+        assert!(engine.windowed_chars_per_sec() >= 0.0);
     }
 
     #[test]

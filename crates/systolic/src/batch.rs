@@ -16,7 +16,7 @@
 //! * [`PlaneDriver`] runs lane-planes through the **existing** systolic
 //!   machinery — [`LaneBoolean`] is a [`MeetSemantics`] instance whose
 //!   accumulator is a `u64` plane, so the unmodified
-//!   [`Driver`](crate::engine::Driver)/[`Segment`](crate::segment::Segment)
+//!   [`Driver`]/[`Segment`](crate::segment::Segment)
 //!   choreography (opposing streams, recirculation, `λ` emission)
 //!   advances 64 matches per beat. This is the beat-accurate batched
 //!   array, golden-tested against the scalar engines.
@@ -51,10 +51,11 @@
 //! # }
 //! ```
 
-use crate::engine::{Driver, MatchBits};
+use crate::engine::{BeatExit, Driver, MatchBits};
 use crate::error::Error;
 use crate::semantics::MeetSemantics;
 use crate::symbol::{PatSym, Pattern, Symbol};
+use crate::telemetry::{ClockPhase, TraceEvent, TraceSink};
 
 /// Number of independent streams packed into one word of planes.
 pub const LANES: usize = 64;
@@ -380,7 +381,7 @@ pub struct LaneTxt {
 }
 
 /// [`MeetSemantics`] instance whose accumulator is a 64-lane plane:
-/// the unmodified systolic [`Driver`](crate::engine::Driver) advances
+/// the unmodified systolic [`Driver`] advances
 /// 64 boolean matches per beat. All lanes share the pattern *length*
 /// (one `λ` bit serves every lane); contents may differ per lane.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -457,7 +458,7 @@ pub fn pack_patterns(patterns: &[Pattern]) -> Result<Vec<LanePat>, Error> {
 }
 
 /// The beat-accurate batched matcher: lane planes flowing through the
-/// existing [`Driver`](crate::engine::Driver) with [`LaneBoolean`]
+/// existing [`Driver`] with [`LaneBoolean`]
 /// semantics. One beat of this driver is one beat of the scalar array —
 /// in all 64 lanes simultaneously.
 #[derive(Debug, Clone)]
@@ -499,12 +500,125 @@ impl PlaneDriver {
     /// Runs every lane's text through the array (texts may have
     /// different lengths; shorter lanes idle on zero planes, whose
     /// results are discarded) and returns one [`MatchBits`] per lane.
+    ///
+    /// This is the un-instrumented path, preserved verbatim so the
+    /// telemetry A/B in `pm-bench` (E30) has a true baseline;
+    /// [`run_with_sink`](Self::run_with_sink) is the traced twin and is
+    /// tested bit-identical to it.
     pub fn run(&mut self, texts: &[&[Symbol]]) -> Result<Vec<MatchBits>, Error> {
         if texts.len() != self.lanes {
             return Err(Error::TooManyLanes { lanes: texts.len() });
         }
+        let stream = self.transpose(texts);
+        let planes = self.driver.run(&stream);
+        Ok(self.collect(texts, |i| planes[i]))
+    }
+
+    /// As [`run`](Self::run), but emits beat-level [`TraceEvent`]s into
+    /// `sink`: two [`TraceEvent::Clock`] phases per beat,
+    /// [`TraceEvent::TextInjected`] on text beats, and one
+    /// [`TraceEvent::ComparatorFire`] per exiting result with the
+    /// popcount of matching *occupied* lanes.
+    ///
+    /// The sink is a generic parameter so a
+    /// [`NullSink`](crate::telemetry::NullSink) monomorphises the
+    /// emission sites away; `run_with_sink(texts, &NullSink)` compiles
+    /// to the same machine loop as [`run`](Self::run).
+    pub fn run_with_sink<K: TraceSink>(
+        &mut self,
+        texts: &[&[Symbol]],
+        sink: &K,
+    ) -> Result<Vec<MatchBits>, Error> {
+        if texts.len() != self.lanes {
+            return Err(Error::TooManyLanes { lanes: texts.len() });
+        }
+        let stream = self.transpose(texts);
+        self.driver.reset();
+        // Per-position occupancy: lanes whose text still covers position
+        // `i`. Exhausted lanes idle on zero planes and may fire
+        // spuriously, so the comparator popcount masks them out. Only
+        // emission reads this, so a disabled sink skips the build too.
+        let occupancy: Vec<u64> = if !sink.enabled() {
+            Vec::new()
+        } else {
+            (0..stream.len())
+                .map(|i| {
+                    texts
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, t)| i < t.len())
+                        .fold(0u64, |m, (l, _)| m | (1u64 << l))
+                })
+                .collect()
+        };
+        let mut planes = vec![0u64; stream.len()];
+        // Feed: one bus cycle (two beats) per text plane, injecting on
+        // the driver's text beats — the same schedule as Driver::run.
+        for (seq, item) in stream.iter().enumerate() {
+            let mut item = Some(item.clone());
+            for _ in 0..2 {
+                let beat = self.driver.beat();
+                let phase = self.driver.phase();
+                let is_text_beat = beat >= phase && (beat - phase).is_multiple_of(2);
+                let inject = if is_text_beat { item.take() } else { None };
+                if sink.enabled() && inject.is_some() {
+                    sink.record(TraceEvent::TextInjected {
+                        beat,
+                        seq: seq as u64,
+                    });
+                }
+                let exit = self.driver.advance_beat(inject);
+                self.note_exit(exit, &occupancy, &mut planes, sink);
+            }
+            debug_assert!(item.is_none(), "no text slot in one bus cycle");
+        }
+        // Drain: same slack bound as Driver::drain.
+        let slack = (self.driver.total_cells() + 2 * self.driver.pattern_len() + 4) as u64;
+        for _ in 0..(2 * slack) {
+            let exit = self.driver.advance_beat(None);
+            self.note_exit(exit, &occupancy, &mut planes, sink);
+        }
+        Ok(self.collect(texts, |i| planes[i]))
+    }
+
+    /// Books one beat's exits: stores complete-window result planes and
+    /// emits the clock/comparator events for the beat just executed.
+    fn note_exit<K: TraceSink>(
+        &self,
+        exit: BeatExit<LaneBoolean>,
+        occupancy: &[u64],
+        planes: &mut [u64],
+        sink: &K,
+    ) {
+        if sink.enabled() {
+            sink.record(TraceEvent::Clock {
+                beat: exit.beat,
+                phase: ClockPhase::Phi1,
+            });
+            sink.record(TraceEvent::Clock {
+                beat: exit.beat,
+                phase: ClockPhase::Phi2,
+            });
+        }
+        if let Some(res) = exit.result {
+            let i = res.seq as usize;
+            if i >= self.k && i < planes.len() {
+                planes[i] = res.value;
+                if sink.enabled() {
+                    sink.record(TraceEvent::ComparatorFire {
+                        beat: exit.beat,
+                        seq: res.seq,
+                        lanes: (res.value & occupancy[i]).count_ones(),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Transposes per-lane texts into the per-position bit-plane stream.
+    fn transpose(&self, texts: &[&[Symbol]]) -> Vec<LaneTxt> {
         let tmax = texts.iter().map(|t| t.len()).max().unwrap_or(0);
-        let stream: Vec<LaneTxt> = (0..tmax)
+        (0..tmax)
             .map(|i| {
                 let mut bits = [0u64; MAX_BITS];
                 for (l, t) in texts.iter().enumerate() {
@@ -520,16 +634,19 @@ impl PlaneDriver {
                 }
                 LaneTxt { bits }
             })
-            .collect();
-        let planes = self.driver.run(&stream);
-        Ok(texts
+            .collect()
+    }
+
+    /// Slices per-position result planes back into per-lane [`MatchBits`].
+    fn collect(&self, texts: &[&[Symbol]], plane_at: impl Fn(usize) -> u64) -> Vec<MatchBits> {
+        texts
             .iter()
             .enumerate()
             .map(|(l, t)| {
-                let bits = (0..t.len()).map(|i| (planes[i] >> l) & 1 == 1).collect();
+                let bits = (0..t.len()).map(|i| (plane_at(i) >> l) & 1 == 1).collect();
                 MatchBits::new(bits, self.k)
             })
-            .collect())
+            .collect()
     }
 }
 
@@ -625,6 +742,51 @@ mod tests {
         for ((h, p), t) in hits.iter().zip(&pats).zip(&texts) {
             assert_eq!(h.bits(), match_spec(t, p), "pattern {p}");
         }
+    }
+
+    #[test]
+    fn plane_driver_traced_run_is_bit_identical() {
+        use crate::telemetry::{MemorySink, NullSink, TraceEvent};
+        let pats = [
+            Pattern::parse("AXC").unwrap(),
+            Pattern::parse("BBC").unwrap(),
+            Pattern::parse("CAB").unwrap(),
+        ];
+        let texts = [letters("ABCAACCAB"), letters("BBC"), letters("CABCABCAB")];
+        let lanes: Vec<&[Symbol]> = texts.iter().map(|t| t.as_slice()).collect();
+        let mut d = PlaneDriver::new(&pats).unwrap();
+        let plain = d.run(&lanes).unwrap();
+        let silent = d.run_with_sink(&lanes, &NullSink).unwrap();
+        let sink = MemorySink::new();
+        let traced = d.run_with_sink(&lanes, &sink).unwrap();
+        assert_eq!(plain, silent);
+        assert_eq!(plain, traced);
+        for ((h, p), t) in plain.iter().zip(&pats).zip(&texts) {
+            assert_eq!(h.bits(), match_spec(t, p), "pattern {p}");
+        }
+        // Two clock phases per beat; beats = 2·tmax feed + 2·slack drain.
+        let events = sink.events();
+        let clocks = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Clock { .. }))
+            .count();
+        let slack = 3 + 2 * 3 + 4; // total_cells + 2·pattern_len + 4
+        assert_eq!(clocks, 2 * (2 * 9 + 2 * slack));
+        let injected = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::TextInjected { .. }))
+            .count();
+        assert_eq!(injected, 9); // one per text position (tmax)
+                                 // Comparator fires carry the ground-truth lane popcount.
+        let fired: u32 = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::ComparatorFire { lanes, .. } => Some(*lanes),
+                _ => None,
+            })
+            .sum();
+        let truth: u32 = plain.iter().map(|h| h.count() as u32).sum();
+        assert_eq!(fired, truth);
     }
 
     #[test]

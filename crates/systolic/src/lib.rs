@@ -62,6 +62,10 @@
 //!   §3.2.1, machine-checked against the simulator.
 //! * [`trace`] — beat-by-beat choreography recording, used to regenerate
 //!   Figure 3-2.
+//! * [`telemetry`] — the workspace-wide trace-event taxonomy and the
+//!   zero-cost-when-disabled [`TraceSink`](telemetry::TraceSink)
+//!   contract the hot paths emit into (`pm-chip`'s metrics layer builds
+//!   its counters, histograms and exporters on top).
 //! * [`selftimed`] — a Monte-Carlo model of the clocked vs. self-timed
 //!   data-flow trade-off discussed in §3.3.2, and [`handshake`] — an
 //!   actual event-driven self-timed implementation cross-validating it.
@@ -97,6 +101,7 @@ pub mod semantics;
 pub mod spec;
 pub mod stream;
 pub mod symbol;
+pub mod telemetry;
 pub mod trace;
 
 pub use error::Error;
@@ -113,5 +118,6 @@ pub mod prelude {
     pub use crate::spec::{count_spec, match_spec};
     pub use crate::stream::MatchStream;
     pub use crate::symbol::{Alphabet, PatSym, Pattern, Symbol};
+    pub use crate::telemetry::{MemorySink, NullSink, SinkHandle, TraceEvent, TraceSink};
     pub use crate::trace::{TraceRecorder, TraceSnapshot};
 }

@@ -1,0 +1,312 @@
+//! Beat-level trace events and the zero-cost-when-disabled sink trait.
+//!
+//! The paper's only quantitative claim — one character every 250 ns
+//! (§1) — is a *rate*, and rates regress silently unless something is
+//! watching. This module defines the observability contract the whole
+//! workspace shares: a flat [`TraceEvent`] taxonomy spanning every
+//! layer (array beats and clock phases here; host-bus stalls, BIST
+//! scrubs and scheduler job lifecycle in `pm-chip`), and a
+//! [`TraceSink`] trait the hot paths emit into.
+//!
+//! The taxonomy lives in this bottom crate so that the beat engines can
+//! emit without depending upward; each layer emits only its own
+//! variants. Two disciplines keep the disabled path free:
+//!
+//! * **Monomorphised paths** (e.g.
+//!   [`PlaneDriver::run_with_sink`](crate::batch::PlaneDriver::run_with_sink))
+//!   take `&S where S: TraceSink`. With [`NullSink`] the
+//!   `enabled() == false` constant folds and every emission compiles
+//!   away — the A/B measurement in `pm-bench`'s E30 figure holds this
+//!   under 1 % against the un-instrumented path.
+//! * **Dynamic paths** (the `pm-chip` scheduler and recovery cascade)
+//!   hold a [`SinkHandle`] and guard each emission with one virtual
+//!   `enabled()` call; events there are per-batch or per-scrub, never
+//!   per-character, so the guard is invisible next to the work.
+//!
+//! ```
+//! use pm_systolic::telemetry::{MemorySink, TraceEvent, TraceSink};
+//!
+//! let sink = MemorySink::new();
+//! sink.record(TraceEvent::CacheLookup { hit: true });
+//! assert_eq!(sink.events().len(), 1);
+//! ```
+
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// The two phases of the paper's two-phase non-overlapping clock (§4:
+/// "two-phase clocks are used to move data through the chip").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClockPhase {
+    /// φ1: precharge / transfer into the cell.
+    Phi1,
+    /// φ2: evaluate / transfer out of the cell.
+    Phi2,
+}
+
+impl fmt::Display for ClockPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClockPhase::Phi1 => write!(f, "φ1"),
+            ClockPhase::Phi2 => write!(f, "φ2"),
+        }
+    }
+}
+
+/// One observable event. Variants are flat `Copy` data so recording is
+/// a store, never an allocation; each layer emits only its own rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TraceEvent {
+    /// One clock phase of one array beat (emitted by beat-accurate
+    /// engines; two per beat).
+    Clock {
+        /// Beat number within the run.
+        beat: u64,
+        /// Which phase of the beat.
+        phase: ClockPhase,
+    },
+    /// A text item entered the array.
+    TextInjected {
+        /// Beat of injection.
+        beat: u64,
+        /// Text position carried by the item.
+        seq: u64,
+    },
+    /// A result left the array with at least the possibility of a
+    /// match: the comparator column's verdict for one text position.
+    ComparatorFire {
+        /// Beat the result exited on.
+        beat: u64,
+        /// Text position of the result.
+        seq: u64,
+        /// Number of lanes whose window matched (1 for scalar engines,
+        /// up to 64 for the bit-plane engines, 0 for a miss).
+        lanes: u32,
+    },
+    /// The host watchdog declared the result stream stalled.
+    HostStall {
+        /// First text position whose result is overdue.
+        missing_from: u64,
+    },
+    /// The host retried an operation after backoff (BIST re-run).
+    HostRetry {
+        /// Retry attempt number (1-based).
+        attempt: u32,
+        /// Idle beats of backoff before this attempt.
+        backoff_beats: u64,
+    },
+    /// A BIST self-test finished on one socket (attach-time or scrub).
+    ScrubOutcome {
+        /// Socket index on the board.
+        socket: u32,
+        /// Whether the socket passed every vector on every port.
+        passed: bool,
+        /// Array beats the test occupied.
+        beats: u64,
+    },
+    /// A socket exhausted its retries and was condemned.
+    Condemned {
+        /// Socket index on the board.
+        socket: u32,
+    },
+    /// The chain was rewired around condemned sockets.
+    Remapped {
+        /// Sockets in the healed chain.
+        chain_len: u32,
+        /// Characters replayed through it.
+        replayed_chars: u64,
+    },
+    /// Results up to a watermark became final.
+    Committed {
+        /// Results are final for positions `< upto`.
+        upto: u64,
+    },
+    /// Spares exhausted; the software fallback took over.
+    FallbackEngaged,
+    /// The scheduler handed a job to a worker.
+    JobStarted {
+        /// Caller-chosen job id.
+        job: u64,
+        /// Worker index.
+        worker: u32,
+    },
+    /// A job's results were recorded.
+    JobCompleted {
+        /// Caller-chosen job id.
+        job: u64,
+        /// Worker index.
+        worker: u32,
+        /// Text characters the job streamed.
+        chars: u64,
+        /// Matches found in the job's text.
+        matches: u64,
+    },
+    /// One 64-lane word batch executed to completion.
+    BatchExecuted {
+        /// Worker index.
+        worker: u32,
+        /// Lane slots that carried a stream (≤ 64).
+        lanes: u32,
+        /// Engine steps (text positions) the batch advanced.
+        steps: u64,
+        /// Wall-clock microseconds the batch took (0 when the caller
+        /// does not time batches).
+        micros: u64,
+    },
+    /// A compiled-pattern cache lookup.
+    CacheLookup {
+        /// Whether the lookup hit.
+        hit: bool,
+    },
+}
+
+/// Where trace events go. Implementations must be cheap and
+/// thread-safe; hot paths call [`enabled`](TraceSink::enabled) first
+/// and skip event construction entirely when it returns `false`.
+pub trait TraceSink: Send + Sync {
+    /// Whether this sink wants events at all. Hot paths guard on this;
+    /// a constant `false` (as in [`NullSink`]) lets the optimiser
+    /// delete the emission sites.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Records one event.
+    fn record(&self, event: TraceEvent);
+}
+
+/// The disabled sink: reports `enabled() == false` and ignores events.
+/// Monomorphised call sites compile to the un-instrumented code.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&self, _event: TraceEvent) {}
+}
+
+/// A sink that buffers every event in memory, for tests and trace
+/// dumps. Unbounded; not for production streams.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl MemorySink {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A copy of everything recorded so far.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.lock().expect("sink poisoned").clone()
+    }
+
+    /// Number of events recorded.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("sink poisoned").len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn record(&self, event: TraceEvent) {
+        self.events.lock().expect("sink poisoned").push(event);
+    }
+}
+
+/// A shareable, `Debug`/`Clone`-friendly handle to a dynamic sink.
+/// Structures that `derive(Debug, Clone)` (the scheduler, the recovery
+/// cascade) store one of these instead of a bare trait object.
+#[derive(Clone)]
+pub struct SinkHandle(Arc<dyn TraceSink>);
+
+impl SinkHandle {
+    /// Wraps a shared sink.
+    pub fn new(sink: Arc<dyn TraceSink>) -> Self {
+        SinkHandle(sink)
+    }
+
+    /// The disabled handle (wraps [`NullSink`]).
+    pub fn null() -> Self {
+        SinkHandle(Arc::new(NullSink))
+    }
+
+    /// Whether the underlying sink wants events.
+    pub fn enabled(&self) -> bool {
+        self.0.enabled()
+    }
+
+    /// Records one event if the sink is enabled.
+    pub fn record(&self, event: TraceEvent) {
+        if self.0.enabled() {
+            self.0.record(event);
+        }
+    }
+}
+
+impl Default for SinkHandle {
+    fn default() -> Self {
+        SinkHandle::null()
+    }
+}
+
+impl fmt::Debug for SinkHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SinkHandle")
+            .field("enabled", &self.0.enabled())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_sink_is_disabled() {
+        let sink = NullSink;
+        assert!(!sink.enabled());
+        sink.record(TraceEvent::FallbackEngaged); // must be a no-op
+    }
+
+    #[test]
+    fn memory_sink_buffers_in_order() {
+        let sink = MemorySink::new();
+        assert!(sink.is_empty());
+        sink.record(TraceEvent::CacheLookup { hit: false });
+        sink.record(TraceEvent::Committed { upto: 9 });
+        let events = sink.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[1], TraceEvent::Committed { upto: 9 });
+    }
+
+    #[test]
+    fn handle_guards_on_enabled() {
+        let mem = Arc::new(MemorySink::new());
+        let handle = SinkHandle::new(mem.clone());
+        assert!(handle.enabled());
+        handle.record(TraceEvent::Condemned { socket: 3 });
+        assert_eq!(mem.len(), 1);
+        let off = SinkHandle::null();
+        assert!(!off.enabled());
+        off.record(TraceEvent::Condemned { socket: 3 });
+        let debug = format!("{off:?}");
+        assert!(debug.contains("enabled: false"), "{debug}");
+    }
+
+    #[test]
+    fn clock_phase_display() {
+        assert_eq!(ClockPhase::Phi1.to_string(), "φ1");
+        assert_eq!(ClockPhase::Phi2.to_string(), "φ2");
+    }
+}

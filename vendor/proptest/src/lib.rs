@@ -2,7 +2,7 @@
 //!
 //! The build environment has no crates.io access, so this vendored
 //! crate reimplements the API surface the tests rely on: the
-//! [`Strategy`] trait with `prop_map`/`prop_flat_map`/`prop_filter_map`,
+//! [`Strategy`](strategy::Strategy) trait with `prop_map`/`prop_flat_map`/`prop_filter_map`,
 //! range and tuple strategies, [`collection::vec`], [`option::weighted`],
 //! `Just`, `any`, `prop_oneof!`, the `proptest!` macro with
 //! `proptest_config`, and `prop_assert*`/`prop_assume!`.
