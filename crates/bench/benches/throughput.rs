@@ -69,6 +69,36 @@ fn bench_batched_rate(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_superwide_rate(c: &mut Criterion) {
+    // E31: the superplane engines against the u64 baseline on a
+    // 384-stream workload (six words wide — 1.5 × W=4, 0.75 × W=8).
+    use pm_systolic::superplane::SuperMatcher;
+    let alphabet = Alphabet::TWO_BIT;
+    let pattern = workloads::random_pattern(alphabet, 16, 10, 3);
+    let texts: Vec<Vec<Symbol>> = (0..384)
+        .map(|i| workloads::random_text(alphabet, 4_096, 200 + i as u64))
+        .collect();
+    let lanes: Vec<&[Symbol]> = texts.iter().map(|t| t.as_slice()).collect();
+    let total = (texts.len() * 4_096) as u64;
+
+    let mut group = c.benchmark_group("superwide_char_rate");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(total));
+    group.bench_function("u64_64_lanes", |b| {
+        let m = BatchMatcher::new(&pattern);
+        b.iter(|| m.match_streams(&lanes).expect("ok"))
+    });
+    group.bench_function("superplane_w4_256_lanes", |b| {
+        let m = SuperMatcher::<4>::new(&pattern);
+        b.iter(|| m.match_streams(&lanes).expect("ok"))
+    });
+    group.bench_function("superplane_w8_512_lanes", |b| {
+        let m = SuperMatcher::<8>::new(&pattern);
+        b.iter(|| m.match_streams(&lanes).expect("ok"))
+    });
+    group.finish();
+}
+
 fn bench_multipass(c: &mut Criterion) {
     // §3.4 multi-pass cost: the same text, patterns larger than the
     // array by growing factors.
@@ -101,6 +131,7 @@ criterion_group!(
     benches,
     bench_beat_rate,
     bench_batched_rate,
+    bench_superwide_rate,
     bench_multipass,
     bench_selftimed_model
 );

@@ -1,7 +1,7 @@
-//! CI bench-regression gate: compares the `chars_per_sec` headline in a
-//! freshly generated `BENCH_telemetry.json` against the committed
-//! baseline and fails if throughput regressed by more than the allowed
-//! fraction.
+//! CI bench-regression gate: compares the throughput metrics in a
+//! freshly generated snapshot (`BENCH_telemetry.json`,
+//! `BENCH_superwide.json`) against the committed baseline and fails if
+//! any shared metric regressed by more than the allowed fraction.
 //!
 //! ```text
 //! bench_gate <baseline.json> <current.json> [max_regression]
@@ -12,16 +12,26 @@
 //! mutex in the hot loop", not 2 % jitter. Improvements always pass and
 //! are reported so the baseline can be refreshed.
 //!
-//! The JSON is scanned with plain string matching (the repo vendors no
-//! JSON parser); the snapshot writer in `pm_chip::telemetry` emits the
-//! `"chars_per_sec": <number>` field this reads.
+//! Every metric key known to the gate that appears in *both* files is
+//! compared (so one baseline schema can gate both snapshot documents);
+//! it is an error for the files to share none. The JSON is scanned with
+//! plain string matching (the repo vendors no JSON parser); the `"` in
+//! the search key prevents one metric's name matching inside another's
+//! (`"chars_per_sec"` must not match `"superplane_chars_per_sec"`).
 
 use std::process::ExitCode;
 
-/// Extracts the `"chars_per_sec"` number from a telemetry snapshot.
-fn chars_per_sec(json: &str) -> Option<f64> {
-    let key = "\"chars_per_sec\":";
-    let at = json.find(key)? + key.len();
+/// Rate metrics the gate knows how to compare, in report order.
+const METRICS: &[&str] = &[
+    "chars_per_sec",
+    "superplane_chars_per_sec",
+    "u64_chars_per_sec",
+];
+
+/// Extracts the number following `"{key}":` from a snapshot document.
+fn metric(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
     let rest = json[at..].trim_start();
     let end = rest
         .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e'))
@@ -29,9 +39,8 @@ fn chars_per_sec(json: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
-fn read_rate(path: &str) -> Result<f64, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    chars_per_sec(&text).ok_or_else(|| format!("no \"chars_per_sec\" field in {path}"))
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
 }
 
 fn main() -> ExitCode {
@@ -45,7 +54,7 @@ fn main() -> ExitCode {
         .map(|s| s.parse().expect("max_regression must be a number"))
         .unwrap_or(0.15);
 
-    let (baseline, current) = match (read_rate(&args[0]), read_rate(&args[1])) {
+    let (baseline_doc, current_doc) = match (read(&args[0]), read(&args[1])) {
         (Ok(b), Ok(c)) => (b, c),
         (b, c) => {
             for err in [b.err(), c.err()].into_iter().flatten() {
@@ -55,47 +64,86 @@ fn main() -> ExitCode {
         }
     };
 
-    let change = if baseline > 0.0 {
-        (current - baseline) / baseline
-    } else {
-        0.0
-    };
-    println!(
-        "bench_gate: baseline {:.2} Mchar/s, current {:.2} Mchar/s, change {:+.1} % \
-         (gate: -{:.0} %)",
-        baseline / 1e6,
-        current / 1e6,
-        change * 100.0,
-        max_regression * 100.0
-    );
-    if change < -max_regression {
-        eprintln!(
-            "bench_gate: FAIL — throughput regressed {:.1} % (> {:.0} % allowed)",
-            -change * 100.0,
+    let mut compared = 0usize;
+    let mut failed = false;
+    for key in METRICS {
+        let (baseline, current) = match (metric(&baseline_doc, key), metric(&current_doc, key)) {
+            (Some(b), Some(c)) => (b, c),
+            _ => continue, // metric absent from one side: not gated
+        };
+        compared += 1;
+        let change = if baseline > 0.0 {
+            (current - baseline) / baseline
+        } else {
+            0.0
+        };
+        println!(
+            "bench_gate: {key}: baseline {:.2} Mchar/s, current {:.2} Mchar/s, \
+             change {:+.1} % (gate: -{:.0} %)",
+            baseline / 1e6,
+            current / 1e6,
+            change * 100.0,
             max_regression * 100.0
         );
+        if change < -max_regression {
+            eprintln!(
+                "bench_gate: FAIL — {key} regressed {:.1} % (> {:.0} % allowed)",
+                -change * 100.0,
+                max_regression * 100.0
+            );
+            failed = true;
+        } else if change > max_regression {
+            println!(
+                "bench_gate: note — {key} improved {:.1} %; consider refreshing \
+                 the committed baseline",
+                change * 100.0
+            );
+        }
+    }
+
+    if compared == 0 {
+        eprintln!(
+            "bench_gate: no known metric ({}) present in both {} and {}",
+            METRICS.join(", "),
+            args[0],
+            args[1]
+        );
+        return ExitCode::from(2);
+    }
+    if failed {
         return ExitCode::FAILURE;
     }
-    if change > max_regression {
-        println!(
-            "bench_gate: note — throughput improved {:.1} %; consider refreshing \
-             ci/bench_baseline.json",
-            change * 100.0
-        );
-    }
-    println!("bench_gate: PASS");
+    println!("bench_gate: PASS ({compared} metric(s) compared)");
     ExitCode::SUCCESS
 }
 
 #[cfg(test)]
 mod tests {
-    use super::chars_per_sec;
+    use super::metric;
 
     #[test]
     fn extracts_the_rate() {
         let json = "{\n  \"chars_per_sec\": 108625454.9,\n  \"counters\": {}\n}";
-        assert_eq!(chars_per_sec(json), Some(108625454.9));
-        assert_eq!(chars_per_sec("{}"), None);
-        assert_eq!(chars_per_sec("{\"chars_per_sec\": 0.0}"), Some(0.0));
+        assert_eq!(metric(json, "chars_per_sec"), Some(108625454.9));
+        assert_eq!(metric("{}", "chars_per_sec"), None);
+        assert_eq!(
+            metric("{\"chars_per_sec\": 0.0}", "chars_per_sec"),
+            Some(0.0)
+        );
+    }
+
+    #[test]
+    fn superplane_key_does_not_satisfy_the_plain_key() {
+        // The quote in the needle stops "chars_per_sec" matching inside
+        // "superplane_chars_per_sec".
+        let json = "{\n  \"superplane_chars_per_sec\": 500000000.0\n}";
+        assert_eq!(metric(json, "chars_per_sec"), None);
+        assert_eq!(metric(json, "superplane_chars_per_sec"), Some(500000000.0));
+    }
+
+    #[test]
+    fn negative_and_exponent_forms_parse() {
+        let json = "{\"u64_chars_per_sec\": 1.25e8}";
+        assert_eq!(metric(json, "u64_chars_per_sec"), Some(1.25e8));
     }
 }

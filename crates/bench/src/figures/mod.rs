@@ -9,6 +9,7 @@ pub mod hardware;
 pub mod inventory;
 pub mod methodology;
 pub mod resilience;
+pub mod superwide;
 pub mod telemetry;
 pub mod throughput;
 
@@ -30,6 +31,7 @@ pub fn all() -> Vec<FigureEntry> {
         ("rate", evaluation::data_rate),
         ("throughput", throughput::throughput),
         ("telemetry", telemetry::telemetry),
+        ("superwide", superwide::superwide),
         ("fig3_7", extensions::fig3_7),
         ("multipass", extensions::multipass),
         ("counting", extensions::counting),

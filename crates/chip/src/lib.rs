@@ -73,7 +73,9 @@ pub mod prelude {
         SelfHealingCascade,
     };
     pub use crate::telemetry::{Histogram, HistogramSnapshot, MetricsRegistry, TelemetrySnapshot};
-    pub use crate::throughput::{Job, JobOutput, PatternCache, ThroughputEngine, WorkerStats};
+    pub use crate::throughput::{
+        Job, JobOutput, PatternCache, PatternIndex, SuperWidth, ThroughputEngine, WorkerStats,
+    };
     pub use crate::timing::{ClockModel, GateDelays};
     pub use crate::wafer::{Wafer, YieldPoint};
 }

@@ -32,8 +32,9 @@ use pm_systolic::telemetry::{TraceEvent, TraceSink};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Default occupancy buckets: lane slots carried per word batch (≤ 64).
-pub const OCCUPANCY_BOUNDS: &[u64] = &[1, 8, 16, 32, 48, 64];
+/// Default occupancy buckets: lane slots carried per batch (≤ 64 for
+/// the `u64` engine, up to 512 for a width-8 superplane batch).
+pub const OCCUPANCY_BOUNDS: &[u64] = &[1, 8, 16, 32, 64, 128, 256, 512];
 
 /// Default batch-latency buckets, in microseconds.
 pub const LATENCY_BOUNDS_MICROS: &[u64] = &[10, 50, 100, 500, 1_000, 5_000, 10_000];
@@ -192,12 +193,22 @@ pub struct MetricsRegistry {
     pub batch_steps: Counter,
     /// Lane slots that carried a stream, summed over batches.
     pub lane_slots_used: Counter,
-    /// Lane slots available (64 per batch).
+    /// Lane slots offered, summed over batches (64 per `u64` batch,
+    /// `W × 64` per width-`W` superplane batch).
     pub lane_slots_total: Counter,
     /// Compiled-pattern cache hits.
     pub cache_hits: Counter,
     /// Compiled-pattern cache misses.
     pub cache_misses: Counter,
+    /// Runs dispatched to the portable kernel.
+    pub dispatch_portable: Counter,
+    /// Runs dispatched to the AVX2 kernel.
+    pub dispatch_avx2: Counter,
+    /// Runs dispatched to the AVX-512 kernel.
+    pub dispatch_avx512: Counter,
+    /// Superplane width (words) of the most recent dispatch — a gauge,
+    /// not a counter.
+    pub superplane_words: AtomicU64,
     /// Lanes-per-batch distribution.
     pub batch_occupancy: Histogram,
     /// Batch wall-clock distribution, microseconds (only batches the
@@ -240,6 +251,10 @@ impl MetricsRegistry {
             lane_slots_total: Counter::new(),
             cache_hits: Counter::new(),
             cache_misses: Counter::new(),
+            dispatch_portable: Counter::new(),
+            dispatch_avx2: Counter::new(),
+            dispatch_avx512: Counter::new(),
+            superplane_words: AtomicU64::new(0),
             batch_occupancy: Histogram::new(OCCUPANCY_BOUNDS),
             batch_micros: Histogram::new(LATENCY_BOUNDS_MICROS),
         }
@@ -274,6 +289,10 @@ impl MetricsRegistry {
             lane_slots_total: self.lane_slots_total.get(),
             cache_hits: self.cache_hits.get(),
             cache_misses: self.cache_misses.get(),
+            dispatch_portable: self.dispatch_portable.get(),
+            dispatch_avx2: self.dispatch_avx2.get(),
+            dispatch_avx512: self.dispatch_avx512.get(),
+            superplane_words: self.superplane_words.load(Ordering::Relaxed),
             batch_occupancy: self.batch_occupancy.snapshot(),
             batch_micros: self.batch_micros.snapshot(),
         }
@@ -317,6 +336,7 @@ impl TraceSink for MetricsRegistry {
             }
             TraceEvent::BatchExecuted {
                 lanes,
+                slots,
                 steps,
                 micros,
                 ..
@@ -324,7 +344,7 @@ impl TraceSink for MetricsRegistry {
                 self.batches.add(1);
                 self.batch_steps.add(steps);
                 self.lane_slots_used.add(u64::from(lanes));
-                self.lane_slots_total.add(pm_systolic::batch::LANES as u64);
+                self.lane_slots_total.add(u64::from(slots));
                 self.batch_occupancy.observe(u64::from(lanes));
                 if micros > 0 {
                     self.batch_micros.observe(micros);
@@ -336,6 +356,16 @@ impl TraceSink for MetricsRegistry {
                 } else {
                     self.cache_misses.add(1);
                 }
+            }
+            TraceEvent::DispatchSelected { words, level } => {
+                use pm_systolic::superplane::SimdLevel;
+                match level {
+                    SimdLevel::Portable => self.dispatch_portable.add(1),
+                    SimdLevel::Avx2 => self.dispatch_avx2.add(1),
+                    SimdLevel::Avx512 => self.dispatch_avx512.add(1),
+                }
+                self.superplane_words
+                    .store(u64::from(words), Ordering::Relaxed);
             }
             _ => {}
         }
@@ -400,6 +430,14 @@ pub struct TelemetrySnapshot {
     pub cache_hits: u64,
     /// Pattern-cache misses.
     pub cache_misses: u64,
+    /// Runs dispatched to the portable kernel.
+    pub dispatch_portable: u64,
+    /// Runs dispatched to the AVX2 kernel.
+    pub dispatch_avx2: u64,
+    /// Runs dispatched to the AVX-512 kernel.
+    pub dispatch_avx512: u64,
+    /// Superplane width (words) of the most recent dispatch.
+    pub superplane_words: u64,
     /// Lanes-per-batch distribution.
     pub batch_occupancy: HistogramSnapshot,
     /// Batch latency distribution (µs).
@@ -503,7 +541,7 @@ impl TelemetrySnapshot {
             ),
             (
                 "pm_lane_slots_total",
-                "Lane slots available (64 per batch).",
+                "Lane slots offered (64 per u64 batch, W*64 per superplane batch).",
                 self.lane_slots_total,
             ),
             (
@@ -516,6 +554,21 @@ impl TelemetrySnapshot {
                 "Compiled-pattern cache misses.",
                 self.cache_misses,
             ),
+            (
+                "pm_dispatch_portable_total",
+                "Runs dispatched to the portable superplane kernel.",
+                self.dispatch_portable,
+            ),
+            (
+                "pm_dispatch_avx2_total",
+                "Runs dispatched to the AVX2 superplane kernel.",
+                self.dispatch_avx2,
+            ),
+            (
+                "pm_dispatch_avx512_total",
+                "Runs dispatched to the AVX-512 superplane kernel.",
+                self.dispatch_avx512,
+            ),
         ]
     }
 
@@ -527,6 +580,12 @@ impl TelemetrySnapshot {
             let _ = writeln!(out, "# TYPE {name} counter");
             let _ = writeln!(out, "{name} {value}");
         }
+        let _ = writeln!(
+            out,
+            "# HELP pm_superplane_words Superplane width (words) of the most recent dispatch."
+        );
+        let _ = writeln!(out, "# TYPE pm_superplane_words gauge");
+        let _ = writeln!(out, "pm_superplane_words {}", self.superplane_words);
         self.batch_occupancy.to_prometheus(
             "pm_batch_occupancy",
             "Lane slots carried per word batch.",
@@ -549,10 +608,14 @@ impl TelemetrySnapshot {
         let _ = writeln!(out, "  \"chars_per_sec\": {chars_per_sec:.1},");
         out.push_str("  \"counters\": {\n");
         let rows = self.counter_rows();
-        for (i, (name, _, value)) in rows.iter().enumerate() {
-            let comma = if i + 1 < rows.len() { "," } else { "" };
-            let _ = writeln!(out, "    \"{name}\": {value}{comma}");
+        for (name, _, value) in rows.iter() {
+            let _ = writeln!(out, "    \"{name}\": {value},");
         }
+        let _ = writeln!(
+            out,
+            "    \"pm_superplane_words\": {}",
+            self.superplane_words
+        );
         out.push_str("  },\n");
         out.push_str("  \"histograms\": {\n    \"pm_batch_occupancy\": ");
         self.batch_occupancy.to_json(&mut out);
@@ -605,8 +668,13 @@ mod tests {
         m.record(TraceEvent::BatchExecuted {
             worker: 0,
             lanes: 48,
+            slots: 64,
             steps: 4096,
             micros: 120,
+        });
+        m.record(TraceEvent::DispatchSelected {
+            words: 8,
+            level: pm_systolic::superplane::SimdLevel::Portable,
         });
         m.record(TraceEvent::CacheLookup { hit: true });
         m.record(TraceEvent::CacheLookup { hit: false });
@@ -622,6 +690,8 @@ mod tests {
         assert_eq!(s.matches, 4);
         assert_eq!(s.lane_slots_used, 48);
         assert_eq!(s.lane_slots_total, 64);
+        assert_eq!(s.dispatch_portable, 1);
+        assert_eq!(s.superplane_words, 8);
         assert_eq!(s.cache_hits, 1);
         assert_eq!(s.cache_misses, 1);
         assert_eq!(s.scrubs_failed, 1);
@@ -636,6 +706,7 @@ mod tests {
         m.record(TraceEvent::BatchExecuted {
             worker: 0,
             lanes: 64,
+            slots: 512,
             steps: 100,
             micros: 0, // untimed: no latency observation
         });

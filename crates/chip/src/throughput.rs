@@ -1,24 +1,37 @@
-//! Multi-stream job scheduling over the bit-plane batch engine.
+//! Multi-stream job scheduling over the bit-plane batch engines.
 //!
 //! The paper's throughput claim (§1: one character every 250 ns,
 //! "higher than the memory bandwidth of most conventional computers")
 //! describes a chip serving *one* stream very fast. A host with many
 //! concurrent search jobs — the ROADMAP's "heavy traffic" scenario —
-//! wants the aggregate rate instead, and the bit-plane engine of
-//! [`pm_systolic::batch`] supplies it: 64 independent streams per
-//! machine word. This module is the host-side scheduler that keeps
-//! those lanes full:
+//! wants the aggregate rate instead, and the bit-plane engines supply
+//! it: 64 independent streams per machine word
+//! ([`pm_systolic::batch`]), up to 512 per superplane
+//! ([`pm_systolic::superplane`]). This module is the host-side
+//! scheduler that keeps those lanes full:
 //!
-//! * [`ThroughputEngine::run`] shards N incoming [`Job`]s across
-//!   `std::thread` workers;
-//! * each worker groups its jobs by pattern, packs them 64 lanes to a
-//!   word batch (same-pattern groups run on the zero-setup uniform
-//!   path; leftover singletons share mixed batches), and steps every
-//!   lane together;
-//! * a [`PatternCache`] memoises pattern → control-bit-plane
-//!   compilation with LRU eviction, so the setup cost the paper's
-//!   §3.3.1 analysis worries about ("loading this pattern") is paid
-//!   once per *distinct* pattern, not once per job;
+//! * [`ThroughputEngine::run`] plans batches *globally* — every job is
+//!   grouped by pattern across the whole submission, so same-pattern
+//!   jobs land in the same zero-setup uniform batch no matter which
+//!   worker would have owned them under static sharding; leftover
+//!   singletons pool into mixed batches;
+//! * batches go onto per-worker deques and workers *steal*: each pops
+//!   its own deque from the front and raids the back of its neighbours'
+//!   when it runs dry, so a straggler batch never idles the rest of the
+//!   pool;
+//! * the batch width is a [`SuperWidth`] — one `u64` plane (64 lanes)
+//!   or a 4- or 8-word superplane (256 / 512 lanes, the default) whose
+//!   kernel is runtime-dispatched to AVX2/AVX-512 where the CPU has
+//!   them ([`simd_level`]); the choice is announced once per run via
+//!   [`TraceEvent::DispatchSelected`] and echoed in the
+//!   [`ThroughputReport`];
+//! * pattern → control-bit-plane compilation is memoised twice over: a
+//!   private [`PatternCache`] per worker (no lock at all on the hot
+//!   path) backed by a shared read-mostly [`PatternIndex`] that
+//!   persists across runs, so the setup cost the paper's §3.3.1
+//!   analysis worries about ("loading this pattern") is paid once per
+//!   *distinct* pattern, not once per job — and never behind a global
+//!   mutex;
 //! * per-worker [`WorkerStats`] and whole-run rates (chars/sec, lane
 //!   occupancy, cache hit rate) are surfaced through the
 //!   [`counters`](crate::counters) module.
@@ -39,24 +52,78 @@
 //! let report = engine.run(&jobs)?;
 //! assert_eq!(report.outputs[0].hits.ending_positions(), vec![2, 5, 6]);
 //! assert_eq!(report.totals.jobs, 3);
-//! let again = engine.run(&jobs)?; // the compiled planes are cached now
+//! let again = engine.run(&jobs)?; // the compiled planes are indexed now
 //! assert_eq!(again.totals.cache_misses, 0);
 //! # Ok(())
 //! # }
 //! ```
 
 use crate::counters::{Counter, CounterSnapshot, RateWindow, ThroughputCounters};
-use pm_systolic::batch::{match_lanes, match_uniform, CompiledPattern, LANES};
+use pm_systolic::batch::{match_lanes, match_uniform, CompiledPattern};
 use pm_systolic::engine::MatchBits;
 use pm_systolic::error::Error;
+use pm_systolic::superplane::{
+    lanes_of, match_lanes_wide, match_uniform_wide, simd_level, SimdLevel,
+};
 use pm_systolic::symbol::{Pattern, Symbol};
 use pm_systolic::telemetry::{SinkHandle, TraceEvent};
-use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 /// Default sliding window for [`ThroughputEngine::windowed_chars_per_sec`].
 const RATE_WINDOW: Duration = Duration::from_secs(30);
+
+/// How wide one batch is: the number of 64-lane machine words packed
+/// side by side in each bit plane.
+///
+/// [`W1`](SuperWidth::W1) is the original `u64` engine of
+/// [`pm_systolic::batch`]; [`W4`](SuperWidth::W4) and
+/// [`W8`](SuperWidth::W8) are the superplane widths of
+/// [`pm_systolic::superplane`], whose kernels runtime-dispatch to
+/// AVX2/AVX-512 on CPUs that have them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SuperWidth {
+    /// One `u64` word per plane: 64 lanes per batch.
+    W1,
+    /// Four words per plane: 256 lanes per batch.
+    W4,
+    /// Eight words per plane: 512 lanes per batch (the default).
+    #[default]
+    W8,
+}
+
+impl SuperWidth {
+    /// Plane width in 64-bit words.
+    pub const fn words(self) -> usize {
+        match self {
+            SuperWidth::W1 => 1,
+            SuperWidth::W4 => 4,
+            SuperWidth::W8 => 8,
+        }
+    }
+
+    /// Lane slots one batch of this width offers.
+    pub const fn lanes(self) -> usize {
+        lanes_of(self.words())
+    }
+
+    /// Short human label for figures and reports.
+    pub const fn label(self) -> &'static str {
+        match self {
+            SuperWidth::W1 => "u64",
+            SuperWidth::W4 => "superplane-4",
+            SuperWidth::W8 => "superplane-8",
+        }
+    }
+}
+
+impl fmt::Display for SuperWidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
 
 /// One incoming unit of work: match `pattern` against `text`.
 #[derive(Debug, Clone)]
@@ -90,6 +157,8 @@ pub struct JobOutput {
 /// Compilation walks the pattern and allocates its broadcast planes;
 /// a hot service sees the same handful of patterns over and over, so
 /// the cache turns per-job setup into per-*distinct*-pattern setup.
+/// Each scheduler worker owns one privately (no locking); the shared
+/// tier behind it is a [`PatternIndex`].
 ///
 /// ```
 /// use pm_chip::throughput::PatternCache;
@@ -126,16 +195,21 @@ impl PatternCache {
         }
     }
 
-    /// Returns the compiled planes for `pattern` and whether the lookup
-    /// was a hit, compiling and (LRU-)evicting on a miss.
-    pub fn get_or_compile(&mut self, pattern: &Pattern) -> (Arc<CompiledPattern>, bool) {
+    /// Looks `pattern` up, refreshing its recency on a hit.
+    pub fn get(&mut self, pattern: &Pattern) -> Option<Arc<CompiledPattern>> {
         self.tick += 1;
-        if let Some(entry) = self.map.get_mut(pattern) {
-            entry.last_used = self.tick;
-            return (Arc::clone(&entry.compiled), true);
-        }
-        let compiled = Arc::new(CompiledPattern::compile(pattern));
-        if self.map.len() >= self.capacity {
+        let tick = self.tick;
+        self.map.get_mut(pattern).map(|entry| {
+            entry.last_used = tick;
+            Arc::clone(&entry.compiled)
+        })
+    }
+
+    /// Stores an already-compiled pattern, evicting the least recently
+    /// used entry if the cache is full.
+    pub fn insert(&mut self, pattern: &Pattern, compiled: Arc<CompiledPattern>) {
+        self.tick += 1;
+        if self.map.len() >= self.capacity && !self.map.contains_key(pattern) {
             if let Some(oldest) = self
                 .map
                 .iter()
@@ -148,10 +222,20 @@ impl PatternCache {
         self.map.insert(
             pattern.clone(),
             CacheEntry {
-                compiled: Arc::clone(&compiled),
+                compiled,
                 last_used: self.tick,
             },
         );
+    }
+
+    /// Returns the compiled planes for `pattern` and whether the lookup
+    /// was a hit, compiling and (LRU-)evicting on a miss.
+    pub fn get_or_compile(&mut self, pattern: &Pattern) -> (Arc<CompiledPattern>, bool) {
+        if let Some(compiled) = self.get(pattern) {
+            return (compiled, true);
+        }
+        let compiled = Arc::new(CompiledPattern::compile(pattern));
+        self.insert(pattern, Arc::clone(&compiled));
         (compiled, false)
     }
 
@@ -171,6 +255,86 @@ impl PatternCache {
     }
 }
 
+/// The shared, read-mostly tier of pattern memoisation: a
+/// `RwLock`-guarded map that persists across runs of a
+/// [`ThroughputEngine`].
+///
+/// Workers consult it only after missing their private
+/// [`PatternCache`], take the write lock only to publish a freshly
+/// compiled pattern, and never hold any lock while matching — the old
+/// global `Mutex<PatternCache>` serialised every lookup of every
+/// worker through one point. Eviction is FIFO by publication order
+/// (recency lives in the per-worker caches; the index only has to
+/// bound memory).
+#[derive(Debug)]
+pub struct PatternIndex {
+    capacity: usize,
+    inner: RwLock<IndexInner>,
+}
+
+#[derive(Debug, Default)]
+struct IndexInner {
+    map: HashMap<Pattern, Arc<CompiledPattern>>,
+    fifo: VecDeque<Pattern>,
+}
+
+impl PatternIndex {
+    /// An index holding at most `capacity` compiled patterns (at least
+    /// one).
+    pub fn new(capacity: usize) -> Self {
+        PatternIndex {
+            capacity: capacity.max(1),
+            inner: RwLock::new(IndexInner::default()),
+        }
+    }
+
+    /// Looks `pattern` up under the read lock.
+    pub fn get(&self, pattern: &Pattern) -> Option<Arc<CompiledPattern>> {
+        self.inner
+            .read()
+            .expect("index poisoned")
+            .map
+            .get(pattern)
+            .cloned()
+    }
+
+    /// Publishes a compiled pattern under the write lock, evicting the
+    /// oldest publication at capacity. Concurrent publishers of the
+    /// same pattern are harmless: the first insert wins and later ones
+    /// are no-ops.
+    pub fn publish(&self, pattern: &Pattern, compiled: Arc<CompiledPattern>) {
+        let mut inner = self.inner.write().expect("index poisoned");
+        if inner.map.contains_key(pattern) {
+            return;
+        }
+        while inner.map.len() >= self.capacity {
+            match inner.fifo.pop_front() {
+                Some(oldest) => {
+                    inner.map.remove(&oldest);
+                }
+                None => break,
+            }
+        }
+        inner.map.insert(pattern.clone(), compiled);
+        inner.fifo.push_back(pattern.clone());
+    }
+
+    /// Number of patterns currently indexed.
+    pub fn len(&self) -> usize {
+        self.inner.read().expect("index poisoned").map.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum number of indexed patterns.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
 /// What one worker thread did during a run.
 #[derive(Debug, Clone)]
 pub struct WorkerStats {
@@ -180,15 +344,30 @@ pub struct WorkerStats {
     pub jobs: u64,
     /// Text characters this worker pushed through the engine.
     pub chars: u64,
-    /// Word batches this worker executed.
+    /// Batches this worker executed.
     pub batches: u64,
-    /// Lane slots this worker filled, out of `64 × batches`.
+    /// Lane slots this worker filled, out of `lane_slots`.
     pub lanes_used: u64,
+    /// Lane slots this worker's batches offered (64 per `u64` batch,
+    /// `W × 64` per width-`W` superplane batch).
+    pub lane_slots: u64,
     /// Wall-clock time this worker spent matching.
     pub elapsed: Duration,
 }
 
 impl WorkerStats {
+    fn idle(worker: usize) -> Self {
+        WorkerStats {
+            worker,
+            jobs: 0,
+            chars: 0,
+            batches: 0,
+            lanes_used: 0,
+            lane_slots: 0,
+            elapsed: Duration::ZERO,
+        }
+    }
+
     /// This worker's character rate.
     pub fn chars_per_sec(&self) -> f64 {
         let secs = self.elapsed.as_secs_f64();
@@ -201,9 +380,8 @@ impl WorkerStats {
 
     /// Fraction of this worker's lane slots that carried a stream.
     pub fn lane_occupancy(&self) -> f64 {
-        let total = self.batches * LANES as u64;
-        if total > 0 {
-            self.lanes_used as f64 / total as f64
+        if self.lane_slots > 0 {
+            self.lanes_used as f64 / self.lane_slots as f64
         } else {
             0.0
         }
@@ -219,15 +397,123 @@ pub struct ThroughputReport {
     pub workers: Vec<WorkerStats>,
     /// Whole-run counters and derived rates.
     pub totals: CounterSnapshot,
+    /// The instruction-set level the superplane kernels dispatched to
+    /// this run (process-wide; `Portable` also covers the `u64` width,
+    /// which has no specialised kernels).
+    pub simd: SimdLevel,
+    /// Lane slots per batch at the width this run used.
+    pub lanes_per_batch: usize,
 }
 
-/// Shards jobs across worker threads, each driving the bit-plane batch
-/// engine with a shared compiled-pattern cache. The cache persists
-/// across runs, so a long-lived engine keeps its hot patterns warm.
+/// One planned batch: global job indices that will advance together.
+#[derive(Debug)]
+enum BatchDesc {
+    /// Every member shares one pattern — zero-setup uniform path.
+    Uniform {
+        /// Global indices into the run's job slice.
+        members: Vec<usize>,
+    },
+    /// Members carry distinct patterns packed lane by lane.
+    Mixed {
+        /// Global indices into the run's job slice.
+        members: Vec<usize>,
+    },
+}
+
+/// Groups all jobs by pattern (first-seen order) and cuts the groups
+/// into width-sized batches. Groups of two or more ride the uniform
+/// path; singletons pool into mixed batches. Global planning is what
+/// lets same-pattern jobs share a batch regardless of submission
+/// order — the old per-shard grouping could only merge jobs that
+/// happened to land on the same worker.
+fn plan_batches(jobs: &[Job], lanes: usize) -> Vec<BatchDesc> {
+    let mut order: Vec<&Pattern> = Vec::new();
+    let mut groups: HashMap<&Pattern, Vec<usize>> = HashMap::new();
+    for (i, job) in jobs.iter().enumerate() {
+        groups.entry(&job.pattern).or_insert_with(|| {
+            order.push(&job.pattern);
+            Vec::new()
+        });
+        groups.get_mut(&job.pattern).expect("just inserted").push(i);
+    }
+    let mut plan = Vec::new();
+    let mut singles: Vec<usize> = Vec::new();
+    for pattern in order {
+        let members = &groups[pattern];
+        if members.len() == 1 {
+            singles.push(members[0]);
+            continue;
+        }
+        for batch in members.chunks(lanes) {
+            plan.push(BatchDesc::Uniform {
+                members: batch.to_vec(),
+            });
+        }
+    }
+    for batch in singles.chunks(lanes) {
+        plan.push(BatchDesc::Mixed {
+            members: batch.to_vec(),
+        });
+    }
+    plan
+}
+
+/// Per-worker deques of batch indices with work stealing: a worker
+/// drains its own deque from the front and, when empty, steals from
+/// the *back* of its neighbours' — the classic arrangement that keeps
+/// owner and thief on opposite ends.
+struct WorkQueue {
+    deques: Vec<Mutex<VecDeque<usize>>>,
+}
+
+impl WorkQueue {
+    /// Distributes `batches` batch indices round-robin over `workers`
+    /// deques.
+    fn new(batches: usize, workers: usize) -> Self {
+        let mut deques: Vec<VecDeque<usize>> = (0..workers).map(|_| VecDeque::new()).collect();
+        for b in 0..batches {
+            deques[b % workers].push_back(b);
+        }
+        WorkQueue {
+            deques: deques.into_iter().map(Mutex::new).collect(),
+        }
+    }
+
+    /// The next batch for `worker`: its own front, else a steal from
+    /// another deque's back. `None` means every batch is claimed.
+    fn next(&self, worker: usize) -> Option<usize> {
+        if let Some(b) = self.deques[worker]
+            .lock()
+            .expect("queue poisoned")
+            .pop_front()
+        {
+            return Some(b);
+        }
+        let n = self.deques.len();
+        for off in 1..n {
+            let victim = (worker + off) % n;
+            if let Some(b) = self.deques[victim]
+                .lock()
+                .expect("queue poisoned")
+                .pop_back()
+            {
+                return Some(b);
+            }
+        }
+        None
+    }
+}
+
+/// Plans batches globally, then lets worker threads pull them from
+/// work-stealing deques, each driving a bit-plane batch engine of the
+/// configured [`SuperWidth`]. Compiled patterns persist across runs in
+/// a shared [`PatternIndex`] behind per-worker [`PatternCache`]s.
 #[derive(Debug)]
 pub struct ThroughputEngine {
     workers: usize,
-    cache: Mutex<PatternCache>,
+    width: SuperWidth,
+    cache_capacity: usize,
+    index: PatternIndex,
     sink: SinkHandle,
     /// Characters processed across every run of this engine's lifetime.
     lifetime_chars: Counter,
@@ -236,20 +522,25 @@ pub struct ThroughputEngine {
 }
 
 impl ThroughputEngine {
-    /// An engine with `workers` threads (at least one) and a pattern
-    /// cache of `cache_capacity` entries. Telemetry is disabled; use
+    /// An engine with `workers` threads (at least one) and pattern
+    /// caches of `cache_capacity` entries each (one shared index plus
+    /// one private cache per worker). Batches default to the widest
+    /// superplane ([`SuperWidth::W8`]); telemetry is disabled; use
     /// [`with_sink`](Self::with_sink) or [`set_sink`](Self::set_sink)
-    /// to attach a sink.
+    /// to attach a sink and [`set_width`](Self::set_width) to narrow
+    /// the batches.
     pub fn new(workers: usize, cache_capacity: usize) -> Self {
         Self::with_sink(workers, cache_capacity, SinkHandle::null())
     }
 
     /// As [`new`](Self::new), with a trace sink the workers emit job
-    /// lifecycle, batch and cache events into.
+    /// lifecycle, batch, dispatch and cache events into.
     pub fn with_sink(workers: usize, cache_capacity: usize, sink: SinkHandle) -> Self {
         ThroughputEngine {
             workers: workers.max(1),
-            cache: Mutex::new(PatternCache::new(cache_capacity)),
+            width: SuperWidth::default(),
+            cache_capacity: cache_capacity.max(1),
+            index: PatternIndex::new(cache_capacity),
             sink,
             lifetime_chars: Counter::new(),
             rate: {
@@ -266,14 +557,29 @@ impl ThroughputEngine {
         self.sink = sink;
     }
 
+    /// Selects the batch width for subsequent runs.
+    pub fn set_width(&mut self, width: SuperWidth) {
+        self.width = width;
+    }
+
+    /// The batch width subsequent runs will use.
+    pub fn width(&self) -> SuperWidth {
+        self.width
+    }
+
+    /// Lane slots per batch at the current width.
+    pub fn lanes_per_batch(&self) -> usize {
+        self.width.lanes()
+    }
+
     /// Number of worker threads.
     pub fn workers(&self) -> usize {
         self.workers
     }
 
-    /// Number of distinct patterns currently cached.
+    /// Number of distinct patterns currently in the shared index.
     pub fn cached_patterns(&self) -> usize {
-        self.cache.lock().expect("cache poisoned").len()
+        self.index.len()
     }
 
     /// Characters processed across this engine's whole lifetime.
@@ -292,34 +598,35 @@ impl ThroughputEngine {
 
     /// Runs every job to completion and reports results plus stats.
     /// Output `i` belongs to input job `i` regardless of which worker
-    /// or word batch carried it.
+    /// or batch carried it.
     ///
     /// # Errors
     ///
     /// Propagates engine errors (none are currently reachable: the
-    /// scheduler never overfills a word batch).
+    /// planner never overfills a batch).
     pub fn run(&self, jobs: &[Job]) -> Result<ThroughputReport, Error> {
         let started = Instant::now();
-        let counters = ThroughputCounters::new();
-        let mut outputs: Vec<Option<JobOutput>> = vec![None; jobs.len()];
-        let mut worker_stats = Vec::with_capacity(self.workers);
+        let width = self.width;
+        let simd = simd_level();
+        self.sink.record(TraceEvent::DispatchSelected {
+            words: width.words() as u32,
+            level: simd,
+        });
 
-        let shard = jobs.len().div_ceil(self.workers).max(1);
-        let shards: Vec<(usize, &[Job])> = jobs
-            .chunks(shard)
-            .enumerate()
-            .map(|(w, chunk)| (w * shard, chunk))
-            .collect();
+        let counters = ThroughputCounters::new();
+        let plan = plan_batches(jobs, width.lanes());
+        let queue = WorkQueue::new(plan.len(), self.workers);
+        let mut outputs: Vec<Option<JobOutput>> = vec![None; jobs.len()];
 
         let results: Vec<Result<WorkerYield, Error>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = shards
-                .iter()
-                .enumerate()
-                .map(|(w, &(offset, chunk))| {
-                    let counters = &counters;
-                    let cache = &self.cache;
-                    let sink = &self.sink;
-                    scope.spawn(move || worker_run(w, offset, chunk, cache, counters, sink))
+            let handles: Vec<_> = (0..self.workers)
+                .map(|w| {
+                    let (counters, plan, queue) = (&counters, &plan, &queue);
+                    let (index, sink) = (&self.index, &self.sink);
+                    let capacity = self.cache_capacity;
+                    scope.spawn(move || {
+                        worker_run(w, jobs, plan, queue, index, capacity, counters, sink, width)
+                    })
                 })
                 .collect();
             handles
@@ -328,24 +635,13 @@ impl ThroughputEngine {
                 .collect()
         });
 
+        let mut worker_stats = Vec::with_capacity(self.workers);
         for res in results {
             let (outs, stats) = res?;
             for (idx, out) in outs {
                 outputs[idx] = Some(out);
             }
             worker_stats.push(stats);
-        }
-        // Idle workers (more threads than shards) still appear in the
-        // report, with empty stats.
-        for w in worker_stats.len()..self.workers {
-            worker_stats.push(WorkerStats {
-                worker: w,
-                jobs: 0,
-                chars: 0,
-                batches: 0,
-                lanes_used: 0,
-                elapsed: Duration::ZERO,
-            });
         }
         worker_stats.sort_by_key(|s| s.worker);
 
@@ -360,6 +656,8 @@ impl ThroughputEngine {
             outputs,
             workers: worker_stats,
             totals,
+            simd,
+            lanes_per_batch: width.lanes(),
         })
     }
 }
@@ -368,87 +666,118 @@ impl ThroughputEngine {
 /// index, plus the worker's own statistics.
 type WorkerYield = (Vec<(usize, JobOutput)>, WorkerStats);
 
-/// One worker: group its shard by pattern, fill word batches, match.
-fn worker_run(
-    worker: usize,
-    offset: usize,
-    chunk: &[Job],
-    cache: &Mutex<PatternCache>,
+/// Two-tier pattern lookup: private cache, then shared index (copying
+/// the hit down into the cache), then compile-and-publish. Only the
+/// last is a miss.
+fn lookup_pattern(
+    pattern: &Pattern,
+    local: &mut PatternCache,
+    index: &PatternIndex,
     counters: &ThroughputCounters,
     sink: &SinkHandle,
+) -> Arc<CompiledPattern> {
+    if let Some(compiled) = local.get(pattern) {
+        counters.cache_hits.add(1);
+        sink.record(TraceEvent::CacheLookup { hit: true });
+        return compiled;
+    }
+    if let Some(compiled) = index.get(pattern) {
+        local.insert(pattern, Arc::clone(&compiled));
+        counters.cache_hits.add(1);
+        sink.record(TraceEvent::CacheLookup { hit: true });
+        return compiled;
+    }
+    let compiled = Arc::new(CompiledPattern::compile(pattern));
+    index.publish(pattern, Arc::clone(&compiled));
+    local.insert(pattern, Arc::clone(&compiled));
+    counters.cache_misses.add(1);
+    sink.record(TraceEvent::CacheLookup { hit: false });
+    compiled
+}
+
+/// One worker: pull batches from the stealing queue until none remain.
+#[allow(clippy::too_many_arguments)]
+fn worker_run(
+    worker: usize,
+    jobs: &[Job],
+    plan: &[BatchDesc],
+    queue: &WorkQueue,
+    index: &PatternIndex,
+    cache_capacity: usize,
+    counters: &ThroughputCounters,
+    sink: &SinkHandle,
+    width: SuperWidth,
 ) -> Result<WorkerYield, Error> {
     let started = Instant::now();
-    if sink.enabled() {
-        for job in chunk {
-            sink.record(TraceEvent::JobStarted {
-                job: job.id,
-                worker: worker as u32,
-            });
-        }
-    }
-    let mut stats = WorkerStats {
-        worker,
-        jobs: 0,
-        chars: 0,
-        batches: 0,
-        lanes_used: 0,
-        elapsed: Duration::ZERO,
-    };
-    let mut outs: Vec<(usize, JobOutput)> = Vec::with_capacity(chunk.len());
+    let mut local = PatternCache::new(cache_capacity);
+    let mut stats = WorkerStats::idle(worker);
+    let mut outs: Vec<(usize, JobOutput)> = Vec::new();
 
-    // Group this shard's jobs by pattern, preserving first-seen order
-    // so batches are deterministic for a given sharding.
-    let mut order: Vec<&Pattern> = Vec::new();
-    let mut groups: HashMap<&Pattern, Vec<usize>> = HashMap::new();
-    for (i, job) in chunk.iter().enumerate() {
-        groups.entry(&job.pattern).or_insert_with(|| {
-            order.push(&job.pattern);
-            Vec::new()
-        });
-        groups.get_mut(&job.pattern).expect("just inserted").push(i);
-    }
-
-    // Same-pattern groups of two or more ride the zero-setup uniform
-    // path; singletons pool into mixed batches below.
-    let mut singles: Vec<(usize, Arc<CompiledPattern>)> = Vec::new();
-    for pattern in order {
-        let members = &groups[pattern];
-        let (compiled, hit) = cache
-            .lock()
-            .expect("cache poisoned")
-            .get_or_compile(pattern);
-        if hit {
-            counters.cache_hits.add(1);
-        } else {
-            counters.cache_misses.add(1);
+    while let Some(b) = queue.next(worker) {
+        let members = match &plan[b] {
+            BatchDesc::Uniform { members } | BatchDesc::Mixed { members } => members,
+        };
+        if sink.enabled() {
+            for &i in members {
+                sink.record(TraceEvent::JobStarted {
+                    job: jobs[i].id,
+                    worker: worker as u32,
+                });
+            }
         }
-        sink.record(TraceEvent::CacheLookup { hit });
-        if members.len() == 1 {
-            singles.push((members[0], compiled));
-            continue;
+        match &plan[b] {
+            BatchDesc::Uniform { members } => {
+                let compiled =
+                    lookup_pattern(&jobs[members[0]].pattern, &mut local, index, counters, sink);
+                let texts: Vec<&[Symbol]> =
+                    members.iter().map(|&i| jobs[i].text.as_slice()).collect();
+                let timer = sink.enabled().then(Instant::now);
+                let hits = match width {
+                    SuperWidth::W1 => match_uniform(&compiled, &texts)?,
+                    SuperWidth::W4 => match_uniform_wide::<4>(&compiled, &texts)?,
+                    SuperWidth::W8 => match_uniform_wide::<8>(&compiled, &texts)?,
+                };
+                record_batch(
+                    members,
+                    hits,
+                    jobs,
+                    &mut outs,
+                    &mut stats,
+                    counters,
+                    sink,
+                    elapsed_micros(timer),
+                    width,
+                )
+            }
+            BatchDesc::Mixed { members } => {
+                let compiled: Vec<Arc<CompiledPattern>> = members
+                    .iter()
+                    .map(|&i| lookup_pattern(&jobs[i].pattern, &mut local, index, counters, sink))
+                    .collect();
+                let lanes: Vec<(&CompiledPattern, &[Symbol])> = members
+                    .iter()
+                    .zip(&compiled)
+                    .map(|(&i, c)| (c.as_ref(), jobs[i].text.as_slice()))
+                    .collect();
+                let timer = sink.enabled().then(Instant::now);
+                let hits = match width {
+                    SuperWidth::W1 => match_lanes(&lanes)?,
+                    SuperWidth::W4 => match_lanes_wide::<4>(&lanes)?,
+                    SuperWidth::W8 => match_lanes_wide::<8>(&lanes)?,
+                };
+                record_batch(
+                    members,
+                    hits,
+                    jobs,
+                    &mut outs,
+                    &mut stats,
+                    counters,
+                    sink,
+                    elapsed_micros(timer),
+                    width,
+                )
+            }
         }
-        for batch in members.chunks(LANES) {
-            let texts: Vec<&[Symbol]> = batch.iter().map(|&i| chunk[i].text.as_slice()).collect();
-            let timer = sink.enabled().then(Instant::now);
-            let hits = match_uniform(&compiled, &texts)?;
-            let micros = elapsed_micros(timer);
-            record_batch(
-                batch, hits, chunk, offset, &mut outs, &mut stats, counters, sink, micros,
-            );
-        }
-    }
-    for batch in singles.chunks(LANES) {
-        let lanes: Vec<(&CompiledPattern, &[Symbol])> = batch
-            .iter()
-            .map(|(i, c)| (c.as_ref(), chunk[*i].text.as_slice()))
-            .collect();
-        let timer = sink.enabled().then(Instant::now);
-        let hits = match_lanes(&lanes)?;
-        let micros = elapsed_micros(timer);
-        let members: Vec<usize> = batch.iter().map(|&(i, _)| i).collect();
-        record_batch(
-            &members, hits, chunk, offset, &mut outs, &mut stats, counters, sink, micros,
-        );
     }
 
     stats.elapsed = started.elapsed();
@@ -461,26 +790,27 @@ fn elapsed_micros(timer: Option<Instant>) -> u64 {
     timer.map_or(0, |t| t.elapsed().as_micros() as u64)
 }
 
-/// Books one completed word batch into outputs, stats, counters and
-/// the trace sink.
+/// Books one completed batch into outputs, stats, counters and the
+/// trace sink.
 #[allow(clippy::too_many_arguments)]
 fn record_batch(
     members: &[usize],
     hits: Vec<MatchBits>,
-    chunk: &[Job],
-    offset: usize,
+    jobs: &[Job],
     outs: &mut Vec<(usize, JobOutput)>,
     stats: &mut WorkerStats,
     counters: &ThroughputCounters,
     sink: &SinkHandle,
     micros: u64,
+    width: SuperWidth,
 ) {
     debug_assert_eq!(members.len(), hits.len());
     let traced = sink.enabled();
+    let slots = width.lanes() as u64;
     let mut batch_chars = 0u64;
     let mut steps = 0u64;
     for (&i, hit) in members.iter().zip(hits) {
-        let job = &chunk[i];
+        let job = &jobs[i];
         batch_chars += job.text.len() as u64;
         steps = steps.max(job.text.len() as u64);
         if traced {
@@ -492,7 +822,7 @@ fn record_batch(
             });
         }
         outs.push((
-            offset + i,
+            i,
             JobOutput {
                 id: job.id,
                 hits: hit,
@@ -503,6 +833,7 @@ fn record_batch(
         sink.record(TraceEvent::BatchExecuted {
             worker: stats.worker as u32,
             lanes: members.len() as u32,
+            slots: slots as u32,
             steps,
             micros,
         });
@@ -511,11 +842,12 @@ fn record_batch(
     stats.chars += batch_chars;
     stats.batches += 1;
     stats.lanes_used += members.len() as u64;
+    stats.lane_slots += slots;
     counters.jobs.add(members.len() as u64);
     counters.chars.add(batch_chars);
     counters.batches.add(1);
     counters.lane_slots_used.add(members.len() as u64);
-    counters.lane_slots_total.add(LANES as u64);
+    counters.lane_slots_total.add(slots);
 }
 
 #[cfg(test)]
@@ -543,20 +875,24 @@ mod tests {
     }
 
     #[test]
-    fn outputs_equal_spec_for_any_worker_count() {
+    fn outputs_equal_spec_for_any_worker_count_and_width() {
         let jobs = jobs_fixture();
-        for workers in [1, 2, 3, 7] {
-            let engine = ThroughputEngine::new(workers, 8);
-            let report = engine.run(&jobs).unwrap();
-            assert_eq!(report.outputs.len(), jobs.len());
-            for (out, job) in report.outputs.iter().zip(&jobs) {
-                assert_eq!(out.id, job.id);
-                assert_eq!(
-                    out.hits.bits(),
-                    match_spec(&job.text, &job.pattern),
-                    "job {} under {workers} workers",
-                    job.id
-                );
+        for width in [SuperWidth::W1, SuperWidth::W4, SuperWidth::W8] {
+            for workers in [1, 2, 3, 7] {
+                let mut engine = ThroughputEngine::new(workers, 8);
+                engine.set_width(width);
+                let report = engine.run(&jobs).unwrap();
+                assert_eq!(report.outputs.len(), jobs.len());
+                assert_eq!(report.lanes_per_batch, width.lanes());
+                for (out, job) in report.outputs.iter().zip(&jobs) {
+                    assert_eq!(out.id, job.id);
+                    assert_eq!(
+                        out.hits.bits(),
+                        match_spec(&job.text, &job.pattern),
+                        "job {} under {workers} workers at width {width}",
+                        job.id
+                    );
+                }
             }
         }
     }
@@ -569,7 +905,7 @@ mod tests {
         // 3 distinct patterns; one worker sees each exactly once.
         assert_eq!(report.totals.cache_misses, 3);
         assert_eq!(engine.cached_patterns(), 3);
-        // A second run over the same patterns is all hits.
+        // A second run finds everything in the shared index: all hits.
         let report2 = engine.run(&jobs).unwrap();
         assert_eq!(report2.totals.cache_misses, 0);
         assert!(report2.totals.cache_hit_rate() == 1.0);
@@ -593,6 +929,71 @@ mod tests {
     }
 
     #[test]
+    fn index_evicts_fifo_and_tolerates_republication() {
+        let index = PatternIndex::new(2);
+        let a = Pattern::parse("A").unwrap();
+        let b = Pattern::parse("B").unwrap();
+        let c = Pattern::parse("C").unwrap();
+        index.publish(&a, Arc::new(CompiledPattern::compile(&a)));
+        index.publish(&b, Arc::new(CompiledPattern::compile(&b)));
+        index.publish(&a, Arc::new(CompiledPattern::compile(&a))); // no-op
+        assert_eq!(index.len(), 2);
+        index.publish(&c, Arc::new(CompiledPattern::compile(&c))); // evicts a
+        assert_eq!(index.len(), 2);
+        assert!(index.get(&a).is_none(), "a was the oldest publication");
+        assert!(index.get(&b).is_some());
+        assert!(index.get(&c).is_some());
+    }
+
+    #[test]
+    fn global_planning_merges_same_pattern_jobs_across_the_run() {
+        // 8 jobs, one pattern, interleaved with nothing: global
+        // planning packs them into a single uniform batch even though
+        // the old static sharding would have split them over workers.
+        let p = Pattern::parse("AB").unwrap();
+        let jobs: Vec<Job> = (0..8)
+            .map(|id| Job::new(id, p.clone(), text_from_letters("ABAB").unwrap()))
+            .collect();
+        let plan = plan_batches(&jobs, SuperWidth::W8.lanes());
+        assert_eq!(plan.len(), 1);
+        match &plan[0] {
+            BatchDesc::Uniform { members } => assert_eq!(members.len(), 8),
+            other => panic!("expected a uniform batch, got {other:?}"),
+        }
+        // And the batch count survives into the run's counters.
+        let engine = ThroughputEngine::new(4, 8);
+        let report = engine.run(&jobs).unwrap();
+        assert_eq!(report.totals.batches, 1);
+    }
+
+    #[test]
+    fn planner_splits_groups_at_the_lane_limit() {
+        let p = Pattern::parse("AB").unwrap();
+        let q = Pattern::parse("BA").unwrap();
+        let lanes = SuperWidth::W1.lanes();
+        let mut jobs: Vec<Job> = (0..(lanes as u64 + 3))
+            .map(|id| Job::new(id, p.clone(), text_from_letters("AB").unwrap()))
+            .collect();
+        jobs.push(Job::new(999, q.clone(), text_from_letters("BA").unwrap()));
+        let plan = plan_batches(&jobs, lanes);
+        // 65+2 same-pattern jobs → two uniform batches; the singleton
+        // rides a mixed batch of its own.
+        assert_eq!(plan.len(), 3);
+        match (&plan[0], &plan[1], &plan[2]) {
+            (
+                BatchDesc::Uniform { members: m0 },
+                BatchDesc::Uniform { members: m1 },
+                BatchDesc::Mixed { members: m2 },
+            ) => {
+                assert_eq!(m0.len(), lanes);
+                assert_eq!(m1.len(), 3);
+                assert_eq!(m2, &vec![jobs.len() - 1]);
+            }
+            other => panic!("unexpected plan {other:?}"),
+        }
+    }
+
+    #[test]
     fn stats_account_for_every_character() {
         let jobs = jobs_fixture();
         let total_chars: u64 = jobs.iter().map(|j| j.text.len() as u64).sum();
@@ -604,6 +1005,13 @@ mod tests {
         assert_eq!(report.totals.jobs, jobs.len() as u64);
         assert!(report.totals.lane_occupancy() > 0.0);
         assert!(report.totals.lane_occupancy() <= 1.0);
+        // Per-batch slot accounting matches the configured width.
+        assert_eq!(
+            report.totals.lane_slots_total,
+            report.totals.batches * engine.lanes_per_batch() as u64
+        );
+        let worker_slots: u64 = report.workers.iter().map(|w| w.lane_slots).sum();
+        assert_eq!(worker_slots, report.totals.lane_slots_total);
     }
 
     #[test]
@@ -630,8 +1038,15 @@ mod tests {
         assert_eq!(snap.matches, truth_matches);
         assert_eq!(snap.batches, report.totals.batches);
         assert_eq!(snap.lane_slots_used, report.totals.lane_slots_used);
+        assert_eq!(snap.lane_slots_total, report.totals.lane_slots_total);
         assert_eq!(snap.batch_occupancy.count, report.totals.batches);
         assert_eq!(snap.batch_occupancy.sum, report.totals.lane_slots_used);
+        // The dispatch announcement is folded into the registry.
+        assert_eq!(snap.superplane_words, engine.width().words() as u64);
+        assert_eq!(
+            snap.dispatch_portable + snap.dispatch_avx2 + snap.dispatch_avx512,
+            1
+        );
         // The engine samples its rate window after each run.
         assert_eq!(engine.lifetime_chars(), report.totals.chars);
         assert!(engine.windowed_chars_per_sec() >= 0.0);
@@ -643,5 +1058,6 @@ mod tests {
         let report = engine.run(&[]).unwrap();
         assert!(report.outputs.is_empty());
         assert_eq!(report.totals.chars, 0);
+        assert_eq!(report.workers.len(), 2);
     }
 }

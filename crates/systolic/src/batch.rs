@@ -30,8 +30,19 @@
 //!   lengths ([`match_lanes`]); ragged lane counts (`N % 64 ≠ 0`) are
 //!   handled by chunking.
 //!
-//! Both are bit-identical to [`match_spec`](crate::spec::match_spec) on
-//! every lane (property-tested in `tests/proptests.rs`).
+//! 64 lanes is the width of *one machine word*, not the engine
+//! maximum: [`crate::superplane`] generalises the same kernel to
+//! `[u64; W]` superplanes (256 lanes at `W = 4`, 512 at `W = 8`) with
+//! runtime-dispatched SIMD specialisations, and this module's engines
+//! are exactly that kernel instantiated at `W = 1` — the shared
+//! [`eq_superplane`](crate::superplane)/
+//! [`step_superplanes`](crate::superplane) logic guarantees the two
+//! agree bit for bit. Reach for [`SuperMatcher`](crate::superplane::SuperMatcher)
+//! when batches exceed 64 streams.
+//!
+//! Both engines are bit-identical to
+//! [`match_spec`](crate::spec::match_spec) on every lane
+//! (property-tested in `tests/proptests.rs`).
 //!
 //! ```
 //! use pm_systolic::batch::BatchMatcher;
@@ -54,25 +65,27 @@
 use crate::engine::{BeatExit, Driver, MatchBits};
 use crate::error::Error;
 use crate::semantics::MeetSemantics;
+use crate::superplane::{eq_superplane, step_superplanes, SuperPlanes};
 use crate::symbol::{PatSym, Pattern, Symbol};
 use crate::telemetry::{ClockPhase, TraceEvent, TraceSink};
 
-/// Number of independent streams packed into one word of planes.
+/// Number of independent streams packed into one word of planes — one
+/// word's worth, not the engine maximum (see [`crate::superplane`] for
+/// the `W × 64`-lane generalisation).
 pub const LANES: usize = 64;
 
 /// Maximum alphabet width in bits (mirrors [`crate::symbol::Alphabet`]).
-const MAX_BITS: usize = 8;
+const MAX_BITS: usize = crate::superplane::MAX_BITS;
 
 /// Comparator plane: lanes where the pattern bit planes equal the text
 /// bit planes on every alphabet bit. This is the column of Figure 3-4
-/// one-bit comparators evaluated 64 lanes at a time: `d = ∧_b ¬(p_b ⊕ s_b)`.
+/// one-bit comparators evaluated 64 lanes at a time:
+/// `d = ∧_b ¬(p_b ⊕ s_b)` — the shared superplane kernel at `W = 1`.
 #[inline]
 fn eq_plane(pat_bits: &[u64; MAX_BITS], txt_bits: &[u64; MAX_BITS], bits: u32) -> u64 {
-    let mut ne = 0u64;
-    for b in 0..bits as usize {
-        ne |= pat_bits[b] ^ txt_bits[b];
-    }
-    !ne
+    let pat = pat_bits.map(|w| [w]);
+    let txt = txt_bits.map(|w| [w]);
+    eq_superplane::<1>(&pat, &txt, bits)[0]
 }
 
 /// A pattern compiled to broadcast control-bit planes: for each pattern
@@ -84,9 +97,9 @@ fn eq_plane(pat_bits: &[u64; MAX_BITS], txt_bits: &[u64; MAX_BITS], bits: u32) -
 pub struct CompiledPattern {
     pattern: Pattern,
     /// `wild[m]`: all-ones iff `p_m` is the wild card.
-    wild: Vec<u64>,
+    pub(crate) wild: Vec<u64>,
     /// `bits[m][b]`: all-ones iff bit `b` (LSB first) of `p_m` is set.
-    bits: Vec<[u64; MAX_BITS]>,
+    pub(crate) bits: Vec<[u64; MAX_BITS]>,
 }
 
 impl CompiledPattern {
@@ -136,126 +149,52 @@ impl CompiledPattern {
     }
 }
 
-/// Per-lane control planes for one word batch: the merged compiled
-/// patterns of up to 64 lanes, plus the `λ` planes marking each lane's
-/// pattern end.
-#[derive(Debug, Clone)]
-struct LanePlanes {
-    /// Longest pattern across the lanes.
-    kmax: usize,
-    /// Widest alphabet across the lanes, in bits.
-    bits: u32,
-    wild: Vec<u64>,
-    pbits: Vec<[u64; MAX_BITS]>,
-    /// `end[m]` bit `l`: position `m` is lane `l`'s last pattern char.
-    end: Vec<u64>,
-}
-
-impl LanePlanes {
-    /// All lanes share one pattern: planes are the broadcast compilation
-    /// itself, so per-batch setup is O(k) regardless of lane count.
-    fn uniform(compiled: &CompiledPattern) -> LanePlanes {
-        let k1 = compiled.len();
-        let mut end = vec![0u64; k1];
-        end[k1 - 1] = !0u64;
-        LanePlanes {
-            kmax: k1,
-            bits: compiled.pattern.alphabet().bits(),
-            wild: compiled.wild.clone(),
-            pbits: compiled.bits.clone(),
-            end,
-        }
-    }
-
-    /// Each lane carries its own pattern (lengths may differ).
-    fn merge(compiled: &[&CompiledPattern]) -> Result<LanePlanes, Error> {
-        if compiled.len() > LANES {
-            return Err(Error::TooManyLanes {
-                lanes: compiled.len(),
-            });
-        }
-        let kmax = compiled.iter().map(|c| c.len()).max().unwrap_or(0);
-        let bits = compiled
-            .iter()
-            .map(|c| c.pattern.alphabet().bits())
-            .max()
-            .unwrap_or(1);
-        let mut planes = LanePlanes {
-            kmax,
-            bits,
-            wild: vec![0u64; kmax],
-            pbits: vec![[0u64; MAX_BITS]; kmax],
-            end: vec![0u64; kmax],
-        };
-        for (l, c) in compiled.iter().enumerate() {
-            let lane = 1u64 << l;
-            for m in 0..c.len() {
-                if c.wild[m] != 0 {
-                    planes.wild[m] |= lane;
-                }
-                for b in 0..MAX_BITS {
-                    if c.bits[m][b] != 0 {
-                        planes.pbits[m][b] |= lane;
+/// Runs the `W = 1` engine over per-lane texts (lengths may differ)
+/// and returns one result vector per lane, aligned to text positions
+/// exactly like [`match_spec`](crate::spec::match_spec).
+///
+/// This keeps the original per-position transpose loop rather than the
+/// strip-mined tile transpose of [`crate::superplane`]: the single-word
+/// engine is the measured baseline of figures E29/E31, so its inner
+/// loop stays byte-for-byte what those figures historically timed. The
+/// *algebra* (eq/step) is the shared superplane kernel at `W = 1`.
+fn run_narrow(planes: &SuperPlanes<1>, texts: &[&[Symbol]]) -> Vec<Vec<bool>> {
+    debug_assert!(texts.len() <= LANES);
+    let tmax = texts.iter().map(|t| t.len()).max().unwrap_or(0);
+    let mut state = vec![[0u64; 1]; planes.kmax];
+    let mut out: Vec<Vec<bool>> = texts.iter().map(|t| vec![false; t.len()]).collect();
+    for i in 0..tmax {
+        // Transpose this text position into bit planes. Exhausted
+        // lanes contribute zero planes; their state keeps stepping
+        // harmlessly because their outputs are no longer recorded.
+        let mut txt_bits = [[0u64; 1]; MAX_BITS];
+        for (l, t) in texts.iter().enumerate() {
+            if let Some(sym) = t.get(i) {
+                let v = sym.value();
+                let lane = 1u64 << l;
+                for (b, plane) in txt_bits.iter_mut().enumerate() {
+                    if (v >> b) & 1 == 1 {
+                        plane[0] |= lane;
                     }
                 }
             }
-            planes.end[c.len() - 1] |= lane;
         }
-        Ok(planes)
-    }
-
-    /// Advances every lane one text position and returns the result
-    /// plane for this position. `state[m]` is the plane "lane's pattern
-    /// prefix `p_0 … p_m` matches the text ending here" — the batched
-    /// `t` accumulators, updated with the §3.2.1 recurrence
-    /// `t ← t ∧ (x ∨ d)` as pure word arithmetic, high positions first
-    /// so each prefix extends the previous step's shorter prefix.
-    #[inline]
-    fn step(&self, state: &mut [u64], txt_bits: &[u64; MAX_BITS]) -> u64 {
-        for m in (1..self.kmax).rev() {
-            let d = self.wild[m] | eq_plane(&self.pbits[m], txt_bits, self.bits);
-            state[m] = state[m - 1] & d;
-        }
-        state[0] = self.wild[0] | eq_plane(&self.pbits[0], txt_bits, self.bits);
-        state
-            .iter()
-            .zip(&self.end)
-            .fold(0u64, |out, (s, e)| out | (s & e))
-    }
-
-    /// Runs the engine over per-lane texts (lengths may differ) and
-    /// returns one result vector per lane, aligned to text positions
-    /// exactly like [`match_spec`](crate::spec::match_spec).
-    fn run(&self, texts: &[&[Symbol]]) -> Vec<Vec<bool>> {
-        debug_assert!(texts.len() <= LANES);
-        let tmax = texts.iter().map(|t| t.len()).max().unwrap_or(0);
-        let mut state = vec![0u64; self.kmax];
-        let mut out: Vec<Vec<bool>> = texts.iter().map(|t| vec![false; t.len()]).collect();
-        for i in 0..tmax {
-            // Transpose this text position into bit planes. Exhausted
-            // lanes contribute zero planes; their state keeps stepping
-            // harmlessly because their outputs are no longer recorded.
-            let mut txt_bits = [0u64; MAX_BITS];
-            for (l, t) in texts.iter().enumerate() {
-                if let Some(sym) = t.get(i) {
-                    let v = sym.value();
-                    let lane = 1u64 << l;
-                    for (b, plane) in txt_bits.iter_mut().enumerate() {
-                        if (v >> b) & 1 == 1 {
-                            *plane |= lane;
-                        }
-                    }
-                }
-            }
-            let r = self.step(&mut state, &txt_bits);
-            for (l, o) in out.iter_mut().enumerate() {
-                if i < o.len() {
-                    o[i] = (r >> l) & 1 == 1;
-                }
+        let r = step_superplanes(
+            &planes.wild,
+            &planes.pbits,
+            &planes.end,
+            &planes.end_positions,
+            planes.bits,
+            &mut state,
+            &txt_bits,
+        )[0];
+        for (l, o) in out.iter_mut().enumerate() {
+            if i < o.len() {
+                o[i] = (r >> l) & 1 == 1;
             }
         }
-        out
     }
+    out
 }
 
 /// Matches one compiled pattern against up to [`LANES`] texts in a
@@ -271,15 +210,17 @@ pub fn match_uniform(
     texts: &[&[Symbol]],
 ) -> Result<Vec<MatchBits>, Error> {
     if texts.len() > LANES {
-        return Err(Error::TooManyLanes { lanes: texts.len() });
+        return Err(Error::TooManyLanes {
+            lanes: texts.len(),
+            capacity: LANES,
+        });
     }
     if texts.is_empty() {
         return Ok(Vec::new());
     }
-    let planes = LanePlanes::uniform(compiled);
+    let planes = SuperPlanes::<1>::uniform(compiled);
     let k = compiled.pattern.k();
-    Ok(planes
-        .run(texts)
+    Ok(run_narrow(&planes, texts)
         .into_iter()
         .map(|bits| MatchBits::new(bits, k))
         .collect())
@@ -294,16 +235,18 @@ pub fn match_uniform(
 /// [`Error::TooManyLanes`] if more than 64 jobs are supplied.
 pub fn match_lanes(jobs: &[(&CompiledPattern, &[Symbol])]) -> Result<Vec<MatchBits>, Error> {
     if jobs.len() > LANES {
-        return Err(Error::TooManyLanes { lanes: jobs.len() });
+        return Err(Error::TooManyLanes {
+            lanes: jobs.len(),
+            capacity: LANES,
+        });
     }
     if jobs.is_empty() {
         return Ok(Vec::new());
     }
     let compiled: Vec<&CompiledPattern> = jobs.iter().map(|(c, _)| *c).collect();
     let texts: Vec<&[Symbol]> = jobs.iter().map(|(_, t)| *t).collect();
-    let planes = LanePlanes::merge(&compiled)?;
-    Ok(planes
-        .run(&texts)
+    let planes = SuperPlanes::<1>::merge(&compiled)?;
+    Ok(run_narrow(&planes, &texts)
         .into_iter()
         .zip(&compiled)
         .map(|(bits, c)| MatchBits::new(bits, c.pattern.k()))
@@ -312,7 +255,9 @@ pub fn match_lanes(jobs: &[(&CompiledPattern, &[Symbol])]) -> Result<Vec<MatchBi
 
 /// The batched throughput engine for one pattern: any number of
 /// independent text streams, processed 64 per word. See the
-/// [module docs](self) for how it relates to the systolic array.
+/// [module docs](self) for how it relates to the systolic array, and
+/// [`SuperMatcher`](crate::superplane::SuperMatcher) for the same
+/// engine at 256/512 lanes per batch.
 #[derive(Debug, Clone)]
 pub struct BatchMatcher {
     compiled: CompiledPattern,
@@ -343,7 +288,10 @@ impl BatchMatcher {
 
     /// Matches every text stream against the pattern, 64 lanes per word
     /// batch; `texts.len()` is unbounded and need not be a multiple of
-    /// 64 (the last chunk simply runs with idle lanes).
+    /// 64 (the last chunk simply runs with idle lanes). 64 is the width
+    /// of this `u64` instance, not an engine limit —
+    /// [`SuperMatcher::match_streams`](crate::superplane::SuperMatcher::match_streams)
+    /// packs up to 512 lanes per batch.
     ///
     /// # Errors
     ///
@@ -425,6 +373,7 @@ pub fn pack_patterns(patterns: &[Pattern]) -> Result<Vec<LanePat>, Error> {
     if patterns.len() > LANES {
         return Err(Error::TooManyLanes {
             lanes: patterns.len(),
+            capacity: LANES,
         });
     }
     let k1 = first.len();
@@ -507,7 +456,10 @@ impl PlaneDriver {
     /// tested bit-identical to it.
     pub fn run(&mut self, texts: &[&[Symbol]]) -> Result<Vec<MatchBits>, Error> {
         if texts.len() != self.lanes {
-            return Err(Error::TooManyLanes { lanes: texts.len() });
+            return Err(Error::TooManyLanes {
+                lanes: texts.len(),
+                capacity: self.lanes,
+            });
         }
         let stream = self.transpose(texts);
         let planes = self.driver.run(&stream);
@@ -530,7 +482,10 @@ impl PlaneDriver {
         sink: &K,
     ) -> Result<Vec<MatchBits>, Error> {
         if texts.len() != self.lanes {
-            return Err(Error::TooManyLanes { lanes: texts.len() });
+            return Err(Error::TooManyLanes {
+                lanes: texts.len(),
+                capacity: self.lanes,
+            });
         }
         let stream = self.transpose(texts);
         self.driver.reset();
@@ -716,7 +671,10 @@ mod tests {
         let too_many: Vec<&[Symbol]> = (0..LANES + 1).map(|_| t.as_slice()).collect();
         assert!(matches!(
             match_uniform(&c, &too_many),
-            Err(Error::TooManyLanes { lanes: 65 })
+            Err(Error::TooManyLanes {
+                lanes: 65,
+                capacity: 64
+            })
         ));
         assert!(match_uniform(&c, &[]).unwrap().is_empty());
         assert!(match_lanes(&[]).unwrap().is_empty());

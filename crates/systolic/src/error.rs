@@ -41,11 +41,14 @@ pub enum Error {
         /// Index of the condemned segment (chip) in the chain.
         segment: usize,
     },
-    /// A bit-plane word batch was offered more lanes than fit in one
-    /// machine word (see [`crate::batch::LANES`]).
+    /// A bit-plane batch was offered more lanes than its planes carry —
+    /// 64 per machine word ([`crate::batch::LANES`]), `W × 64` for a
+    /// width-`W` superplane batch ([`crate::superplane`]).
     TooManyLanes {
         /// Number of lanes requested.
         lanes: usize,
+        /// Lanes the batch actually carries.
+        capacity: usize,
     },
     /// A plane-driver batch mixed pattern lengths; the shared `λ` bit
     /// of the pattern stream can only mark one end position, so every
@@ -77,10 +80,9 @@ impl fmt::Display for Error {
                 f,
                 "array segment {segment} is condemned and no spare replaces it"
             ),
-            Error::TooManyLanes { lanes } => write!(
+            Error::TooManyLanes { lanes, capacity } => write!(
                 f,
-                "{lanes} lanes exceed the {} lanes of one bit-plane word batch",
-                crate::batch::LANES
+                "{lanes} lanes exceed the {capacity} lanes of one bit-plane batch"
             ),
             Error::RaggedLanePatterns => write!(
                 f,
@@ -112,7 +114,10 @@ mod tests {
             Error::BadAlphabetWidth(0),
             Error::NoSegments,
             Error::SegmentFaulted { segment: 3 },
-            Error::TooManyLanes { lanes: 65 },
+            Error::TooManyLanes {
+                lanes: 65,
+                capacity: 64,
+            },
             Error::RaggedLanePatterns,
         ];
         for e in errors {

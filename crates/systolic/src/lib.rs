@@ -58,6 +58,10 @@
 //!   with branch-free word operations — both through the unmodified
 //!   [`Driver`](engine::Driver) (via the [`LaneBoolean`](batch::LaneBoolean)
 //!   semantics) and through a stripped-down throughput engine.
+//! * [`superplane`] — the same engine widened to `[u64; W]` planes
+//!   (256 lanes at `W = 4`, 512 at `W = 8`), with runtime-dispatched
+//!   AVX2/AVX-512 kernel specialisations and a beat-accurate
+//!   [`SuperplaneDriver`](superplane::SuperplaneDriver) telemetry twin.
 //! * [`schedule`] — the closed-form injection/meeting algebra of
 //!   §3.2.1, machine-checked against the simulator.
 //! * [`trace`] — beat-by-beat choreography recording, used to regenerate
@@ -85,7 +89,12 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// Deny rather than forbid: the one sanctioned exception is
+// `superplane`, which opts back in locally to call its
+// `#[target_feature]` kernel specialisations after
+// `is_x86_feature_detected!` has proven the features present. Every
+// data path in the crate remains safe code.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod batch;
@@ -100,6 +109,7 @@ pub mod selftimed;
 pub mod semantics;
 pub mod spec;
 pub mod stream;
+pub mod superplane;
 pub mod symbol;
 pub mod telemetry;
 pub mod trace;
@@ -117,6 +127,9 @@ pub mod prelude {
     pub use crate::semantics::{BooleanMatch, CountMatch, MeetSemantics};
     pub use crate::spec::{count_spec, match_spec};
     pub use crate::stream::MatchStream;
+    pub use crate::superplane::{
+        simd_level, SimdLevel, SuperMatcher, Superplane, SuperplaneDriver,
+    };
     pub use crate::symbol::{Alphabet, PatSym, Pattern, Symbol};
     pub use crate::telemetry::{MemorySink, NullSink, SinkHandle, TraceEvent, TraceSink};
     pub use crate::trace::{TraceRecorder, TraceSnapshot};

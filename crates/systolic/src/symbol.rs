@@ -106,6 +106,7 @@ impl fmt::Display for Alphabet {
 /// A plain newtype over `u8`; validity with respect to a particular
 /// [`Alphabet`] is checked at the stream boundary, not on every beat.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+#[repr(transparent)]
 pub struct Symbol(pub(crate) u8);
 
 impl Symbol {

@@ -142,12 +142,15 @@ pub enum TraceEvent {
         /// Matches found in the job's text.
         matches: u64,
     },
-    /// One 64-lane word batch executed to completion.
+    /// One bit-plane batch executed to completion.
     BatchExecuted {
         /// Worker index.
         worker: u32,
-        /// Lane slots that carried a stream (≤ 64).
+        /// Lane slots that carried a stream (≤ `slots`).
         lanes: u32,
+        /// Lane slots the batch offered (64 for the `u64` engine,
+        /// `W × 64` for a width-`W` superplane batch).
+        slots: u32,
         /// Engine steps (text positions) the batch advanced.
         steps: u64,
         /// Wall-clock microseconds the batch took (0 when the caller
@@ -158,6 +161,16 @@ pub enum TraceEvent {
     CacheLookup {
         /// Whether the lookup hit.
         hit: bool,
+    },
+    /// The scheduler chose its superplane width and SIMD kernel for a
+    /// run (emitted once per `ThroughputEngine::run` in `pm-chip`; the
+    /// level is process-wide, see
+    /// [`simd_level`](crate::superplane::simd_level)).
+    DispatchSelected {
+        /// Superplane width in words (1, 4 or 8).
+        words: u32,
+        /// The instruction-set level the kernel dispatches to.
+        level: crate::superplane::SimdLevel,
     },
 }
 

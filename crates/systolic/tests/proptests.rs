@@ -86,6 +86,25 @@ fn plane_workload() -> impl Strategy<Value = LaneJobs> {
     })
 }
 
+/// Strategy: a wildcard-heavy pattern (wild cards outnumber literals
+/// on average) and up to 140 lane texts, so the superplane engines see
+/// both the `N % (W·64) ≠ 0` ragged-tail path and patterns whose wild
+/// planes dominate the equality fold.
+fn wide_lane_workload() -> impl Strategy<Value = (u32, Vec<Option<u8>>, Vec<Vec<u8>>)> {
+    (1u32..=4).prop_flat_map(|bits| {
+        let max = (1u16 << bits) as u8 - 1;
+        let pat_sym = prop_oneof![
+            1 => (0..=max).prop_map(Some),
+            2 => Just(None), // mostly wild cards
+        ];
+        (
+            Just(bits),
+            proptest::collection::vec(pat_sym, 1..=9),
+            proptest::collection::vec(proptest::collection::vec(0..=max, 0..=24), 1..=140),
+        )
+    })
+}
+
 fn build(bits: u32, pat: &[Option<u8>]) -> Pattern {
     let alphabet = Alphabet::new(bits).unwrap();
     let syms: Vec<PatSym> = pat
@@ -218,6 +237,80 @@ proptest! {
         let got = driver.run(&refs).unwrap();
         for ((pattern, t), hits) in patterns.iter().zip(&lanes).zip(&got) {
             prop_assert_eq!(hits.bits(), match_spec(t, pattern));
+        }
+    }
+
+    #[test]
+    fn superplane_uniform_equals_u64_engine_and_spec(
+        (bits, pat, texts) in wide_lane_workload()
+    ) {
+        let pattern = build(bits, &pat);
+        let lanes: Vec<Vec<Symbol>> = texts
+            .iter()
+            .map(|t| t.iter().map(|&b| Symbol::new(b)).collect())
+            .collect();
+        let refs: Vec<&[Symbol]> = lanes.iter().map(|t| t.as_slice()).collect();
+        let narrow = BatchMatcher::new(&pattern).match_streams(&refs).unwrap();
+        let w4 = SuperMatcher::<4>::new(&pattern).match_streams(&refs).unwrap();
+        let w8 = SuperMatcher::<8>::new(&pattern).match_streams(&refs).unwrap();
+        prop_assert_eq!(w4.len(), lanes.len());
+        prop_assert_eq!(w8.len(), lanes.len());
+        for (((t, n), h4), h8) in lanes.iter().zip(&narrow).zip(&w4).zip(&w8) {
+            let spec = match_spec(t, &pattern);
+            prop_assert_eq!(n.bits(), spec.clone(), "u64 engine vs spec");
+            prop_assert_eq!(h4.bits(), spec.clone(), "W=4 superplane vs spec");
+            prop_assert_eq!(h8.bits(), spec, "W=8 superplane vs spec");
+        }
+    }
+
+    #[test]
+    fn superplane_mixed_lanes_equal_u64_engine_and_spec(
+        (bits, jobs) in mixed_lane_workload()
+    ) {
+        let compiled: Vec<(CompiledPattern, Vec<Symbol>)> = jobs
+            .iter()
+            .map(|(pat, text)| {
+                let pattern = build(bits, pat);
+                let symbols = text.iter().map(|&b| Symbol::new(b)).collect();
+                (CompiledPattern::compile(&pattern), symbols)
+            })
+            .collect();
+        let lanes: Vec<(&CompiledPattern, &[Symbol])> =
+            compiled.iter().map(|(c, t)| (c, t.as_slice())).collect();
+        let narrow: Vec<MatchBits> = lanes
+            .chunks(pm_systolic::batch::LANES)
+            .map(|chunk| pm_systolic::batch::match_lanes(chunk).unwrap())
+            .collect::<Vec<_>>()
+            .concat();
+        let wide = pm_systolic::superplane::match_lanes_wide::<4>(&lanes).unwrap();
+        prop_assert_eq!(wide.len(), compiled.len());
+        for (((c, t), n), h) in compiled.iter().zip(&narrow).zip(&wide) {
+            let spec = match_spec(t, c.pattern());
+            prop_assert_eq!(n.bits(), spec.clone(), "u64 engine vs spec");
+            prop_assert_eq!(h.bits(), spec, "W=4 superplane vs spec");
+        }
+    }
+
+    #[test]
+    fn superplane_driver_equals_plane_driver_per_lane((bits, jobs) in plane_workload()) {
+        let patterns: Vec<Pattern> =
+            jobs.iter().map(|(pat, _)| build(bits, pat)).collect();
+        let lanes: Vec<Vec<Symbol>> = jobs
+            .iter()
+            .map(|(_, t)| t.iter().map(|&b| Symbol::new(b)).collect())
+            .collect();
+        let refs: Vec<&[Symbol]> = lanes.iter().map(|t| t.as_slice()).collect();
+        let narrow = PlaneDriver::new(&patterns).unwrap().run(&refs).unwrap();
+        let wide = SuperplaneDriver::<2>::new(&patterns)
+            .unwrap()
+            .run(&refs)
+            .unwrap();
+        for (((pattern, t), n), h) in
+            patterns.iter().zip(&lanes).zip(&narrow).zip(&wide)
+        {
+            let spec = match_spec(t, pattern);
+            prop_assert_eq!(n.bits(), spec.clone(), "PlaneDriver vs spec");
+            prop_assert_eq!(h.bits(), spec, "SuperplaneDriver vs spec");
         }
     }
 
