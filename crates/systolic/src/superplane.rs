@@ -336,8 +336,11 @@ unsafe fn run_wide_avx2<const W: usize>(
     run_wide_generic(planes, texts)
 }
 
+// Only "avx512f" — the kernel is plain `u64` word logic, so 512-bit
+// integer ops from the F subset suffice, and enabling more would not be
+// justified by the `detect_level` check that guards the call.
 #[cfg(target_arch = "x86_64")]
-#[target_feature(enable = "avx512f", enable = "avx512bw")]
+#[target_feature(enable = "avx512f")]
 unsafe fn run_wide_avx512<const W: usize>(
     planes: &SuperPlanes<W>,
     texts: &[&[Symbol]],
