@@ -48,7 +48,7 @@ const RATE_METRICS: &[&str] = &[
 /// Dimensionless same-run ratios: hardware-independent by construction
 /// (both sides of the ratio ran on the same machine in the same
 /// process), enforced whenever the current run reaches AVX2 or wider.
-const RATIO_METRICS: &[&str] = &["w8_speedup_over_u64"];
+const RATIO_METRICS: &[&str] = &["w8_speedup_over_u64", "chaos_zero_fault_ratio"];
 
 /// Extracts the number following `"{key}":` from a snapshot document.
 fn metric(json: &str, key: &str) -> Option<f64> {

@@ -2,6 +2,7 @@
 //! reproduction as printable text; the `figures` binary prints them.
 
 pub mod algorithm;
+pub mod chaos;
 pub mod engineering;
 pub mod evaluation;
 pub mod extensions;
@@ -32,6 +33,7 @@ pub fn all() -> Vec<FigureEntry> {
         ("throughput", throughput::throughput),
         ("telemetry", telemetry::telemetry),
         ("superwide", superwide::superwide),
+        ("chaos", chaos::chaos),
         ("fig3_7", extensions::fig3_7),
         ("multipass", extensions::multipass),
         ("counting", extensions::counting),

@@ -112,7 +112,12 @@ impl From<Error> for HostError {
 /// Exponential backoff between built-in-self-test retries separates
 /// transient upsets (a supply glitch — passes on retry) from hard
 /// stuck-at faults (§4's fabrication defects — fail every retry and
-/// get the chip condemned).
+/// get the chip condemned). Optional deterministic jitter
+/// ([`jitter_permille`](Self::jitter_permille)) decorrelates many
+/// retriers sharing one sick resource without sacrificing
+/// reproducibility, and
+/// [`backoff_cap_beats`](Self::backoff_cap_beats) is the documented
+/// saturation cap: no attempt number or jitter draw ever waits longer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RetryPolicy {
     /// Characters the watchdog waits past the device's fixed latency
@@ -124,6 +129,21 @@ pub struct RetryPolicy {
     pub backoff_base_beats: u64,
     /// Multiplier applied to the backoff per further retry.
     pub backoff_factor: u64,
+    /// Maximum extra jitter as a fraction of the un-jittered backoff,
+    /// in per mille (250 = up to +25 %). 0 (the default) disables
+    /// jitter, making the schedule exactly geometric. The jitter is
+    /// drawn from a seeded xorshift keyed by
+    /// ([`jitter_seed`](Self::jitter_seed), attempt), so equal
+    /// policies always produce equal schedules.
+    pub jitter_permille: u32,
+    /// Seed for the deterministic jitter stream; irrelevant while
+    /// [`jitter_permille`](Self::jitter_permille) is 0.
+    pub jitter_seed: u64,
+    /// Saturation cap in beats: the computed backoff (growth *and*
+    /// jitter included) is clamped to this value, so a runaway attempt
+    /// counter cannot schedule an unbounded wait. Defaults to
+    /// `u64::MAX`, i.e. saturate only at the numeric limit.
+    pub backoff_cap_beats: u64,
 }
 
 impl Default for RetryPolicy {
@@ -133,18 +153,39 @@ impl Default for RetryPolicy {
             max_retries: 2,
             backoff_base_beats: 8,
             backoff_factor: 4,
+            jitter_permille: 0,
+            jitter_seed: 0x9E37_79B9_7F4A_7C15,
+            backoff_cap_beats: u64::MAX,
         }
     }
 }
 
 impl RetryPolicy {
-    /// Backoff in beats before retry number `attempt` (1-based).
+    /// Backoff in beats before retry number `attempt` (1-based):
+    /// `base × factor^(attempt−1)`, plus up to
+    /// [`jitter_permille`](Self::jitter_permille)‰ of deterministic
+    /// jitter, clamped to
+    /// [`backoff_cap_beats`](Self::backoff_cap_beats). Computed in
+    /// closed form (overflow saturates), so an overflowing attempt
+    /// counter costs O(log attempt), not 2³² multiplications.
     pub fn backoff_beats(&self, attempt: u32) -> u64 {
-        let mut beats = self.backoff_base_beats;
-        for _ in 1..attempt {
-            beats = beats.saturating_mul(self.backoff_factor);
-        }
-        beats
+        let growth = attempt.saturating_sub(1);
+        let beats = match self.backoff_factor.checked_pow(growth) {
+            Some(f) => self.backoff_base_beats.saturating_mul(f),
+            None if self.backoff_base_beats == 0 => 0,
+            None => u64::MAX,
+        };
+        let jittered = if self.jitter_permille == 0 || beats == 0 {
+            beats
+        } else {
+            let span = ((u128::from(beats) * u128::from(self.jitter_permille)) / 1000)
+                .min(u128::from(u64::MAX)) as u64;
+            let mut rng = crate::faults::XorShift64::new(
+                self.jitter_seed ^ crate::faults::mix(attempt.into()),
+            );
+            beats.saturating_add(rng.bounded(span))
+        };
+        jittered.min(self.backoff_cap_beats)
     }
 }
 
@@ -390,6 +431,7 @@ mod tests {
             max_retries: 3,
             backoff_base_beats: 8,
             backoff_factor: 4,
+            ..RetryPolicy::default()
         };
         assert_eq!(p.backoff_beats(1), 8);
         assert_eq!(p.backoff_beats(2), 32);
@@ -401,5 +443,80 @@ mod tests {
             ..p
         };
         assert_eq!(huge.backoff_beats(5), u64::MAX);
+    }
+
+    #[test]
+    fn backoff_attempt_overflow_saturates_without_looping() {
+        // The closed form must saturate instantly even for an attempt
+        // counter near u32::MAX (the old loop would multiply ~4 billion
+        // times); with a zero base the schedule stays at zero.
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff_beats(u32::MAX), u64::MAX);
+        let idle = RetryPolicy {
+            backoff_base_beats: 0,
+            ..p
+        };
+        assert_eq!(idle.backoff_beats(u32::MAX), 0);
+        // factor 1 never overflows: base forever.
+        let flat = RetryPolicy {
+            backoff_factor: 1,
+            ..p
+        };
+        assert_eq!(flat.backoff_beats(u32::MAX), flat.backoff_base_beats);
+    }
+
+    #[test]
+    fn backoff_cap_clamps_growth_and_jitter() {
+        let p = RetryPolicy {
+            backoff_base_beats: 8,
+            backoff_factor: 4,
+            backoff_cap_beats: 100,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(p.backoff_beats(1), 8);
+        assert_eq!(p.backoff_beats(2), 32);
+        assert_eq!(p.backoff_beats(3), 100); // 128 clamped
+        assert_eq!(p.backoff_beats(u32::MAX), 100); // saturated then clamped
+        let jittery = RetryPolicy {
+            jitter_permille: 1000,
+            ..p
+        };
+        for attempt in 1..=8 {
+            assert!(jittery.backoff_beats(attempt) <= 100);
+        }
+    }
+
+    #[test]
+    fn backoff_jitter_is_deterministic_and_bounded() {
+        let base = RetryPolicy {
+            backoff_base_beats: 1000,
+            backoff_factor: 2,
+            jitter_permille: 250,
+            ..RetryPolicy::default()
+        };
+        let twin = base;
+        let mut saw_jitter = false;
+        for attempt in 1..=10 {
+            let plain = RetryPolicy {
+                jitter_permille: 0,
+                ..base
+            }
+            .backoff_beats(attempt);
+            let jittered = base.backoff_beats(attempt);
+            // Equal policies agree beat-for-beat (seeded stream).
+            assert_eq!(jittered, twin.backoff_beats(attempt));
+            // Jitter only ever adds, and at most 25 % here.
+            assert!(jittered >= plain);
+            assert!(jittered <= plain + plain / 4);
+            saw_jitter |= jittered != plain;
+        }
+        assert!(saw_jitter, "250‰ jitter never fired across 10 attempts");
+        // A different seed reshuffles the schedule.
+        let reseeded = RetryPolicy {
+            jitter_seed: 0xDEAD_BEEF,
+            ..base
+        };
+        let differs = (1..=10).any(|a| reseeded.backoff_beats(a) != base.backoff_beats(a));
+        assert!(differs, "independent seeds produced identical jitter");
     }
 }

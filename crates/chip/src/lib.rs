@@ -25,6 +25,9 @@
 //! * [`recovery`] — the self-healing cascade closing the
 //!   detect → isolate → remap → resume loop over [`bist`], the
 //!   [`wafer`] rewiring logic and a software fallback matcher;
+//! * [`faults`] — the unified fault taxonomy and the seeded
+//!   fault-injection plans ([`faults::FaultPlan`]) the chaos harness
+//!   replays deterministically against the scheduler;
 //! * [`throughput`] — the multi-stream job scheduler: N `(pattern,
 //!   text)` jobs sharded across worker threads driving the bit-plane
 //!   batch engine of `pm_systolic::batch`, with an LRU compiled-pattern
@@ -50,6 +53,7 @@ pub mod bist;
 pub mod cascade;
 pub mod counters;
 pub mod datasheet;
+pub mod faults;
 pub mod host;
 pub mod multipass;
 pub mod pins;
@@ -65,6 +69,7 @@ pub mod prelude {
     pub use crate::cascade::ChipCascade;
     pub use crate::counters::{CounterSnapshot, RateWindow, ThroughputCounters};
     pub use crate::datasheet::DataSheet;
+    pub use crate::faults::{Fault, FaultPlan, PlaneFault, StickyFault, XorShift64};
     pub use crate::host::{DeviceState, HostBus, HostError, MatchEvent, RetryPolicy};
     pub use crate::multipass::MultipassMatcher;
     pub use crate::pins::{Package, PinBudget};
@@ -74,7 +79,8 @@ pub mod prelude {
     };
     pub use crate::telemetry::{Histogram, HistogramSnapshot, MetricsRegistry, TelemetrySnapshot};
     pub use crate::throughput::{
-        Job, JobOutput, PatternCache, PatternIndex, SuperWidth, ThroughputEngine, WorkerStats,
+        Job, JobOutput, PatternCache, PatternIndex, ResiliencePolicy, ResilienceReport, SuperWidth,
+        ThroughputEngine, WorkerStats,
     };
     pub use crate::timing::{ClockModel, GateDelays};
     pub use crate::wafer::{Wafer, YieldPoint};

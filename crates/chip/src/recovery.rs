@@ -1234,6 +1234,7 @@ mod tests {
                 max_retries: 1,
                 backoff_base_beats: 4,
                 backoff_factor: 2,
+                ..RetryPolicy::default()
             },
         }
     }

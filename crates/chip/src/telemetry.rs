@@ -206,9 +206,24 @@ pub struct MetricsRegistry {
     pub dispatch_avx2: Counter,
     /// Runs dispatched to the AVX-512 kernel.
     pub dispatch_avx512: Counter,
+    /// Chaos-harness faults injected into scheduler workers.
+    pub faults_injected: Counter,
+    /// Sampled-lane scrubs whose lane disagreed with the scalar spec.
+    pub scrub_mismatches: Counter,
+    /// Scheduler workers quarantined (outputs voided, batches requeued).
+    pub quarantined_workers: Counter,
+    /// Degradation-ladder demotions (moves to a narrower rung).
+    pub ladder_demotions: Counter,
+    /// Degradation-ladder re-promotions after clean batches.
+    pub ladder_promotions: Counter,
+    /// Voided batches re-executed on a recovery rung.
+    pub batches_retried: Counter,
     /// Superplane width (words) of the most recent dispatch — a gauge,
     /// not a counter.
     pub superplane_words: AtomicU64,
+    /// Current degradation-ladder rung as a superplane width in words
+    /// (0 = software fallback) — a gauge, not a counter.
+    pub ladder_words: AtomicU64,
     /// Lanes-per-batch distribution.
     pub batch_occupancy: Histogram,
     /// Batch wall-clock distribution, microseconds (only batches the
@@ -254,7 +269,14 @@ impl MetricsRegistry {
             dispatch_portable: Counter::new(),
             dispatch_avx2: Counter::new(),
             dispatch_avx512: Counter::new(),
+            faults_injected: Counter::new(),
+            scrub_mismatches: Counter::new(),
+            quarantined_workers: Counter::new(),
+            ladder_demotions: Counter::new(),
+            ladder_promotions: Counter::new(),
+            batches_retried: Counter::new(),
             superplane_words: AtomicU64::new(0),
+            ladder_words: AtomicU64::new(0),
             batch_occupancy: Histogram::new(OCCUPANCY_BOUNDS),
             batch_micros: Histogram::new(LATENCY_BOUNDS_MICROS),
         }
@@ -292,7 +314,14 @@ impl MetricsRegistry {
             dispatch_portable: self.dispatch_portable.get(),
             dispatch_avx2: self.dispatch_avx2.get(),
             dispatch_avx512: self.dispatch_avx512.get(),
+            faults_injected: self.faults_injected.get(),
+            scrub_mismatches: self.scrub_mismatches.get(),
+            quarantined_workers: self.quarantined_workers.get(),
+            ladder_demotions: self.ladder_demotions.get(),
+            ladder_promotions: self.ladder_promotions.get(),
+            batches_retried: self.batches_retried.get(),
             superplane_words: self.superplane_words.load(Ordering::Relaxed),
+            ladder_words: self.ladder_words.load(Ordering::Relaxed),
             batch_occupancy: self.batch_occupancy.snapshot(),
             batch_micros: self.batch_micros.snapshot(),
         }
@@ -357,6 +386,18 @@ impl TraceSink for MetricsRegistry {
                     self.cache_misses.add(1);
                 }
             }
+            TraceEvent::FaultInjected { .. } => self.faults_injected.add(1),
+            TraceEvent::ScrubMismatch { .. } => self.scrub_mismatches.add(1),
+            TraceEvent::WorkerQuarantined { .. } => self.quarantined_workers.add(1),
+            TraceEvent::LadderMoved { words, down } => {
+                if down {
+                    self.ladder_demotions.add(1);
+                } else {
+                    self.ladder_promotions.add(1);
+                }
+                self.ladder_words.store(u64::from(words), Ordering::Relaxed);
+            }
+            TraceEvent::BatchRetried { .. } => self.batches_retried.add(1),
             TraceEvent::DispatchSelected { words, level } => {
                 use pm_systolic::superplane::SimdLevel;
                 match level {
@@ -436,8 +477,22 @@ pub struct TelemetrySnapshot {
     pub dispatch_avx2: u64,
     /// Runs dispatched to the AVX-512 kernel.
     pub dispatch_avx512: u64,
+    /// Chaos-harness faults injected.
+    pub faults_injected: u64,
+    /// Sampled-lane scrub mismatches.
+    pub scrub_mismatches: u64,
+    /// Workers quarantined.
+    pub quarantined_workers: u64,
+    /// Ladder demotions.
+    pub ladder_demotions: u64,
+    /// Ladder re-promotions.
+    pub ladder_promotions: u64,
+    /// Batches retried on a recovery rung.
+    pub batches_retried: u64,
     /// Superplane width (words) of the most recent dispatch.
     pub superplane_words: u64,
+    /// Current ladder rung in words (0 = software fallback).
+    pub ladder_words: u64,
     /// Lanes-per-batch distribution.
     pub batch_occupancy: HistogramSnapshot,
     /// Batch latency distribution (µs).
@@ -569,6 +624,36 @@ impl TelemetrySnapshot {
                 "Runs dispatched to the AVX-512 superplane kernel.",
                 self.dispatch_avx512,
             ),
+            (
+                "pm_faults_injected_total",
+                "Chaos-harness faults injected into scheduler workers.",
+                self.faults_injected,
+            ),
+            (
+                "pm_scrub_mismatches_total",
+                "Sampled-lane scrubs that disagreed with the scalar spec.",
+                self.scrub_mismatches,
+            ),
+            (
+                "pm_quarantined_workers_total",
+                "Scheduler workers quarantined.",
+                self.quarantined_workers,
+            ),
+            (
+                "pm_ladder_demotions_total",
+                "Degradation-ladder demotions.",
+                self.ladder_demotions,
+            ),
+            (
+                "pm_ladder_promotions_total",
+                "Degradation-ladder re-promotions.",
+                self.ladder_promotions,
+            ),
+            (
+                "pm_batches_retried_total",
+                "Voided batches re-executed on a recovery rung.",
+                self.batches_retried,
+            ),
         ]
     }
 
@@ -586,6 +671,12 @@ impl TelemetrySnapshot {
         );
         let _ = writeln!(out, "# TYPE pm_superplane_words gauge");
         let _ = writeln!(out, "pm_superplane_words {}", self.superplane_words);
+        let _ = writeln!(
+            out,
+            "# HELP pm_ladder_words Current degradation-ladder rung in words (0 = software)."
+        );
+        let _ = writeln!(out, "# TYPE pm_ladder_words gauge");
+        let _ = writeln!(out, "pm_ladder_words {}", self.ladder_words);
         self.batch_occupancy.to_prometheus(
             "pm_batch_occupancy",
             "Lane slots carried per word batch.",
@@ -611,6 +702,7 @@ impl TelemetrySnapshot {
         for (name, _, value) in rows.iter() {
             let _ = writeln!(out, "    \"{name}\": {value},");
         }
+        let _ = writeln!(out, "    \"pm_ladder_words\": {},", self.ladder_words);
         let _ = writeln!(
             out,
             "    \"pm_superplane_words\": {}",
@@ -698,6 +790,51 @@ mod tests {
         assert_eq!(s.scrub_beats, 30);
         assert_eq!(s.batch_occupancy.count, 1);
         assert_eq!(s.batch_micros.sum, 120);
+    }
+
+    #[test]
+    fn registry_folds_fault_and_ladder_events() {
+        let m = MetricsRegistry::new();
+        m.record(TraceEvent::FaultInjected {
+            worker: 1,
+            label: "lane_upset",
+        });
+        m.record(TraceEvent::ScrubMismatch {
+            worker: 1,
+            batch: 3,
+        });
+        m.record(TraceEvent::WorkerQuarantined {
+            worker: 1,
+            label: "lane_upset",
+        });
+        m.record(TraceEvent::LadderMoved {
+            words: 4,
+            down: true,
+        });
+        m.record(TraceEvent::LadderMoved {
+            words: 8,
+            down: false,
+        });
+        m.record(TraceEvent::BatchRetried {
+            batch: 3,
+            attempt: 1,
+            words: 4,
+        });
+        let s = m.snapshot();
+        assert_eq!(s.faults_injected, 1);
+        assert_eq!(s.scrub_mismatches, 1);
+        assert_eq!(s.quarantined_workers, 1);
+        assert_eq!(s.ladder_demotions, 1);
+        assert_eq!(s.ladder_promotions, 1);
+        assert_eq!(s.batches_retried, 1);
+        assert_eq!(s.ladder_words, 8); // last move wins the gauge
+        let prom = s.to_prometheus();
+        assert!(prom.contains("pm_quarantined_workers_total 1"), "{prom}");
+        assert!(prom.contains("pm_ladder_words 8"), "{prom}");
+        let json = s.to_json(0.0);
+        assert!(json.contains("\"pm_scrub_mismatches_total\": 1"), "{json}");
+        assert!(json.contains("\"pm_ladder_words\": 8"), "{json}");
+        assert!(!json.contains(",\n  }"), "{json}");
     }
 
     #[test]

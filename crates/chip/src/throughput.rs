@@ -59,16 +59,22 @@
 //! ```
 
 use crate::counters::{Counter, CounterSnapshot, RateWindow, ThroughputCounters};
+use crate::faults::{corrupt_bits, mix, FaultPlan, PlaneFault, StickyFault, XorShift64};
+use crate::host::RetryPolicy;
+use pm_matchers::software_fallback;
 use pm_systolic::batch::{match_lanes, match_uniform, CompiledPattern};
 use pm_systolic::engine::MatchBits;
 use pm_systolic::error::Error;
+use pm_systolic::spec::match_spec;
 use pm_systolic::superplane::{
     lanes_of, match_lanes_wide, match_uniform_wide, simd_level, SimdLevel,
 };
-use pm_systolic::symbol::{Pattern, Symbol};
+use pm_systolic::symbol::{text_from_letters, Pattern, Symbol};
 use pm_systolic::telemetry::{SinkHandle, TraceEvent};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
@@ -403,6 +409,93 @@ pub struct ThroughputReport {
     pub simd: SimdLevel,
     /// Lane slots per batch at the width this run used.
     pub lanes_per_batch: usize,
+    /// What the fault-tolerant scheduler saw and did, when a
+    /// [`ResiliencePolicy`] is installed (`None` on the fast path).
+    pub resilience: Option<ResilienceReport>,
+}
+
+/// Tunables of the fault-tolerant scheduler layer. Installing one via
+/// [`ThroughputEngine::set_resilience`] switches
+/// [`run`](ThroughputEngine::run) from the fast path to the resilient
+/// path: workers buffer results instead of committing them, every
+/// batch runs under `catch_unwind` and a wall-clock watchdog, a sampled
+/// lane is periodically re-checked against the scalar spec, and each
+/// worker must pass an exit known-answer test before its buffered
+/// results commit. Detected faults void the worker's results and send
+/// its jobs down the recovery ladder (retry → narrower width → software
+/// fallback), so committed output is spec-identical even under active
+/// fault injection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResiliencePolicy {
+    /// Re-run one random lane of every Nth batch (per worker) through
+    /// the scalar spec; 0 disables sampling (the exit known-answer test
+    /// still gates commits).
+    pub scrub_period_batches: u64,
+    /// Wall-clock bound on one batch; a slower batch condemns the
+    /// worker as stalled.
+    pub watchdog: Duration,
+    /// Backoff schedule for recovery-ladder retries (shares
+    /// [`RetryPolicy`] with the single-stream host bus).
+    pub retry: RetryPolicy,
+    /// Clean batches required before the ladder climbs back up a rung.
+    pub repromote_after: u64,
+    /// Wall-clock length of one backoff beat.
+    pub beat: Duration,
+}
+
+impl Default for ResiliencePolicy {
+    fn default() -> Self {
+        ResiliencePolicy {
+            scrub_period_batches: 4,
+            watchdog: Duration::from_secs(2),
+            retry: RetryPolicy::default(),
+            repromote_after: 32,
+            beat: Duration::from_micros(20),
+        }
+    }
+}
+
+/// What the resilient scheduler observed during one run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ResilienceReport {
+    /// Chaos-harness faults that fired in workers.
+    pub faults_injected: u64,
+    /// Sampled-lane scrubs that disagreed with the scalar spec.
+    pub scrub_mismatches: u64,
+    /// Quarantined workers and the label of what condemned each.
+    pub quarantined: Vec<(usize, &'static str)>,
+    /// Jobs whose first execution was voided and went to recovery.
+    pub recovered_jobs: u64,
+    /// Recovery-batch executions on hardware rungs (every attempt).
+    pub retried_batches: u64,
+    /// Ladder demotions this run (includes the move to software).
+    pub demotions: u64,
+    /// Ladder re-promotions this run.
+    pub promotions: u64,
+    /// Jobs that ended up on the software-fallback rung.
+    pub fallback_jobs: u64,
+    /// The engine's ladder rung after this run, as a superplane width
+    /// in words (the next run's starting width).
+    pub ladder_words: usize,
+}
+
+/// The engine's persistent position on the degradation ladder: an
+/// index into [`ladder_rungs`] plus the count of consecutively clean
+/// batches driving re-promotion.
+#[derive(Debug, Default)]
+struct LadderState {
+    rung: AtomicUsize,
+    clean: AtomicU64,
+}
+
+/// The hardware rungs below (and including) a starting width, widest
+/// first; the software fallback sits below the last.
+fn ladder_rungs(width: SuperWidth) -> &'static [SuperWidth] {
+    match width {
+        SuperWidth::W8 => &[SuperWidth::W8, SuperWidth::W4, SuperWidth::W1],
+        SuperWidth::W4 => &[SuperWidth::W4, SuperWidth::W1],
+        SuperWidth::W1 => &[SuperWidth::W1],
+    }
 }
 
 /// One planned batch: global job indices that will advance together.
@@ -519,6 +612,14 @@ pub struct ThroughputEngine {
     lifetime_chars: Counter,
     /// Sliding window over `lifetime_chars`, sampled after each run.
     rate: RateWindow,
+    /// Fault-tolerant scheduling, when installed.
+    resilience: Option<ResiliencePolicy>,
+    /// Seeded chaos campaign, when armed (orthogonal to `resilience`:
+    /// a plan without a policy injects faults nobody contains, which is
+    /// what the fast-path regression tests want).
+    chaos: Option<FaultPlan>,
+    /// Persistent degradation-ladder position across runs.
+    ladder: LadderState,
 }
 
 impl ThroughputEngine {
@@ -548,6 +649,9 @@ impl ThroughputEngine {
                 rate.sample(0); // construction anchors the window
                 rate
             },
+            resilience: None,
+            chaos: None,
+            ladder: LadderState::default(),
         }
     }
 
@@ -557,9 +661,49 @@ impl ThroughputEngine {
         self.sink = sink;
     }
 
-    /// Selects the batch width for subsequent runs.
+    /// Selects the batch width for subsequent runs. Also resets the
+    /// degradation ladder, whose rungs descend from this width.
     pub fn set_width(&mut self, width: SuperWidth) {
         self.width = width;
+        self.ladder.rung.store(0, Ordering::Relaxed);
+        self.ladder.clean.store(0, Ordering::Relaxed);
+    }
+
+    /// Installs (or removes) the fault-tolerant scheduler layer.
+    pub fn set_resilience(&mut self, policy: Option<ResiliencePolicy>) {
+        self.resilience = policy;
+    }
+
+    /// The installed resilience policy, if any.
+    pub fn resilience(&self) -> Option<ResiliencePolicy> {
+        self.resilience
+    }
+
+    /// Arms (or disarms) a seeded chaos campaign. A plan without a
+    /// resilience policy injects faults nobody contains: data faults
+    /// silently corrupt results and panics surface as
+    /// [`Error::WorkerPanicked`] — the harness the regression tests
+    /// point at the fast path. With a policy installed, the same plan
+    /// exercises detection and recovery instead.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.chaos = plan;
+    }
+
+    /// The armed chaos plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.chaos.as_ref()
+    }
+
+    /// The width the *next* resilient run will use: the configured
+    /// width lowered to the ladder's current rung. The fast path
+    /// ignores the ladder.
+    pub fn ladder_width(&self) -> SuperWidth {
+        let rungs = ladder_rungs(self.width);
+        rungs[self
+            .ladder
+            .rung
+            .load(Ordering::Relaxed)
+            .min(rungs.len() - 1)]
     }
 
     /// The batch width subsequent runs will use.
@@ -600,11 +744,28 @@ impl ThroughputEngine {
     /// Output `i` belongs to input job `i` regardless of which worker
     /// or batch carried it.
     ///
+    /// With a [`ResiliencePolicy`] installed the run is fault-tolerant:
+    /// worker results commit only after the worker passes its exit
+    /// known-answer test, and anything voided is re-executed down the
+    /// degradation ladder with full verification against the scalar
+    /// spec — so outputs are spec-identical even under an armed
+    /// [`FaultPlan`].
+    ///
     /// # Errors
     ///
-    /// Propagates engine errors (none are currently reachable: the
-    /// planner never overfills a batch).
+    /// On the fast path, an injected (or genuine) worker panic surfaces
+    /// as [`Error::WorkerPanicked`] *after* every worker thread has
+    /// been joined — an early failure never leaks running threads. The
+    /// resilient path contains panics and returns `Ok`.
     pub fn run(&self, jobs: &[Job]) -> Result<ThroughputReport, Error> {
+        match self.resilience {
+            Some(policy) => self.run_resilient(jobs, policy),
+            None => self.run_fast(jobs),
+        }
+    }
+
+    /// The zero-overhead path: no scrubbing, no buffering, no ladder.
+    fn run_fast(&self, jobs: &[Job]) -> Result<ThroughputReport, Error> {
         let started = Instant::now();
         let width = self.width;
         let simd = simd_level();
@@ -618,24 +779,35 @@ impl ThroughputEngine {
         let queue = WorkQueue::new(plan.len(), self.workers);
         let mut outputs: Vec<Option<JobOutput>> = vec![None; jobs.len()];
 
-        let results: Vec<Result<WorkerYield, Error>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..self.workers)
-                .map(|w| {
-                    let (counters, plan, queue) = (&counters, &plan, &queue);
-                    let (index, sink) = (&self.index, &self.sink);
-                    let capacity = self.cache_capacity;
-                    scope.spawn(move || {
-                        worker_run(w, jobs, plan, queue, index, capacity, counters, sink, width)
+        let joined: Vec<std::thread::Result<Result<WorkerYield, Error>>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..self.workers)
+                    .map(|w| {
+                        let (counters, plan, queue) = (&counters, &plan, &queue);
+                        let (index, sink) = (&self.index, &self.sink);
+                        let capacity = self.cache_capacity;
+                        let chaos = self.chaos.as_ref();
+                        scope.spawn(move || {
+                            worker_run(
+                                w, jobs, plan, queue, index, capacity, counters, sink, width, chaos,
+                            )
+                        })
                     })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
-                .collect()
-        });
+                    .collect();
+                // Join every handle before inspecting any outcome, so a
+                // panicked worker cannot leave its siblings running when
+                // we bail out below.
+                handles.into_iter().map(|h| h.join()).collect()
+            });
 
         let mut worker_stats = Vec::with_capacity(self.workers);
+        let mut results = Vec::with_capacity(self.workers);
+        for (w, joined) in joined.into_iter().enumerate() {
+            match joined {
+                Ok(res) => results.push(res),
+                Err(_) => return Err(Error::WorkerPanicked { worker: w }),
+            }
+        }
         for res in results {
             let (outs, stats) = res?;
             for (idx, out) in outs {
@@ -658,7 +830,301 @@ impl ThroughputEngine {
             totals,
             simd,
             lanes_per_batch: width.lanes(),
+            resilience: None,
         })
+    }
+
+    /// The fault-tolerant path: execute → detect → quarantine →
+    /// recover, committing only verified results.
+    fn run_resilient(
+        &self,
+        jobs: &[Job],
+        policy: ResiliencePolicy,
+    ) -> Result<ThroughputReport, Error> {
+        let started = Instant::now();
+        let rungs = ladder_rungs(self.width);
+        let rung0 = self
+            .ladder
+            .rung
+            .load(Ordering::Relaxed)
+            .min(rungs.len() - 1);
+        let width = rungs[rung0];
+        let simd = simd_level();
+        self.sink.record(TraceEvent::DispatchSelected {
+            words: width.words() as u32,
+            level: simd,
+        });
+
+        let counters = ThroughputCounters::new();
+        let plan = plan_batches(jobs, width.lanes());
+        let queue = WorkQueue::new(plan.len(), self.workers);
+        let mut outputs: Vec<Option<JobOutput>> = vec![None; jobs.len()];
+        let mut report = ResilienceReport::default();
+
+        let joined: Vec<std::thread::Result<ResilientYield>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.workers)
+                .map(|w| {
+                    let (counters, plan, queue) = (&counters, &plan, &queue);
+                    let (index, sink) = (&self.index, &self.sink);
+                    let capacity = self.cache_capacity;
+                    let chaos = self.chaos.as_ref();
+                    scope.spawn(move || {
+                        resilient_worker(
+                            w, jobs, plan, queue, index, capacity, counters, sink, width, policy,
+                            chaos,
+                        )
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join()).collect()
+        });
+
+        let mut worker_stats = Vec::with_capacity(self.workers);
+        for (w, joined) in joined.into_iter().enumerate() {
+            let yielded = match joined {
+                Ok(y) => y,
+                // A panic that escaped containment (can only come from
+                // the worker harness itself, not a batch): treat like a
+                // quarantined worker with everything voided.
+                Err(_) => ResilientYield::condemned(w, PlaneFault::WorkerPanic.label()),
+            };
+            report.faults_injected += yielded.faults_injected;
+            report.scrub_mismatches += yielded.scrub_mismatches;
+            if let Some(label) = yielded.condemned {
+                self.sink.record(TraceEvent::WorkerQuarantined {
+                    worker: w as u32,
+                    label,
+                });
+                report.quarantined.push((w, label));
+            } else {
+                // Commit: fold the worker's buffered outputs and its
+                // stats into the run's ground truth. (The enabled()
+                // guard matters: `hits.count()` walks every output
+                // bit, a price only a listening sink should charge.)
+                if self.sink.enabled() {
+                    for (idx, out) in &yielded.outs {
+                        self.sink.record(TraceEvent::JobCompleted {
+                            job: out.id,
+                            worker: w as u32,
+                            chars: jobs[*idx].text.len() as u64,
+                            matches: out.hits.count() as u64,
+                        });
+                    }
+                }
+                counters.jobs.add(yielded.stats.jobs);
+                counters.chars.add(yielded.stats.chars);
+                counters.batches.add(yielded.stats.batches);
+                counters.lane_slots_used.add(yielded.stats.lanes_used);
+                counters.lane_slots_total.add(yielded.stats.lane_slots);
+                for (idx, out) in yielded.outs {
+                    outputs[idx] = Some(out);
+                }
+            }
+            worker_stats.push(yielded.stats);
+        }
+        worker_stats.sort_by_key(|s| s.worker);
+
+        // Everything not committed — batches of quarantined workers,
+        // batches left unclaimed because every worker was condemned —
+        // goes down the recovery ladder.
+        let unresolved: Vec<usize> = (0..jobs.len()).filter(|&i| outputs[i].is_none()).collect();
+        report.recovered_jobs = unresolved.len() as u64;
+        let deepest = self.recover(
+            jobs,
+            &unresolved,
+            &mut outputs,
+            rungs,
+            rung0,
+            policy,
+            &counters,
+            &mut report,
+        );
+
+        // Ladder bookkeeping: a demoted run parks the engine on the
+        // deepest rung recovery needed; a clean run counts toward
+        // re-promotion.
+        if deepest > rung0 {
+            self.ladder
+                .rung
+                .store(deepest.min(rungs.len() - 1), Ordering::Relaxed);
+            self.ladder.clean.store(0, Ordering::Relaxed);
+        } else if unresolved.is_empty() && rung0 > 0 {
+            let clean = self
+                .ladder
+                .clean
+                .fetch_add(plan.len() as u64, Ordering::Relaxed)
+                + plan.len() as u64;
+            if clean >= policy.repromote_after {
+                let up = rung0 - 1;
+                self.ladder.rung.store(up, Ordering::Relaxed);
+                self.ladder.clean.store(0, Ordering::Relaxed);
+                self.sink.record(TraceEvent::LadderMoved {
+                    words: rungs[up].words() as u32,
+                    down: false,
+                });
+                report.promotions += 1;
+            }
+        }
+        report.ladder_words = rungs[self
+            .ladder
+            .rung
+            .load(Ordering::Relaxed)
+            .min(rungs.len() - 1)]
+        .words();
+
+        let outputs = outputs
+            .into_iter()
+            .map(|o| o.expect("recovery resolves every job"))
+            .collect();
+        let totals = counters.snapshot(started.elapsed());
+        self.lifetime_chars.add(totals.chars);
+        self.rate.sample(self.lifetime_chars.get());
+        Ok(ThroughputReport {
+            outputs,
+            workers: worker_stats,
+            totals,
+            simd,
+            lanes_per_batch: width.lanes(),
+            resilience: Some(report),
+        })
+    }
+
+    /// Re-executes unresolved jobs down the ladder: group by pattern at
+    /// the rung's width, retry with backoff, verify *every* lane
+    /// against the scalar spec, descend on failure, land on the
+    /// software fallback when hardware rungs are exhausted. Returns the
+    /// deepest hardware rung index recovery used (`rung0` when nothing
+    /// needed recovery; `rungs.len()` when the fallback was needed).
+    #[allow(clippy::too_many_arguments)]
+    fn recover(
+        &self,
+        jobs: &[Job],
+        unresolved: &[usize],
+        outputs: &mut [Option<JobOutput>],
+        rungs: &'static [SuperWidth],
+        rung0: usize,
+        policy: ResiliencePolicy,
+        counters: &ThroughputCounters,
+        report: &mut ResilienceReport,
+    ) -> usize {
+        if unresolved.is_empty() {
+            return rung0;
+        }
+        let mut deepest = rung0;
+        let mut cache = PatternCache::new(self.cache_capacity.max(unresolved.len()));
+        // Group unresolved jobs by pattern so recovery batches ride the
+        // uniform path, then chunk at the *narrowest* rung width so one
+        // chunk fits every rung it may descend through.
+        let narrow = rungs[rungs.len() - 1].lanes();
+        let mut order: Vec<&Pattern> = Vec::new();
+        let mut groups: HashMap<&Pattern, Vec<usize>> = HashMap::new();
+        for &i in unresolved {
+            groups.entry(&jobs[i].pattern).or_insert_with(|| {
+                order.push(&jobs[i].pattern);
+                Vec::new()
+            });
+            groups
+                .get_mut(&jobs[i].pattern)
+                .expect("just inserted")
+                .push(i);
+        }
+        let mut chunk_no = 0usize;
+        for pattern in order {
+            let (compiled, _) = cache.get_or_compile(pattern);
+            for chunk in groups[pattern].chunks(narrow) {
+                let texts: Vec<&[Symbol]> =
+                    chunk.iter().map(|&i| jobs[i].text.as_slice()).collect();
+                let truth: Vec<Vec<bool>> = chunk
+                    .iter()
+                    .map(|&i| match_spec(&jobs[i].text, pattern))
+                    .collect();
+                let mut committed = false;
+                for (ri, &rung) in rungs.iter().enumerate().skip(rung0) {
+                    let attempts = policy.retry.max_retries.max(1);
+                    for attempt in 1..=attempts {
+                        if attempt > 1 {
+                            let beats = policy.retry.backoff_beats(attempt - 1);
+                            self.sink.record(TraceEvent::HostRetry {
+                                attempt,
+                                backoff_beats: beats,
+                            });
+                            let nap = policy
+                                .beat
+                                .saturating_mul(beats.min(u64::from(u32::MAX)) as u32);
+                            std::thread::sleep(nap);
+                        }
+                        self.sink.record(TraceEvent::BatchRetried {
+                            batch: chunk_no as u64,
+                            attempt,
+                            words: rung.words() as u32,
+                        });
+                        report.retried_batches += 1;
+                        let Ok(hits) = uniform_hits(rung, &compiled, &texts) else {
+                            continue;
+                        };
+                        let mut lanes: Vec<Vec<bool>> =
+                            hits.iter().map(|h| h.bits().to_vec()).collect();
+                        // An armed plan can fail the rung itself,
+                        // modelling damage wider than one worker.
+                        if let Some(plan) = self.chaos.as_ref() {
+                            if plan.rung_fails(chunk_no, ri) {
+                                corrupt_bits(
+                                    PlaneFault::LaneUpset,
+                                    plan.seed() ^ mix((chunk_no as u64) << 8 | ri as u64),
+                                    &mut lanes,
+                                    true,
+                                );
+                            }
+                        }
+                        if lanes == truth {
+                            commit_recovered(
+                                chunk, lanes, jobs, outputs, counters, &self.sink, rung,
+                            );
+                            committed = true;
+                            deepest = deepest.max(ri);
+                            break;
+                        }
+                    }
+                    if committed {
+                        break;
+                    }
+                    // This rung failed every attempt: step down.
+                    let next_words = rungs.get(ri + 1).map_or(0, |r| r.words());
+                    self.sink.record(TraceEvent::LadderMoved {
+                        words: next_words as u32,
+                        down: true,
+                    });
+                    report.demotions += 1;
+                }
+                if !committed {
+                    // Software rung: exact by construction.
+                    deepest = rungs.len();
+                    self.sink.record(TraceEvent::FallbackEngaged);
+                    report.fallback_jobs += chunk.len() as u64;
+                    let matcher = software_fallback(pattern);
+                    let lanes: Vec<Vec<bool>> = chunk
+                        .iter()
+                        .zip(&truth)
+                        .map(|(&i, t)| {
+                            matcher
+                                .find(&jobs[i].text, pattern)
+                                .unwrap_or_else(|_| t.clone())
+                        })
+                        .collect();
+                    commit_recovered(
+                        chunk,
+                        lanes,
+                        jobs,
+                        outputs,
+                        counters,
+                        &self.sink,
+                        rungs[rungs.len() - 1],
+                    );
+                }
+                chunk_no += 1;
+            }
+        }
+        deepest
     }
 }
 
@@ -668,34 +1134,131 @@ type WorkerYield = (Vec<(usize, JobOutput)>, WorkerStats);
 
 /// Two-tier pattern lookup: private cache, then shared index (copying
 /// the hit down into the cache), then compile-and-publish. Only the
-/// last is a miss.
+/// last is a miss. The returned flag reports whether the lookup was a
+/// hit — the chaos harness's [`PlaneFault::CachePoison`] keys on it.
 fn lookup_pattern(
     pattern: &Pattern,
     local: &mut PatternCache,
     index: &PatternIndex,
     counters: &ThroughputCounters,
     sink: &SinkHandle,
-) -> Arc<CompiledPattern> {
+) -> (Arc<CompiledPattern>, bool) {
     if let Some(compiled) = local.get(pattern) {
         counters.cache_hits.add(1);
         sink.record(TraceEvent::CacheLookup { hit: true });
-        return compiled;
+        return (compiled, true);
     }
     if let Some(compiled) = index.get(pattern) {
         local.insert(pattern, Arc::clone(&compiled));
         counters.cache_hits.add(1);
         sink.record(TraceEvent::CacheLookup { hit: true });
-        return compiled;
+        return (compiled, true);
     }
     let compiled = Arc::new(CompiledPattern::compile(pattern));
     index.publish(pattern, Arc::clone(&compiled));
     local.insert(pattern, Arc::clone(&compiled));
     counters.cache_misses.add(1);
     sink.record(TraceEvent::CacheLookup { hit: false });
-    compiled
+    (compiled, false)
 }
 
-/// One worker: pull batches from the stealing queue until none remain.
+/// Runs one planned batch's kernel at `width`, returning the per-lane
+/// results plus whether any pattern lookup hit the cache.
+#[allow(clippy::too_many_arguments)]
+fn execute_members(
+    desc: &BatchDesc,
+    jobs: &[Job],
+    local: &mut PatternCache,
+    index: &PatternIndex,
+    counters: &ThroughputCounters,
+    sink: &SinkHandle,
+    width: SuperWidth,
+) -> Result<(Vec<MatchBits>, bool), Error> {
+    match desc {
+        BatchDesc::Uniform { members } => {
+            let (compiled, hit) =
+                lookup_pattern(&jobs[members[0]].pattern, local, index, counters, sink);
+            let texts: Vec<&[Symbol]> = members.iter().map(|&i| jobs[i].text.as_slice()).collect();
+            Ok((uniform_hits(width, &compiled, &texts)?, hit))
+        }
+        BatchDesc::Mixed { members } => {
+            let mut any_hit = false;
+            let compiled: Vec<Arc<CompiledPattern>> = members
+                .iter()
+                .map(|&i| {
+                    let (c, hit) = lookup_pattern(&jobs[i].pattern, local, index, counters, sink);
+                    any_hit |= hit;
+                    c
+                })
+                .collect();
+            let lanes: Vec<(&CompiledPattern, &[Symbol])> = members
+                .iter()
+                .zip(&compiled)
+                .map(|(&i, c)| (c.as_ref(), jobs[i].text.as_slice()))
+                .collect();
+            let hits = match width {
+                SuperWidth::W1 => match_lanes(&lanes)?,
+                SuperWidth::W4 => match_lanes_wide::<4>(&lanes)?,
+                SuperWidth::W8 => match_lanes_wide::<8>(&lanes)?,
+            };
+            Ok((hits, any_hit))
+        }
+    }
+}
+
+/// The uniform kernel at a given width.
+fn uniform_hits(
+    width: SuperWidth,
+    compiled: &CompiledPattern,
+    texts: &[&[Symbol]],
+) -> Result<Vec<MatchBits>, Error> {
+    match width {
+        SuperWidth::W1 => match_uniform(compiled, texts),
+        SuperWidth::W4 => match_uniform_wide::<4>(compiled, texts),
+        SuperWidth::W8 => match_uniform_wide::<8>(compiled, texts),
+    }
+}
+
+/// Applies an active sticky fault to one executed batch: stalls sleep,
+/// panics panic, data faults corrupt the result lanes in place.
+/// Returns whether anything observable fired.
+fn apply_sticky(
+    fault: StickyFault,
+    batch_no: u64,
+    stall_millis: u64,
+    members: &[usize],
+    jobs: &[Job],
+    hits: &mut [MatchBits],
+    cache_hit: bool,
+) -> bool {
+    match fault.kind {
+        PlaneFault::WorkerStall => {
+            std::thread::sleep(Duration::from_millis(stall_millis));
+            true
+        }
+        PlaneFault::WorkerPanic => panic!("injected fault: worker panic"),
+        _ => {
+            let mut lanes: Vec<Vec<bool>> = hits.iter().map(|h| h.bits().to_vec()).collect();
+            let changed = corrupt_bits(
+                fault.kind,
+                fault.salt ^ mix(batch_no),
+                &mut lanes,
+                cache_hit,
+            );
+            if changed {
+                for ((hit, bits), &i) in hits.iter_mut().zip(lanes).zip(members) {
+                    *hit = MatchBits::new(bits, jobs[i].pattern.k());
+                }
+            }
+            changed
+        }
+    }
+}
+
+/// One fast-path worker: pull batches from the stealing queue until
+/// none remain. An armed chaos plan injects faults that nothing on
+/// this path contains — corruption flows into the outputs and a panic
+/// unwinds to the join in [`ThroughputEngine::run`].
 #[allow(clippy::too_many_arguments)]
 fn worker_run(
     worker: usize,
@@ -707,11 +1270,15 @@ fn worker_run(
     counters: &ThroughputCounters,
     sink: &SinkHandle,
     width: SuperWidth,
+    chaos: Option<&FaultPlan>,
 ) -> Result<WorkerYield, Error> {
     let started = Instant::now();
     let mut local = PatternCache::new(cache_capacity);
     let mut stats = WorkerStats::idle(worker);
     let mut outs: Vec<(usize, JobOutput)> = Vec::new();
+    let sticky = chaos.and_then(|p| p.worker_fault(worker));
+    let stall_millis = chaos.map_or(0, |p| p.stall_millis());
+    let mut batch_no = 0u64;
 
     while let Some(b) = queue.next(worker) {
         let members = match &plan[b] {
@@ -725,59 +1292,36 @@ fn worker_run(
                 });
             }
         }
-        match &plan[b] {
-            BatchDesc::Uniform { members } => {
-                let compiled =
-                    lookup_pattern(&jobs[members[0]].pattern, &mut local, index, counters, sink);
-                let texts: Vec<&[Symbol]> =
-                    members.iter().map(|&i| jobs[i].text.as_slice()).collect();
-                let timer = sink.enabled().then(Instant::now);
-                let hits = match width {
-                    SuperWidth::W1 => match_uniform(&compiled, &texts)?,
-                    SuperWidth::W4 => match_uniform_wide::<4>(&compiled, &texts)?,
-                    SuperWidth::W8 => match_uniform_wide::<8>(&compiled, &texts)?,
-                };
-                record_batch(
-                    members,
-                    hits,
-                    jobs,
-                    &mut outs,
-                    &mut stats,
-                    counters,
-                    sink,
-                    elapsed_micros(timer),
-                    width,
-                )
-            }
-            BatchDesc::Mixed { members } => {
-                let compiled: Vec<Arc<CompiledPattern>> = members
-                    .iter()
-                    .map(|&i| lookup_pattern(&jobs[i].pattern, &mut local, index, counters, sink))
-                    .collect();
-                let lanes: Vec<(&CompiledPattern, &[Symbol])> = members
-                    .iter()
-                    .zip(&compiled)
-                    .map(|(&i, c)| (c.as_ref(), jobs[i].text.as_slice()))
-                    .collect();
-                let timer = sink.enabled().then(Instant::now);
-                let hits = match width {
-                    SuperWidth::W1 => match_lanes(&lanes)?,
-                    SuperWidth::W4 => match_lanes_wide::<4>(&lanes)?,
-                    SuperWidth::W8 => match_lanes_wide::<8>(&lanes)?,
-                };
-                record_batch(
-                    members,
-                    hits,
-                    jobs,
-                    &mut outs,
-                    &mut stats,
-                    counters,
-                    sink,
-                    elapsed_micros(timer),
-                    width,
-                )
-            }
+        let timer = sink.enabled().then(Instant::now);
+        let (mut hits, cache_hit) =
+            execute_members(&plan[b], jobs, &mut local, index, counters, sink, width)?;
+        if let Some(f) = sticky.filter(|f| batch_no >= f.onset) {
+            sink.record(TraceEvent::FaultInjected {
+                worker: worker as u32,
+                label: f.kind.label(),
+            });
+            apply_sticky(
+                f,
+                batch_no,
+                stall_millis,
+                members,
+                jobs,
+                &mut hits,
+                cache_hit,
+            );
         }
+        batch_no += 1;
+        record_batch(
+            members,
+            hits,
+            jobs,
+            &mut outs,
+            &mut stats,
+            counters,
+            sink,
+            elapsed_micros(timer),
+            width,
+        );
     }
 
     stats.elapsed = started.elapsed();
@@ -848,6 +1392,303 @@ fn record_batch(
     counters.batches.add(1);
     counters.lane_slots_used.add(members.len() as u64);
     counters.lane_slots_total.add(slots);
+}
+
+/// What one resilient worker hands back. Unlike the fast path's
+/// [`WorkerYield`], outputs here are *pending* — the coordinator
+/// commits them only for workers that returned un-condemned.
+struct ResilientYield {
+    stats: WorkerStats,
+    outs: Vec<(usize, JobOutput)>,
+    condemned: Option<&'static str>,
+    faults_injected: u64,
+    scrub_mismatches: u64,
+}
+
+impl ResilientYield {
+    /// A fully voided yield: no outputs, zeroed stats.
+    fn condemned(worker: usize, label: &'static str) -> Self {
+        ResilientYield {
+            stats: WorkerStats::idle(worker),
+            outs: Vec::new(),
+            condemned: Some(label),
+            faults_injected: 0,
+            scrub_mismatches: 0,
+        }
+    }
+}
+
+/// Books one executed batch into the worker's *pending* state: local
+/// stats and buffered outputs plus the `BatchExecuted` trace (the
+/// execution really happened) — but no shared counters and no
+/// `JobCompleted`, which belong to the commit.
+#[allow(clippy::too_many_arguments)]
+fn book_pending(
+    members: &[usize],
+    hits: Vec<MatchBits>,
+    jobs: &[Job],
+    outs: &mut Vec<(usize, JobOutput)>,
+    stats: &mut WorkerStats,
+    sink: &SinkHandle,
+    micros: u64,
+    width: SuperWidth,
+) {
+    debug_assert_eq!(members.len(), hits.len());
+    let slots = width.lanes() as u64;
+    let mut batch_chars = 0u64;
+    let mut steps = 0u64;
+    for (&i, hit) in members.iter().zip(hits) {
+        let job = &jobs[i];
+        batch_chars += job.text.len() as u64;
+        steps = steps.max(job.text.len() as u64);
+        outs.push((
+            i,
+            JobOutput {
+                id: job.id,
+                hits: hit,
+            },
+        ));
+    }
+    sink.record(TraceEvent::BatchExecuted {
+        worker: stats.worker as u32,
+        lanes: members.len() as u32,
+        slots: slots as u32,
+        steps,
+        micros,
+    });
+    stats.jobs += members.len() as u64;
+    stats.chars += batch_chars;
+    stats.batches += 1;
+    stats.lanes_used += members.len() as u64;
+    stats.lane_slots += slots;
+}
+
+/// Commits one recovery chunk: spec-verified (or software-exact) lanes
+/// become outputs, booked into the shared counters under the
+/// coordinator's pseudo-worker id `u32::MAX`.
+fn commit_recovered(
+    chunk: &[usize],
+    lanes: Vec<Vec<bool>>,
+    jobs: &[Job],
+    outputs: &mut [Option<JobOutput>],
+    counters: &ThroughputCounters,
+    sink: &SinkHandle,
+    width: SuperWidth,
+) {
+    let mut chars = 0u64;
+    for (&i, bits) in chunk.iter().zip(lanes) {
+        let job = &jobs[i];
+        chars += job.text.len() as u64;
+        let hits = MatchBits::new(bits, job.pattern.k());
+        if sink.enabled() {
+            sink.record(TraceEvent::JobCompleted {
+                job: job.id,
+                worker: u32::MAX,
+                chars: job.text.len() as u64,
+                matches: hits.count() as u64,
+            });
+        }
+        outputs[i] = Some(JobOutput { id: job.id, hits });
+    }
+    counters.jobs.add(chunk.len() as u64);
+    counters.chars.add(chars);
+    counters.batches.add(1);
+    counters.lane_slots_used.add(chunk.len() as u64);
+    counters.lane_slots_total.add(width.lanes() as u64);
+}
+
+/// One resilient worker: like [`worker_run`] but every batch executes
+/// under `catch_unwind` and a wall-clock watchdog, a sampled lane is
+/// periodically re-run through the scalar spec, results are buffered
+/// rather than committed, and the worker must pass the exit
+/// known-answer test before the coordinator will commit its buffer.
+/// Any detected fault condemns the worker: its buffer is voided and
+/// the coordinator recovers its jobs down the ladder.
+#[allow(clippy::too_many_arguments)]
+fn resilient_worker(
+    worker: usize,
+    jobs: &[Job],
+    plan: &[BatchDesc],
+    queue: &WorkQueue,
+    index: &PatternIndex,
+    cache_capacity: usize,
+    counters: &ThroughputCounters,
+    sink: &SinkHandle,
+    width: SuperWidth,
+    policy: ResiliencePolicy,
+    chaos: Option<&FaultPlan>,
+) -> ResilientYield {
+    let started = Instant::now();
+    let mut local = PatternCache::new(cache_capacity);
+    let mut stats = WorkerStats::idle(worker);
+    let mut pending: Vec<(usize, JobOutput)> = Vec::new();
+    let sticky = chaos.and_then(|p| p.worker_fault(worker));
+    let stall_millis = chaos.map_or(0, |p| p.stall_millis());
+    let mut scrub_rng = XorShift64::new(mix(worker as u64 + 1) ^ 0x5C4B_0000);
+    let mut batch_no = 0u64;
+    let mut faults_injected = 0u64;
+    let mut scrub_mismatches = 0u64;
+    let mut condemned: Option<&'static str> = None;
+
+    while let Some(b) = queue.next(worker) {
+        let members = match &plan[b] {
+            BatchDesc::Uniform { members } | BatchDesc::Mixed { members } => members,
+        };
+        if sink.enabled() {
+            for &i in members {
+                sink.record(TraceEvent::JobStarted {
+                    job: jobs[i].id,
+                    worker: worker as u32,
+                });
+            }
+        }
+        let timer = Instant::now();
+        let active = sticky.filter(|f| batch_no >= f.onset);
+        let executed = catch_unwind(AssertUnwindSafe(|| -> Result<Vec<MatchBits>, Error> {
+            let (mut hits, cache_hit) =
+                execute_members(&plan[b], jobs, &mut local, index, counters, sink, width)?;
+            if let Some(f) = active {
+                sink.record(TraceEvent::FaultInjected {
+                    worker: worker as u32,
+                    label: f.kind.label(),
+                });
+                faults_injected += 1;
+                apply_sticky(
+                    f,
+                    batch_no,
+                    stall_millis,
+                    members,
+                    jobs,
+                    &mut hits,
+                    cache_hit,
+                );
+            }
+            Ok(hits)
+        }));
+        batch_no += 1;
+        let hits = match executed {
+            Err(_) => {
+                condemned = Some(PlaneFault::WorkerPanic.label());
+                break;
+            }
+            Ok(Err(_)) => {
+                condemned = Some("engine_error");
+                break;
+            }
+            Ok(Ok(hits)) => hits,
+        };
+        if timer.elapsed() > policy.watchdog {
+            condemned = Some(PlaneFault::WorkerStall.label());
+            break;
+        }
+        if policy.scrub_period_batches > 0 && batch_no.is_multiple_of(policy.scrub_period_batches) {
+            let pos = scrub_rng.bounded(members.len() as u64 - 1) as usize;
+            let i = members[pos];
+            if hits[pos].bits() != match_spec(&jobs[i].text, &jobs[i].pattern).as_slice() {
+                sink.record(TraceEvent::ScrubMismatch {
+                    worker: worker as u32,
+                    batch: b as u64,
+                });
+                scrub_mismatches += 1;
+                condemned = Some("scrub_mismatch");
+                break;
+            }
+        }
+        book_pending(
+            members,
+            hits,
+            jobs,
+            &mut pending,
+            &mut stats,
+            sink,
+            elapsed_micros(Some(timer)),
+            width,
+        );
+    }
+
+    // Exit known-answer test: the commit gate. Faults are sticky, so a
+    // datapath fault that was active during any pending batch is still
+    // active here and must reveal itself on the known answers.
+    if condemned.is_none()
+        && batch_no > 0
+        && !known_answer_test(worker, width, &mut local, sticky, batch_no)
+    {
+        condemned = Some("kat_mismatch");
+    }
+    if condemned.is_some() {
+        pending.clear();
+        stats = WorkerStats::idle(worker);
+    }
+    stats.elapsed = started.elapsed();
+    ResilientYield {
+        stats,
+        outs: pending,
+        condemned,
+        faults_injected,
+        scrub_mismatches,
+    }
+}
+
+/// Runs a deterministic known-answer workload through the worker's own
+/// datapath — its local pattern cache, the run-width kernel and any
+/// sticky data fault — and checks every lane against the scalar spec.
+/// The pattern is executed twice so the second round is a guaranteed
+/// cache hit, which is what flushes out [`PlaneFault::CachePoison`].
+/// Liveness faults (stall, panic) are not replayed: they cannot
+/// corrupt data and are caught by the watchdog and `catch_unwind`
+/// during real batches.
+fn known_answer_test(
+    worker: usize,
+    width: SuperWidth,
+    local: &mut PatternCache,
+    sticky: Option<StickyFault>,
+    batches_started: u64,
+) -> bool {
+    let Ok(pattern) = Pattern::parse("ABAB") else {
+        return false;
+    };
+    let mut rng = XorShift64::new(mix(worker as u64 + 1) ^ 0x04A7_0000);
+    let texts: Vec<Vec<Symbol>> = (0..width.lanes())
+        .map(|_| {
+            let len = 40usize;
+            let mut s: String = (0..len)
+                .map(|_| if rng.next_u64() & 1 == 1 { 'A' } else { 'B' })
+                .collect();
+            // Plant one guaranteed match so a stuck-at-false lane is
+            // always distinguishable from an honest all-miss lane.
+            let at = rng.bounded(len as u64 - 4) as usize;
+            s.replace_range(at..at + 4, "ABAB");
+            text_from_letters(&s).expect("A/B are alphabet letters")
+        })
+        .collect();
+    let refs: Vec<&[Symbol]> = texts.iter().map(|t| t.as_slice()).collect();
+    for round in 0..2u64 {
+        let (compiled, cache_hit) = local.get_or_compile(&pattern);
+        let Ok(mut hits) = uniform_hits(width, &compiled, &refs) else {
+            return false;
+        };
+        if let Some(f) =
+            sticky.filter(|f| f.kind.corrupts_data() && f.onset <= batches_started + round)
+        {
+            let mut lanes: Vec<Vec<bool>> = hits.iter().map(|h| h.bits().to_vec()).collect();
+            if corrupt_bits(
+                f.kind,
+                f.salt ^ mix(batches_started + round),
+                &mut lanes,
+                cache_hit,
+            ) {
+                for (hit, bits) in hits.iter_mut().zip(lanes) {
+                    *hit = MatchBits::new(bits, pattern.k());
+                }
+            }
+        }
+        for (hit, text) in hits.iter().zip(&texts) {
+            if hit.bits() != match_spec(text, &pattern).as_slice() {
+                return false;
+            }
+        }
+    }
+    true
 }
 
 #[cfg(test)]
@@ -1059,5 +1900,263 @@ mod tests {
         assert!(report.outputs.is_empty());
         assert_eq!(report.totals.chars, 0);
         assert_eq!(report.workers.len(), 2);
+    }
+
+    use crate::faults::FaultPlan;
+
+    fn assert_spec_equal(report: &ThroughputReport, jobs: &[Job]) {
+        for (out, job) in report.outputs.iter().zip(jobs) {
+            assert_eq!(out.id, job.id);
+            assert_eq!(
+                out.hits.bits(),
+                match_spec(&job.text, &job.pattern),
+                "job {}",
+                job.id
+            );
+        }
+    }
+
+    #[test]
+    fn panicking_worker_yields_error_not_abort() {
+        // Satellite (f) regression: before the join fix, a worker panic
+        // unwound through `join().expect(...)` and aborted the caller.
+        // Now every thread is joined first and the panic surfaces as a
+        // typed error.
+        let jobs = jobs_fixture();
+        let mut engine = ThroughputEngine::new(3, 8);
+        engine.set_fault_plan(Some(
+            FaultPlan::new(7)
+                .with_worker_fault_permille(1000)
+                .with_forced_kind(PlaneFault::WorkerPanic)
+                .with_max_onset_batches(0),
+        ));
+        match engine.run(&jobs) {
+            Err(Error::WorkerPanicked { .. }) => {}
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+        // The engine survives the failed run and works once disarmed.
+        engine.set_fault_plan(None);
+        let report = engine.run(&jobs).unwrap();
+        assert_spec_equal(&report, &jobs);
+    }
+
+    #[test]
+    fn unprotected_chaos_corrupts_fast_path_outputs() {
+        // A data fault with nothing containing it flows straight into
+        // the outputs — the contrast that makes the resilient path's
+        // guarantee meaningful.
+        let jobs = jobs_fixture();
+        let mut engine = ThroughputEngine::new(1, 8);
+        engine.set_fault_plan(Some(
+            FaultPlan::new(3)
+                .with_worker_fault_permille(1000)
+                .with_forced_kind(PlaneFault::StuckComparator { level: true })
+                .with_max_onset_batches(0),
+        ));
+        let report = engine.run(&jobs).unwrap();
+        let corrupted = report
+            .outputs
+            .iter()
+            .zip(&jobs)
+            .any(|(out, job)| out.hits.bits() != match_spec(&job.text, &job.pattern));
+        assert!(corrupted, "forced stuck comparator must corrupt something");
+    }
+
+    #[test]
+    fn resilient_run_is_spec_identical_under_every_fault_kind() {
+        let jobs = jobs_fixture();
+        let kinds = [
+            PlaneFault::LaneUpset,
+            PlaneFault::StuckComparator { level: true },
+            PlaneFault::StuckComparator { level: false },
+            PlaneFault::CachePoison,
+            PlaneFault::WorkerPanic,
+        ];
+        for kind in kinds {
+            let mut engine = ThroughputEngine::new(2, 8);
+            engine.set_resilience(Some(ResiliencePolicy::default()));
+            engine.set_fault_plan(Some(
+                FaultPlan::new(11)
+                    .with_worker_fault_permille(1000)
+                    .with_forced_kind(kind)
+                    .with_max_onset_batches(1)
+                    .with_rung_fail_permille(0),
+            ));
+            let report = engine.run(&jobs).unwrap();
+            assert_spec_equal(&report, &jobs);
+            let res = report.resilience.expect("resilient run reports");
+            assert!(
+                !res.quarantined.is_empty(),
+                "{kind:?}: every worker is defective, someone must be condemned"
+            );
+            assert!(res.recovered_jobs > 0, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn resilient_run_without_faults_commits_everything_directly() {
+        let jobs = jobs_fixture();
+        let mut engine = ThroughputEngine::new(2, 8);
+        engine.set_resilience(Some(ResiliencePolicy::default()));
+        let report = engine.run(&jobs).unwrap();
+        assert_spec_equal(&report, &jobs);
+        let res = report.resilience.expect("resilient run reports");
+        assert_eq!(res.quarantined, vec![]);
+        assert_eq!(res.recovered_jobs, 0);
+        assert_eq!(res.faults_injected, 0);
+        assert_eq!(res.fallback_jobs, 0);
+        // Counters still account for every character.
+        let total_chars: u64 = jobs.iter().map(|j| j.text.len() as u64).sum();
+        assert_eq!(report.totals.chars, total_chars);
+        assert_eq!(report.totals.jobs, jobs.len() as u64);
+    }
+
+    #[test]
+    fn failing_rungs_force_the_software_fallback_and_demote_the_ladder() {
+        // Every worker defective AND every hardware recovery rung
+        // failing: the only exit is the software rung, end to end.
+        let jobs = jobs_fixture();
+        let mut engine = ThroughputEngine::new(2, 8);
+        engine.set_resilience(Some(ResiliencePolicy::default()));
+        engine.set_fault_plan(Some(
+            FaultPlan::new(5)
+                .with_worker_fault_permille(1000)
+                .with_forced_kind(PlaneFault::StuckComparator { level: true })
+                .with_max_onset_batches(0)
+                .with_rung_fail_permille(1000),
+        ));
+        assert_eq!(engine.ladder_width(), SuperWidth::W8);
+        let report = engine.run(&jobs).unwrap();
+        assert_spec_equal(&report, &jobs);
+        let res = report.resilience.expect("resilient run reports");
+        assert!(res.fallback_jobs > 0, "all rungs fail → software");
+        assert!(res.demotions > 0);
+        assert!(res.retried_batches > 0);
+        // The engine parks on the narrowest hardware rung for next run.
+        assert_eq!(res.ladder_words, SuperWidth::W1.words());
+        assert_eq!(engine.ladder_width(), SuperWidth::W1);
+    }
+
+    #[test]
+    fn clean_runs_repromote_the_ladder() {
+        let jobs = jobs_fixture();
+        let mut engine = ThroughputEngine::new(2, 8);
+        let policy = ResiliencePolicy {
+            repromote_after: 1,
+            ..ResiliencePolicy::default()
+        };
+        engine.set_resilience(Some(policy));
+        // Demote first.
+        engine.set_fault_plan(Some(
+            FaultPlan::new(5)
+                .with_worker_fault_permille(1000)
+                .with_forced_kind(PlaneFault::StuckComparator { level: true })
+                .with_max_onset_batches(0)
+                .with_rung_fail_permille(1000),
+        ));
+        engine.run(&jobs).unwrap();
+        assert_eq!(engine.ladder_width(), SuperWidth::W1);
+        // Then run clean: with repromote_after = 1 each clean run
+        // climbs one rung until back at the configured width.
+        engine.set_fault_plan(None);
+        let r1 = engine.run(&jobs).unwrap();
+        assert_eq!(r1.resilience.as_ref().unwrap().promotions, 1);
+        assert_eq!(engine.ladder_width(), SuperWidth::W4);
+        let r2 = engine.run(&jobs).unwrap();
+        assert_spec_equal(&r2, &jobs);
+        assert_eq!(engine.ladder_width(), SuperWidth::W8);
+    }
+
+    #[test]
+    fn stalled_worker_trips_the_watchdog() {
+        let jobs = jobs_fixture();
+        let mut engine = ThroughputEngine::new(2, 8);
+        engine.set_resilience(Some(ResiliencePolicy {
+            watchdog: Duration::from_millis(10),
+            ..ResiliencePolicy::default()
+        }));
+        engine.set_fault_plan(Some(
+            FaultPlan::new(2)
+                .with_worker_fault_permille(1000)
+                .with_forced_kind(PlaneFault::WorkerStall)
+                .with_stall_millis(40)
+                .with_max_onset_batches(0),
+        ));
+        let report = engine.run(&jobs).unwrap();
+        assert_spec_equal(&report, &jobs);
+        let res = report.resilience.expect("resilient run reports");
+        assert!(res
+            .quarantined
+            .iter()
+            .any(|(_, label)| *label == "worker_stall"));
+    }
+
+    #[test]
+    fn resilient_telemetry_reaches_the_registry() {
+        use crate::telemetry::MetricsRegistry;
+        let jobs = jobs_fixture();
+        let metrics = Arc::new(MetricsRegistry::new());
+        let mut engine = ThroughputEngine::with_sink(2, 8, SinkHandle::new(metrics.clone()));
+        engine.set_resilience(Some(ResiliencePolicy::default()));
+        engine.set_fault_plan(Some(
+            FaultPlan::new(11)
+                .with_worker_fault_permille(1000)
+                .with_forced_kind(PlaneFault::StuckComparator { level: true })
+                .with_max_onset_batches(0)
+                .with_rung_fail_permille(0),
+        ));
+        let report = engine.run(&jobs).unwrap();
+        assert_spec_equal(&report, &jobs);
+        let res = report.resilience.expect("resilient run reports");
+        let snap = metrics.snapshot();
+        assert_eq!(snap.faults_injected, res.faults_injected);
+        assert_eq!(snap.quarantined_workers, res.quarantined.len() as u64);
+        assert_eq!(snap.batches_retried, res.retried_batches);
+        assert_eq!(snap.scrub_mismatches, res.scrub_mismatches);
+        // Committed ground truth flows through JobCompleted as before.
+        assert_eq!(snap.jobs_completed, jobs.len() as u64);
+        let truth_matches: u64 = report.outputs.iter().map(|o| o.hits.count() as u64).sum();
+        assert_eq!(snap.matches, truth_matches);
+    }
+
+    #[test]
+    fn known_answer_test_passes_clean_and_fails_corrupt() {
+        for width in [SuperWidth::W1, SuperWidth::W4, SuperWidth::W8] {
+            let mut cache = PatternCache::new(4);
+            assert!(
+                known_answer_test(0, width, &mut cache, None, 3),
+                "clean datapath must pass at {width}"
+            );
+            for kind in [
+                PlaneFault::LaneUpset,
+                PlaneFault::StuckComparator { level: true },
+                PlaneFault::StuckComparator { level: false },
+                PlaneFault::CachePoison,
+            ] {
+                let mut cache = PatternCache::new(4);
+                let sticky = StickyFault {
+                    kind,
+                    onset: 0,
+                    salt: 0x1234_5677, // odd, like the plan draws
+                };
+                assert!(
+                    !known_answer_test(1, width, &mut cache, Some(sticky), 3),
+                    "{kind:?} must fail the KAT at {width}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ladder_rungs_descend_from_every_width() {
+        assert_eq!(
+            ladder_rungs(SuperWidth::W8),
+            &[SuperWidth::W8, SuperWidth::W4, SuperWidth::W1]
+        );
+        assert_eq!(
+            ladder_rungs(SuperWidth::W4),
+            &[SuperWidth::W4, SuperWidth::W1]
+        );
+        assert_eq!(ladder_rungs(SuperWidth::W1), &[SuperWidth::W1]);
     }
 }

@@ -1,0 +1,62 @@
+//! Wall-clock watchdog test, `#[ignore]`d by default: it sleeps real
+//! milliseconds, so it runs only where timing is deliberate (the CI
+//! `chaos` job invokes it with `-- --ignored`).
+
+use pm_chip::faults::{FaultPlan, PlaneFault};
+use pm_chip::throughput::{Job, ResiliencePolicy, ThroughputEngine};
+use pm_systolic::prelude::*;
+use pm_systolic::symbol::text_from_letters;
+use std::time::{Duration, Instant};
+
+#[test]
+#[ignore = "sleeps real wall-clock milliseconds; run with -- --ignored"]
+fn stalled_workers_are_quarantined_within_the_watchdog_bound() {
+    let pattern = Pattern::parse("ABCA").unwrap();
+    let jobs: Vec<Job> = (0..96)
+        .map(|id| {
+            Job::new(
+                id,
+                pattern.clone(),
+                text_from_letters("ABCABCAABCACABCABBCA").unwrap(),
+            )
+        })
+        .collect();
+    let mut engine = ThroughputEngine::new(2, 8);
+    engine.set_width(pm_chip::throughput::SuperWidth::W1); // several batches
+    engine.set_resilience(Some(ResiliencePolicy {
+        watchdog: Duration::from_millis(30),
+        ..ResiliencePolicy::default()
+    }));
+    engine.set_fault_plan(Some(
+        FaultPlan::new(7)
+            .with_worker_fault_permille(1000)
+            .with_forced_kind(PlaneFault::WorkerStall)
+            .with_stall_millis(200)
+            .with_max_onset_batches(0),
+    ));
+    let started = Instant::now();
+    let report = engine.run(&jobs).unwrap();
+    let elapsed = started.elapsed();
+
+    // Every worker stalls 200 ms on its first batch and the watchdog
+    // condemns it right there, so the run's wall clock is bounded by
+    // one stall per worker plus recovery — far below what letting the
+    // stalls run to completion on every batch would cost.
+    assert!(
+        elapsed < Duration::from_secs(10),
+        "stalled run took {elapsed:?}; watchdog failed to bound it"
+    );
+    let res = report.resilience.expect("resilient run reports");
+    assert!(
+        !res.quarantined.is_empty(),
+        "a 200 ms stall against a 30 ms watchdog must condemn"
+    );
+    assert!(res
+        .quarantined
+        .iter()
+        .all(|(_, label)| *label == "worker_stall"));
+    // And the recovered output is still exactly the specification.
+    for (job, out) in jobs.iter().zip(&report.outputs) {
+        assert_eq!(out.hits.bits(), match_spec(&job.text, &job.pattern));
+    }
+}

@@ -55,6 +55,14 @@ pub enum Error {
     /// lane of a [`crate::batch::PlaneDriver`] must carry a pattern of
     /// the same length.
     RaggedLanePatterns,
+    /// A scheduler worker thread panicked mid-batch. Raised by
+    /// `pm-chip`'s throughput engine *after* every worker thread has
+    /// been joined (no thread is left detached), when no resilience
+    /// policy is installed to contain the panic and retry the batch.
+    WorkerPanicked {
+        /// Index of the worker whose thread panicked.
+        worker: usize,
+    },
 }
 
 impl fmt::Display for Error {
@@ -88,6 +96,10 @@ impl fmt::Display for Error {
                 f,
                 "plane-driver lanes must all carry patterns of one length"
             ),
+            Error::WorkerPanicked { worker } => write!(
+                f,
+                "scheduler worker {worker} panicked mid-batch (all workers were joined)"
+            ),
         }
     }
 }
@@ -119,6 +131,7 @@ mod tests {
                 capacity: 64,
             },
             Error::RaggedLanePatterns,
+            Error::WorkerPanicked { worker: 2 },
         ];
         for e in errors {
             let msg = e.to_string();

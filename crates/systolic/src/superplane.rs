@@ -804,6 +804,40 @@ impl<const W: usize> SuperplaneDriver<W> {
         Ok(self.collect(texts, |i| planes[i].0))
     }
 
+    /// As [`run`](Self::run), but flips the given result-plane bits
+    /// before results are collected — the chaos harness's model of a
+    /// §4 lane upset inside the `Superplane<W>` result registers. Each
+    /// entry is `(position, lane)`: the result bit for text position
+    /// `position` in `lane` is inverted. Out-of-range entries are
+    /// ignored; with an empty slice this is exactly [`run`](Self::run)
+    /// (the zero-cost-when-disabled discipline of the harness: callers
+    /// pass `&[]` unless a fault plan is armed).
+    ///
+    /// # Errors
+    ///
+    /// As [`run`](Self::run).
+    pub fn run_with_upsets(
+        &mut self,
+        texts: &[&[Symbol]],
+        upsets: &[(usize, usize)],
+    ) -> Result<Vec<MatchBits>, Error> {
+        if texts.len() != self.lanes {
+            return Err(Error::TooManyLanes {
+                lanes: texts.len(),
+                capacity: self.lanes,
+            });
+        }
+        let stream = self.transpose(texts);
+        let mut planes: Vec<Superplane<W>> =
+            self.driver.run(&stream).into_iter().map(|p| p.0).collect();
+        for &(pos, lane) in upsets {
+            if pos < planes.len() && lane < self.lanes {
+                planes[pos][lane / 64] ^= 1u64 << (lane % 64);
+            }
+        }
+        Ok(self.collect(texts, |i| planes[i]))
+    }
+
     /// As [`run`](Self::run), but emits beat-level [`TraceEvent`]s into
     /// `sink`: two [`TraceEvent::Clock`] phases per beat,
     /// [`TraceEvent::TextInjected`] on text beats, and one
@@ -1165,5 +1199,38 @@ mod tests {
         assert_eq!(level, simd_level(), "detection must be cached");
         assert!(["portable", "avx2", "avx512"].contains(&level.name()));
         assert_eq!(level.to_string(), level.name());
+    }
+
+    #[test]
+    fn upset_hook_flips_exactly_the_named_bit() {
+        let pats: Vec<Pattern> = (0..3).map(|_| Pattern::parse("AXC").unwrap()).collect();
+        let texts: Vec<Vec<Symbol>> = (0..3).map(|_| letters("ABCAACCAB")).collect();
+        let lanes: Vec<&[Symbol]> = texts.iter().map(|t| t.as_slice()).collect();
+        let mut d = SuperplaneDriver::<2>::new(&pats).unwrap();
+        let clean = d.run(&lanes).unwrap();
+        // No upsets: bit-identical to run().
+        assert_eq!(d.run_with_upsets(&lanes, &[]).unwrap(), clean);
+        // One upset: exactly one bit of exactly one lane differs.
+        let upset = d.run_with_upsets(&lanes, &[(5, 1)]).unwrap();
+        for (l, (got, want)) in upset.iter().zip(&clean).enumerate() {
+            if l == 1 {
+                assert_ne!(got, want);
+                let diffs = got
+                    .bits()
+                    .iter()
+                    .zip(want.bits())
+                    .filter(|(a, b)| a != b)
+                    .count();
+                assert_eq!(diffs, 1);
+                assert_eq!(got.bit(5), !want.bit(5));
+            } else {
+                assert_eq!(got, want, "lane {l} must be untouched");
+            }
+        }
+        // Out-of-range upsets are ignored.
+        assert_eq!(
+            d.run_with_upsets(&lanes, &[(999, 0), (0, 99)]).unwrap(),
+            clean
+        );
     }
 }

@@ -172,6 +172,48 @@ pub enum TraceEvent {
         /// The instruction-set level the kernel dispatches to.
         level: crate::superplane::SimdLevel,
     },
+    /// A chaos-harness fault fired in a scheduler worker's datapath
+    /// (`pm-chip`'s seeded fault-injection campaigns).
+    FaultInjected {
+        /// Worker index.
+        worker: u32,
+        /// Stable snake_case fault label (shared with logs).
+        label: &'static str,
+    },
+    /// A sampled-lane scrub re-ran one lane of a batch through the
+    /// scalar specification and the results disagreed.
+    ScrubMismatch {
+        /// Worker index.
+        worker: u32,
+        /// Batch index within the run's plan.
+        batch: u64,
+    },
+    /// A scheduler worker was quarantined: its uncommitted outputs
+    /// were voided and its batches requeued for verified recovery.
+    WorkerQuarantined {
+        /// Worker index.
+        worker: u32,
+        /// Stable snake_case label of the detected fault.
+        label: &'static str,
+    },
+    /// The degradation ladder moved: down a rung on a detected fault,
+    /// up a rung after enough clean batches.
+    LadderMoved {
+        /// The new rung's superplane width in words; 0 means the
+        /// software-fallback rung.
+        words: u32,
+        /// `true` for a demotion (down), `false` for a re-promotion.
+        down: bool,
+    },
+    /// A voided batch was re-executed on a recovery rung.
+    BatchRetried {
+        /// Batch index within the run's plan.
+        batch: u64,
+        /// Retry attempt on the current rung (1-based).
+        attempt: u32,
+        /// The rung's superplane width in words.
+        words: u32,
+    },
 }
 
 /// Where trace events go. Implementations must be cheap and
