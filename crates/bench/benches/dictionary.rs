@@ -1,0 +1,57 @@
+//! E33 support: `dictionary_char_rate` — the chip farm's streaming
+//! character rate as the dictionary grows, against the Aho–Corasick
+//! software baseline on the same text.
+//!
+//! Throughput is reported per *text character* (the text is streamed
+//! once regardless of dictionary size), so the interesting read-out is
+//! how slowly the rate decays with size: the farm pays `kmax` vector
+//! ops per resident group per character, Aho–Corasick pays a
+//! state-table walk whose footprint grows with the dictionary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pm_bench::workloads;
+use pm_chip::dictionary::PatternDictionary;
+use pm_chip::throughput::SuperWidth;
+use pm_matchers::aho_corasick::AhoCorasick;
+use pm_systolic::symbol::{Alphabet, Pattern};
+
+const TEXT_LEN: usize = 1 << 14;
+
+/// Same deliberately structured byte dictionaries as the E33 figure:
+/// seeded pseudo-random bytes, ragged lengths 8..=15, every 20th
+/// pattern a duplicate.
+fn dictionary(size: usize) -> Vec<Pattern> {
+    (0..size)
+        .map(|i| {
+            let j = if i % 20 == 19 { i / 2 } else { i };
+            let len = 8 + j % 8;
+            workloads::random_pattern(Alphabet::EIGHT_BIT, len, 0, 33_000 + j as u64)
+        })
+        .collect()
+}
+
+fn bench_dictionary_char_rate(c: &mut Criterion) {
+    let text = workloads::random_text(Alphabet::EIGHT_BIT, TEXT_LEN, 3301);
+    let mut group = c.benchmark_group("dictionary_char_rate");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(TEXT_LEN as u64));
+    for size in [10usize, 100, 1_000, 10_000] {
+        let pats = dictionary(size);
+        let oracle = AhoCorasick::new(&pats).expect("literal dictionary");
+        group.bench_with_input(BenchmarkId::new("aho_corasick", size), &size, |b, _| {
+            b.iter(|| oracle.find_all(&text))
+        });
+        for width in [SuperWidth::W4, SuperWidth::W8] {
+            let matcher = PatternDictionary::new(&pats, width).matcher();
+            group.bench_with_input(
+                BenchmarkId::new(format!("farm_{}", width.label()), size),
+                &size,
+                |b, _| b.iter(|| matcher.find_all(&text)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dictionary_char_rate);
+criterion_main!(benches);

@@ -43,12 +43,17 @@ const RATE_METRICS: &[&str] = &[
     "chars_per_sec",
     "superplane_chars_per_sec",
     "u64_chars_per_sec",
+    "dictionary_chars_per_sec",
 ];
 
 /// Dimensionless same-run ratios: hardware-independent by construction
 /// (both sides of the ratio ran on the same machine in the same
 /// process), enforced whenever the current run reaches AVX2 or wider.
-const RATIO_METRICS: &[&str] = &["w8_speedup_over_u64", "chaos_zero_fault_ratio"];
+const RATIO_METRICS: &[&str] = &[
+    "w8_speedup_over_u64",
+    "chaos_zero_fault_ratio",
+    "dict_10k_speedup_over_ac",
+];
 
 /// Extracts the number following `"{key}":` from a snapshot document.
 fn metric(json: &str, key: &str) -> Option<f64> {

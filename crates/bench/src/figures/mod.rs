@@ -3,6 +3,7 @@
 
 pub mod algorithm;
 pub mod chaos;
+pub mod dictionary;
 pub mod engineering;
 pub mod evaluation;
 pub mod extensions;
@@ -34,6 +35,7 @@ pub fn all() -> Vec<FigureEntry> {
         ("telemetry", telemetry::telemetry),
         ("superwide", superwide::superwide),
         ("chaos", chaos::chaos),
+        ("dictionary", dictionary::dictionary_figure),
         ("fig3_7", extensions::fig3_7),
         ("multipass", extensions::multipass),
         ("counting", extensions::counting),

@@ -53,6 +53,7 @@ pub mod bist;
 pub mod cascade;
 pub mod counters;
 pub mod datasheet;
+pub mod dictionary;
 pub mod faults;
 pub mod host;
 pub mod multipass;
@@ -69,6 +70,7 @@ pub mod prelude {
     pub use crate::cascade::ChipCascade;
     pub use crate::counters::{CounterSnapshot, RateWindow, ThroughputCounters};
     pub use crate::datasheet::DataSheet;
+    pub use crate::dictionary::{DictionaryMatcher, DictionaryStats, PatternDictionary};
     pub use crate::faults::{Fault, FaultPlan, PlaneFault, StickyFault, XorShift64};
     pub use crate::host::{DeviceState, HostBus, HostError, MatchEvent, RetryPolicy};
     pub use crate::multipass::MultipassMatcher;

@@ -218,6 +218,16 @@ pub struct MetricsRegistry {
     pub ladder_promotions: Counter,
     /// Voided batches re-executed on a recovery rung.
     pub batches_retried: Counter,
+    /// Patterns submitted to the dictionary compiler.
+    pub dict_patterns: Counter,
+    /// Patterns left resident after dictionary dedup (resident ÷
+    /// submitted = dedup ratio).
+    pub dict_resident_lanes: Counter,
+    /// Superplane groups planned by the dictionary compiler.
+    pub dict_groups: Counter,
+    /// Lane slots across planned dictionary groups (resident ÷ slots =
+    /// occupancy).
+    pub dict_lane_slots: Counter,
     /// Superplane width (words) of the most recent dispatch — a gauge,
     /// not a counter.
     pub superplane_words: AtomicU64,
@@ -275,6 +285,10 @@ impl MetricsRegistry {
             ladder_demotions: Counter::new(),
             ladder_promotions: Counter::new(),
             batches_retried: Counter::new(),
+            dict_patterns: Counter::new(),
+            dict_resident_lanes: Counter::new(),
+            dict_groups: Counter::new(),
+            dict_lane_slots: Counter::new(),
             superplane_words: AtomicU64::new(0),
             ladder_words: AtomicU64::new(0),
             batch_occupancy: Histogram::new(OCCUPANCY_BOUNDS),
@@ -320,6 +334,10 @@ impl MetricsRegistry {
             ladder_demotions: self.ladder_demotions.get(),
             ladder_promotions: self.ladder_promotions.get(),
             batches_retried: self.batches_retried.get(),
+            dict_patterns: self.dict_patterns.get(),
+            dict_resident_lanes: self.dict_resident_lanes.get(),
+            dict_groups: self.dict_groups.get(),
+            dict_lane_slots: self.dict_lane_slots.get(),
             superplane_words: self.superplane_words.load(Ordering::Relaxed),
             ladder_words: self.ladder_words.load(Ordering::Relaxed),
             batch_occupancy: self.batch_occupancy.snapshot(),
@@ -398,6 +416,17 @@ impl TraceSink for MetricsRegistry {
                 self.ladder_words.store(u64::from(words), Ordering::Relaxed);
             }
             TraceEvent::BatchRetried { .. } => self.batches_retried.add(1),
+            TraceEvent::DictionaryPlanned {
+                patterns,
+                resident,
+                groups,
+                lane_slots,
+            } => {
+                self.dict_patterns.add(patterns);
+                self.dict_resident_lanes.add(resident);
+                self.dict_groups.add(u64::from(groups));
+                self.dict_lane_slots.add(lane_slots);
+            }
             TraceEvent::DispatchSelected { words, level } => {
                 use pm_systolic::superplane::SimdLevel;
                 match level {
@@ -489,6 +518,14 @@ pub struct TelemetrySnapshot {
     pub ladder_promotions: u64,
     /// Batches retried on a recovery rung.
     pub batches_retried: u64,
+    /// Patterns submitted to the dictionary compiler.
+    pub dict_patterns: u64,
+    /// Patterns resident after dictionary dedup.
+    pub dict_resident_lanes: u64,
+    /// Dictionary superplane groups planned.
+    pub dict_groups: u64,
+    /// Lane slots across planned dictionary groups.
+    pub dict_lane_slots: u64,
     /// Superplane width (words) of the most recent dispatch.
     pub superplane_words: u64,
     /// Current ladder rung in words (0 = software fallback).
@@ -653,6 +690,26 @@ impl TelemetrySnapshot {
                 "pm_batches_retried_total",
                 "Voided batches re-executed on a recovery rung.",
                 self.batches_retried,
+            ),
+            (
+                "pm_dict_patterns_total",
+                "Patterns submitted to the dictionary compiler.",
+                self.dict_patterns,
+            ),
+            (
+                "pm_dict_resident_lanes_total",
+                "Patterns resident after dictionary dedup (÷ submitted = dedup ratio).",
+                self.dict_resident_lanes,
+            ),
+            (
+                "pm_dict_groups_total",
+                "Superplane groups planned by the dictionary compiler.",
+                self.dict_groups,
+            ),
+            (
+                "pm_dict_lane_slots_total",
+                "Lane slots across planned dictionary groups (resident ÷ slots = occupancy).",
+                self.dict_lane_slots,
             ),
         ]
     }

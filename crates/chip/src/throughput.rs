@@ -515,10 +515,13 @@ enum BatchDesc {
 
 /// Groups all jobs by pattern (first-seen order) and cuts the groups
 /// into width-sized batches. Groups of two or more ride the uniform
-/// path; singletons pool into mixed batches. Global planning is what
-/// lets same-pattern jobs share a batch regardless of submission
-/// order — the old per-shard grouping could only merge jobs that
-/// happened to land on the same worker.
+/// path; singletons pool into mixed batches, length-bucketed (stable
+/// sort by pattern length) so one long straggler can't inflate the
+/// `kmax` of every mixed batch it touches — the dictionary planner in
+/// `pm_chip::dictionary` leans on the same bucketing. Global planning
+/// is what lets same-pattern jobs share a batch regardless of
+/// submission order — the old per-shard grouping could only merge jobs
+/// that happened to land on the same worker.
 fn plan_batches(jobs: &[Job], lanes: usize) -> Vec<BatchDesc> {
     let mut order: Vec<&Pattern> = Vec::new();
     let mut groups: HashMap<&Pattern, Vec<usize>> = HashMap::new();
@@ -543,6 +546,7 @@ fn plan_batches(jobs: &[Job], lanes: usize) -> Vec<BatchDesc> {
             });
         }
     }
+    singles.sort_by_key(|&i| jobs[i].pattern.len());
     for batch in singles.chunks(lanes) {
         plan.push(BatchDesc::Mixed {
             members: batch.to_vec(),

@@ -1,0 +1,418 @@
+//! Aho–Corasick: the classic multi-pattern automaton, as the software
+//! baseline for the dictionary workload ("the chip farm").
+//!
+//! Foster & Kung's §3.4 composes matcher chips by cascading — many
+//! chips, one text pass. The software analogue of that pass is
+//! Aho–Corasick: all patterns are compiled into one goto/fail automaton
+//! and the text streams through it once, each character costing one
+//! transition regardless of dictionary size. `pm_chip::dictionary`
+//! uses [`AhoCorasick`] two ways:
+//!
+//! * as the **differential oracle** — the dictionary matcher's merged
+//!   `(pattern_id, end)` stream must equal [`find_all`](AhoCorasick::find_all)
+//!   on every literal dictionary (the proptests in
+//!   `crates/chip/tests/dictionary_props.rs`);
+//! * as the **CPU baseline** the E33 figure races the superplane
+//!   resident groups against.
+//!
+//! Like KMP and Boyer–Moore, the automaton leans on the transitivity
+//! of "matches": the failure function is the longest proper suffix
+//! that is also a dictionary prefix, which is meaningless once a wild
+//! card makes matching non-transitive (`AC` and `XB` both match `AX`
+//! but not each other — the paper's §3.3.1 argument). Accordingly the
+//! constructor refuses wild-card patterns with
+//! [`MatchError::WildcardsUnsupported`]; the systolic dictionary has
+//! no such restriction, which is part of the reproduction's point.
+//!
+//! ```
+//! use pm_matchers::aho_corasick::AhoCorasick;
+//! use pm_systolic::symbol::{text_from_letters, Pattern};
+//!
+//! # fn main() -> Result<(), pm_matchers::MatchError> {
+//! let dict = [Pattern::parse("AB").unwrap(), Pattern::parse("BCA").unwrap()];
+//! let ac = AhoCorasick::new(&dict)?;
+//! let text = text_from_letters("ABCAB").unwrap();
+//! let hits: Vec<(usize, usize)> = ac
+//!     .find_all(&text)
+//!     .iter()
+//!     .map(|m| (m.pattern, m.end))
+//!     .collect();
+//! // "AB" ends at 1 and 4; "BCA" ends at 3.
+//! assert_eq!(hits, vec![(0, 1), (1, 3), (0, 4)]);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::{MatchError, PatternMatcher};
+use pm_systolic::symbol::{PatSym, Pattern, Symbol};
+use std::cmp::Ordering;
+use std::collections::VecDeque;
+
+/// One match event in a multi-pattern stream: dictionary pattern
+/// `pattern` matched the text window **ending** at position `end`
+/// (inclusive, the paper's result-bit convention). Ordered by
+/// `(end, pattern)`, the order a streaming pass emits events in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DictMatch {
+    /// Index of the matching pattern in the dictionary it was compiled
+    /// from.
+    pub pattern: usize,
+    /// Text position of the match's last character.
+    pub end: usize,
+}
+
+impl Ord for DictMatch {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.end, self.pattern).cmp(&(other.end, other.pattern))
+    }
+}
+
+impl PartialOrd for DictMatch {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Alphabets up to this many symbols get a dense full-DFA transition
+/// table (one indexed load per character); wider alphabets keep the
+/// sparse goto lists and walk failure links at match time.
+const DENSE_MAX: usize = 64;
+
+/// The Aho–Corasick multi-pattern automaton over [`Symbol`] values.
+///
+/// Construction is `O(Σ pattern lengths)`; matching streams the text
+/// once. With a dense table (alphabets of ≤ 64 symbols — every
+/// [`Alphabet`](pm_systolic::symbol::Alphabet) up to 6 bits) each
+/// character is a single table transition; wider alphabets use the
+/// textbook sparse goto + failure walk, still amortised linear.
+#[derive(Debug, Clone)]
+pub struct AhoCorasick {
+    /// Alphabet columns (`max alphabet size` across the dictionary).
+    size: usize,
+    /// Sorted `(symbol, child)` goto edges per state.
+    children: Vec<Vec<(u8, u32)>>,
+    /// Failure links (`fail[0] == 0`).
+    fail: Vec<u32>,
+    /// Pattern ids whose last character lands on this state.
+    outputs: Vec<Vec<u32>>,
+    /// Nearest proper-suffix state with output (`u32::MAX` = none), so
+    /// emission per position is proportional to matches, not depth.
+    out_link: Vec<u32>,
+    /// Full DFA `delta[state * size + symbol]`, built when
+    /// `size <= DENSE_MAX`.
+    dense: Option<Vec<u32>>,
+    patterns: usize,
+}
+
+impl AhoCorasick {
+    /// Compiles `patterns` (dictionary order = pattern ids) into one
+    /// automaton. Duplicate patterns are fine: each keeps its own id
+    /// and all of them are reported at every match site.
+    ///
+    /// # Errors
+    ///
+    /// [`MatchError::WildcardsUnsupported`] if any pattern contains a
+    /// wild card — the failure function needs "matches" to be
+    /// transitive, exactly the KMP/Boyer–Moore limitation of §3.3.1.
+    pub fn new(patterns: &[Pattern]) -> Result<Self, MatchError> {
+        let mut ac = AhoCorasick {
+            size: patterns
+                .iter()
+                .map(|p| p.alphabet().size())
+                .max()
+                .unwrap_or(1),
+            children: vec![Vec::new()],
+            fail: Vec::new(),
+            outputs: vec![Vec::new()],
+            out_link: Vec::new(),
+            dense: None,
+            patterns: patterns.len(),
+        };
+        for (id, pattern) in patterns.iter().enumerate() {
+            let mut state = 0u32;
+            for sym in pattern.symbols() {
+                let c = match sym {
+                    PatSym::Lit(s) => s.value(),
+                    PatSym::Wild => {
+                        return Err(MatchError::WildcardsUnsupported {
+                            algorithm: "aho-corasick",
+                        })
+                    }
+                };
+                let next = ac.children.len() as u32;
+                let edges = &mut ac.children[state as usize];
+                state = match edges.binary_search_by_key(&c, |e| e.0) {
+                    Ok(i) => edges[i].1,
+                    Err(i) => {
+                        edges.insert(i, (c, next));
+                        ac.children.push(Vec::new());
+                        ac.outputs.push(Vec::new());
+                        next
+                    }
+                };
+            }
+            ac.outputs[state as usize].push(id as u32);
+        }
+        ac.link();
+        Ok(ac)
+    }
+
+    /// BFS over the trie: failure links, output links, and (for small
+    /// alphabets) the dense full-DFA table.
+    fn link(&mut self) {
+        let states = self.children.len();
+        self.fail = vec![0; states];
+        self.out_link = vec![u32::MAX; states];
+        let mut dense = (self.size <= DENSE_MAX).then(|| vec![0u32; states * self.size]);
+        let mut queue = VecDeque::new();
+        for &(c, child) in &self.children[0] {
+            queue.push_back(child);
+            if let Some(d) = dense.as_mut() {
+                d[c as usize] = child;
+            }
+        }
+        while let Some(s) = queue.pop_front() {
+            let f = self.fail[s as usize];
+            self.out_link[s as usize] = if self.outputs[f as usize].is_empty() {
+                self.out_link[f as usize]
+            } else {
+                f
+            };
+            // Children edges are read and written disjointly (child
+            // fail links), so clone the short edge list.
+            for (c, child) in self.children[s as usize].clone() {
+                self.fail[child as usize] = self.next_sparse(f, c);
+                queue.push_back(child);
+            }
+            if let Some(d) = dense.as_mut() {
+                // BFS order guarantees the failure state's row is final.
+                for c in 0..self.size {
+                    d[s as usize * self.size + c] = d[f as usize * self.size + c];
+                }
+                for &(c, child) in &self.children[s as usize] {
+                    d[s as usize * self.size + c as usize] = child;
+                }
+            }
+        }
+        self.dense = dense;
+    }
+
+    /// Goto with failure fallback (used during construction and by the
+    /// sparse match loop).
+    fn next_sparse(&self, mut state: u32, c: u8) -> u32 {
+        loop {
+            let edges = &self.children[state as usize];
+            if let Ok(i) = edges.binary_search_by_key(&c, |e| e.0) {
+                return edges[i].1;
+            }
+            if state == 0 {
+                return 0;
+            }
+            state = self.fail[state as usize];
+        }
+    }
+
+    /// Number of dictionary patterns the automaton was compiled from.
+    pub fn pattern_count(&self) -> usize {
+        self.patterns
+    }
+
+    /// Number of automaton states (trie nodes incl. the root) — the
+    /// shared-prefix footprint the dictionary compiler's dedup ratio is
+    /// compared against.
+    pub fn state_count(&self) -> usize {
+        self.children.len()
+    }
+
+    /// Streams `text` through the automaton once and returns every
+    /// match of every pattern, sorted by `(end, pattern)`. Symbols
+    /// outside the dictionary's alphabet match nothing and reset the
+    /// relevant suffixes, as an impossible character should.
+    pub fn find_all(&self, text: &[Symbol]) -> Vec<DictMatch> {
+        let mut hits = Vec::new();
+        let mut state = 0u32;
+        for (i, sym) in text.iter().enumerate() {
+            let c = sym.value();
+            state = match &self.dense {
+                Some(d) if (c as usize) < self.size => d[state as usize * self.size + c as usize],
+                Some(_) => 0,
+                None => self.next_sparse(state, c),
+            };
+            let mut s = if self.outputs[state as usize].is_empty() {
+                self.out_link[state as usize]
+            } else {
+                state
+            };
+            while s != u32::MAX {
+                for &id in &self.outputs[s as usize] {
+                    hits.push(DictMatch {
+                        pattern: id as usize,
+                        end: i,
+                    });
+                }
+                s = self.out_link[s as usize];
+            }
+        }
+        hits.sort_unstable();
+        hits
+    }
+}
+
+/// [`PatternMatcher`] adapter: the automaton on a one-pattern
+/// dictionary, for the cross-check registry and benchmark tables.
+/// Rejects wild cards like its single-pattern cousins KMP and
+/// Boyer–Moore, and for the same reason.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AhoCorasickMatcher;
+
+impl PatternMatcher for AhoCorasickMatcher {
+    fn name(&self) -> &'static str {
+        "aho-corasick"
+    }
+
+    fn supports_wildcards(&self) -> bool {
+        false
+    }
+
+    fn find(&self, text: &[Symbol], pattern: &Pattern) -> Result<Vec<bool>, MatchError> {
+        let ac = AhoCorasick::new(std::slice::from_ref(pattern))?;
+        let mut out = vec![false; text.len()];
+        for m in ac.find_all(text) {
+            out[m.end] = true;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_systolic::spec::match_spec;
+    use pm_systolic::symbol::{text_from_letters, Alphabet};
+
+    fn letters(s: &str) -> Vec<Symbol> {
+        text_from_letters(s).unwrap()
+    }
+
+    #[test]
+    fn overlapping_and_nested_patterns_all_fire() {
+        let dict = [
+            Pattern::parse("A").unwrap(),
+            Pattern::parse("AB").unwrap(),
+            Pattern::parse("BAB").unwrap(),
+            Pattern::parse("AB").unwrap(), // duplicate keeps its own id
+        ];
+        let ac = AhoCorasick::new(&dict).unwrap();
+        let hits = ac.find_all(&letters("ABAB"));
+        let expect = vec![
+            DictMatch { pattern: 0, end: 0 },
+            DictMatch { pattern: 1, end: 1 },
+            DictMatch { pattern: 3, end: 1 },
+            DictMatch { pattern: 0, end: 2 },
+            DictMatch { pattern: 1, end: 3 },
+            DictMatch { pattern: 2, end: 3 },
+            DictMatch { pattern: 3, end: 3 },
+        ];
+        assert_eq!(hits, expect);
+    }
+
+    #[test]
+    fn per_pattern_events_equal_the_scalar_spec() {
+        let dict = [
+            Pattern::parse("ABCA").unwrap(),
+            Pattern::parse("BC").unwrap(),
+            Pattern::parse("CAB").unwrap(),
+            Pattern::parse("AAAA").unwrap(),
+        ];
+        let ac = AhoCorasick::new(&dict).unwrap();
+        let text = letters("ABCABCAAAABCAB");
+        let hits = ac.find_all(&text);
+        for (id, p) in dict.iter().enumerate() {
+            let spec = match_spec(&text, p);
+            let got: Vec<usize> = hits
+                .iter()
+                .filter(|m| m.pattern == id)
+                .map(|m| m.end)
+                .collect();
+            let want: Vec<usize> = spec
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &b)| b.then_some(i))
+                .collect();
+            assert_eq!(got, want, "pattern {id}");
+        }
+    }
+
+    #[test]
+    fn sparse_and_dense_paths_agree() {
+        // An 8-bit alphabet (256 > DENSE_MAX) exercises the sparse walk;
+        // re-interpreting the same byte strings over 2 bits gets the
+        // dense table. Events must agree where alphabets allow.
+        let wide: Vec<Pattern> = [b"\x00\x01".as_slice(), b"\x01\x02\x00", b"\x00\x00"]
+            .iter()
+            .map(|b| Pattern::from_bytes(b, None, Alphabet::EIGHT_BIT).unwrap())
+            .collect();
+        let narrow: Vec<Pattern> = [b"\x00\x01".as_slice(), b"\x01\x02\x00", b"\x00\x00"]
+            .iter()
+            .map(|b| Pattern::from_bytes(b, None, Alphabet::TWO_BIT).unwrap())
+            .collect();
+        let text: Vec<Symbol> = [0u8, 1, 2, 0, 0, 1, 2, 0, 0]
+            .iter()
+            .map(|&b| Symbol::new(b))
+            .collect();
+        let sparse = AhoCorasick::new(&wide).unwrap();
+        let dense = AhoCorasick::new(&narrow).unwrap();
+        assert!(sparse.dense.is_none());
+        assert!(dense.dense.is_some());
+        assert_eq!(sparse.find_all(&text), dense.find_all(&text));
+    }
+
+    #[test]
+    fn out_of_alphabet_symbols_reset_cleanly() {
+        let dict = [Pattern::parse("AA").unwrap()];
+        let ac = AhoCorasick::new(&dict).unwrap();
+        // Symbol 7 is outside the 2-bit alphabet: no match may span it.
+        let text: Vec<Symbol> = [0u8, 0, 7, 0, 0].iter().map(|&b| Symbol::new(b)).collect();
+        let ends: Vec<usize> = ac.find_all(&text).iter().map(|m| m.end).collect();
+        assert_eq!(ends, vec![1, 4]);
+    }
+
+    #[test]
+    fn wildcards_are_refused() {
+        let dict = [Pattern::parse("AXB").unwrap()];
+        assert_eq!(
+            AhoCorasick::new(&dict).unwrap_err(),
+            MatchError::WildcardsUnsupported {
+                algorithm: "aho-corasick"
+            }
+        );
+        assert!(!AhoCorasickMatcher.supports_wildcards());
+    }
+
+    #[test]
+    fn empty_dictionary_matches_nothing() {
+        let ac = AhoCorasick::new(&[]).unwrap();
+        assert_eq!(ac.pattern_count(), 0);
+        assert_eq!(ac.state_count(), 1);
+        assert!(ac.find_all(&letters("ABC")).is_empty());
+    }
+
+    #[test]
+    fn shared_prefixes_share_states() {
+        let dict: Vec<Pattern> = ["ABCA", "ABCB", "ABCC", "ABC"]
+            .iter()
+            .map(|s| Pattern::parse(s).unwrap())
+            .collect();
+        let ac = AhoCorasick::new(&dict).unwrap();
+        // Root + "A","AB","ABC" + three leaves: 7 states, not 15.
+        assert_eq!(ac.state_count(), 7);
+    }
+
+    #[test]
+    fn dict_match_orders_by_end_then_pattern() {
+        let a = DictMatch { pattern: 9, end: 1 };
+        let b = DictMatch { pattern: 0, end: 2 };
+        let c = DictMatch { pattern: 1, end: 2 };
+        assert!(a < b && b < c);
+    }
+}

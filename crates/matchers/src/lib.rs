@@ -17,6 +17,7 @@
 //! | [`unidirectional`] | static-pattern linear array | yes | rejected: pattern loading |
 //! | [`systolic`] | adapter over `pm-systolic` | yes | the chosen design |
 //! | [`hybrid`] | Boyer–Moore around the wild cards | yes | (fairest 1980 software) |
+//! | [`aho_corasick`] | Aho–Corasick multi-pattern automaton | **no** | (the §3.4 "chip farm" software baseline) |
 //!
 //! The hardware-shaped alternatives ([`broadcast`], [`unidirectional`],
 //! [`systolic`]) also expose a [`comm::CommunicationProfile`] quantifying
@@ -39,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod aho_corasick;
 pub mod boyer_moore;
 pub mod broadcast;
 pub mod comm;
@@ -128,6 +130,7 @@ pub fn all_matchers() -> Vec<Box<dyn PatternMatcher>> {
         Box::new(unidirectional::UnidirectionalMatcher),
         Box::new(systolic::SystolicAlgorithm),
         Box::new(hybrid::SegmentHybridMatcher),
+        Box::new(aho_corasick::AhoCorasickMatcher),
     ]
 }
 
@@ -153,6 +156,7 @@ pub fn software_fallback(pattern: &Pattern) -> Box<dyn PatternMatcher> {
 
 /// Convenient re-exports.
 pub mod prelude {
+    pub use crate::aho_corasick::{AhoCorasick, AhoCorasickMatcher, DictMatch};
     pub use crate::boyer_moore::BoyerMooreMatcher;
     pub use crate::broadcast::BroadcastMatcher;
     pub use crate::comm::CommunicationProfile;
@@ -182,13 +186,13 @@ mod tests {
     }
 
     #[test]
-    fn registry_has_all_nine() {
+    fn registry_has_all_ten() {
         let names: Vec<&str> = all_matchers().iter().map(|m| m.name()).collect();
-        assert_eq!(names.len(), 9);
+        assert_eq!(names.len(), 10);
         let mut unique = names.clone();
         unique.sort_unstable();
         unique.dedup();
-        assert_eq!(unique.len(), 9, "{names:?}");
+        assert_eq!(unique.len(), 10, "{names:?}");
     }
 
     #[test]
@@ -215,7 +219,7 @@ mod tests {
     #[test]
     fn wildcard_support_flags() {
         for m in all_matchers() {
-            let expected = !matches!(m.name(), "kmp" | "boyer-moore");
+            let expected = !matches!(m.name(), "kmp" | "boyer-moore" | "aho-corasick");
             assert_eq!(m.supports_wildcards(), expected, "{}", m.name());
         }
     }

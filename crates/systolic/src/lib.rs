@@ -103,6 +103,7 @@ pub mod engine;
 pub mod error;
 pub mod handshake;
 pub mod matcher;
+pub mod resident;
 pub mod schedule;
 pub mod segment;
 pub mod selftimed;
@@ -123,6 +124,7 @@ pub mod prelude {
     pub use crate::engine::{Driver, MatchBits};
     pub use crate::error::Error;
     pub use crate::matcher::SystolicMatcher;
+    pub use crate::resident::{LaneHit, ResidentGroup};
     pub use crate::segment::{Segment, SegmentIo};
     pub use crate::semantics::{BooleanMatch, CountMatch, MeetSemantics};
     pub use crate::spec::{count_spec, match_spec};

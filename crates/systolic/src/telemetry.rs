@@ -214,6 +214,19 @@ pub enum TraceEvent {
         /// The rung's superplane width in words.
         words: u32,
     },
+    /// A pattern dictionary was compiled into resident groups (§3.4
+    /// chip farm): `resident / patterns` is the dedup ratio,
+    /// `resident / lane_slots` the lane occupancy.
+    DictionaryPlanned {
+        /// Patterns submitted to the compiler.
+        patterns: u64,
+        /// Distinct patterns left resident after prefix/duplicate dedup.
+        resident: u64,
+        /// Superplane groups planned.
+        groups: u32,
+        /// Total lane slots across those groups (`groups × W × 64`).
+        lane_slots: u64,
+    },
 }
 
 /// Where trace events go. Implementations must be cheap and
