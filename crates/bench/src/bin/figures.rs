@@ -22,6 +22,8 @@ const FAILURE_MARKERS: &[&str] = &[
     "equal specification: false",
     "≥10× scalar: false",
     "telemetry equals ground truth: false",
+    "equal offline oracle: false",
+    "admitted concurrently: false",
     "MISMATCH",
 ];
 

@@ -123,7 +123,8 @@ fn paired_rates(jobs: &[Job], total_chars: f64) -> (f64, f64, f64) {
 /// Renders the E32 chaos figure and writes `BENCH_chaos.json` (path
 /// overridable via `PM_CHAOS_JSON`).
 pub fn chaos() -> String {
-    let path = std::env::var("PM_CHAOS_JSON").unwrap_or_else(|_| "BENCH_chaos.json".into());
+    let path =
+        std::env::var("PM_CHAOS_JSON").unwrap_or_else(|_| crate::snapshot_path("BENCH_chaos.json"));
     chaos_to(&path)
 }
 

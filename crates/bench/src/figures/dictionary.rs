@@ -125,8 +125,8 @@ fn enforce_speedup() -> bool {
 /// Renders the E33 dictionary sweep and writes `BENCH_dictionary.json`
 /// (path overridable via `PM_DICTIONARY_JSON`).
 pub fn dictionary_figure() -> String {
-    let path =
-        std::env::var("PM_DICTIONARY_JSON").unwrap_or_else(|_| "BENCH_dictionary.json".into());
+    let path = std::env::var("PM_DICTIONARY_JSON")
+        .unwrap_or_else(|_| crate::snapshot_path("BENCH_dictionary.json"));
     dictionary_to(&path)
 }
 

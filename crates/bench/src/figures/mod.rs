@@ -11,6 +11,7 @@ pub mod hardware;
 pub mod inventory;
 pub mod methodology;
 pub mod resilience;
+pub mod serve;
 pub mod superwide;
 pub mod telemetry;
 pub mod throughput;
@@ -36,6 +37,7 @@ pub fn all() -> Vec<FigureEntry> {
         ("superwide", superwide::superwide),
         ("chaos", chaos::chaos),
         ("dictionary", dictionary::dictionary_figure),
+        ("serve", serve::serve_figure),
         ("fig3_7", extensions::fig3_7),
         ("multipass", extensions::multipass),
         ("counting", extensions::counting),

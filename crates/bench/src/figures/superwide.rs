@@ -83,7 +83,8 @@ fn best_rate<F: FnMut() -> Vec<pm_systolic::engine::MatchBits>>(
 /// Renders the E31 superwide comparison and writes
 /// `BENCH_superwide.json` (path overridable via `PM_SUPERWIDE_JSON`).
 pub fn superwide() -> String {
-    let path = std::env::var("PM_SUPERWIDE_JSON").unwrap_or_else(|_| "BENCH_superwide.json".into());
+    let path = std::env::var("PM_SUPERWIDE_JSON")
+        .unwrap_or_else(|_| crate::snapshot_path("BENCH_superwide.json"));
     superwide_to(&path)
 }
 

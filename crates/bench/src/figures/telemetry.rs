@@ -173,7 +173,8 @@ pub fn telemetry() -> String {
 
     // JSON snapshot for the CI regression gate.
     let json = snap.to_json(chars_per_sec);
-    let path = std::env::var("PM_TELEMETRY_JSON").unwrap_or_else(|_| "BENCH_telemetry.json".into());
+    let path = std::env::var("PM_TELEMETRY_JSON")
+        .unwrap_or_else(|_| crate::snapshot_path("BENCH_telemetry.json"));
     let wrote = std::fs::write(&path, &json).is_ok();
     writeln!(
         out,

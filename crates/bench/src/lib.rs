@@ -20,3 +20,12 @@
 
 pub mod figures;
 pub mod workloads;
+
+/// Canonical location for a `BENCH_*.json` snapshot: the repository
+/// root, regardless of the working directory the figure runs from.
+/// (Figures used to write cwd-relative paths, which left duplicate
+/// snapshots behind when run from `crates/bench`.) The per-figure
+/// `PM_*_JSON` environment overrides still win over this default.
+pub fn snapshot_path(file_name: &str) -> String {
+    format!("{}/../../{file_name}", env!("CARGO_MANIFEST_DIR"))
+}

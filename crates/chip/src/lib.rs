@@ -81,8 +81,8 @@ pub mod prelude {
     };
     pub use crate::telemetry::{Histogram, HistogramSnapshot, MetricsRegistry, TelemetrySnapshot};
     pub use crate::throughput::{
-        Job, JobOutput, PatternCache, PatternIndex, ResiliencePolicy, ResilienceReport, SuperWidth,
-        ThroughputEngine, WorkerStats,
+        Job, JobOutput, PatternCache, PatternIndex, ResiliencePolicy, ResilienceReport, SlotLease,
+        SlotPool, SuperWidth, ThroughputEngine, WorkerStats,
     };
     pub use crate::timing::{ClockModel, GateDelays};
     pub use crate::wafer::{Wafer, YieldPoint};

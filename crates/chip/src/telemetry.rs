@@ -228,6 +228,22 @@ pub struct MetricsRegistry {
     /// Lane slots across planned dictionary groups (resident ÷ slots =
     /// occupancy).
     pub dict_lane_slots: Counter,
+    /// Front-door sessions admitted (`pm-serve`).
+    pub sessions_opened: Counter,
+    /// Front-door sessions closed normally.
+    pub sessions_closed: Counter,
+    /// Text characters streamed by closed sessions.
+    pub session_chars: Counter,
+    /// Admission-control rejections (session cap or byte budgets).
+    pub sessions_rejected: Counter,
+    /// Protocol frames received on front-door connections.
+    pub frames: Counter,
+    /// Payload bytes carried by received frames.
+    pub frame_bytes: Counter,
+    /// Match events delivered to front-door clients.
+    pub events_delivered: Counter,
+    /// Backpressure signals (SERVER_BUSY with a retry-after hint).
+    pub backpressure_signals: Counter,
     /// Superplane width (words) of the most recent dispatch — a gauge,
     /// not a counter.
     pub superplane_words: AtomicU64,
@@ -289,6 +305,14 @@ impl MetricsRegistry {
             dict_resident_lanes: Counter::new(),
             dict_groups: Counter::new(),
             dict_lane_slots: Counter::new(),
+            sessions_opened: Counter::new(),
+            sessions_closed: Counter::new(),
+            session_chars: Counter::new(),
+            sessions_rejected: Counter::new(),
+            frames: Counter::new(),
+            frame_bytes: Counter::new(),
+            events_delivered: Counter::new(),
+            backpressure_signals: Counter::new(),
             superplane_words: AtomicU64::new(0),
             ladder_words: AtomicU64::new(0),
             batch_occupancy: Histogram::new(OCCUPANCY_BOUNDS),
@@ -338,6 +362,14 @@ impl MetricsRegistry {
             dict_resident_lanes: self.dict_resident_lanes.get(),
             dict_groups: self.dict_groups.get(),
             dict_lane_slots: self.dict_lane_slots.get(),
+            sessions_opened: self.sessions_opened.get(),
+            sessions_closed: self.sessions_closed.get(),
+            session_chars: self.session_chars.get(),
+            sessions_rejected: self.sessions_rejected.get(),
+            frames: self.frames.get(),
+            frame_bytes: self.frame_bytes.get(),
+            events_delivered: self.events_delivered.get(),
+            backpressure_signals: self.backpressure_signals.get(),
             superplane_words: self.superplane_words.load(Ordering::Relaxed),
             ladder_words: self.ladder_words.load(Ordering::Relaxed),
             batch_occupancy: self.batch_occupancy.snapshot(),
@@ -427,6 +459,18 @@ impl TraceSink for MetricsRegistry {
                 self.dict_groups.add(u64::from(groups));
                 self.dict_lane_slots.add(lane_slots);
             }
+            TraceEvent::SessionOpened { .. } => self.sessions_opened.add(1),
+            TraceEvent::SessionClosed { chars, .. } => {
+                self.sessions_closed.add(1);
+                self.session_chars.add(chars);
+            }
+            TraceEvent::SessionRejected { .. } => self.sessions_rejected.add(1),
+            TraceEvent::FrameReceived { bytes, .. } => {
+                self.frames.add(1);
+                self.frame_bytes.add(bytes);
+            }
+            TraceEvent::EventsDelivered { events, .. } => self.events_delivered.add(events),
+            TraceEvent::BackpressureSignalled { .. } => self.backpressure_signals.add(1),
             TraceEvent::DispatchSelected { words, level } => {
                 use pm_systolic::superplane::SimdLevel;
                 match level {
@@ -526,6 +570,22 @@ pub struct TelemetrySnapshot {
     pub dict_groups: u64,
     /// Lane slots across planned dictionary groups.
     pub dict_lane_slots: u64,
+    /// Front-door sessions admitted.
+    pub sessions_opened: u64,
+    /// Front-door sessions closed normally.
+    pub sessions_closed: u64,
+    /// Characters streamed by closed sessions.
+    pub session_chars: u64,
+    /// Admission-control rejections.
+    pub sessions_rejected: u64,
+    /// Protocol frames received.
+    pub frames: u64,
+    /// Payload bytes carried by received frames.
+    pub frame_bytes: u64,
+    /// Match events delivered to clients.
+    pub events_delivered: u64,
+    /// Backpressure signals sent.
+    pub backpressure_signals: u64,
     /// Superplane width (words) of the most recent dispatch.
     pub superplane_words: u64,
     /// Current ladder rung in words (0 = software fallback).
@@ -710,6 +770,46 @@ impl TelemetrySnapshot {
                 "pm_dict_lane_slots_total",
                 "Lane slots across planned dictionary groups (resident ÷ slots = occupancy).",
                 self.dict_lane_slots,
+            ),
+            (
+                "pm_sessions_opened_total",
+                "Front-door sessions admitted by pm-serve.",
+                self.sessions_opened,
+            ),
+            (
+                "pm_sessions_closed_total",
+                "Front-door sessions closed normally.",
+                self.sessions_closed,
+            ),
+            (
+                "pm_session_chars_total",
+                "Text characters streamed by closed sessions.",
+                self.session_chars,
+            ),
+            (
+                "pm_sessions_rejected_total",
+                "Admission-control rejections (session cap or byte budgets).",
+                self.sessions_rejected,
+            ),
+            (
+                "pm_frames_total",
+                "Protocol frames received on front-door connections.",
+                self.frames,
+            ),
+            (
+                "pm_frame_bytes_total",
+                "Payload bytes carried by received frames.",
+                self.frame_bytes,
+            ),
+            (
+                "pm_events_delivered_total",
+                "Match events delivered to front-door clients.",
+                self.events_delivered,
+            ),
+            (
+                "pm_backpressure_signals_total",
+                "SERVER_BUSY backpressure signals with a retry-after hint.",
+                self.backpressure_signals,
             ),
         ]
     }

@@ -1695,6 +1695,118 @@ fn known_answer_test(
     true
 }
 
+/// A bounded budget of batch-slot bytes, shared between the scheduler
+/// and any front end that feeds it (the `pm-serve` front door).
+///
+/// The superplane engine's capacity is finite: `workers × W × 64`
+/// lanes, each carrying a stream of text. A front door multiplexing
+/// thousands of client sessions must not buffer unbounded text on
+/// behalf of slow clients, so admission happens in *bytes*: every feed
+/// leases its chunk length from the pool and the lease releases on
+/// drop (RAII). When the pool is exhausted the caller signals
+/// backpressure (SERVER_BUSY paced by
+/// [`RetryPolicy`]) instead of queueing.
+///
+/// Acquisition is a CAS loop on one atomic — no lock, no fairness
+/// queue; contention cost is a handful of retries under the same
+/// relaxed discipline as [`crate::counters`].
+///
+/// ```
+/// use pm_chip::throughput::SlotPool;
+///
+/// let pool = SlotPool::new(1024);
+/// let lease = pool.try_lease(1000).expect("fits");
+/// assert_eq!(pool.available(), 24);
+/// assert!(pool.try_lease(100).is_none(), "exhausted: backpressure");
+/// drop(lease);
+/// assert_eq!(pool.available(), 1024);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SlotPool {
+    inner: Arc<SlotPoolInner>,
+}
+
+#[derive(Debug)]
+struct SlotPoolInner {
+    capacity: u64,
+    in_flight: AtomicU64,
+}
+
+impl SlotPool {
+    /// A pool of `capacity_bytes` leasable batch-slot bytes.
+    pub fn new(capacity_bytes: u64) -> Self {
+        SlotPool {
+            inner: Arc::new(SlotPoolInner {
+                capacity: capacity_bytes,
+                in_flight: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Leases `bytes` from the pool, or `None` when the remaining
+    /// budget is too small — the caller's cue to apply backpressure.
+    /// A zero-byte lease always succeeds and holds nothing.
+    pub fn try_lease(&self, bytes: u64) -> Option<SlotLease> {
+        let mut current = self.inner.in_flight.load(Ordering::Relaxed);
+        loop {
+            let next = current.checked_add(bytes)?;
+            if next > self.inner.capacity {
+                return None;
+            }
+            match self.inner.in_flight.compare_exchange_weak(
+                current,
+                next,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    return Some(SlotLease {
+                        pool: Arc::clone(&self.inner),
+                        bytes,
+                    })
+                }
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// Total leasable bytes.
+    pub fn capacity(&self) -> u64 {
+        self.inner.capacity
+    }
+
+    /// Bytes currently leased out.
+    pub fn in_flight(&self) -> u64 {
+        self.inner.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// Bytes still available to lease.
+    pub fn available(&self) -> u64 {
+        self.inner.capacity.saturating_sub(self.in_flight())
+    }
+}
+
+/// A live lease of batch-slot bytes from a [`SlotPool`]; the bytes
+/// return to the pool when the lease drops.
+#[derive(Debug)]
+pub struct SlotLease {
+    pool: Arc<SlotPoolInner>,
+    bytes: u64,
+}
+
+impl SlotLease {
+    /// Bytes this lease holds.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+impl Drop for SlotLease {
+    fn drop(&mut self) {
+        self.pool.in_flight.fetch_sub(self.bytes, Ordering::AcqRel);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2162,5 +2274,48 @@ mod tests {
             &[SuperWidth::W4, SuperWidth::W1]
         );
         assert_eq!(ladder_rungs(SuperWidth::W1), &[SuperWidth::W1]);
+    }
+
+    #[test]
+    fn slot_pool_leases_and_releases() {
+        let pool = SlotPool::new(100);
+        assert_eq!(pool.capacity(), 100);
+        let a = pool.try_lease(60).expect("fits");
+        assert_eq!(a.bytes(), 60);
+        assert_eq!(pool.in_flight(), 60);
+        assert_eq!(pool.available(), 40);
+        assert!(pool.try_lease(41).is_none(), "over budget");
+        let b = pool.try_lease(40).expect("exactly fits");
+        assert_eq!(pool.available(), 0);
+        drop(a);
+        assert_eq!(pool.available(), 60);
+        drop(b);
+        assert_eq!(pool.in_flight(), 0);
+        // Zero-byte leases always succeed, even at capacity.
+        let _full = pool.try_lease(100).unwrap();
+        assert!(pool.try_lease(0).is_some());
+    }
+
+    #[test]
+    fn slot_pool_is_exact_under_contention() {
+        let pool = SlotPool::new(64);
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let pool = pool.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut granted = 0u64;
+                for _ in 0..1000 {
+                    if let Some(lease) = pool.try_lease(1) {
+                        granted += 1;
+                        assert!(pool.in_flight() <= 64, "budget overshot");
+                        drop(lease);
+                    }
+                }
+                granted
+            }));
+        }
+        let granted: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert!(granted > 0);
+        assert_eq!(pool.in_flight(), 0, "every lease returned");
     }
 }

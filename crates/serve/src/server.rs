@@ -1,0 +1,343 @@
+//! The TCP front door: acceptor plus thread-per-core workers.
+//!
+//! `std::net` only (the workspace is offline): the listener and every
+//! accepted socket run nonblocking, and each worker thread multiplexes
+//! its share of connections with a read → decode → handle → flush loop
+//! — the same discipline as the scheduler's work loop, applied to
+//! sockets. Thousands of sessions ride on far fewer connections (the
+//! protocol multiplexes sessions within a connection), so a handful of
+//! workers saturates the matcher long before the poll loop is the
+//! bottleneck; the paper's §5 argument, host-side.
+//!
+//! Lifecycle: [`MatchServer::start`] binds and spawns, `local_addr`
+//! tells tests the ephemeral port, [`MatchServer::shutdown`] stops the
+//! loops and joins every thread. The stall watchdog reaps connections
+//! that stay silent past `idle_timeout_ms`, returning their sessions
+//! to the admission cap.
+
+use crate::config::ServeConfig;
+use crate::protocol::{Decoder, ErrorCode, Frame};
+use crate::session::{Conn, Shared};
+use pm_chip::telemetry::MetricsRegistry;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How long the acceptor and idle workers nap between polls.
+const IDLE_NAP: Duration = Duration::from_micros(200);
+
+/// Read buffer per poll per connection.
+const READ_BUF: usize = 64 << 10;
+
+/// A running front door. Dropping without [`shutdown`](Self::shutdown)
+/// detaches the threads (tests should shut down explicitly).
+#[derive(Debug)]
+pub struct MatchServer {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// One socket mid-conversation, owned by a worker.
+struct Wire {
+    stream: TcpStream,
+    decoder: Decoder,
+    /// Encoded responses not yet accepted by the socket.
+    outbox: Vec<u8>,
+    conn: Conn,
+    last_activity: Instant,
+    /// Set on hangup, codec poison or `BYE`; the worker drops the
+    /// wire once the outbox drains (or immediately if unwritable).
+    closing: bool,
+}
+
+impl MatchServer {
+    /// Binds `config.addr` and spawns the acceptor and worker threads.
+    ///
+    /// # Errors
+    ///
+    /// Any socket error from binding.
+    pub fn start(config: ServeConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind(config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let workers_n = config.effective_workers();
+        let shared = Shared::new(config);
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let mut senders: Vec<Sender<TcpStream>> = Vec::with_capacity(workers_n);
+        let mut workers = Vec::with_capacity(workers_n);
+        for w in 0..workers_n {
+            let (tx, rx) = channel::<TcpStream>();
+            senders.push(tx);
+            let shared = Arc::clone(&shared);
+            let stop = Arc::clone(&stop);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("pm-serve-worker-{w}"))
+                    .spawn(move || worker_loop(rx, shared, stop))
+                    .expect("spawn worker"),
+            );
+        }
+
+        let stop_acceptor = Arc::clone(&stop);
+        let acceptor = std::thread::Builder::new()
+            .name("pm-serve-acceptor".into())
+            .spawn(move || {
+                let mut next = 0usize;
+                while !stop_acceptor.load(Ordering::Acquire) {
+                    match listener.accept() {
+                        Ok((stream, _peer)) => {
+                            if stream.set_nonblocking(true).is_ok()
+                                && senders[next % senders.len()].send(stream).is_err()
+                            {
+                                return; // workers gone: shutting down
+                            }
+                            next = next.wrapping_add(1);
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(IDLE_NAP);
+                        }
+                        Err(_) => std::thread::sleep(IDLE_NAP),
+                    }
+                }
+            })
+            .expect("spawn acceptor");
+
+        Ok(MatchServer {
+            addr,
+            shared,
+            stop,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (with the real port when 0 was requested).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's metrics registry (what METRICS frames snapshot).
+    pub fn registry(&self) -> Arc<MetricsRegistry> {
+        self.shared.registry.clone()
+    }
+
+    /// Sessions currently open across all connections.
+    pub fn open_sessions(&self) -> usize {
+        self.shared.open_sessions.load(Ordering::Relaxed)
+    }
+
+    /// Stops accepting, drains the workers and joins every thread.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// One worker: adopt incoming sockets, then multiplex reads, protocol
+/// handling and writes across every connection it owns.
+fn worker_loop(rx: Receiver<TcpStream>, shared: Arc<Shared>, stop: Arc<AtomicBool>) {
+    let idle_timeout = match shared.config.idle_timeout_ms {
+        0 => None,
+        ms => Some(Duration::from_millis(ms)),
+    };
+    let mut wires: Vec<Wire> = Vec::new();
+    let mut buf = vec![0u8; READ_BUF];
+    loop {
+        // Adopt new connections.
+        loop {
+            match rx.try_recv() {
+                Ok(stream) => wires.push(Wire {
+                    stream,
+                    decoder: Decoder::new(),
+                    outbox: Vec::new(),
+                    conn: Conn::new(Arc::clone(&shared)),
+                    last_activity: Instant::now(),
+                    closing: false,
+                }),
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    if wires.is_empty() {
+                        return;
+                    }
+                    break;
+                }
+            }
+        }
+        if stop.load(Ordering::Acquire) {
+            return; // drop wires: Conn::drop releases their sessions
+        }
+
+        let mut progressed = false;
+        for wire in &mut wires {
+            progressed |= wire.poll(&mut buf);
+            if let Some(timeout) = idle_timeout {
+                if !wire.closing && wire.last_activity.elapsed() > timeout {
+                    // Stall watchdog: the peer has gone quiet.
+                    wire.closing = true;
+                }
+            }
+        }
+        wires.retain(|w| !(w.closing && w.outbox.is_empty()));
+        if !progressed {
+            std::thread::sleep(IDLE_NAP);
+        }
+    }
+}
+
+impl Wire {
+    /// One multiplexer turn: read what's there, handle complete
+    /// frames, flush what the socket will take. Returns whether any
+    /// byte moved (the worker sleeps only when nothing does).
+    fn poll(&mut self, buf: &mut [u8]) -> bool {
+        let mut progressed = false;
+
+        // Read until the socket runs dry (or errors/hangs up).
+        loop {
+            match self.stream.read(buf) {
+                Ok(0) => {
+                    self.closing = true;
+                    self.outbox.clear(); // peer is gone; nothing to flush
+                    break;
+                }
+                Ok(n) => {
+                    progressed = true;
+                    self.last_activity = Instant::now();
+                    self.decoder.push(&buf[..n]);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.closing = true;
+                    self.outbox.clear();
+                    break;
+                }
+            }
+        }
+
+        // Decode and handle every complete frame.
+        let mut responses = Vec::new();
+        loop {
+            match self.decoder.next() {
+                Ok(Some(frame)) => {
+                    self.conn.handle(frame, &mut responses);
+                    if self.conn.finished() {
+                        self.closing = true;
+                        break;
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    // Framing is lost: answer once, then hang up.
+                    responses.push(Frame::Error {
+                        code: ErrorCode::Protocol,
+                        message: e.to_string().into_bytes(),
+                    });
+                    self.closing = true;
+                    break;
+                }
+            }
+        }
+        for r in &responses {
+            r.encode(&mut self.outbox);
+        }
+
+        // Flush as much as the socket will take.
+        while !self.outbox.is_empty() {
+            match self.stream.write(&self.outbox) {
+                Ok(0) => {
+                    self.closing = true;
+                    self.outbox.clear();
+                    break;
+                }
+                Ok(n) => {
+                    progressed = true;
+                    self.outbox.drain(..n);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.closing = true;
+                    self.outbox.clear();
+                    break;
+                }
+            }
+        }
+        progressed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::MatchClient;
+    use crate::protocol::Match;
+
+    #[test]
+    fn server_round_trips_one_session() {
+        let server = MatchServer::start(ServeConfig::default()).unwrap();
+        let mut client = MatchClient::connect(server.local_addr()).unwrap();
+        let id = client.add_pattern(b"abc", None).unwrap();
+        assert_eq!(id, 0);
+        let session = client.open_session().unwrap();
+        let (events, consumed) = client.feed(session, b"xxabcxx").unwrap();
+        assert_eq!(consumed, 7);
+        assert_eq!(events, vec![Match { pattern: 0, end: 4 }]);
+        let (chars, delivered) = client.close_session(session).unwrap();
+        assert_eq!((chars, delivered), (7, 1));
+        let metrics = client.metrics().unwrap();
+        assert!(metrics.contains("pm_sessions_closed_total 1"), "{metrics}");
+        client.bye().unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn garbage_header_gets_an_error_then_hangup() {
+        let server = MatchServer::start(ServeConfig::default()).unwrap();
+        let mut raw = TcpStream::connect(server.local_addr()).unwrap();
+        raw.write_all(&u32::MAX.to_le_bytes()).unwrap();
+        let frame = crate::protocol::read_frame(&mut raw).unwrap();
+        assert!(matches!(
+            frame,
+            Frame::Error {
+                code: ErrorCode::Protocol,
+                ..
+            }
+        ));
+        // The server hangs up after poisoned framing.
+        let mut rest = Vec::new();
+        let _ = raw.read_to_end(&mut rest);
+        assert!(rest.is_empty());
+        server.shutdown();
+    }
+
+    #[test]
+    fn watchdog_reaps_idle_connections() {
+        let server = MatchServer::start(ServeConfig {
+            idle_timeout_ms: 50,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let mut client = MatchClient::connect(server.local_addr()).unwrap();
+        let _session = client.open_session().unwrap();
+        assert_eq!(server.open_sessions(), 1);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while server.open_sessions() > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(server.open_sessions(), 0, "idle session never reaped");
+        server.shutdown();
+    }
+}

@@ -1,0 +1,195 @@
+//! Protocol-codec properties: every frame survives the wire, at any
+//! split granularity, and hostile bytes can never panic the decoder or
+//! provoke an unbounded allocation.
+//!
+//! The incremental [`Decoder`] is the piece of the server that faces
+//! raw network input, so its obligations are stated as properties:
+//!
+//! 1. **round-trip** — `decode(encode(f)) == f` for arbitrary frames
+//!    of every kind;
+//! 2. **split-invariance** — a wire image cut at arbitrary byte
+//!    boundaries decodes to the same frame sequence as one big push;
+//! 3. **garbage-tolerance** — arbitrary bytes produce frames or a
+//!    `CodecError`, never a panic, and a declared length beyond
+//!    `MAX_FRAME` (up to `u32::MAX`) is rejected from the 4-byte
+//!    header alone, before any body is buffered.
+
+use pm_serve::protocol::{BusyReason, CodecError, Decoder, ErrorCode, Frame, Match, MAX_FRAME};
+use proptest::prelude::*;
+
+/// Arbitrary frames across the whole vocabulary, with small bodies
+/// (the codec is length-driven; big bodies only slow the suite).
+fn frame() -> impl Strategy<Value = Frame> {
+    let bytes = proptest::collection::vec(any::<u8>(), 0..48);
+    let matches = proptest::collection::vec(
+        (any::<u32>(), any::<u64>()).prop_map(|(pattern, end)| Match { pattern, end }),
+        0..8,
+    );
+    prop_oneof![
+        any::<u32>().prop_map(|version| Frame::Hello { version }),
+        (any::<u32>(), any::<u32>())
+            .prop_map(|(version, max_frame)| Frame::HelloOk { version, max_frame }),
+        (proptest::option::weighted(0.5, any::<u8>()), bytes.clone())
+            .prop_map(|(wild, bytes)| Frame::AddPattern { wild, bytes }),
+        any::<u32>().prop_map(|id| Frame::PatternAdded { id }),
+        Just(Frame::OpenSession),
+        any::<u64>().prop_map(|session| Frame::SessionOpened { session }),
+        (any::<u64>(), bytes.clone()).prop_map(|(session, bytes)| Frame::Feed { session, bytes }),
+        (any::<u64>(), matches)
+            .prop_map(|(session, events)| Frame::MatchEvents { session, events }),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(session, consumed)| Frame::FeedOk { session, consumed }),
+        any::<u64>().prop_map(|session| Frame::Close { session }),
+        (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(session, chars, events)| {
+            Frame::Closed {
+                session,
+                chars,
+                events,
+            }
+        }),
+        Just(Frame::Metrics),
+        bytes.clone().prop_map(|text| Frame::MetricsText { text }),
+        (
+            prop_oneof![Just(BusyReason::Sessions), Just(BusyReason::GlobalBudget)],
+            any::<u32>()
+        )
+            .prop_map(|(reason, retry_after_ms)| Frame::ServerBusy {
+                reason,
+                retry_after_ms
+            }),
+        (
+            prop_oneof![
+                Just(ErrorCode::Protocol),
+                Just(ErrorCode::UnknownSession),
+                Just(ErrorCode::BadPattern),
+                Just(ErrorCode::ChunkTooLarge),
+            ],
+            bytes
+        )
+            .prop_map(|(code, message)| Frame::Error { code, message }),
+        Just(Frame::Bye),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn every_frame_round_trips(f in frame()) {
+        let wire = f.to_bytes();
+        let mut d = Decoder::new();
+        d.push(&wire);
+        prop_assert_eq!(d.next().unwrap(), Some(f));
+        prop_assert_eq!(d.next().unwrap(), None);
+        prop_assert_eq!(d.pending(), 0);
+    }
+
+    #[test]
+    fn arbitrary_split_points_decode_identically(
+        frames in proptest::collection::vec(frame(), 1..8),
+        cuts in proptest::collection::vec(any::<u16>(), 0..16),
+    ) {
+        let mut wire = Vec::new();
+        for f in &frames {
+            f.encode(&mut wire);
+        }
+        // Turn the arbitrary u16s into sorted in-range cut positions.
+        let mut cuts: Vec<usize> = cuts
+            .into_iter()
+            .map(|c| c as usize % (wire.len() + 1))
+            .collect();
+        cuts.sort_unstable();
+        cuts.dedup();
+        cuts.push(wire.len());
+
+        let mut d = Decoder::new();
+        let mut decoded = Vec::new();
+        let mut at = 0;
+        for cut in cuts {
+            d.push(&wire[at..cut]);
+            at = cut;
+            while let Some(f) = d.next().unwrap() {
+                decoded.push(f);
+            }
+        }
+        prop_assert_eq!(decoded, frames);
+    }
+
+    #[test]
+    fn truncated_wire_never_yields_a_wrong_frame(
+        frames in proptest::collection::vec(frame(), 1..5),
+        cut in any::<u16>(),
+    ) {
+        let mut wire = Vec::new();
+        for f in &frames {
+            f.encode(&mut wire);
+        }
+        let cut = cut as usize % (wire.len() + 1);
+        let mut d = Decoder::new();
+        d.push(&wire[..cut]);
+        let mut decoded = Vec::new();
+        while let Some(f) = d.next().unwrap() {
+            decoded.push(f);
+        }
+        // A truncated stream decodes to a strict prefix, then waits.
+        prop_assert!(decoded.len() <= frames.len());
+        prop_assert_eq!(&decoded[..], &frames[..decoded.len()]);
+    }
+
+    #[test]
+    fn garbage_never_panics_and_never_overbuffers(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let mut d = Decoder::new();
+        d.push(&bytes);
+        // Drain until quiescent: frames, a clean error, or starvation.
+        while let Ok(Some(_)) = d.next() {}
+        prop_assert!(d.pending() <= bytes.len());
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_from_the_header_alone(
+        len in (MAX_FRAME + 1)..=u32::MAX,
+        tail in proptest::collection::vec(any::<u8>(), 0..32),
+    ) {
+        let mut d = Decoder::new();
+        d.push(&len.to_le_bytes());
+        d.push(&tail);
+        // Rejected without waiting for (or allocating) a `len`-sized
+        // body: the decoder holds only what was pushed.
+        prop_assert_eq!(d.next(), Err(CodecError::BadLength { len }));
+        prop_assert!(d.pending() <= 4 + tail.len());
+    }
+
+    #[test]
+    fn zero_length_header_is_rejected(tail in proptest::collection::vec(any::<u8>(), 0..16)) {
+        let mut d = Decoder::new();
+        d.push(&0u32.to_le_bytes());
+        d.push(&tail);
+        prop_assert_eq!(d.next(), Err(CodecError::BadLength { len: 0 }));
+    }
+
+    #[test]
+    fn unknown_kind_bytes_error_cleanly(kind in 0x08u8..0x81, body in proptest::collection::vec(any::<u8>(), 0..32)) {
+        // 0x08..=0x80 is the hole in the vocabulary between the last
+        // client kind and the first server kind.
+        let mut payload = vec![kind];
+        payload.extend_from_slice(&body);
+        let mut wire = ((payload.len()) as u32).to_le_bytes().to_vec();
+        wire.extend_from_slice(&payload);
+        let mut d = Decoder::new();
+        d.push(&wire);
+        prop_assert_eq!(d.next(), Err(CodecError::UnknownKind(kind)));
+    }
+
+    #[test]
+    fn flipping_one_header_byte_cannot_panic(f in frame(), at in any::<u16>(), bit in 0u8..8) {
+        let mut wire = f.to_bytes();
+        let at = at as usize % wire.len();
+        wire[at] ^= 1 << bit;
+        let mut d = Decoder::new();
+        d.push(&wire);
+        // Corruption may still parse (body bytes), error, or starve —
+        // anything but a panic or runaway buffering.
+        while let Ok(Some(_)) = d.next() {}
+        prop_assert!(d.pending() <= wire.len());
+    }
+}

@@ -227,6 +227,49 @@ pub enum TraceEvent {
         /// Total lane slots across those groups (`groups × W × 64`).
         lane_slots: u64,
     },
+    /// A front-door client session was admitted (`pm-serve`).
+    SessionOpened {
+        /// Server-assigned session id.
+        session: u64,
+    },
+    /// A front-door session closed normally.
+    SessionClosed {
+        /// Server-assigned session id.
+        session: u64,
+        /// Text characters the session streamed.
+        chars: u64,
+        /// Match events the session was delivered.
+        events: u64,
+    },
+    /// Admission control turned a client away: a session open over the
+    /// session cap, or a feed over a byte budget.
+    SessionRejected {
+        /// `true` when the client was told to retry after backoff
+        /// (SERVER_BUSY), `false` for a hard protocol rejection.
+        retriable: bool,
+    },
+    /// One protocol frame arrived on a front-door connection.
+    FrameReceived {
+        /// Wire kind byte of the frame.
+        kind: u8,
+        /// Payload bytes carried (text chunk length for FEED frames).
+        bytes: u64,
+    },
+    /// Match events were delivered to a front-door client.
+    EventsDelivered {
+        /// Server-assigned session id.
+        session: u64,
+        /// Events in the delivered batch.
+        events: u64,
+    },
+    /// The server signalled backpressure: the client was handed a
+    /// retry-after hint paced by the host `RetryPolicy`.
+    BackpressureSignalled {
+        /// Server-assigned session id (0 when rejecting an open).
+        session: u64,
+        /// Milliseconds the client was asked to back off.
+        backoff_ms: u64,
+    },
 }
 
 /// Where trace events go. Implementations must be cheap and

@@ -1,0 +1,91 @@
+//! A client session against the streaming match service (§5).
+//!
+//! The paper's closing opinion is that the hard part of special-purpose
+//! hardware is the system around it. This example is the system's front
+//! door in miniature: it starts an in-process [`MatchServer`] on
+//! loopback, connects a [`MatchClient`], declares a small dictionary,
+//! and streams a document in chunks — showing match events arriving
+//! with global offsets even when a match straddles a chunk boundary,
+//! and the `SERVER_BUSY` path a well-behaved client retries through.
+//!
+//! ```text
+//! cargo run --example serve_client
+//! ```
+
+use systolic_pm::serve::client::ClientError;
+use systolic_pm::serve::prelude::*;
+
+const DOCUMENT: &[u8] = b"THE SYSTOLIC ARRAY MATCHES PATTERNS ON LINE: \
+EVERY CHARACTER ENTERS ONCE, EVERY PATTERN SEES IT, AND THE MATCHES \
+STREAM OUT AS THE TEXT STREAMS IN. PATTERN MATCHING AT WIRE SPEED.";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A deliberately tiny server: 2 sessions, so the busy path shows.
+    let server = MatchServer::start(ServeConfig {
+        max_sessions: 2,
+        ..ServeConfig::default()
+    })?;
+    println!("server listening on {}", server.local_addr());
+
+    let mut client = MatchClient::connect(server.local_addr())?;
+    println!("handshake ok (max frame {} bytes)\n", client.max_frame());
+
+    // --- 1. Declare the dictionary for this connection.
+    let mut names = Vec::new();
+    for (bytes, wild) in [
+        (b"PATTERN".as_slice(), None),
+        (b"MATCH".as_slice(), None),
+        (b"STREAM? ".as_slice(), Some(b'?')), // STREAMS or STREAM + space
+    ] {
+        let id = client.add_pattern(bytes, wild)?;
+        names.push(String::from_utf8_lossy(bytes).into_owned());
+        println!("pattern {id}: {:?}", names.last().unwrap());
+    }
+
+    // --- 2. Stream the document in small chunks; offsets are global.
+    let session = client.open_session()?;
+    println!(
+        "\nsession {session} open; feeding {} bytes in 17-byte chunks",
+        DOCUMENT.len()
+    );
+    let mut total = 0u64;
+    for chunk in DOCUMENT.chunks(17) {
+        let (events, consumed) = client.feed_with_retry(session, chunk, 16)?;
+        for e in events {
+            println!(
+                "  match: pattern {} ({}) ends at global offset {}",
+                e.pattern, names[e.pattern as usize], e.end
+            );
+        }
+        total = consumed;
+    }
+    let (chars, delivered) = client.close_session(session)?;
+    println!("session closed: {chars} chars ({total} consumed), {delivered} events\n");
+
+    // --- 3. Admission control: fill the cap, watch the busy answer.
+    let a = client.open_session()?;
+    let b = client.open_session()?;
+    match client.open_session() {
+        Err(ClientError::Busy {
+            reason,
+            retry_after_ms,
+        }) => println!("third session refused: {reason:?}, retry after {retry_after_ms} ms"),
+        other => println!("unexpected: {other:?}"),
+    }
+    client.close_session(a)?;
+    client.close_session(b)?;
+
+    // --- 4. The metrics frame is the Prometheus page over the wire.
+    let metrics = client.metrics()?;
+    let interesting = ["pm_sessions_opened_total", "pm_events_delivered_total"];
+    println!("\nmetrics excerpt:");
+    for line in metrics.lines() {
+        if interesting.iter().any(|k| line.starts_with(k)) {
+            println!("  {line}");
+        }
+    }
+
+    client.bye()?;
+    server.shutdown();
+    Ok(())
+}

@@ -3,7 +3,7 @@
 //! Re-exports every subsystem of the Foster–Kung systolic
 //! pattern-matching chip reproduction (ISCA 1980). See the individual
 //! crates for detail: [`systolic`], [`matchers`], [`nmos`], [`chip`],
-//! [`correlator`], [`layout`] and [`design`], and the repository's
+//! [`correlator`], [`layout`], [`design`] and [`serve`], and the repository's
 //! `README.md` / `DESIGN.md` / `EXPERIMENTS.md` for the map.
 //!
 //! ```
@@ -27,4 +27,5 @@ pub use pm_design as design;
 pub use pm_layout as layout;
 pub use pm_matchers as matchers;
 pub use pm_nmos as nmos;
+pub use pm_serve as serve;
 pub use pm_systolic as systolic;
