@@ -1,0 +1,347 @@
+//! Findings, the inline-suppression grammar and the two report
+//! renderers (human diagnostics and the machine-readable JSON the CI
+//! `static-analysis` job uploads).
+//!
+//! # Suppression grammar
+//!
+//! A finding is suppressed by a comment, and only by a comment — the
+//! lexer guarantees a string containing the magic words changes
+//! nothing. The marker must *open* the comment (doc-comment markers
+//! and whitespace aside), so prose that merely mentions the grammar —
+//! like this paragraph — is inert. Two forms:
+//!
+//! ```text
+//! // pm-lint: allow(rule-name): justification text
+//! // pm-lint: allow-file(rule-name): justification text
+//! ```
+//!
+//! The justification is **mandatory and non-empty**: a suppression
+//! without one is itself a finding (rule `suppression-grammar`), so an
+//! allow can never silently decay into "someone turned the rule off".
+//! `allow(…)` covers the comment's own line when it trails code, and
+//! the next line carrying code when it stands alone; `allow-file(…)`
+//! covers the whole file. Block comments work the same way.
+
+use crate::lexer::Comment;
+use std::fmt::Write as _;
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Stable kebab-case rule name (`simd-dispatch-soundness`, …).
+    pub rule: &'static str,
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line of the violation.
+    pub line: u32,
+    /// Human-readable statement of the violated invariant.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// A parsed `pm-lint: allow(...)` comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppression {
+    /// The rule being allowed.
+    pub rule: String,
+    /// Line the comment sits on.
+    pub comment_line: u32,
+    /// The line whose findings are covered (`comment_line` for a
+    /// trailing comment, the next code line for a standalone one);
+    /// `None` for `allow-file`.
+    pub covered_line: Option<u32>,
+    /// The mandatory justification text.
+    pub justification: String,
+    /// Whether any finding actually used this suppression (reported so
+    /// stale allows are visible in the JSON).
+    pub used: bool,
+}
+
+/// The marker every suppression comment starts with.
+const MARKER: &str = "pm-lint:";
+
+/// Parses the suppressions out of a file's comments. `next_code_line`
+/// maps a comment's line to the following line that carries code (the
+/// caller computes it from the raw text, since the lexer has already
+/// discarded layout). Malformed suppressions come back as findings.
+pub fn parse_suppressions(
+    file: &str,
+    comments: &[Comment],
+    next_code_line: impl Fn(u32) -> Option<u32>,
+) -> (Vec<Suppression>, Vec<Finding>) {
+    let mut sups = Vec::new();
+    let mut bad = Vec::new();
+    for c in comments {
+        // The marker must open the comment: strip doc-comment sigils
+        // (`///`, `//!`, `*` continuation lines) and whitespace, then
+        // require `pm-lint:` immediately. A mid-sentence mention is
+        // documentation, not a directive.
+        let opener = c.text.trim_start_matches(['/', '!', '*', ' ', '\t']);
+        let Some(after) = opener.strip_prefix(MARKER) else {
+            continue;
+        };
+        let rest = after.trim_start();
+        match parse_allow(rest) {
+            Ok((rule, file_wide, justification)) => {
+                let covered_line = if file_wide {
+                    None
+                } else if c.trailing {
+                    Some(c.line)
+                } else {
+                    // A standalone comment covers the next code line;
+                    // if none follows it covers nothing (and will show
+                    // up as unused).
+                    next_code_line(c.line)
+                };
+                sups.push(Suppression {
+                    rule,
+                    comment_line: c.line,
+                    covered_line,
+                    justification,
+                    used: false,
+                });
+            }
+            Err(why) => bad.push(Finding {
+                rule: "suppression-grammar",
+                file: file.to_string(),
+                line: c.line,
+                message: format!(
+                    "malformed suppression ({why}); the grammar is \
+                     `pm-lint: allow(rule-name): justification` and the \
+                     justification is mandatory"
+                ),
+            }),
+        }
+    }
+    (sups, bad)
+}
+
+/// Parses `allow(rule): justification` / `allow-file(rule): justification`.
+fn parse_allow(rest: &str) -> Result<(String, bool, String), &'static str> {
+    let (file_wide, after) = if let Some(a) = rest.strip_prefix("allow-file(") {
+        (true, a)
+    } else if let Some(a) = rest.strip_prefix("allow(") {
+        (false, a)
+    } else {
+        return Err("expected `allow(` or `allow-file(`");
+    };
+    let close = after.find(')').ok_or("unclosed rule name")?;
+    let rule = after[..close].trim();
+    if rule.is_empty() {
+        return Err("empty rule name");
+    }
+    let tail = after[close + 1..].trim_start();
+    let justification = tail.strip_prefix(':').map(str::trim).unwrap_or("");
+    if justification.is_empty() {
+        return Err("missing justification");
+    }
+    Ok((rule.to_string(), file_wide, justification.to_string()))
+}
+
+/// A suppressed finding, kept for the JSON report so allows stay
+/// auditable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppressed {
+    /// The finding that fired.
+    pub finding: Finding,
+    /// The justification that silenced it.
+    pub justification: String,
+}
+
+/// Everything one run produced.
+#[derive(Debug, Default, Clone)]
+pub struct Report {
+    /// Live findings, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Findings silenced by a justified allow.
+    pub suppressed: Vec<Suppressed>,
+    /// Files the workspace loader scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Per-rule live-finding counts, sorted by rule name (the E35
+    /// findings-by-rule table).
+    pub fn counts_by_rule(&self) -> Vec<(&'static str, usize)> {
+        let mut counts: Vec<(&'static str, usize)> = Vec::new();
+        for f in &self.findings {
+            match counts.iter_mut().find(|(r, _)| *r == f.rule) {
+                Some((_, n)) => *n += 1,
+                None => counts.push((f.rule, 1)),
+            }
+        }
+        counts.sort_by_key(|&(r, _)| r);
+        counts
+    }
+
+    /// Human diagnostics: one `file:line: [rule] message` per finding,
+    /// then a summary line.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            let _ = writeln!(out, "{f}");
+        }
+        let _ = writeln!(
+            out,
+            "pm-lint: {} finding(s), {} suppressed, {} file(s) scanned",
+            self.findings.len(),
+            self.suppressed.len(),
+            self.files_scanned
+        );
+        out
+    }
+
+    /// The machine-readable report (hand-rolled JSON; the workspace is
+    /// offline and carries no serde).
+    pub fn render_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+                escape(f.rule),
+                escape(&f.file),
+                f.line,
+                escape(&f.message)
+            );
+        }
+        out.push_str("\n  ],\n  \"suppressed\": [");
+        for (i, s) in self.suppressed.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"justification\": \"{}\"}}",
+                escape(s.finding.rule),
+                escape(&s.finding.file),
+                s.finding.line,
+                escape(&s.justification)
+            );
+        }
+        out.push_str("\n  ],\n  \"counts\": {");
+        for (i, (rule, n)) in self.counts_by_rule().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    \"{}\": {}", escape(rule), n);
+        }
+        let _ = write!(
+            out,
+            "\n  }},\n  \"files_scanned\": {}\n}}\n",
+            self.files_scanned
+        );
+        out
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control bytes).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn comment(src: &str) -> Vec<Comment> {
+        lex(src).comments
+    }
+
+    #[test]
+    fn trailing_allow_covers_its_own_line() {
+        let c = comment("let x = 1; // pm-lint: allow(atomic-ordering-audit): stats only");
+        let (sups, bad) = parse_suppressions("f.rs", &c, |_| None);
+        assert!(bad.is_empty());
+        assert_eq!(sups.len(), 1);
+        assert_eq!(sups[0].rule, "atomic-ordering-audit");
+        assert_eq!(sups[0].covered_line, Some(1));
+        assert_eq!(sups[0].justification, "stats only");
+    }
+
+    #[test]
+    fn standalone_allow_covers_next_code_line() {
+        let c = comment("// pm-lint: allow(error-taxonomy): constructed by macro\nlet y = 2;");
+        let (sups, bad) = parse_suppressions("f.rs", &c, |l| Some(l + 1));
+        assert!(bad.is_empty());
+        assert_eq!(sups[0].covered_line, Some(2));
+    }
+
+    #[test]
+    fn allow_file_covers_everything() {
+        let c = comment("// pm-lint: allow-file(frame-exhaustiveness): fixture corpus");
+        let (sups, _) = parse_suppressions("f.rs", &c, |_| None);
+        assert_eq!(sups[0].covered_line, None);
+    }
+
+    #[test]
+    fn missing_justification_is_a_finding() {
+        for bad_src in [
+            "// pm-lint: allow(some-rule)",
+            "// pm-lint: allow(some-rule):",
+            "// pm-lint: allow(some-rule):   ",
+            "// pm-lint: allow()",
+            "// pm-lint: deny(some-rule): nope",
+        ] {
+            let c = comment(bad_src);
+            let (sups, bad) = parse_suppressions("f.rs", &c, |_| None);
+            assert!(sups.is_empty(), "{bad_src}");
+            assert_eq!(bad.len(), 1, "{bad_src}");
+            assert_eq!(bad[0].rule, "suppression-grammar");
+        }
+    }
+
+    #[test]
+    fn marker_inside_a_string_is_inert() {
+        let src = r#"let s = "// pm-lint: allow(x)";"#;
+        let (sups, bad) = parse_suppressions("f.rs", &comment(src), |_| None);
+        assert!(sups.is_empty() && bad.is_empty());
+    }
+
+    #[test]
+    fn json_report_is_balanced_and_escaped() {
+        let report = Report {
+            findings: vec![Finding {
+                rule: "error-taxonomy",
+                file: "a\"b.rs".into(),
+                line: 3,
+                message: "quote \" and\nnewline".into(),
+            }],
+            suppressed: vec![],
+            files_scanned: 1,
+        };
+        let json = report.render_json();
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains("\\\""));
+        assert!(json.contains("\\n"));
+        assert!(json.contains("\"error-taxonomy\": 1"));
+    }
+}

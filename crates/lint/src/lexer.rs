@@ -1,0 +1,591 @@
+//! A hand-rolled Rust lexer: just enough tokenization to check
+//! invariants, with the one property the rule engine lives or dies by —
+//! **nothing inside a comment, string, raw string, byte string or char
+//! literal ever leaks into the code-token stream**.
+//!
+//! The workspace is offline and carries no `syn`/`proc-macro2`, and the
+//! rules don't need a syntax tree: every invariant in
+//! [`crate::rules`] is expressible over a flat token stream with
+//! brace-matching (find the `#[target_feature]` attribute, find the
+//! `enum TraceEvent` body, find `Ordering::SeqCst`). What they *do*
+//! need is for `// pm-lint: allow(...)` to be recognised only in real
+//! comments and for `"Ordering::SeqCst"` inside a string (this file
+//! contains several) to never look like the real thing — hence a
+//! lexer that is fully comment/string/char/raw-string aware, including
+//! nested block comments and `r#"…"#` hashes, but deliberately ignorant
+//! of everything else (keywords are just idents, numbers are opaque).
+//!
+//! ```
+//! use pm_lint::lexer::{lex, TokenKind};
+//! let lexed = lex("let s = \"fn not_a_fn()\"; // fn also_not_a_fn()");
+//! let idents: Vec<&str> = lexed
+//!     .tokens
+//!     .iter()
+//!     .filter(|t| t.kind == TokenKind::Ident)
+//!     .map(|t| t.text.as_str())
+//!     .collect();
+//! assert_eq!(idents, ["let", "s"]);
+//! assert_eq!(lexed.comments.len(), 1);
+//! ```
+
+/// What a token is, at the resolution the rules need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `unsafe`, `TraceEvent`, …).
+    Ident,
+    /// Punctuation. Multi-character for the three sequences rules
+    /// match on (`::`, `=>`, `->`); single characters otherwise.
+    Punct,
+    /// `"…"` or `b"…"` literal; `text` is the *body* (quotes and
+    /// prefix stripped, escapes left as written).
+    Str,
+    /// `r"…"`/`r#"…"#`/`br#"…"#` literal; `text` is the body.
+    RawStr,
+    /// `'x'` or `b'x'` literal; `text` is the body.
+    Char,
+    /// `'a` lifetime; `text` includes the quote.
+    Lifetime,
+    /// Numeric literal, opaque (`0x1F`, `1_000u64`, …).
+    Num,
+}
+
+/// One code token with the 1-based source line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokenKind,
+    /// The token's text (see [`TokenKind`] for what literals carry).
+    pub text: String,
+    /// 1-based line number of the token's first character.
+    pub line: u32,
+}
+
+/// One comment, kept out-of-band so suppressions can be parsed from
+/// real comments and only real comments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// Comment body with the `//`/`/*…*/` markers stripped.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Whether anything other than whitespace precedes the comment on
+    /// its line (a trailing comment suppresses its own line; a
+    /// standalone one suppresses the next code line).
+    pub trailing: bool,
+}
+
+/// The two output streams of [`lex`].
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Lexed {
+    /// Code tokens, in source order.
+    pub tokens: Vec<Token>,
+    /// Comments, in source order.
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// The lexer state: a byte cursor with a line counter. Operating on
+/// bytes is sound because every delimiter the lexer dispatches on is
+/// ASCII and UTF-8 continuation bytes are ≥ 0x80 (treated as opaque
+/// ident/literal content).
+struct Cursor<'a> {
+    src: &'a [u8],
+    i: usize,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self, ahead: usize) -> u8 {
+        self.src.get(self.i + ahead).copied().unwrap_or(0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let b = self.peek(0);
+        self.i += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        b
+    }
+
+    fn eof(&self) -> bool {
+        self.i >= self.src.len()
+    }
+
+    /// Consumes bytes through the closing `"` of a (non-raw) string
+    /// body starting after the opening quote; returns the body.
+    fn string_body(&mut self) -> String {
+        let start = self.i;
+        while !self.eof() {
+            match self.peek(0) {
+                b'\\' => {
+                    self.bump();
+                    if !self.eof() {
+                        self.bump();
+                    }
+                }
+                b'"' => break,
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+        let body = String::from_utf8_lossy(&self.src[start..self.i]).into_owned();
+        if !self.eof() {
+            self.bump(); // closing quote
+        }
+        body
+    }
+
+    /// Consumes a raw-string body: `hashes` is the number of `#` after
+    /// the `r`; the cursor sits after the opening `"`.
+    fn raw_string_body(&mut self, hashes: usize) -> String {
+        let start = self.i;
+        let mut end = self.i;
+        while !self.eof() {
+            if self.peek(0) == b'"' {
+                let mut ok = true;
+                for h in 0..hashes {
+                    if self.peek(1 + h) != b'#' {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    end = self.i;
+                    self.bump(); // closing quote
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    return String::from_utf8_lossy(&self.src[start..end]).into_owned();
+                }
+            }
+            self.bump();
+            end = self.i;
+        }
+        String::from_utf8_lossy(&self.src[start..end]).into_owned()
+    }
+}
+
+/// Tokenizes `src`. Never fails: unterminated literals and comments
+/// lex as running to end-of-file (the rules operate on what's there,
+/// and `rustc` will reject the file anyway).
+pub fn lex(src: &str) -> Lexed {
+    let mut c = Cursor {
+        src: src.as_bytes(),
+        i: 0,
+        line: 1,
+    };
+    let mut out = Lexed::default();
+    // Whether any non-whitespace token/comment has occurred on the
+    // current line (to classify trailing comments).
+    let mut line_has_code = false;
+    let mut last_line = 1u32;
+
+    while !c.eof() {
+        if c.line != last_line {
+            line_has_code = false;
+            last_line = c.line;
+        }
+        let line = c.line;
+        let b = c.peek(0);
+
+        // Whitespace.
+        if b.is_ascii_whitespace() {
+            c.bump();
+            continue;
+        }
+
+        // Comments.
+        if b == b'/' && c.peek(1) == b'/' {
+            c.bump();
+            c.bump();
+            let start = c.i;
+            while !c.eof() && c.peek(0) != b'\n' {
+                c.bump();
+            }
+            out.comments.push(Comment {
+                text: String::from_utf8_lossy(&c.src[start..c.i]).into_owned(),
+                line,
+                trailing: line_has_code,
+            });
+            continue;
+        }
+        if b == b'/' && c.peek(1) == b'*' {
+            c.bump();
+            c.bump();
+            let start = c.i;
+            let mut depth = 1usize;
+            let mut end = c.i;
+            while !c.eof() && depth > 0 {
+                if c.peek(0) == b'/' && c.peek(1) == b'*' {
+                    depth += 1;
+                    c.bump();
+                    c.bump();
+                } else if c.peek(0) == b'*' && c.peek(1) == b'/' {
+                    depth -= 1;
+                    end = c.i;
+                    c.bump();
+                    c.bump();
+                } else {
+                    c.bump();
+                    end = c.i;
+                }
+            }
+            out.comments.push(Comment {
+                text: String::from_utf8_lossy(&c.src[start..end]).into_owned(),
+                line,
+                trailing: line_has_code,
+            });
+            // A block comment does not count as code for the trailing
+            // classification of a following `//` on the same line.
+            continue;
+        }
+
+        line_has_code = true;
+
+        // Raw strings and byte strings: r"…", r#"…"#, b"…", br"…", b'…'.
+        if b == b'r' || b == b'b' {
+            let (prefix_len, raw, quote) = raw_prefix(&c);
+            match quote {
+                Quote::Raw(hashes) => {
+                    for _ in 0..prefix_len {
+                        c.bump();
+                    }
+                    let body = c.raw_string_body(hashes);
+                    out.tokens.push(Token {
+                        kind: if raw {
+                            TokenKind::RawStr
+                        } else {
+                            TokenKind::Str
+                        },
+                        text: body,
+                        line,
+                    });
+                    continue;
+                }
+                Quote::Double => {
+                    for _ in 0..prefix_len {
+                        c.bump();
+                    }
+                    let body = c.string_body();
+                    out.tokens.push(Token {
+                        kind: TokenKind::Str,
+                        text: body,
+                        line,
+                    });
+                    continue;
+                }
+                Quote::Single => {
+                    for _ in 0..prefix_len {
+                        c.bump();
+                    }
+                    let body = char_body(&mut c);
+                    out.tokens.push(Token {
+                        kind: TokenKind::Char,
+                        text: body,
+                        line,
+                    });
+                    continue;
+                }
+                Quote::None => {} // plain identifier starting with r/b
+            }
+        }
+
+        // Plain string literals.
+        if b == b'"' {
+            c.bump(); // opening quote
+            let body = c.string_body();
+            out.tokens.push(Token {
+                kind: TokenKind::Str,
+                text: body,
+                line,
+            });
+            continue;
+        }
+
+        // Identifiers and keywords.
+        if is_ident_start(b) {
+            let start = c.i;
+            while !c.eof() && is_ident_continue(c.peek(0)) {
+                c.bump();
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Ident,
+                text: String::from_utf8_lossy(&c.src[start..c.i]).into_owned(),
+                line,
+            });
+            continue;
+        }
+
+        // Numbers (opaque: suffixes and radix prefixes ride along).
+        if b.is_ascii_digit() {
+            let start = c.i;
+            while !c.eof() && (is_ident_continue(c.peek(0))) {
+                c.bump();
+            }
+            // Fractional part, but never a `..` range.
+            if c.peek(0) == b'.' && c.peek(1).is_ascii_digit() {
+                c.bump();
+                while !c.eof() && is_ident_continue(c.peek(0)) {
+                    c.bump();
+                }
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Num,
+                text: String::from_utf8_lossy(&c.src[start..c.i]).into_owned(),
+                line,
+            });
+            continue;
+        }
+
+        // Char literal vs lifetime.
+        if b == b'\'' {
+            // A lifetime is `'` + ident run NOT followed by `'`.
+            let mut j = 1;
+            while is_ident_continue(c.peek(j)) {
+                j += 1;
+            }
+            if j > 1 && c.peek(j) != b'\'' {
+                let start = c.i;
+                for _ in 0..j {
+                    c.bump();
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Lifetime,
+                    text: String::from_utf8_lossy(&c.src[start..c.i]).into_owned(),
+                    line,
+                });
+                continue;
+            }
+            c.bump(); // opening quote
+            let body = char_body(&mut c);
+            out.tokens.push(Token {
+                kind: TokenKind::Char,
+                text: body,
+                line,
+            });
+            continue;
+        }
+
+        // Punctuation; `::`, `=>` and `->` kept whole because rules
+        // match on them.
+        let two = [b, c.peek(1)];
+        let pair = match &two {
+            b"::" => Some("::"),
+            b"=>" => Some("=>"),
+            b"->" => Some("->"),
+            _ => None,
+        };
+        if let Some(p) = pair {
+            c.bump();
+            c.bump();
+            out.tokens.push(Token {
+                kind: TokenKind::Punct,
+                text: p.to_string(),
+                line,
+            });
+            continue;
+        }
+        c.bump();
+        out.tokens.push(Token {
+            kind: TokenKind::Punct,
+            text: (b as char).to_string(),
+            line,
+        });
+    }
+    out
+}
+
+/// What follows a potential `r`/`b`/`br` literal prefix.
+enum Quote {
+    /// `r`/`br` followed by `#…#"`: raw string with that many hashes.
+    Raw(usize),
+    /// `b"`: byte string (escapes like a normal string).
+    Double,
+    /// `b'`: byte char.
+    Single,
+    /// Not a literal prefix after all (an ident like `run` or `bits`).
+    None,
+}
+
+/// Classifies the bytes at the cursor as a literal prefix, returning
+/// `(prefix length through the opening quote, is_raw, kind)`.
+fn raw_prefix(c: &Cursor<'_>) -> (usize, bool, Quote) {
+    let b0 = c.peek(0);
+    let mut k = 1;
+    let mut raw = b0 == b'r';
+    if b0 == b'b' && c.peek(1) == b'r' {
+        raw = true;
+        k = 2;
+    }
+    if raw {
+        let mut hashes = 0;
+        while c.peek(k + hashes) == b'#' {
+            hashes += 1;
+        }
+        if c.peek(k + hashes) == b'"' {
+            return (k + hashes + 1, true, Quote::Raw(hashes));
+        }
+        return (0, false, Quote::None);
+    }
+    // b"…" or b'…'
+    if b0 == b'b' {
+        if c.peek(1) == b'"' {
+            return (2, false, Quote::Double);
+        }
+        if c.peek(1) == b'\'' {
+            return (2, false, Quote::Single);
+        }
+    }
+    (0, false, Quote::None)
+}
+
+/// Consumes a char-literal body after the opening quote; returns the
+/// body. Escapes are honoured so `'\''` and `'\\'` terminate correctly.
+fn char_body(c: &mut Cursor<'_>) -> String {
+    let start = c.i;
+    while !c.eof() {
+        match c.peek(0) {
+            b'\\' => {
+                c.bump();
+                if !c.eof() {
+                    c.bump();
+                }
+            }
+            b'\'' => break,
+            _ => {
+                c.bump();
+            }
+        }
+    }
+    let body = String::from_utf8_lossy(&c.src[start..c.i]).into_owned();
+    if !c.eof() {
+        c.bump();
+    }
+    body
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_never_leak_tokens() {
+        let src = r##"let x = "fn evil() { Ordering::SeqCst }"; let y = r#"enum TraceEvent"#;"##;
+        assert_eq!(idents(src), ["let", "x", "let", "y"]);
+    }
+
+    #[test]
+    fn comments_are_out_of_band_and_classified() {
+        let src = "let a = 1; // trailing note\n// standalone pm-lint: allow(x): y\nlet b = 2;";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].trailing);
+        assert_eq!(lexed.comments[0].line, 1);
+        assert!(!lexed.comments[1].trailing);
+        assert_eq!(lexed.comments[1].line, 2);
+    }
+
+    #[test]
+    fn nested_block_comments_and_line_tracking() {
+        let src = "/* outer /* inner */ still */ fn after() {}";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(
+            lexed
+                .tokens
+                .iter()
+                .map(|t| t.text.as_str())
+                .collect::<Vec<_>>(),
+            ["fn", "after", "(", ")", "{", "}"]
+        );
+        let src2 = "line1\n\"multi\nline\nstring\"\nfn f() {}";
+        let lexed2 = lex(src2);
+        let f = lexed2.tokens.iter().find(|t| t.text == "fn").unwrap();
+        assert_eq!(f.line, 5);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let q = '\\''; let u = '_'; }";
+        let lexed = lex(src);
+        let lifetimes: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Char)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(chars, ["x", "\\'", "_"]);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_and_byte_literals() {
+        let src = r####"let a = r#"quote " inside"#; let b = br##"double ## "# inside"##; let c = b"bytes"; let d = b'z';"####;
+        let lexed = lex(src);
+        let strs: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| matches!(t.kind, TokenKind::Str | TokenKind::RawStr | TokenKind::Char))
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(
+            strs,
+            ["quote \" inside", "double ## \"# inside", "bytes", "z"]
+        );
+    }
+
+    #[test]
+    fn multi_char_puncts_kept_whole() {
+        let src = "a::b => c -> d";
+        let puncts: Vec<_> = lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Punct)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(puncts, ["::", "=>", "->"]);
+    }
+
+    #[test]
+    fn numbers_are_opaque_and_ranges_survive() {
+        let src = "0x1F_u64 1_000 3.25 0..n";
+        let lexed = lex(src);
+        let nums: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Num)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(nums, ["0x1F_u64", "1_000", "3.25", "0"]);
+    }
+
+    #[test]
+    fn unterminated_literals_do_not_panic() {
+        for src in ["\"never closed", "r#\"never closed", "/* never closed", "'"] {
+            let _ = lex(src);
+        }
+    }
+}

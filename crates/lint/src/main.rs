@@ -1,0 +1,117 @@
+//! The `pm-lint` CLI.
+//!
+//! ```text
+//! pm-lint [--root DIR] [--json PATH] [--deny-all] [--list-rules] [FILE...]
+//! ```
+//!
+//! With no `FILE` arguments the whole workspace under `--root`
+//! (default: the current directory) is scanned; with explicit files
+//! only those are loaded — that is the fixture mode the self-tests
+//! and the CI gate's bad-fixture assertions use.
+//!
+//! Exit codes: `0` clean (or findings present but `--deny-all` not
+//! given — the default mode is advisory so a work-in-progress tree can
+//! still be inspected), `1` findings under `--deny-all`, `2` usage or
+//! I/O error.
+
+#![deny(unsafe_code)]
+
+use pm_lint::workspace::Workspace;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    root: PathBuf,
+    json: Option<PathBuf>,
+    deny_all: bool,
+    list_rules: bool,
+    files: Vec<PathBuf>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        root: PathBuf::from("."),
+        json: None,
+        deny_all: false,
+        list_rules: false,
+        files: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                opts.root = PathBuf::from(args.next().ok_or("--root needs a directory argument")?);
+            }
+            "--json" => {
+                opts.json = Some(PathBuf::from(
+                    args.next().ok_or("--json needs a file argument")?,
+                ));
+            }
+            "--deny-all" => opts.deny_all = true,
+            "--list-rules" => opts.list_rules = true,
+            "--help" | "-h" => {
+                return Err("usage: pm-lint [--root DIR] [--json PATH] [--deny-all] \
+                            [--list-rules] [FILE...]"
+                    .to_string())
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option `{other}` (try --help)"))
+            }
+            file => opts.files.push(PathBuf::from(file)),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("pm-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.list_rules {
+        for rule in pm_lint::rules::all_rules() {
+            println!("{:<28} {}", rule.name(), rule.description());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let loaded = if opts.files.is_empty() {
+        Workspace::load(&opts.root)
+    } else {
+        Workspace::from_files(&opts.root, &opts.files)
+    };
+    let mut ws = match loaded {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("pm-lint: failed to load workspace: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if ws.files.is_empty() {
+        eprintln!(
+            "pm-lint: no .rs files found under {} (wrong --root?)",
+            opts.root.display()
+        );
+        return ExitCode::from(2);
+    }
+
+    let report = pm_lint::run(&mut ws);
+    print!("{}", report.render_human());
+
+    if let Some(path) = &opts.json {
+        if let Err(e) = std::fs::write(path, report.render_json()) {
+            eprintln!("pm-lint: failed to write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    if opts.deny_all && !report.findings.is_empty() {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

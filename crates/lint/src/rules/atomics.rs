@@ -1,0 +1,244 @@
+//! `atomic-ordering-audit` — orderings are a contract between sites,
+//! not a per-line choice.
+//!
+//! Two checks:
+//!
+//! 1. **No `Ordering::SeqCst`.** The workspace's hot paths (the
+//!    scheduler's in-flight accounting, the serve admission counters,
+//!    every telemetry counter) deliberately use the weakest ordering
+//!    their invariant allows — `Relaxed` for statistics,
+//!    acquire/release for handoffs. `SeqCst` in this codebase is
+//!    almost always a "wasn't sure" marker that costs a full fence on
+//!    the hottest loops; where a genuine total order is needed, say so
+//!    with an `allow` and its justification.
+//!
+//! 2. **Release/acquire pairing.** For each atomic field (grouped by
+//!    receiver name within a crate), if any load expects `Acquire`
+//!    semantics, then *every* write site must publish with `Release`
+//!    (or stronger). A `Relaxed` store paired with an `Acquire` load
+//!    is the classic silent bug: it compiles, it works on x86, and it
+//!    reorders on ARM. The serve shutdown flag
+//!    (`stop.store(true, Release)` / `stop.load(Acquire)`) is the
+//!    motivating in-tree pairing.
+//!
+//! The grouping is lexical (receiver identifier within one crate) —
+//! aliases through clones of one `Arc<AtomicBool>` under *different*
+//! names are not connected, and same-named fields of different structs
+//! in one crate are conflated. Both are acceptable for an audit whose
+//! job is to force a human to look.
+
+use super::Rule;
+use crate::diag::Finding;
+use crate::lexer::{Token, TokenKind};
+use crate::workspace::Workspace;
+use std::collections::BTreeMap;
+
+/// See the module docs.
+pub struct AtomicOrderingAudit;
+
+/// Atomic method names that read, write, or both.
+const LOADS: &[&str] = &["load"];
+const STORES: &[&str] = &["store"];
+const RMWS: &[&str] = &[
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+/// One atomic operation site.
+#[derive(Debug)]
+struct Site {
+    file_idx: usize,
+    line: u32,
+    op: &'static str,
+    /// The success/first ordering named in the call.
+    ordering: String,
+}
+
+impl Rule for AtomicOrderingAudit {
+    fn name(&self) -> &'static str {
+        "atomic-ordering-audit"
+    }
+
+    fn description(&self) -> &'static str {
+        "no SeqCst on hot paths; every write to a field with Acquire loads \
+         must publish with Release or stronger"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        // Check 1: SeqCst anywhere in workspace code.
+        for file in &ws.files {
+            let toks = &file.lexed.tokens;
+            for i in 0..toks.len() {
+                if super::seq_at(toks, i, &["Ordering", "::", "SeqCst"]) {
+                    out.push(Finding {
+                        rule: self.name(),
+                        file: file.rel.clone(),
+                        line: toks[i].line,
+                        message: "Ordering::SeqCst costs a full fence; use the weakest \
+                                  ordering the invariant allows, or keep it with an \
+                                  `allow` naming the total-order requirement"
+                            .to_string(),
+                    });
+                }
+            }
+        }
+
+        // Check 2: per-(crate, receiver) release/acquire pairing.
+        let mut groups: BTreeMap<(String, String), Vec<Site>> = BTreeMap::new();
+        for (file_idx, file) in ws.files.iter().enumerate() {
+            collect_sites(&file.lexed.tokens, file_idx, &file.crate_name, &mut groups);
+        }
+        for ((_, receiver), sites) in &groups {
+            let acquire_load = sites
+                .iter()
+                .any(|s| s.op == "load" && matches!(s.ordering.as_str(), "Acquire" | "SeqCst"));
+            if !acquire_load {
+                continue;
+            }
+            for s in sites {
+                let writes = s.op != "load";
+                let releases = matches!(s.ordering.as_str(), "Release" | "AcqRel" | "SeqCst");
+                if writes && !releases {
+                    out.push(Finding {
+                        rule: self.name(),
+                        file: ws.files[s.file_idx].rel.clone(),
+                        line: s.line,
+                        message: format!(
+                            "`{receiver}.{op}(…, Ordering::{ord})` is a non-Release \
+                             write, but `{receiver}` has Acquire loads in this crate; \
+                             the publish is not ordered before the observe",
+                            receiver = receiver,
+                            op = s.op,
+                            ord = s.ordering
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Collects `recv.op(… Ordering::X …)` sites.
+fn collect_sites(
+    toks: &[Token],
+    file_idx: usize,
+    crate_name: &str,
+    groups: &mut BTreeMap<(String, String), Vec<Site>>,
+) {
+    for i in 2..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let Some(op) = LOADS
+            .iter()
+            .chain(STORES)
+            .chain(RMWS)
+            .find(|&&o| o == t.text)
+        else {
+            continue;
+        };
+        // Receiver: `<ident-or-num> . op (`.
+        if toks[i - 1].text != "." {
+            continue;
+        }
+        let recv = &toks[i - 2];
+        if !matches!(recv.kind, TokenKind::Ident | TokenKind::Num) {
+            continue;
+        }
+        if toks.get(i + 1).map(|o| o.text.as_str()) != Some("(") {
+            continue;
+        }
+        let Some(close) = super::matching_close(toks, i + 1) else {
+            continue;
+        };
+        // First `Ordering::X` inside the call is the success/primary
+        // ordering (fetch_update and compare_exchange name a failure
+        // ordering after it; the success side is what publishes).
+        let Some(ord_at) = super::find_seq(&toks[i + 2..close], 0, &["Ordering", "::"]) else {
+            continue; // not an atomic call (e.g. Vec::swap, io load)
+        };
+        let Some(ord) = toks.get(i + 2 + ord_at + 2) else {
+            continue;
+        };
+        groups
+            .entry((crate_name.to_string(), recv.text.clone()))
+            .or_default()
+            .push(Site {
+                file_idx,
+                line: t.line,
+                op,
+                ordering: ord.text.clone(),
+            });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_on(src: &str) -> Vec<Finding> {
+        use crate::workspace::Workspace;
+        let dir = std::env::temp_dir().join(format!(
+            "pm_lint_atomics_{}_{:p}",
+            std::process::id(),
+            src.as_ptr()
+        ));
+        std::fs::create_dir_all(dir.join("crates/demo/src")).unwrap();
+        let f = dir.join("crates/demo/src/lib.rs");
+        std::fs::write(&f, src).unwrap();
+        let ws = Workspace::from_files(&dir, &[f]).unwrap();
+        let mut out = Vec::new();
+        AtomicOrderingAudit.check(&ws, &mut out);
+        out
+    }
+
+    #[test]
+    fn seqcst_fires_and_strings_do_not() {
+        let src = "fn f(a: &AtomicU64) { a.load(Ordering::SeqCst); let s = \"Ordering::SeqCst\"; }";
+        let findings = run_on(src);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("SeqCst"));
+    }
+
+    #[test]
+    fn relaxed_store_with_acquire_load_fires() {
+        let src = "fn f(stop: &AtomicBool) { stop.store(true, Ordering::Relaxed); if stop.load(Ordering::Acquire) {} }";
+        let findings = run_on(src);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("non-Release write"));
+    }
+
+    #[test]
+    fn release_store_with_acquire_load_is_clean() {
+        let src = "fn f(stop: &AtomicBool) { stop.store(true, Ordering::Release); if stop.load(Ordering::Acquire) {} }";
+        assert!(run_on(src).is_empty());
+    }
+
+    #[test]
+    fn relaxed_counters_are_clean() {
+        let src =
+            "fn f(n: &AtomicU64) { n.fetch_add(1, Ordering::Relaxed); n.load(Ordering::Relaxed); }";
+        assert!(run_on(src).is_empty());
+    }
+
+    #[test]
+    fn rmw_with_acqrel_counts_as_release() {
+        let src =
+            "fn f(n: &AtomicU64) { n.fetch_sub(1, Ordering::AcqRel); n.load(Ordering::Acquire); }";
+        assert!(run_on(src).is_empty());
+    }
+
+    #[test]
+    fn non_atomic_swap_is_ignored() {
+        let src = "fn f(v: &mut Vec<u8>, w: &mut Vec<u8>) { v.swap(0, 1); std::mem::swap(v, w); }";
+        assert!(run_on(src).is_empty());
+    }
+}

@@ -1,0 +1,258 @@
+//! `error-taxonomy` — no dead or mute error variants.
+//!
+//! The workspace carries eight hand-rolled error enums (`Error`,
+//! `HostError`, `CodecError`, `ClientError`, `GraphError`,
+//! `FaultError`, `SimError`, `MatchError`) because it takes no
+//! dependency on `thiserror`. Hand-rolled means hand-drifted: a
+//! variant added for one code path keeps compiling after that path is
+//! deleted, and a variant without a `Display` arm renders as nothing
+//! useful at the one moment someone is reading a failure. For every
+//! `pub enum` named `Error` or `*Error` the rule requires:
+//!
+//! 1. a `Display` impl for the enum exists in its declaring file, and
+//!    every variant is named inside it (matched or delegated — the
+//!    check is presence of `Variant` as a code token in the impl
+//!    body, so `Self::Io(e) => …` and `Error::Io(e) => …` both
+//!    count);
+//! 2. every variant is *constructed or matched somewhere else*: a
+//!    `TypeName::Variant` path (any file, `From` impls and `?`
+//!    desugaring included) or `Self::Variant` outside both the enum
+//!    body and the Display impl. A variant nobody produces is either
+//!    dead taxonomy or a missing error path — both worth a look.
+
+use super::{body_range, find_seq, seq_at, Rule};
+use crate::diag::Finding;
+use crate::lexer::TokenKind;
+use crate::workspace::Workspace;
+
+/// See the module docs.
+pub struct ErrorTaxonomy;
+
+impl Rule for ErrorTaxonomy {
+    fn name(&self) -> &'static str {
+        "error-taxonomy"
+    }
+
+    fn description(&self) -> &'static str {
+        "every public *Error enum variant has a Display arm and a construction \
+         site outside the enum and its Display impl"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        for (fi, file) in ws.files.iter().enumerate() {
+            let toks = &file.lexed.tokens;
+            let mut i = 0;
+            while i < toks.len() {
+                // `pub enum <Name>` where Name is Error or *Error.
+                if !seq_at(toks, i, &["pub", "enum"]) {
+                    i += 1;
+                    continue;
+                }
+                let Some(name_tok) = toks.get(i + 2) else {
+                    break;
+                };
+                let name = name_tok.text.clone();
+                if name_tok.kind != TokenKind::Ident || !name.ends_with("Error") && name != "Error"
+                {
+                    i += 3;
+                    continue;
+                }
+                let kw = i + 1; // the `enum` keyword
+                let variants = super::enum_variants(toks, kw);
+                let enum_body = body_range(toks, kw, 64);
+                let display = display_impl(toks, &name);
+
+                if display.is_none() {
+                    out.push(Finding {
+                        rule: self.name(),
+                        file: file.rel.clone(),
+                        line: name_tok.line,
+                        message: format!(
+                            "`pub enum {name}` has no `impl Display for {name}` in its \
+                             declaring file; its failures render nothing human-readable"
+                        ),
+                    });
+                }
+
+                for (variant, line) in &variants {
+                    if let Some((ds, de)) = display {
+                        let shown = (ds..de)
+                            .any(|k| toks[k].kind == TokenKind::Ident && toks[k].text == *variant);
+                        if !shown {
+                            out.push(Finding {
+                                rule: self.name(),
+                                file: file.rel.clone(),
+                                line: *line,
+                                message: format!(
+                                    "`{name}::{variant}` is not covered by the Display \
+                                     impl; this failure prints without its case"
+                                ),
+                            });
+                        }
+                    }
+                    if !constructed(ws, fi, &name, variant, enum_body, display) {
+                        out.push(Finding {
+                            rule: self.name(),
+                            file: file.rel.clone(),
+                            line: *line,
+                            message: format!(
+                                "`{name}::{variant}` is never constructed or matched \
+                                 outside its declaration and Display impl; dead taxonomy \
+                                 or a missing error path"
+                            ),
+                        });
+                    }
+                }
+                i = enum_body.map(|(_, e)| e).unwrap_or(i + 3);
+            }
+        }
+    }
+}
+
+/// Token range of the `impl … Display for <name>` body in the same
+/// file, if any.
+fn display_impl(toks: &[crate::lexer::Token], name: &str) -> Option<(usize, usize)> {
+    let mut from = 0;
+    while let Some(at) = find_seq(toks, from, &["Display", "for", name]) {
+        // Must be an impl header, not e.g. a doc sentence (comments are
+        // already stripped, so any match is code; just find the body).
+        if let Some(range) = body_range(toks, at, 24) {
+            return Some(range);
+        }
+        from = at + 1;
+    }
+    None
+}
+
+/// Whether `name::variant` (any file) or `Self::variant` (declaring
+/// file) appears outside the enum body and the Display impl.
+fn constructed(
+    ws: &Workspace,
+    decl_idx: usize,
+    name: &str,
+    variant: &str,
+    enum_body: Option<(usize, usize)>,
+    display: Option<(usize, usize)>,
+) -> bool {
+    for (fi, file) in ws.files.iter().enumerate() {
+        let toks = &file.lexed.tokens;
+        let mut from = 0;
+        loop {
+            let qualified = find_seq(toks, from, &[name, "::", variant]);
+            let selfed = if fi == decl_idx {
+                find_seq(toks, from, &["Self", "::", variant])
+            } else {
+                None
+            };
+            let at = match (qualified, selfed) {
+                (Some(a), Some(b)) => a.min(b),
+                (Some(a), None) => a,
+                (None, Some(b)) => b,
+                (None, None) => break,
+            };
+            let inside = |r: Option<(usize, usize)>| {
+                fi == decl_idx && r.is_some_and(|(s, e)| at >= s && at < e)
+            };
+            if !inside(enum_body) && !inside(display) {
+                return true;
+            }
+            from = at + 1;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_on(files: &[(&str, &str)]) -> Vec<Finding> {
+        let dir = std::env::temp_dir().join(format!(
+            "pm_lint_errors_{}_{:p}",
+            std::process::id(),
+            files.as_ptr()
+        ));
+        std::fs::create_dir_all(dir.join("crates/demo/src")).unwrap();
+        let paths: Vec<_> = files
+            .iter()
+            .map(|(rel, src)| {
+                let p = dir.join("crates/demo/src").join(rel);
+                std::fs::write(&p, src).unwrap();
+                p
+            })
+            .collect();
+        let ws = crate::workspace::Workspace::from_files(&dir, &paths).unwrap();
+        let mut out = Vec::new();
+        ErrorTaxonomy.check(&ws, &mut out);
+        out
+    }
+
+    const GOOD: &str = r#"
+pub enum DemoError { Io, Full }
+impl fmt::Display for DemoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self { Self::Io => write!(f, "io"), Self::Full => write!(f, "full") }
+    }
+}
+fn open() -> Result<(), DemoError> { Err(DemoError::Io) }
+fn push() -> Result<(), DemoError> { Err(DemoError::Full) }
+"#;
+
+    #[test]
+    fn covered_enum_is_clean() {
+        assert!(run_on(&[("lib.rs", GOOD)]).is_empty());
+    }
+
+    #[test]
+    fn missing_display_arm_fires() {
+        let src = r#"
+pub enum DemoError { Io, Full }
+impl fmt::Display for DemoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self { Self::Io => write!(f, "io"), _ => write!(f, "?") }
+    }
+}
+fn open() -> Result<(), DemoError> { Err(DemoError::Io) }
+fn push() -> Result<(), DemoError> { Err(DemoError::Full) }
+"#;
+        let findings = run_on(&[("lib.rs", src)]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("Display"));
+    }
+
+    #[test]
+    fn unconstructed_variant_fires() {
+        let src = r#"
+pub enum DemoError { Io, Full }
+impl fmt::Display for DemoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self { Self::Io => write!(f, "io"), Self::Full => write!(f, "full") }
+    }
+}
+fn open() -> Result<(), DemoError> { Err(DemoError::Io) }
+"#;
+        let findings = run_on(&[("lib.rs", src)]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("never constructed"));
+    }
+
+    #[test]
+    fn construction_in_sibling_file_counts() {
+        let decl = r#"
+pub enum DemoError { Io }
+impl fmt::Display for DemoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self { Self::Io => write!(f, "io") }
+    }
+}
+"#;
+        let user = "fn open() -> Result<(), DemoError> { Err(DemoError::Io) }";
+        assert!(run_on(&[("err.rs", decl), ("lib.rs", user)]).is_empty());
+    }
+
+    #[test]
+    fn non_error_enums_are_ignored() {
+        let src = "pub enum Mode { Fast, Slow }";
+        assert!(run_on(&[("lib.rs", src)]).is_empty());
+    }
+}

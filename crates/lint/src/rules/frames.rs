@@ -1,0 +1,172 @@
+//! `frame-exhaustiveness` — the wire protocol has no half-plumbed
+//! frames.
+//!
+//! `crates/serve/src/protocol.rs` declares the frame vocabulary three
+//! times over: the `mod kind` wire bytes, the `Frame` enum, and the
+//! `kind()`/`encode()`/`decode()` trios that map between them. The
+//! session state machine then has to *react* to each frame. All four
+//! places are hand-maintained `match`es; `decode` in particular has a
+//! catch-all `other =>` arm, so a new kind constant with a missing
+//! decode arm compiles and simply rejects the frame at runtime as
+//! `UnknownKind` — a protocol bug the type system never sees.
+//!
+//! For every `pub const NAME: u8` in the protocol file's `mod kind`,
+//! the rule requires:
+//!
+//! 1. a `kind::NAME` reference inside `fn kind` (the Frame→byte map);
+//! 2. a `kind::NAME` reference inside `fn encode`;
+//! 3. a `kind::NAME` match arm inside `fn decode`;
+//! 4. a `Frame::CamelName` reference in at least one *other* file of
+//!    the same crate — the session/server/client layer actually
+//!    handling or producing the frame. (Skipped when the crate has no
+//!    other files, which is the single-file fixture case.)
+
+use super::{body_range, camel, find_seq, seq_at, Rule};
+use crate::diag::Finding;
+use crate::lexer::{Token, TokenKind};
+use crate::workspace::Workspace;
+
+/// See the module docs.
+pub struct FrameExhaustiveness;
+
+impl Rule for FrameExhaustiveness {
+    fn name(&self) -> &'static str {
+        "frame-exhaustiveness"
+    }
+
+    fn description(&self) -> &'static str {
+        "every frame-kind constant has an encode path, a decode arm, and a \
+         session-layer handler"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        // The protocol file: declares both `mod kind` and `enum Frame`.
+        let Some(proto) = ws.files.iter().find(|f| {
+            find_seq(&f.lexed.tokens, 0, &["mod", "kind"]).is_some()
+                && find_seq(&f.lexed.tokens, 0, &["enum", "Frame"]).is_some()
+        }) else {
+            return;
+        };
+        let toks = &proto.lexed.tokens;
+        let consts = kind_consts(toks);
+        if consts.is_empty() {
+            return;
+        }
+
+        let regions: Vec<(&str, Option<(usize, usize)>)> = vec![
+            ("fn kind()", fn_body(toks, "kind")),
+            ("fn encode()", fn_body(toks, "encode")),
+            ("fn decode()", fn_body(toks, "decode")),
+        ];
+        for (what, region) in &regions {
+            if region.is_none() {
+                out.push(Finding {
+                    rule: self.name(),
+                    file: proto.rel.clone(),
+                    line: 1,
+                    message: format!(
+                        "protocol file declares `mod kind` but has no {what} to check \
+                         frame coverage against"
+                    ),
+                });
+            }
+        }
+
+        let others: Vec<_> = ws
+            .crate_files(&proto.crate_name)
+            .filter(|f| f.rel != proto.rel)
+            .collect();
+
+        for (name, line) in &consts {
+            for (what, region) in &regions {
+                let Some((start, end)) = region else { continue };
+                if find_seq(&toks[*start..*end], 0, &["kind", "::", name]).is_none() {
+                    out.push(Finding {
+                        rule: self.name(),
+                        file: proto.rel.clone(),
+                        line: *line,
+                        message: format!(
+                            "frame kind `{name}` has no `kind::{name}` reference in \
+                             {what}; the frame cannot cross the wire in that direction"
+                        ),
+                    });
+                }
+            }
+            if !others.is_empty() {
+                let variant = camel(name);
+                let handled = others
+                    .iter()
+                    .any(|f| find_seq(&f.lexed.tokens, 0, &["Frame", "::", &variant]).is_some());
+                if !handled {
+                    out.push(Finding {
+                        rule: self.name(),
+                        file: proto.rel.clone(),
+                        line: *line,
+                        message: format!(
+                            "no file in crate `{}` besides the protocol definition \
+                             references `Frame::{variant}`; the frame has no session \
+                             handler or producer",
+                            proto.crate_name
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// `pub const NAME: u8 = …;` declarations inside `mod kind { … }`.
+fn kind_consts(tokens: &[Token]) -> Vec<(String, u32)> {
+    let Some(kw) = find_seq(tokens, 0, &["mod", "kind"]) else {
+        return Vec::new();
+    };
+    let Some((start, end)) = body_range(tokens, kw, 8) else {
+        return Vec::new();
+    };
+    let mut consts = Vec::new();
+    let mut i = start;
+    while i < end {
+        if seq_at(tokens, i, &["const"]) {
+            if let Some(name) = tokens.get(i + 1) {
+                if name.kind == TokenKind::Ident {
+                    consts.push((name.text.clone(), name.line));
+                }
+            }
+        }
+        i += 1;
+    }
+    consts
+}
+
+/// Body range of the first `fn <name>` in the file.
+fn fn_body(tokens: &[Token], name: &str) -> Option<(usize, usize)> {
+    let at = find_seq(tokens, 0, &["fn", name])?;
+    body_range(tokens, at, 96)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn kind_consts_extracted_from_module() {
+        let src = "mod kind { pub const HELLO: u8 = 0x01; pub const HELLO_OK: u8 = 0x81; } const OUTSIDE: u8 = 0;";
+        let lexed = lex(src);
+        let names: Vec<_> = kind_consts(&lexed.tokens)
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect();
+        assert_eq!(names, ["HELLO", "HELLO_OK"]);
+    }
+
+    #[test]
+    fn fn_body_scopes_the_search() {
+        let src = "fn kind(&self) -> u8 { kind::HELLO } fn encode(&self) { other::thing() }";
+        let lexed = lex(src);
+        let (s, e) = fn_body(&lexed.tokens, "kind").unwrap();
+        assert!(find_seq(&lexed.tokens[s..e], 0, &["kind", "::", "HELLO"]).is_some());
+        let (s2, e2) = fn_body(&lexed.tokens, "encode").unwrap();
+        assert!(find_seq(&lexed.tokens[s2..e2], 0, &["kind", "::", "HELLO"]).is_none());
+    }
+}

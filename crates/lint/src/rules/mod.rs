@@ -1,0 +1,215 @@
+//! The rule registry and the token-pattern helpers every rule builds
+//! on.
+//!
+//! Each rule is a pure function over the [`Workspace`]: it sees every
+//! file's token stream (comments and string bodies already peeled off
+//! by the lexer) and appends [`Finding`]s. Rules discover their
+//! subjects *by content*, not by hard-coded path — the file that
+//! declares `enum TraceEvent` is the telemetry source of truth
+//! wherever it lives — so the same rules run unchanged over the real
+//! tree and over single-file fixture corpora.
+
+use crate::diag::Finding;
+use crate::lexer::{Token, TokenKind};
+use crate::workspace::Workspace;
+
+mod atomics;
+mod errors;
+mod frames;
+mod simd;
+mod telemetry;
+
+pub use atomics::AtomicOrderingAudit;
+pub use errors::ErrorTaxonomy;
+pub use frames::FrameExhaustiveness;
+pub use simd::SimdDispatchSoundness;
+pub use telemetry::TelemetryCompleteness;
+
+/// One machine-checked invariant.
+pub trait Rule {
+    /// Stable kebab-case name (what `allow(...)` cites).
+    fn name(&self) -> &'static str;
+    /// One-line description for `--list-rules`.
+    fn description(&self) -> &'static str;
+    /// Appends findings for every violation in the workspace.
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>);
+}
+
+/// Every shipped rule, in documentation order.
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(SimdDispatchSoundness),
+        Box::new(TelemetryCompleteness),
+        Box::new(FrameExhaustiveness),
+        Box::new(AtomicOrderingAudit),
+        Box::new(ErrorTaxonomy),
+    ]
+}
+
+// ---------------------------------------------------------------------
+// Token-pattern helpers.
+// ---------------------------------------------------------------------
+
+/// Whether `tokens[i..]` matches `pat` textually, restricted to code
+/// tokens (idents, puncts, numbers) — a string literal whose body
+/// happens to spell `Ordering` can never match.
+pub(crate) fn seq_at(tokens: &[Token], i: usize, pat: &[&str]) -> bool {
+    if i + pat.len() > tokens.len() {
+        return false;
+    }
+    pat.iter().enumerate().all(|(k, want)| {
+        let t = &tokens[i + k];
+        matches!(t.kind, TokenKind::Ident | TokenKind::Punct | TokenKind::Num) && t.text == *want
+    })
+}
+
+/// First index at or after `from` where `pat` matches.
+pub(crate) fn find_seq(tokens: &[Token], from: usize, pat: &[&str]) -> Option<usize> {
+    (from..tokens.len()).find(|&i| seq_at(tokens, i, pat))
+}
+
+/// Whether the token is an opening delimiter.
+fn opens(t: &Token) -> bool {
+    t.kind == TokenKind::Punct && matches!(t.text.as_str(), "{" | "(" | "[")
+}
+
+/// Whether the token is a closing delimiter.
+fn closes(t: &Token) -> bool {
+    t.kind == TokenKind::Punct && matches!(t.text.as_str(), "}" | ")" | "]")
+}
+
+/// Index of the delimiter matching the opener at `open`, treating all
+/// bracket kinds as one family (the lexer guarantees literals can't
+/// desynchronise the count).
+pub(crate) fn matching_close(tokens: &[Token], open: usize) -> Option<usize> {
+    debug_assert!(opens(&tokens[open]));
+    let mut depth = 0usize;
+    for (i, t) in tokens.iter().enumerate().skip(open) {
+        if opens(t) {
+            depth += 1;
+        } else if closes(t) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+/// The token range of the body `{ … }` of the item whose header starts
+/// at `header`: finds the first `{` at header level and returns the
+/// exclusive-interior range. Bails (None) if no body opens within
+/// `limit` tokens (e.g. a trait fn with `;`).
+pub(crate) fn body_range(tokens: &[Token], header: usize, limit: usize) -> Option<(usize, usize)> {
+    let mut i = header;
+    let end = (header + limit).min(tokens.len());
+    while i < end {
+        let t = &tokens[i];
+        if t.kind == TokenKind::Punct && t.text == "{" {
+            let close = matching_close(tokens, i)?;
+            return Some((i + 1, close));
+        }
+        if t.kind == TokenKind::Punct && t.text == ";" {
+            return None;
+        }
+        // Skip nested delimiters in the header (generics render as
+        // `<`/`>` puncts and don't nest for our purposes; parens do).
+        if opens(t) {
+            i = matching_close(tokens, i)? + 1;
+            continue;
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Variant names (with definition lines) of the enum whose `enum Name`
+/// keyword pair starts at `kw` (`tokens[kw].text == "enum"`).
+pub(crate) fn enum_variants(tokens: &[Token], kw: usize) -> Vec<(String, u32)> {
+    let Some((start, end)) = body_range(tokens, kw, 64) else {
+        return Vec::new();
+    };
+    let mut variants = Vec::new();
+    let mut depth = 0usize;
+    let mut expecting = true;
+    let mut i = start;
+    while i < end {
+        let t = &tokens[i];
+        if opens(t) {
+            depth += 1;
+        } else if closes(t) {
+            depth = depth.saturating_sub(1);
+        } else if depth == 0 {
+            if t.kind == TokenKind::Punct && t.text == "," {
+                expecting = true;
+            } else if expecting && t.kind == TokenKind::Ident {
+                variants.push((t.text.clone(), t.line));
+                expecting = false;
+            }
+        }
+        i += 1;
+    }
+    variants
+}
+
+/// Converts a SCREAMING_SNAKE constant name to the CamelCase variant
+/// name it conventionally maps to (`HELLO_OK` → `HelloOk`).
+pub(crate) fn camel(name: &str) -> String {
+    name.split('_')
+        .map(|part| {
+            let mut cs = part.chars();
+            match cs.next() {
+                Some(first) => {
+                    first.to_ascii_uppercase().to_string() + &cs.as_str().to_ascii_lowercase()
+                }
+                None => String::new(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn seq_ignores_literals() {
+        let lexed = lex("let a = \"Ordering\"; Ordering::SeqCst");
+        let toks = &lexed.tokens;
+        assert!(find_seq(toks, 0, &["Ordering", "::", "SeqCst"]).is_some());
+        let only_str = lex("let a = \"Ordering::SeqCst\";");
+        assert!(find_seq(&only_str.tokens, 0, &["Ordering", "::", "SeqCst"]).is_none());
+    }
+
+    #[test]
+    fn enum_variant_extraction_handles_payloads_and_attrs() {
+        let src = "pub enum E {\n  Unit,\n  #[cfg(test)]\n  Tuple(u32, Vec<u8>),\n  Struct { a: u64, b: B },\n  Last = 7,\n}";
+        let lexed = lex(src);
+        let kw = find_seq(&lexed.tokens, 0, &["enum", "E"]).unwrap();
+        let names: Vec<_> = enum_variants(&lexed.tokens, kw)
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect();
+        assert_eq!(names, ["Unit", "Tuple", "Struct", "Last"]);
+    }
+
+    #[test]
+    fn camel_case_mapping() {
+        assert_eq!(camel("HELLO"), "Hello");
+        assert_eq!(camel("HELLO_OK"), "HelloOk");
+        assert_eq!(camel("ADD_PATTERN"), "AddPattern");
+    }
+
+    #[test]
+    fn body_range_finds_fn_bodies() {
+        let src = "fn f(a: (u32, u32)) -> Vec<u8> { inner(); { nested } } fn g();";
+        let lexed = lex(src);
+        let (s, e) = body_range(&lexed.tokens, 0, 64).unwrap();
+        let texts: Vec<_> = lexed.tokens[s..e].iter().map(|t| t.text.as_str()).collect();
+        assert!(texts.contains(&"inner"));
+        let g = find_seq(&lexed.tokens, e, &["fn", "g"]).unwrap();
+        assert!(body_range(&lexed.tokens, g, 64).is_none());
+    }
+}

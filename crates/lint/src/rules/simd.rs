@@ -1,0 +1,323 @@
+//! `simd-dispatch-soundness` — the PR 5 bug class, machine-checked.
+//!
+//! History: PR 4 shipped `run_wide_avx512` with
+//! `#[target_feature(enable = "avx512f,avx512bw")]` while the runtime
+//! guard only ever proved `avx512f` (`detect_level` checks
+//! `is_x86_feature_detected!("avx512f")` and nothing else). On an
+//! AVX-512F-without-BW part the dispatch would have executed BW
+//! instructions the CPU does not have — undefined behaviour. A human
+//! reviewer caught it in PR 5; this rule makes the reviewer
+//! mechanical.
+//!
+//! For every `#[target_feature(enable = …)]` function the rule
+//! requires:
+//!
+//! 1. the function is declared `unsafe` (calling it is a promise about
+//!    the CPU, and safe Rust must not be able to make that promise);
+//! 2. at least one call site exists in the same crate, and every call
+//!    site sits directly behind a `SimdLevel` match arm of a
+//!    `match simd_level()` dispatch (the only guard the workspace
+//!    recognises as proof);
+//! 3. the features the attribute enables are a subset of what the
+//!    guarding arm *proves*: `SimdLevel::Avx2` proves `avx2`,
+//!    `SimdLevel::Avx512` proves `avx512f` — exactly the features
+//!    `detect_level` detects, nothing inferred. `avx512bw` under an
+//!    `Avx512` arm is precisely the PR 5 bug and fires.
+
+use super::{find_seq, matching_close, seq_at, Rule};
+use crate::diag::Finding;
+use crate::lexer::{Token, TokenKind};
+use crate::workspace::{SourceFile, Workspace};
+
+/// See the module docs.
+pub struct SimdDispatchSoundness;
+
+/// What each `SimdLevel` arm proves about the CPU: the feature its
+/// `detect_level` branch actually tested, nothing more. Extending the
+/// dispatch (say with a `Neon` level) means extending this table *and*
+/// `detect_level` together.
+const PROVEN: &[(&str, &[&str])] = &[("Avx2", &["avx2"]), ("Avx512", &["avx512f"])];
+
+/// One `#[target_feature]` function found in a file.
+struct TargetFn {
+    name: String,
+    line: u32,
+    features: Vec<String>,
+    is_unsafe: bool,
+}
+
+impl Rule for SimdDispatchSoundness {
+    fn name(&self) -> &'static str {
+        "simd-dispatch-soundness"
+    }
+
+    fn description(&self) -> &'static str {
+        "#[target_feature] fns must be unsafe, reachable only behind a matching \
+         simd_level() guard, and must enable no feature the guard does not prove"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        for file in &ws.files {
+            for tf in target_feature_fns(&file.lexed.tokens) {
+                if !tf.is_unsafe {
+                    out.push(Finding {
+                        rule: self.name(),
+                        file: file.rel.clone(),
+                        line: tf.line,
+                        message: format!(
+                            "`{}` has #[target_feature(enable = \"{}\")] but is not \
+                             declared `unsafe fn`; a safe caller could run it on a CPU \
+                             without those features",
+                            tf.name,
+                            tf.features.join(",")
+                        ),
+                    });
+                }
+                self.check_call_sites(ws, file, &tf, out);
+            }
+        }
+    }
+}
+
+impl SimdDispatchSoundness {
+    /// Verifies every same-crate call site of `tf` is guarded and that
+    /// the guard proves the enabled feature set.
+    fn check_call_sites(
+        &self,
+        ws: &Workspace,
+        decl_file: &SourceFile,
+        tf: &TargetFn,
+        out: &mut Vec<Finding>,
+    ) {
+        let mut call_sites = 0usize;
+        for file in ws.crate_files(&decl_file.crate_name) {
+            let toks = &file.lexed.tokens;
+            for i in 0..toks.len() {
+                if !is_call_site(toks, i, &tf.name) {
+                    continue;
+                }
+                call_sites += 1;
+                match guard_arm(toks, i) {
+                    Some((level, arm_line)) => {
+                        let proven = PROVEN
+                            .iter()
+                            .find(|(l, _)| *l == level)
+                            .map(|(_, f)| *f)
+                            .unwrap_or(&[]);
+                        for feat in &tf.features {
+                            if !proven.contains(&feat.as_str()) {
+                                out.push(Finding {
+                                    rule: self.name(),
+                                    file: file.rel.clone(),
+                                    line: toks[i].line,
+                                    message: format!(
+                                        "`{}` enables \"{feat}\" but the guarding \
+                                         `SimdLevel::{level}` arm (line {arm_line}) only \
+                                         proves {:?}; running it here is UB on a CPU with \
+                                         {} but not {feat}",
+                                        tf.name,
+                                        proven,
+                                        proven.join("+"),
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                    None => out.push(Finding {
+                        rule: self.name(),
+                        file: file.rel.clone(),
+                        line: toks[i].line,
+                        message: format!(
+                            "call to `#[target_feature]` fn `{}` is not directly behind \
+                             a `SimdLevel::…` arm of a `match simd_level()` dispatch",
+                            tf.name
+                        ),
+                    }),
+                }
+            }
+        }
+        if call_sites == 0 {
+            out.push(Finding {
+                rule: self.name(),
+                file: decl_file.rel.clone(),
+                line: tf.line,
+                message: format!(
+                    "`{}` is never called in crate `{}`; a #[target_feature] fn with no \
+                     guarded dispatch call site has no proof it only runs on capable CPUs",
+                    tf.name, decl_file.crate_name
+                ),
+            });
+        }
+    }
+}
+
+/// Extracts every `#[target_feature(enable = …)]` function header.
+fn target_feature_fns(tokens: &[Token]) -> Vec<TargetFn> {
+    let mut found = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // `#[target_feature(…)]`
+        if !(seq_at(tokens, i, &["#", "["]) && seq_at(tokens, i + 2, &["target_feature"])) {
+            i += 1;
+            continue;
+        }
+        let attr_close = match matching_close(tokens, i + 1) {
+            Some(c) => c,
+            None => break,
+        };
+        let mut features = Vec::new();
+        for t in &tokens[i + 2..attr_close] {
+            if t.kind == TokenKind::Str {
+                for feat in t.text.split(',') {
+                    let feat = feat.trim();
+                    if !feat.is_empty() {
+                        features.push(feat.to_string());
+                    }
+                }
+            }
+        }
+        // Skip any further attributes between target_feature and `fn`.
+        let mut j = attr_close + 1;
+        while seq_at(tokens, j, &["#", "["]) {
+            match matching_close(tokens, j + 1) {
+                Some(c) => j = c + 1,
+                None => break,
+            }
+        }
+        // Header modifiers until `fn`.
+        let mut is_unsafe = false;
+        let header_line = tokens[i].line;
+        let mut name = None;
+        for k in j..(j + 12).min(tokens.len()) {
+            let t = &tokens[k];
+            if t.kind == TokenKind::Ident && t.text == "unsafe" {
+                is_unsafe = true;
+            }
+            if t.kind == TokenKind::Ident && t.text == "fn" {
+                if let Some(n) = tokens.get(k + 1) {
+                    if n.kind == TokenKind::Ident {
+                        name = Some(n.text.clone());
+                    }
+                }
+                break;
+            }
+        }
+        if let Some(name) = name {
+            found.push(TargetFn {
+                name,
+                line: header_line,
+                features,
+                is_unsafe,
+            });
+        }
+        i = attr_close + 1;
+    }
+    found
+}
+
+/// Whether `tokens[i]` is a *call* of `name` (ident followed by `(` or
+/// turbofish), not its definition (`fn name`) or a path segment.
+fn is_call_site(tokens: &[Token], i: usize, name: &str) -> bool {
+    let t = &tokens[i];
+    if t.kind != TokenKind::Ident || t.text != name {
+        return false;
+    }
+    if i > 0 && tokens[i - 1].kind == TokenKind::Ident && tokens[i - 1].text == "fn" {
+        return false;
+    }
+    match tokens.get(i + 1) {
+        Some(n) if n.kind == TokenKind::Punct && n.text == "(" => true,
+        Some(n) if n.kind == TokenKind::Punct && n.text == "::" => {
+            // turbofish: name::<W>(…)
+            matches!(tokens.get(i + 2), Some(lt) if lt.text == "<")
+        }
+        _ => false,
+    }
+}
+
+/// Searches backwards from a call site for the `SimdLevel::X =>` arm
+/// that guards it, and checks the arm belongs to a `match simd_level()`.
+/// Returns the proving level's name and the arm's line.
+///
+/// The window is deliberately small (an arm body here is `unsafe {
+/// call(…) }` plus cfg attributes): a call 40 tokens past its arm is
+/// no longer "directly behind" the guard and should be restructured
+/// rather than accommodated.
+fn guard_arm(tokens: &[Token], call: usize) -> Option<(String, u32)> {
+    let window_start = call.saturating_sub(40);
+    // Nearest `=>` before the call.
+    let arrow = (window_start..call)
+        .rev()
+        .find(|&k| tokens[k].kind == TokenKind::Punct && tokens[k].text == "=>")?;
+    // Pattern must end `SimdLevel :: Level`.
+    if arrow < 3 {
+        return None;
+    }
+    if !seq_at(tokens, arrow - 3, &["SimdLevel", "::"]) {
+        return None;
+    }
+    let level = &tokens[arrow - 1];
+    if level.kind != TokenKind::Ident {
+        return None;
+    }
+    // The arm must sit inside a `match simd_level()` — look back a
+    // bounded window for the dispatch header.
+    let match_start = arrow.saturating_sub(220);
+    let dispatch = find_seq(
+        &tokens[match_start..arrow],
+        0,
+        &["match", "simd_level", "("],
+    )
+    .is_some();
+    if !dispatch {
+        return None;
+    }
+    Some((level.text.clone(), level.line))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn extracts_target_feature_headers() {
+        let src = r#"
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512bw")]
+unsafe fn wide<const W: usize>(x: u32) {}
+#[target_feature(enable = "avx2")]
+fn not_unsafe() {}
+"#;
+        let fns = target_feature_fns(&lex(src).tokens);
+        assert_eq!(fns.len(), 2);
+        assert_eq!(fns[0].name, "wide");
+        assert_eq!(fns[0].features, ["avx512f", "avx512bw"]);
+        assert!(fns[0].is_unsafe);
+        assert_eq!(fns[1].name, "not_unsafe");
+        assert!(!fns[1].is_unsafe);
+    }
+
+    #[test]
+    fn guard_arm_recognises_the_dispatch_idiom() {
+        let src = r#"
+fn run() {
+    match simd_level() {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx512 => unsafe { kernel_avx512(planes) },
+        _ => kernel_generic(planes),
+    }
+}
+"#;
+        let toks = lex(src).tokens;
+        let call = (0..toks.len())
+            .find(|&i| is_call_site(&toks, i, "kernel_avx512"))
+            .unwrap();
+        let (level, _) = guard_arm(&toks, call).unwrap();
+        assert_eq!(level, "Avx512");
+        let unguarded = (0..toks.len())
+            .find(|&i| is_call_site(&toks, i, "kernel_generic"))
+            .unwrap();
+        assert!(guard_arm(&toks, unguarded).is_none());
+    }
+}

@@ -1,0 +1,125 @@
+//! `telemetry-completeness` — every observable event is kept, and
+//! every kept metric is documented.
+//!
+//! The workspace splits observability in two: `pm_systolic::telemetry`
+//! owns the `TraceEvent` taxonomy (*what can be observed*) and
+//! `pm_chip::telemetry`'s `MetricsRegistry` folds the stream into
+//! counters (*what is kept*). Nothing but convention ties them
+//! together: the registry's fold is a `match` with a `_ => {}` arm, so
+//! adding a `TraceEvent` variant without a fold arm compiles cleanly
+//! and silently drops the new signal — the exact drift this rule
+//! forbids. PR 8 added five serve events and seven counters by hand;
+//! the next person gets a diagnostic instead of a review comment.
+//!
+//! Checks:
+//!
+//! 1. every variant of the `enum TraceEvent` declaration is named as a
+//!    `TraceEvent::Variant` pattern in the file that implements
+//!    `TraceSink for MetricsRegistry`;
+//! 2. every exported metric name (a string literal of the shape
+//!    `pm_[a-z0-9_]+` in the registry file — counter rows, gauges and
+//!    histogram prefixes alike) appears in `ARCHITECTURE.md`, so the
+//!    Prometheus page and the documentation can't drift apart. (The
+//!    Prometheus exposition itself is generated from the same
+//!    `counter_rows()` table it is checked against, so exposition
+//!    coverage is structural; the doc is the part that needs proving.)
+//!
+//! Both halves locate their subjects by content, so fixtures model the
+//! contract in one file.
+
+use super::{enum_variants, find_seq, Rule};
+use crate::diag::Finding;
+use crate::lexer::TokenKind;
+use crate::workspace::Workspace;
+
+/// See the module docs.
+pub struct TelemetryCompleteness;
+
+impl Rule for TelemetryCompleteness {
+    fn name(&self) -> &'static str {
+        "telemetry-completeness"
+    }
+
+    fn description(&self) -> &'static str {
+        "every TraceEvent variant folds into the MetricsRegistry and every \
+         exported pm_* metric name is documented in ARCHITECTURE.md"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        // The taxonomy: the file declaring `enum TraceEvent`.
+        let decl = ws
+            .files
+            .iter()
+            .find_map(|f| find_seq(&f.lexed.tokens, 0, &["enum", "TraceEvent"]).map(|kw| (f, kw)));
+        // The fold: the file implementing `TraceSink for MetricsRegistry`.
+        let fold = ws.files.iter().find(|f| {
+            find_seq(&f.lexed.tokens, 0, &["TraceSink", "for", "MetricsRegistry"]).is_some()
+        });
+        if let (Some((decl_file, kw)), Some(fold_file)) = (decl, fold) {
+            for (variant, line) in enum_variants(&decl_file.lexed.tokens, kw) {
+                if find_seq(&fold_file.lexed.tokens, 0, &["TraceEvent", "::", &variant]).is_none() {
+                    out.push(Finding {
+                        rule: self.name(),
+                        file: decl_file.rel.clone(),
+                        line,
+                        message: format!(
+                            "TraceEvent::{variant} has no fold arm in {}; the registry \
+                             silently drops it (add a counter or an explicit arm)",
+                            fold_file.rel
+                        ),
+                    });
+                }
+            }
+        }
+
+        // Metric-name documentation coverage.
+        let Some(arch) = ws.doc("ARCHITECTURE.md") else {
+            return; // fixture mode: no doc to check against
+        };
+        let Some(fold_file) = fold else { return };
+        for t in &fold_file.lexed.tokens {
+            if t.kind != TokenKind::Str || !is_metric_name(&t.text) {
+                continue;
+            }
+            if !arch.contains(&t.text) {
+                out.push(Finding {
+                    rule: self.name(),
+                    file: fold_file.rel.clone(),
+                    line: t.line,
+                    message: format!(
+                        "exported metric `{}` is not documented in ARCHITECTURE.md's \
+                         metrics table",
+                        t.text
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Whether a string literal is exactly a metric name (`pm_` + lowercase
+/// snake) — filters out exposition fragments and test assertions that
+/// merely contain one.
+fn is_metric_name(s: &str) -> bool {
+    s.strip_prefix("pm_").is_some_and(|rest| {
+        !rest.is_empty()
+            && rest
+                .bytes()
+                .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_')
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metric_name_shape() {
+        assert!(is_metric_name("pm_chars_total"));
+        assert!(is_metric_name("pm_batch_micros"));
+        assert!(!is_metric_name("pm_chars_total 42")); // exposition row
+        assert!(!is_metric_name("pm_")); // empty tail
+        assert!(!is_metric_name("PM_SIMD")); // env var
+        assert!(!is_metric_name("pm_chars_total\": 1")); // JSON fragment
+    }
+}

@@ -1,0 +1,213 @@
+//! Workspace discovery: which files the analyzer reads and how they
+//! are presented to the rules.
+//!
+//! The scan set is every `.rs` file under the workspace's own code —
+//! `src/`, `tests/`, `examples/`, `benches/` at the root and under
+//! each `crates/*` member. The vendored dependency stubs (`vendor/`),
+//! build output (`target/`) and the lint crate's own fixture corpus
+//! (`crates/lint/tests/fixtures/`, which is known-bad *on purpose*)
+//! are excluded. `ARCHITECTURE.md` rides along as auxiliary doc text
+//! for the telemetry-completeness rule's "every exported metric is
+//! documented" half.
+
+use crate::diag::{parse_suppressions, Finding, Suppression};
+use crate::lexer::{lex, Lexed};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One lexed source file plus its suppressions.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators (diagnostics and
+    /// JSON use this form).
+    pub rel: String,
+    /// The crate the file belongs to (`crates/<name>/…` → `<name>`,
+    /// root files → `systolic-pm`).
+    pub crate_name: String,
+    /// Raw text (rules that need layout, like next-code-line lookup,
+    /// read this).
+    pub text: String,
+    /// Token and comment streams.
+    pub lexed: Lexed,
+    /// Parsed `pm-lint: allow(...)` comments.
+    pub suppressions: Vec<Suppression>,
+}
+
+/// Everything a rule can see.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    /// All scanned files, sorted by path.
+    pub files: Vec<SourceFile>,
+    /// Auxiliary documents by file name (`ARCHITECTURE.md`).
+    pub docs: Vec<(String, String)>,
+    /// Malformed suppressions discovered during loading.
+    pub grammar_findings: Vec<Finding>,
+}
+
+impl Workspace {
+    /// Loads the full workspace rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures from directory walks and file reads
+    /// (nonexistent optional directories are skipped, not errors).
+    pub fn load(root: &Path) -> io::Result<Workspace> {
+        let mut paths = Vec::new();
+        for top in ["src", "tests", "examples", "benches"] {
+            collect_rs(&root.join(top), &mut paths)?;
+        }
+        let crates_dir = root.join("crates");
+        if crates_dir.is_dir() {
+            let mut members: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+                .collect::<io::Result<Vec<_>>>()?
+                .into_iter()
+                .map(|e| e.path())
+                .filter(|p| p.is_dir())
+                .collect();
+            members.sort();
+            for member in members {
+                for sub in ["src", "tests", "examples", "benches"] {
+                    collect_rs(&member.join(sub), &mut paths)?;
+                }
+            }
+        }
+        paths.sort();
+        let mut ws = Workspace::default();
+        for path in paths {
+            ws.add_file(root, &path)?;
+        }
+        let doc = "ARCHITECTURE.md";
+        let p = root.join(doc);
+        if p.is_file() {
+            ws.docs.push((doc.to_string(), fs::read_to_string(p)?));
+        }
+        Ok(ws)
+    }
+
+    /// Loads just the given files (the fixture self-tests and the CLI's
+    /// explicit-file mode). Cross-file rules see only what's passed,
+    /// so a fixture can model a whole mini-workspace in one file.
+    pub fn from_files(root: &Path, files: &[PathBuf]) -> io::Result<Workspace> {
+        let mut ws = Workspace::default();
+        for f in files {
+            ws.add_file(root, f)?;
+        }
+        Ok(ws)
+    }
+
+    fn add_file(&mut self, root: &Path, path: &Path) -> io::Result<()> {
+        let text = fs::read_to_string(path)?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let crate_name = rel
+            .strip_prefix("crates/")
+            .and_then(|r| r.split('/').next())
+            .unwrap_or("systolic-pm")
+            .to_string();
+        let lexed = lex(&text);
+        let (suppressions, mut bad) =
+            parse_suppressions(&rel, &lexed.comments, |line| next_code_line(&text, line));
+        self.grammar_findings.append(&mut bad);
+        self.files.push(SourceFile {
+            rel,
+            crate_name,
+            text,
+            lexed,
+            suppressions,
+        });
+        Ok(())
+    }
+
+    /// The named auxiliary document, if present.
+    pub fn doc(&self, name: &str) -> Option<&str> {
+        self.docs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, t)| t.as_str())
+    }
+
+    /// Files belonging to one crate.
+    pub fn crate_files<'a>(
+        &'a self,
+        crate_name: &'a str,
+    ) -> impl Iterator<Item = &'a SourceFile> + 'a {
+        self.files
+            .iter()
+            .filter(move |f| f.crate_name == crate_name)
+    }
+}
+
+/// Recursively collects `.rs` files under `dir`, skipping the fixture
+/// corpus (deliberately rule-violating) and anything under a `target`
+/// or `vendor` component.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if name == "fixtures" || name == "target" || name == "vendor" {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// The first line after `line` that carries code (not blank, not
+/// comment-only). Block comments spanning lines are handled well
+/// enough for the suppression use case: a line starting inside a
+/// window of `//`-style standalone comments is skipped.
+fn next_code_line(text: &str, line: u32) -> Option<u32> {
+    for (idx, l) in text.lines().enumerate().skip(line as usize) {
+        let trimmed = l.trim_start();
+        if trimmed.is_empty() || trimmed.starts_with("//") {
+            continue;
+        }
+        return Some(idx as u32 + 1);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_code_line_skips_blanks_and_comments() {
+        let text = "let a = 1;\n// note\n\n// more\nlet b = 2;\n";
+        assert_eq!(next_code_line(text, 1), Some(5));
+        assert_eq!(next_code_line(text, 5), None);
+    }
+
+    #[test]
+    fn crate_name_extraction() {
+        let dir = std::env::temp_dir().join("pm_lint_ws_test");
+        let nested = dir.join("crates/demo/src");
+        fs::create_dir_all(&nested).unwrap();
+        let file = nested.join("lib.rs");
+        fs::write(&file, "fn ok() {}\n").unwrap();
+        let ws = Workspace::from_files(&dir, &[file]).unwrap();
+        assert_eq!(ws.files[0].crate_name, "demo");
+        assert_eq!(ws.files[0].rel, "crates/demo/src/lib.rs");
+    }
+}

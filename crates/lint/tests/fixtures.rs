@@ -1,0 +1,138 @@
+//! Fixture self-tests: every rule must fire on its bad fixture and
+//! stay silent on its good one. This is the corpus the CI
+//! `static-analysis` job also drives through the `pm-lint` binary
+//! (bad fixture + `--deny-all` ⇒ exit 1), so a rule that silently
+//! stops matching cannot pass the gate.
+
+use pm_lint::diag::Report;
+use pm_lint::workspace::Workspace;
+use std::path::{Path, PathBuf};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn report_for(name: &str) -> Report {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).to_path_buf();
+    let mut ws = Workspace::from_files(&root, &[fixture(name)]).unwrap();
+    pm_lint::run(&mut ws)
+}
+
+/// Asserts the bad fixture yields `expected` findings, all under
+/// `rule`, each carrying the fixture's path and a real line number.
+fn assert_bad(name: &str, rule: &str, expected: usize) {
+    let report = report_for(name);
+    assert_eq!(
+        report.findings.len(),
+        expected,
+        "{name}: wanted {expected} findings, got {:#?}",
+        report.findings
+    );
+    for f in &report.findings {
+        assert_eq!(f.rule, rule, "{name}: unexpected rule in {f}");
+        assert!(f.file.ends_with(name), "{name}: finding names {}", f.file);
+        assert!(f.line > 0, "{name}: finding has no line: {f}");
+    }
+}
+
+fn assert_good(name: &str) {
+    let report = report_for(name);
+    assert!(
+        report.findings.is_empty(),
+        "{name}: expected silence, got {:#?}",
+        report.findings
+    );
+}
+
+#[test]
+fn simd_fixtures() {
+    // Safe target_feature fn + unguarded call + unproven avx512bw.
+    assert_bad("simd_bad.rs", "simd-dispatch-soundness", 3);
+    assert_good("simd_good.rs");
+}
+
+#[test]
+fn telemetry_fixtures() {
+    // `Dropped` has no fold arm.
+    assert_bad("telemetry_bad.rs", "telemetry-completeness", 1);
+    assert_good("telemetry_good.rs");
+}
+
+#[test]
+fn frames_fixtures() {
+    // `DATA` has no encode path.
+    assert_bad("frames_bad.rs", "frame-exhaustiveness", 1);
+    assert_good("frames_good.rs");
+}
+
+#[test]
+fn atomics_fixtures() {
+    // One SeqCst + one Relaxed store against an Acquire load.
+    assert_bad("atomics_bad.rs", "atomic-ordering-audit", 2);
+    assert_good("atomics_good.rs");
+}
+
+#[test]
+fn errors_fixtures() {
+    // `Truncated`: hidden behind Display's `_` arm and never built.
+    assert_bad("errors_bad.rs", "error-taxonomy", 2);
+    assert_good("errors_good.rs");
+}
+
+#[test]
+fn suppression_covers_a_bad_fixture_line() {
+    // Drive the suppression path end to end on real fixture content:
+    // append a justified allow-file and the findings move to
+    // `suppressed` with their justification attached.
+    let text = std::fs::read_to_string(fixture("atomics_bad.rs")).unwrap();
+    let dir = std::env::temp_dir().join(format!("pm_lint_fix_sup_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let patched = dir.join("atomics_suppressed.rs");
+    std::fs::write(
+        &patched,
+        format!(
+            "// pm-lint: allow-file(atomic-ordering-audit): fixture models a seqcst queue\n{text}"
+        ),
+    )
+    .unwrap();
+    let mut ws = Workspace::from_files(&dir, &[patched]).unwrap();
+    let report = pm_lint::run(&mut ws);
+    assert!(report.findings.is_empty(), "{:#?}", report.findings);
+    assert_eq!(report.suppressed.len(), 2);
+    for s in &report.suppressed {
+        assert_eq!(s.justification, "fixture models a seqcst queue");
+    }
+}
+
+#[test]
+fn unjustified_suppression_is_a_finding_not_a_silencer() {
+    let text = std::fs::read_to_string(fixture("atomics_bad.rs")).unwrap();
+    let dir = std::env::temp_dir().join(format!("pm_lint_fix_nojust_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let patched = dir.join("atomics_nojust.rs");
+    std::fs::write(
+        &patched,
+        format!("// pm-lint: allow-file(atomic-ordering-audit)\n{text}"),
+    )
+    .unwrap();
+    let mut ws = Workspace::from_files(&dir, &[patched]).unwrap();
+    let report = pm_lint::run(&mut ws);
+    // The malformed allow never parses: both original findings stay
+    // live and the grammar violation is a third.
+    assert_eq!(report.findings.len(), 3, "{:#?}", report.findings);
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.rule == "suppression-grammar"));
+}
+
+#[test]
+fn json_report_names_rules_and_counts() {
+    let report = report_for("simd_bad.rs");
+    let json = report.render_json();
+    assert!(json.contains("\"simd-dispatch-soundness\": 3"), "{json}");
+    assert!(json.contains("simd_bad.rs"), "{json}");
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+}

@@ -1,0 +1,17 @@
+//! BAD fixture for `atomic-ordering-audit`: one gratuitous `SeqCst`
+//! on a statistics counter, and the classic silent bug — a `Relaxed`
+//! store paired with an `Acquire` load, which works on x86 and
+//! reorders on ARM.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+pub fn shutdown(stop: &AtomicBool, count: &AtomicU64) {
+    count.fetch_add(1, Ordering::SeqCst);
+    stop.store(true, Ordering::Relaxed);
+}
+
+pub fn worker(stop: &AtomicBool) {
+    while !stop.load(Ordering::Acquire) {
+        std::hint::spin_loop();
+    }
+}

@@ -1,0 +1,18 @@
+//! GOOD fixture for `atomic-ordering-audit`: the shutdown flag
+//! publishes with `Release` and is observed with `Acquire`; the
+//! statistics counter stays `Relaxed` end to end, which is exactly as
+//! strong as a counter needs to be.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+pub fn shutdown(stop: &AtomicBool, count: &AtomicU64) {
+    count.fetch_add(1, Ordering::Relaxed);
+    stop.store(true, Ordering::Release);
+}
+
+pub fn worker(stop: &AtomicBool, count: &AtomicU64) {
+    while !stop.load(Ordering::Acquire) {
+        std::hint::spin_loop();
+    }
+    let _ = count.load(Ordering::Relaxed);
+}

@@ -1,0 +1,26 @@
+//! BAD fixture for `error-taxonomy`: `Truncated` hides behind the
+//! Display `_` arm (it prints without its case), and nothing in the
+//! file ever constructs it — dead taxonomy.
+
+use std::fmt;
+
+pub enum ParseError {
+    Io,
+    Truncated,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io => write!(f, "i/o failed"),
+            _ => write!(f, "parse error"),
+        }
+    }
+}
+
+pub fn parse(input: &[u8]) -> Result<(), ParseError> {
+    if input.is_empty() {
+        return Err(ParseError::Io);
+    }
+    Ok(())
+}

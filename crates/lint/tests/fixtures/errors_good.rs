@@ -1,0 +1,28 @@
+//! GOOD fixture for `error-taxonomy`: every variant has a Display arm
+//! and a construction site outside the enum and its Display impl.
+
+use std::fmt;
+
+pub enum ParseError {
+    Io,
+    Truncated,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io => write!(f, "i/o failed"),
+            Self::Truncated => write!(f, "input truncated"),
+        }
+    }
+}
+
+pub fn parse(input: &[u8]) -> Result<(), ParseError> {
+    if input.is_empty() {
+        return Err(ParseError::Io);
+    }
+    if input.len() < 4 {
+        return Err(ParseError::Truncated);
+    }
+    Ok(())
+}

@@ -1,0 +1,37 @@
+//! BAD fixture for `frame-exhaustiveness`: the `DATA` frame kind can
+//! be decoded but never encoded — `fn encode` has no `kind::DATA`
+//! path, so one side of the wire is mute and nothing fails to compile.
+
+pub mod kind {
+    pub const HELLO: u8 = 0x01;
+    pub const DATA: u8 = 0x02;
+}
+
+pub enum Frame {
+    Hello,
+    Data(Vec<u8>),
+}
+
+impl Frame {
+    pub fn kind(&self) -> u8 {
+        match self {
+            Frame::Hello => kind::HELLO,
+            Frame::Data(_) => kind::DATA,
+        }
+    }
+
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Frame::Hello => out.push(kind::HELLO),
+            Frame::Data(_) => out.push(0xff),
+        }
+    }
+
+    pub fn decode(kind_byte: u8, body: &[u8]) -> Option<Frame> {
+        match kind_byte {
+            kind::HELLO => Some(Frame::Hello),
+            kind::DATA => Some(Frame::Data(body.to_vec())),
+            _ => None,
+        }
+    }
+}

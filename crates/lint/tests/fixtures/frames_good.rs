@@ -1,0 +1,41 @@
+//! GOOD fixture for `frame-exhaustiveness`: every kind constant is
+//! referenced in all three of `fn kind`, `fn encode` and `fn decode`.
+//! (The session-handler half of the rule needs a second file in the
+//! crate and is exercised against the real `pm-serve` tree.)
+
+pub mod kind {
+    pub const HELLO: u8 = 0x01;
+    pub const DATA: u8 = 0x02;
+}
+
+pub enum Frame {
+    Hello,
+    Data(Vec<u8>),
+}
+
+impl Frame {
+    pub fn kind(&self) -> u8 {
+        match self {
+            Frame::Hello => kind::HELLO,
+            Frame::Data(_) => kind::DATA,
+        }
+    }
+
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Frame::Hello => out.push(kind::HELLO),
+            Frame::Data(body) => {
+                out.push(kind::DATA);
+                out.extend_from_slice(body);
+            }
+        }
+    }
+
+    pub fn decode(kind_byte: u8, body: &[u8]) -> Option<Frame> {
+        match kind_byte {
+            kind::HELLO => Some(Frame::Hello),
+            kind::DATA => Some(Frame::Data(body.to_vec())),
+            _ => None,
+        }
+    }
+}

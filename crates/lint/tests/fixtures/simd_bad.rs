@@ -1,0 +1,36 @@
+//! BAD fixture for `simd-dispatch-soundness`: all three violation
+//! shapes in one file — a safe `#[target_feature]` fn, an unguarded
+//! call, and the PR 5 bug itself (avx512bw enabled under an arm that
+//! only proves avx512f).
+
+pub enum SimdLevel {
+    Portable,
+    Avx2,
+    Avx512,
+}
+
+fn simd_level() -> SimdLevel {
+    SimdLevel::Portable
+}
+
+// Violation 1: not declared `unsafe fn`.
+#[target_feature(enable = "avx2")]
+fn kernel_avx2(x: &mut [u8]) {
+    x[0] = 1;
+}
+
+// Violation 3 fires at the call site below: "avx512bw" is not proven
+// by the SimdLevel::Avx512 arm.
+#[target_feature(enable = "avx512f,avx512bw")]
+unsafe fn kernel_avx512(x: &mut [u8]) {
+    x[0] = 2;
+}
+
+pub fn run(x: &mut [u8]) {
+    // Violation 2: call site with no simd_level() guard at all.
+    unsafe { kernel_avx2(x) };
+    match simd_level() {
+        SimdLevel::Avx512 => unsafe { kernel_avx512(x) },
+        _ => {}
+    }
+}

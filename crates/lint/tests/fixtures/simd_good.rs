@@ -1,0 +1,35 @@
+//! GOOD fixture for `simd-dispatch-soundness`: the workspace's
+//! dispatch idiom — every kernel `unsafe`, every call behind the arm
+//! that proves exactly its enabled features.
+
+pub enum SimdLevel {
+    Portable,
+    Avx2,
+    Avx512,
+}
+
+fn simd_level() -> SimdLevel {
+    SimdLevel::Portable
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn kernel_avx2(x: &mut [u8]) {
+    x[0] = 1;
+}
+
+#[target_feature(enable = "avx512f")]
+unsafe fn kernel_avx512(x: &mut [u8]) {
+    x[0] = 2;
+}
+
+fn kernel_portable(x: &mut [u8]) {
+    x[0] = 3;
+}
+
+pub fn run(x: &mut [u8]) {
+    match simd_level() {
+        SimdLevel::Avx2 => unsafe { kernel_avx2(x) },
+        SimdLevel::Avx512 => unsafe { kernel_avx512(x) },
+        _ => kernel_portable(x),
+    }
+}

@@ -1,0 +1,25 @@
+//! BAD fixture for `telemetry-completeness`: the `Dropped` variant has
+//! no fold arm — the `_ => {}` catch-all swallows it silently, which
+//! is exactly the drift the rule exists to catch.
+
+pub enum TraceEvent {
+    Clock { phase: u8 },
+    Dropped,
+}
+
+pub struct MetricsRegistry {
+    clock: u64,
+}
+
+pub trait TraceSink {
+    fn record(&mut self, ev: &TraceEvent);
+}
+
+impl TraceSink for MetricsRegistry {
+    fn record(&mut self, ev: &TraceEvent) {
+        match ev {
+            TraceEvent::Clock { .. } => self.clock += 1,
+            _ => {}
+        }
+    }
+}

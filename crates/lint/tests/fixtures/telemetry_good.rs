@@ -1,0 +1,25 @@
+//! GOOD fixture for `telemetry-completeness`: every variant of the
+//! taxonomy is named in the fold, so nothing can be dropped silently.
+
+pub enum TraceEvent {
+    Clock { phase: u8 },
+    Dropped,
+}
+
+pub struct MetricsRegistry {
+    clock: u64,
+    dropped: u64,
+}
+
+pub trait TraceSink {
+    fn record(&mut self, ev: &TraceEvent);
+}
+
+impl TraceSink for MetricsRegistry {
+    fn record(&mut self, ev: &TraceEvent) {
+        match ev {
+            TraceEvent::Clock { .. } => self.clock += 1,
+            TraceEvent::Dropped => self.dropped += 1,
+        }
+    }
+}

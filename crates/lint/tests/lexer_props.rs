@@ -1,0 +1,127 @@
+//! Property tests for the one guarantee the rule engine rests on:
+//! arbitrary comment and string *bodies* can never confuse the lexer —
+//! nothing inside a literal or comment ever reaches the code-token
+//! stream, and no suppression can be smuggled in through a string.
+
+use pm_lint::diag::parse_suppressions;
+use pm_lint::lexer::{lex, TokenKind};
+use proptest::prelude::*;
+
+/// Body text for a `"…"` string: any printable junk with quotes and
+/// backslashes escaped so the literal stays well-formed (the lexer's
+/// behaviour on *malformed* input is covered by the unit tests).
+fn escaped_body() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            6 => (32u8..=126).prop_map(|b| (b as char).to_string()),
+            1 => Just("\\\"".to_string()),
+            1 => Just("\\\\".to_string()),
+            1 => Just("\\n".to_string()),
+            1 => Just("Ordering::SeqCst ".to_string()),
+            1 => Just("pm-lint: allow(x): y ".to_string()),
+            1 => Just("enum TraceEvent { ".to_string()),
+        ],
+        0..12,
+    )
+    .prop_map(|parts| parts.concat().replace('\\', "\\\\").replace('"', "\\\""))
+}
+
+/// Body text for a `// …` line comment: anything without a newline.
+fn comment_body() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            6 => (32u8..=126).prop_map(|b| (b as char).to_string()),
+            1 => Just("\" unclosed quote ".to_string()),
+            1 => Just("r#\" raw opener ".to_string()),
+            1 => Just("/* block opener ".to_string()),
+            1 => Just("Ordering::SeqCst ".to_string()),
+        ],
+        0..12,
+    )
+    .prop_map(|parts| parts.concat())
+}
+
+/// Body for a raw string `r#"…"#`: anything not containing the closing
+/// guard `"#`.
+fn raw_body() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            6 => (32u8..=126).prop_map(|b| (b as char).to_string()),
+            1 => Just("\\".to_string()),
+            1 => Just("\" not a close ".to_string()),
+            1 => Just("// pm-lint: allow(x): y ".to_string()),
+        ],
+        0..12,
+    )
+    .prop_map(|parts| parts.concat().replace("\"#", "\" #"))
+}
+
+proptest! {
+    /// A string literal's body never contributes code tokens: the
+    /// program `let before = "<junk>"; fn after() {}` always lexes to
+    /// exactly the same ident stream.
+    #[test]
+    fn string_bodies_never_leak(body in escaped_body()) {
+        let src = format!("let before = \"{body}\"; fn after() {{}}");
+        let lexed = lex(&src);
+        let idents: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        prop_assert_eq!(idents, vec!["let", "before", "fn", "after"]);
+        prop_assert!(lexed.comments.is_empty());
+        // And no suppression can be smuggled in through a string.
+        let (sups, bad) = parse_suppressions("f.rs", &lexed.comments, |_| None);
+        prop_assert!(sups.is_empty() && bad.is_empty());
+    }
+
+    /// A line comment's body never contributes code tokens, however
+    /// many unclosed quotes or block-comment openers it contains, and
+    /// the code after the newline survives intact.
+    #[test]
+    fn comment_bodies_never_leak(body in comment_body()) {
+        let src = format!("let a = 1; // {body}\nfn after() {{}}");
+        let lexed = lex(&src);
+        let idents: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        prop_assert_eq!(idents, vec!["let", "a", "fn", "after"]);
+        prop_assert_eq!(lexed.comments.len(), 1);
+        prop_assert!(lexed.comments[0].trailing);
+    }
+
+    /// A raw string body — backslashes are literal there — never leaks,
+    /// and a `pm-lint:` marker inside one never parses as a
+    /// suppression.
+    #[test]
+    fn raw_string_bodies_never_leak(body in raw_body()) {
+        let src = format!("let before = r#\"{body}\"#; fn after() {{}}");
+        let lexed = lex(&src);
+        let idents: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        prop_assert_eq!(idents, vec!["let", "before", "fn", "after"]);
+        let (sups, bad) = parse_suppressions("f.rs", &lexed.comments, |_| None);
+        prop_assert!(sups.is_empty() && bad.is_empty());
+    }
+
+    /// Round-trip stability: lexing is deterministic and total — any
+    /// ASCII soup lexes without panicking, twice, to the same streams.
+    #[test]
+    fn lexing_is_total_and_deterministic(
+        soup in proptest::collection::vec(32u8..=126, 0..64)
+    ) {
+        let src = String::from_utf8(soup).unwrap();
+        let a = lex(&src);
+        let b = lex(&src);
+        prop_assert_eq!(a, b);
+    }
+}
