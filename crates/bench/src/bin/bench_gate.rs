@@ -55,6 +55,7 @@ const RATE_METRICS: &[&str] = &[
     "u64_chars_per_sec",
     "dictionary_chars_per_sec",
     "serve_chars_per_sec",
+    "ingest_chars_per_sec",
 ];
 
 /// Dimensionless same-run ratios: hardware-independent by construction
@@ -71,6 +72,15 @@ const RATIO_METRICS: &[&str] = &[
     "serve_delivery_ratio",
     "serve_mean_over_p99",
 ];
+
+/// Absolute ceilings: metrics where the current snapshot must stay at
+/// or below a fixed bound, regardless of the baseline or the slack.
+/// These are same-run fractions (cost over wall-clock from one
+/// process), so like the ratios they are hardware-independent — but
+/// unlike the ratios the acceptance bar is a constant, not a
+/// comparison: `planner_overhead_frac` is the E36 bound that routing
+/// and batch planning together stay under 5 % of batch wall-clock.
+const CEILING_METRICS: &[(&str, f64)] = &[("planner_overhead_frac", 0.05)];
 
 /// Default allowed regression fraction.
 const DEFAULT_SLACK: f64 = 0.15;
@@ -206,6 +216,23 @@ fn gate_one(
                     change * 100.0
                 );
             }
+        }
+    }
+    for &(key, ceiling) in CEILING_METRICS {
+        let Some(current) = metric(current_doc, key) else {
+            continue; // metric absent: not gated
+        };
+        compared += 1;
+        println!(
+            "bench_gate: {current_path}: {key}: current {current:.4}, \
+             ceiling {ceiling:.4} (gate: absolute)"
+        );
+        if current > ceiling {
+            eprintln!(
+                "bench_gate: FAIL — {current_path}: {key} is {current:.4}, \
+                 above the {ceiling:.4} ceiling"
+            );
+            failed = true;
         }
     }
     (compared, failed)
@@ -366,6 +393,27 @@ mod tests {
         let portable = "{\"w8_speedup_over_u64\": 1.0, \"simd_level\": \"portable\"}";
         let (_, failed) = gate_one(baseline, "p.json", portable, 0.15);
         assert!(!failed);
+    }
+
+    #[test]
+    fn planner_overhead_ceiling_is_absolute() {
+        // The ceiling binds the *current* snapshot against a constant:
+        // the baseline value is irrelevant and no SIMD level exempts it.
+        let baseline = "{\"planner_overhead_frac\": 0.2}";
+        let under = "{\"planner_overhead_frac\": 0.049, \"simd_level\": \"portable\"}";
+        let over = "{\"planner_overhead_frac\": 0.051, \"simd_level\": \"portable\"}";
+        let (compared, failed) = gate_one(baseline, "u.json", under, 0.15);
+        assert_eq!((compared, failed), (1, false));
+        let (compared, failed) = gate_one(baseline, "o.json", over, 0.15);
+        assert_eq!((compared, failed), (1, true));
+        // Absent from the snapshot: not gated, not counted.
+        let (compared, _) = gate_one(
+            "{\"chars_per_sec\": 1.0}",
+            "n.json",
+            "{\"chars_per_sec\": 1.0}",
+            0.15,
+        );
+        assert_eq!(compared, 1, "only the advisory rate");
     }
 
     #[test]

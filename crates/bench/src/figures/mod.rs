@@ -8,6 +8,7 @@ pub mod engineering;
 pub mod evaluation;
 pub mod extensions;
 pub mod hardware;
+pub mod ingest;
 pub mod inventory;
 pub mod methodology;
 pub mod resilience;
@@ -37,6 +38,7 @@ pub fn all() -> Vec<FigureEntry> {
         ("superwide", superwide::superwide),
         ("chaos", chaos::chaos),
         ("dictionary", dictionary::dictionary_figure),
+        ("ingest", ingest::ingest_figure),
         ("serve", serve::serve_figure),
         ("fig3_7", extensions::fig3_7),
         ("multipass", extensions::multipass),

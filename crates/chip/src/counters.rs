@@ -72,6 +72,8 @@ pub struct ThroughputCounters {
     pub cache_hits: Counter,
     /// Compiled-pattern cache misses (compilations performed).
     pub cache_misses: Counter,
+    /// Batches a worker stole from a sibling's deque.
+    pub steals: Counter,
 }
 
 impl ThroughputCounters {
@@ -91,6 +93,7 @@ impl ThroughputCounters {
             lane_slots_total: self.lane_slots_total.get(),
             cache_hits: self.cache_hits.get(),
             cache_misses: self.cache_misses.get(),
+            steals: self.steals.get(),
             elapsed,
         }
     }
@@ -114,6 +117,8 @@ pub struct CounterSnapshot {
     pub cache_hits: u64,
     /// Pattern-cache misses.
     pub cache_misses: u64,
+    /// Batches stolen across worker deques.
+    pub steals: u64,
     /// Wall-clock time covered by this snapshot.
     pub elapsed: Duration,
 }

@@ -18,9 +18,10 @@
 //!    collapse onto one resident lane (their ids fan back out at event
 //!    time) and the depth-first walk emits survivors in prefix-adjacent
 //!    order;
-//! 2. **length buckets** — survivors are stable-sorted by length, the
-//!    same bucketing the throughput planner applies to mixed batches,
-//!    so one long pattern can't inflate the `kmax` (and therefore the
+//! 2. **length buckets** — survivors are stable-sorted by length via
+//!    [`plan::bucket_by_len`](crate::plan::bucket_by_len), the same
+//!    bucketing the throughput planner applies to mixed batches, so one
+//!    long pattern can't inflate the `kmax` (and therefore the
 //!    per-character cost) of every group it touches;
 //! 3. **superplane groups** — the bucketed order is cut into groups of
 //!    `width.lanes()` patterns, each compiled to a `ResidentGroup`
@@ -185,7 +186,7 @@ impl PatternDictionary {
                 (patterns[ids[0] as usize].clone(), ids)
             })
             .collect();
-        survivors.sort_by_key(|(p, _)| p.len());
+        crate::plan::bucket_by_len(&mut survivors, |(p, _)| p.len());
 
         // 3. The group cut is implicit: resident lane l lives in group
         //    l / width.lanes(). Stats summarise the plan.
@@ -331,15 +332,51 @@ impl DictionaryMatcher {
     /// events whose match window *ends* inside it (offsets are global
     /// across all chunks fed so far). Chunks may be any size, including
     /// shorter than the longest pattern.
+    ///
+    /// Per-chunk allocation is O(`kmax`), not O(chunk): with no carried
+    /// tail the caller's slice is scanned in place, and with one only a
+    /// boundary window of at most `2·(kmax − 1)` symbols is
+    /// materialised before the rest of the chunk is again scanned
+    /// borrowed.
     pub fn feed(&mut self, chunk: &[Symbol]) -> Vec<DictMatch> {
+        if self.kmax == 0 {
+            self.seen += chunk.len();
+            return Vec::new();
+        }
         let carry = self.tail.len();
-        let mut window = std::mem::take(&mut self.tail);
-        window.extend_from_slice(chunk);
-        let events = self.scan_window(&window, carry, self.seen - carry);
+        let overlap = self.kmax - 1;
+        let events = if carry == 0 {
+            self.scan_window(chunk, 0, self.seen)
+        } else {
+            // Boundary window: the carried tail plus just enough of the
+            // chunk to finish any match that straddles the cut.
+            let head = chunk.len().min(overlap);
+            let mut window = Vec::with_capacity(carry + head);
+            window.extend_from_slice(&self.tail);
+            window.extend_from_slice(&chunk[..head]);
+            let mut events = self.scan_window(&window, carry, self.seen - carry);
+            if head < chunk.len() {
+                // Matches ending past the overlap lie wholly inside the
+                // chunk; scan the slice directly, skipping the prefix
+                // the boundary window already reported. Both halves are
+                // (end, pattern)-sorted and the end ranges are disjoint
+                // and ordered, so extending keeps the merged order.
+                events.extend(self.scan_window(chunk, head, self.seen));
+            }
+            events
+        };
         self.seen += chunk.len();
-        let keep = window.len().min(self.kmax.saturating_sub(1));
-        window.drain(..window.len() - keep);
-        self.tail = window;
+        // Retain the kmax − 1 overlap without copying the whole chunk:
+        // either the chunk covers it, or the old tail's suffix tops it
+        // up.
+        if chunk.len() >= overlap {
+            self.tail.clear();
+            self.tail.extend_from_slice(&chunk[chunk.len() - overlap..]);
+        } else {
+            let keep_old = (carry + chunk.len()).min(overlap) - chunk.len();
+            self.tail.drain(..carry - keep_old);
+            self.tail.extend_from_slice(chunk);
+        }
         events
     }
 
@@ -501,6 +538,27 @@ mod tests {
                 m.reset();
                 assert_eq!(m.consumed(), 0);
                 assert_eq!(m.feed(&text), whole, "after reset");
+            }
+        }
+    }
+
+    #[test]
+    fn feed_state_stays_bounded_by_kmax() {
+        let pats = patterns(&["ABCAB", "BC"]);
+        let dict = PatternDictionary::new(&pats, SuperWidth::W1);
+        let mut m = dict.matcher();
+        let kmax = 5;
+        // One huge chunk, then ragged little ones: the carried tail and
+        // its backing allocation must stay O(kmax), never O(chunk).
+        let big: Vec<Symbol> = letters("ABCAB").repeat(4000);
+        m.feed(&big);
+        assert_eq!(m.tail.len(), kmax - 1);
+        assert!(m.tail.capacity() < 4 * kmax, "tail grew with the chunk");
+        for chunk_len in [1, 2, 3, 7] {
+            for chunk in big.chunks(chunk_len) {
+                m.feed(chunk);
+                assert!(m.tail.len() < kmax);
+                assert!(m.tail.capacity() < 4 * kmax);
             }
         }
     }

@@ -32,6 +32,17 @@
 //!   text)` jobs sharded across worker threads driving the bit-plane
 //!   batch engine of `pm_systolic::batch`, with an LRU compiled-pattern
 //!   cache, reporting through the [`counters`] module;
+//! * [`shard`] — the memory system over [`throughput`]: each
+//!   [`shard::Shard`] owns workers, caches and a resilience ladder
+//!   over its slice of the lane budget, and the [`shard::Router`]
+//!   admits jobs, spreads them across shards by load and pattern
+//!   affinity, and merges results;
+//! * [`ingest`] — zero-copy corpus ingestion: a paged `File` reader
+//!   and a borrowed [`ingest::TextSource`] abstraction so batch
+//!   drivers scan `&[Symbol]` slices instead of owned buffers, plus a
+//!   streaming chunker carrying only the `kmax − 1` overlap tail;
+//! * [`plan`] — the length-bucketing discipline shared by the batch,
+//!   dictionary and router planners;
 //! * [`telemetry`] — counters, fixed-bucket histograms and the
 //!   Prometheus/JSON exporters built over the
 //!   `pm_systolic::telemetry` trace-event taxonomy; the scheduler,
@@ -56,9 +67,12 @@ pub mod datasheet;
 pub mod dictionary;
 pub mod faults;
 pub mod host;
+pub mod ingest;
 pub mod multipass;
 pub mod pins;
+pub mod plan;
 pub mod recovery;
+pub mod shard;
 pub mod telemetry;
 pub mod throughput;
 pub mod timing;
@@ -73,16 +87,18 @@ pub mod prelude {
     pub use crate::dictionary::{DictionaryMatcher, DictionaryStats, PatternDictionary};
     pub use crate::faults::{Fault, FaultPlan, PlaneFault, StickyFault, XorShift64};
     pub use crate::host::{DeviceState, HostBus, HostError, MatchEvent, RetryPolicy};
+    pub use crate::ingest::{OverlapChunker, PagedCorpus, SliceSource, TextSource};
     pub use crate::multipass::MultipassMatcher;
     pub use crate::pins::{Package, PinBudget};
     pub use crate::recovery::{
         ChipFault, FaultError, Mode, RecoveryEvent, RecoveryPolicy, ResilientHostBus,
         SelfHealingCascade,
     };
+    pub use crate::shard::{Router, RouterConfig, RouterReport, Shard};
     pub use crate::telemetry::{Histogram, HistogramSnapshot, MetricsRegistry, TelemetrySnapshot};
     pub use crate::throughput::{
-        Job, JobOutput, PatternCache, PatternIndex, ResiliencePolicy, ResilienceReport, SlotLease,
-        SlotPool, SuperWidth, ThroughputEngine, WorkerStats,
+        Job, JobOutput, JobRef, PatternCache, PatternIndex, ResiliencePolicy, ResilienceReport,
+        SlotLease, SlotPool, SuperWidth, ThroughputEngine, WorkerStats,
     };
     pub use crate::timing::{ClockModel, GateDelays};
     pub use crate::wafer::{Wafer, YieldPoint};

@@ -1,0 +1,512 @@
+//! The memory system: shards owning a slice of the machine, and the
+//! router that feeds them.
+//!
+//! §1 sells the chip on outrunning "the memory bandwidth of most
+//! conventional computers"; the scaled-up reproduction eventually hits
+//! the software analogue — one [`ThroughputEngine`] whose workers all
+//! contend on one pattern index, one slot pool and one planner. This
+//! module splits the machine the way §3.4 splits the array:
+//!
+//! * a [`Shard`] is a self-contained slice of the lane budget — its
+//!   own worker pool, work-stealing deques, two-tier pattern cache,
+//!   resilience ladder and byte-budget [`SlotPool`]. A fault
+//!   quarantines *inside* its shard; the others keep their width.
+//! * the [`Router`] is the front of the memory system: it admits a
+//!   batch of jobs, groups them by pattern (same-pattern jobs share
+//!   compiled planes, so they belong together), routes each group to
+//!   its *affinity shard* — a deterministic hash of the pattern, so
+//!   repeat traffic re-hits warm caches — spilling to the least-loaded
+//!   shard when affinity would overload one, runs every shard in
+//!   parallel, and merges the reports back into submission order.
+//!
+//! Routing cost is accounted, not assumed: [`RouterReport`] carries
+//! `route_micros` plus every shard's `plan_micros`, and
+//! [`RouterReport::planner_overhead_frac`] is the gated ratio the E36
+//! ingest benchmark holds below 5 % of batch wall-clock.
+//!
+//! ```
+//! use pm_chip::shard::{Router, RouterConfig};
+//! use pm_chip::throughput::Job;
+//! use pm_systolic::symbol::{text_from_letters, Pattern};
+//!
+//! let router = Router::new(RouterConfig {
+//!     shards: 2,
+//!     workers_per_shard: 2,
+//!     ..RouterConfig::default()
+//! });
+//! let text = text_from_letters("ABRACADABRA").unwrap();
+//! let jobs = vec![Job::new(0, Pattern::parse("ABRA").unwrap(), text)];
+//! let report = router.run(&jobs).unwrap();
+//! assert_eq!(report.outputs.len(), 1);
+//! assert_eq!(report.outputs[0].hits.ending_positions(), vec![3, 10]);
+//! ```
+//!
+//! [`ThroughputEngine`]: crate::throughput::ThroughputEngine
+
+use crate::throughput::{
+    group_by_pattern, Job, JobOutput, JobRef, ResiliencePolicy, SlotPool, SuperWidth,
+    ThroughputEngine, ThroughputReport,
+};
+use pm_systolic::error::Error;
+use pm_systolic::symbol::Pattern;
+use pm_systolic::telemetry::{SinkHandle, TraceEvent};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Shape of the sharded memory system.
+#[derive(Debug, Clone, Copy)]
+pub struct RouterConfig {
+    /// Independent shards (each a full engine); at least 1.
+    pub shards: usize,
+    /// Worker threads per shard; at least 1.
+    pub workers_per_shard: usize,
+    /// Compiled-pattern cache capacity per shard worker.
+    pub cache_capacity: usize,
+    /// Total in-flight byte budget, split across shard slot pools.
+    pub budget_bytes: u64,
+    /// Superplane width every shard starts at.
+    pub width: SuperWidth,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            shards: 4,
+            workers_per_shard: 4,
+            cache_capacity: 256,
+            budget_bytes: 8 << 20,
+            width: SuperWidth::default(),
+        }
+    }
+}
+
+/// One slice of the machine: an engine plus the admission state the
+/// router tracks for it.
+#[derive(Debug)]
+pub struct Shard {
+    id: usize,
+    engine: ThroughputEngine,
+    pool: SlotPool,
+    queue_depth: AtomicU64,
+}
+
+impl Shard {
+    /// This shard's index within its router.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The shard's engine, for read-side inspection.
+    pub fn engine(&self) -> &ThroughputEngine {
+        &self.engine
+    }
+
+    /// The shard's engine, for configuration (width, faults, policy).
+    pub fn engine_mut(&mut self) -> &mut ThroughputEngine {
+        &mut self.engine
+    }
+
+    /// The shard's slice of the byte budget. [`SlotPool`] clones share
+    /// state, so admission layers may hold their own handle.
+    pub fn pool(&self) -> &SlotPool {
+        &self.pool
+    }
+
+    /// Jobs admitted to this shard by the in-progress (or most recent)
+    /// routing round; returns to 0 when the round completes.
+    pub fn queue_depth(&self) -> u64 {
+        self.queue_depth.load(Ordering::Relaxed)
+    }
+}
+
+/// The affinity hash: which shard a pattern's traffic prefers.
+///
+/// Plain `DefaultHasher` over the pattern — deterministic within a
+/// process, which is all affinity needs (the property under test is
+/// *stability*, so repeat traffic lands on warm caches).
+fn pattern_shard(pattern: &Pattern) -> u64 {
+    let mut h = DefaultHasher::new();
+    pattern.hash(&mut h);
+    h.finish()
+}
+
+/// The front of the memory system: admits jobs, balances them across
+/// [`Shard`]s by load and pattern affinity, runs the shards in
+/// parallel and merges results back into submission order.
+#[derive(Debug)]
+pub struct Router {
+    shards: Vec<Shard>,
+    sink: SinkHandle,
+}
+
+impl Router {
+    /// A router with no trace sink.
+    pub fn new(config: RouterConfig) -> Self {
+        Self::with_sink(config, SinkHandle::null())
+    }
+
+    /// A router whose shards (and the router itself) emit trace events
+    /// into `sink`.
+    pub fn with_sink(config: RouterConfig, sink: SinkHandle) -> Self {
+        let n = config.shards.max(1);
+        let workers = config.workers_per_shard.max(1);
+        // Split the byte budget exactly: the first `budget % n` shards
+        // take one extra byte so the slices sum to the whole.
+        let (base, extra) = (
+            config.budget_bytes / n as u64,
+            config.budget_bytes % n as u64,
+        );
+        let shards = (0..n)
+            .map(|id| {
+                let mut engine =
+                    ThroughputEngine::with_sink(workers, config.cache_capacity, sink.clone());
+                engine.set_width(config.width);
+                let slice = base + u64::from((id as u64) < extra);
+                Shard {
+                    id,
+                    engine,
+                    pool: SlotPool::new(slice),
+                    queue_depth: AtomicU64::new(0),
+                }
+            })
+            .collect();
+        Router { shards, sink }
+    }
+
+    /// All shards, in index order.
+    pub fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    /// One shard by index.
+    pub fn shard(&self, id: usize) -> &Shard {
+        &self.shards[id]
+    }
+
+    /// One shard by index, mutably — the hook chaos tests use to arm a
+    /// fault plan on a single shard.
+    pub fn shard_mut(&mut self, id: usize) -> &mut Shard {
+        &mut self.shards[id]
+    }
+
+    /// The shard a session or stream key pins to: stable for the key's
+    /// lifetime, uniform across keys.
+    pub fn shard_for(&self, key: u64) -> &Shard {
+        &self.shards[(key % self.shards.len() as u64) as usize]
+    }
+
+    /// Installs (or clears) the same resilience policy on every shard.
+    pub fn set_resilience(&mut self, policy: Option<ResiliencePolicy>) {
+        for shard in &mut self.shards {
+            shard.engine.set_resilience(policy);
+        }
+    }
+
+    /// Total in-flight byte budget across all shard pools.
+    pub fn capacity(&self) -> u64 {
+        self.shards.iter().map(|s| s.pool.capacity()).sum()
+    }
+
+    /// Bytes currently leased across all shard pools.
+    pub fn in_flight(&self) -> u64 {
+        self.shards.iter().map(|s| s.pool.in_flight()).sum()
+    }
+
+    /// As [`run_refs`](Self::run_refs), over owned jobs.
+    ///
+    /// # Errors
+    ///
+    /// As [`run_refs`](Self::run_refs).
+    pub fn run(&self, jobs: &[Job]) -> Result<RouterReport, Error> {
+        let refs: Vec<JobRef<'_>> = jobs.iter().map(Job::to_ref).collect();
+        self.run_refs(&refs)
+    }
+
+    /// Routes a batch across the shards, runs them in parallel, and
+    /// merges the shard reports into one [`RouterReport`] whose
+    /// `outputs` are in submission order.
+    ///
+    /// Routing is by pattern group: all jobs sharing a pattern go to
+    /// the pattern's affinity shard unless that shard is already
+    /// loaded past ~1.25× its fair share of characters, in which case
+    /// the group spills to the least-loaded shard (counted in
+    /// [`RouterReport::affinity_moves`]).
+    ///
+    /// # Errors
+    ///
+    /// A shard's error — e.g. [`Error::WorkerPanicked`] on the fast
+    /// path, with `worker` carrying the *shard* index — after every
+    /// shard thread has been joined.
+    pub fn run_refs(&self, jobs: &[JobRef<'_>]) -> Result<RouterReport, Error> {
+        let wall = Instant::now();
+        let route_timer = Instant::now();
+        let n = self.shards.len();
+
+        let mut groups = group_by_pattern(jobs);
+        // Bucket groups by pattern length so each shard's own planner
+        // receives length-sorted singles — the shared discipline of
+        // `plan::bucket_by_len` applied one level up.
+        crate::plan::bucket_by_len(&mut groups, |(p, _)| p.len());
+        let group_count = groups.len() as u64;
+
+        let total_chars: usize = jobs.iter().map(|j| j.text.len()).sum();
+        // Fair share plus 25 % headroom: affinity wins until a shard
+        // would exceed it, then the group spills to the least loaded.
+        let cap = total_chars / n + total_chars / (4 * n) + 1;
+        let mut load = vec![0usize; n];
+        let mut assignment: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut moves = 0u64;
+        for (pattern, members) in groups {
+            let group_chars: usize = members.iter().map(|&i| jobs[i].text.len()).sum();
+            let preferred = (pattern_shard(pattern) % n as u64) as usize;
+            let target = if n > 1 && load[preferred] + group_chars > cap {
+                let least = (0..n).min_by_key(|&s| load[s]).unwrap_or(preferred);
+                if least != preferred {
+                    moves += 1;
+                }
+                least
+            } else {
+                preferred
+            };
+            load[target] += group_chars;
+            assignment[target].extend_from_slice(&members);
+        }
+        let route_micros = route_timer.elapsed().as_micros() as u64;
+
+        self.sink.record(TraceEvent::RouterPlanned {
+            shards: n as u32,
+            jobs: jobs.len() as u64,
+            groups: group_count,
+            moves,
+            micros: route_micros,
+        });
+        for (shard, admitted) in self.shards.iter().zip(&assignment) {
+            let depth = admitted.len() as u64;
+            shard.queue_depth.store(depth, Ordering::Relaxed);
+            self.sink.record(TraceEvent::ShardAdmitted {
+                shard: shard.id as u32,
+                jobs: depth,
+                depth,
+            });
+        }
+
+        let shard_jobs: Vec<Vec<JobRef<'_>>> = assignment
+            .iter()
+            .map(|ids| ids.iter().map(|&i| jobs[i]).collect())
+            .collect();
+        let joined: Vec<std::thread::Result<Result<ThroughputReport, Error>>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .shards
+                    .iter()
+                    .zip(&shard_jobs)
+                    .map(|(shard, sj)| scope.spawn(move || shard.engine.run_refs(sj)))
+                    .collect();
+                // Join every shard before inspecting any outcome, so
+                // one failing shard never leaves siblings running.
+                handles.into_iter().map(|h| h.join()).collect()
+            });
+        for shard in &self.shards {
+            shard.queue_depth.store(0, Ordering::Relaxed);
+        }
+
+        let mut shard_reports = Vec::with_capacity(n);
+        for (s, joined) in joined.into_iter().enumerate() {
+            match joined {
+                Ok(res) => shard_reports.push(res?),
+                Err(_) => return Err(Error::WorkerPanicked { worker: s }),
+            }
+        }
+
+        let mut outputs: Vec<Option<JobOutput>> = vec![None; jobs.len()];
+        for (ids, report) in assignment.iter().zip(&shard_reports) {
+            for (&global, out) in ids.iter().zip(&report.outputs) {
+                outputs[global] = Some(out.clone());
+            }
+        }
+        let outputs = outputs
+            .into_iter()
+            .map(|o| o.expect("every routed job produces an output"))
+            .collect();
+
+        Ok(RouterReport {
+            outputs,
+            shard_reports,
+            groups: group_count,
+            affinity_moves: moves,
+            route_micros,
+            wall_micros: wall.elapsed().as_micros() as u64,
+        })
+    }
+}
+
+/// What one routed batch produced, merged across shards.
+#[derive(Debug)]
+pub struct RouterReport {
+    /// One output per job, in submission order.
+    pub outputs: Vec<JobOutput>,
+    /// Each shard's own report, in shard order (idle shards report
+    /// empty runs).
+    pub shard_reports: Vec<ThroughputReport>,
+    /// Distinct pattern groups the batch split into.
+    pub groups: u64,
+    /// Groups routed away from their affinity shard to balance load.
+    pub affinity_moves: u64,
+    /// Wall-clock the router spent grouping and assigning.
+    pub route_micros: u64,
+    /// Wall-clock of the whole routed run, routing included.
+    pub wall_micros: u64,
+}
+
+impl RouterReport {
+    /// Total planning cost: router assignment plus every shard
+    /// planner's `plan_micros`.
+    pub fn plan_micros(&self) -> u64 {
+        self.route_micros
+            + self
+                .shard_reports
+                .iter()
+                .map(|r| r.plan_micros)
+                .sum::<u64>()
+    }
+
+    /// The gated ratio: planning cost over batch wall-clock (0 for an
+    /// instantaneous run). The E36 benchmark holds this below 0.05 at
+    /// 64 workers.
+    pub fn planner_overhead_frac(&self) -> f64 {
+        if self.wall_micros == 0 {
+            return 0.0;
+        }
+        self.plan_micros() as f64 / self.wall_micros as f64
+    }
+
+    /// Text characters processed, summed across shards.
+    pub fn total_chars(&self) -> u64 {
+        self.shard_reports.iter().map(|r| r.totals.chars).sum()
+    }
+
+    /// Batches stolen across worker deques, summed across shards.
+    pub fn steals(&self) -> u64 {
+        self.shard_reports.iter().map(|r| r.totals.steals).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_systolic::spec::match_spec;
+    use pm_systolic::symbol::{text_from_letters, Symbol};
+
+    fn letters(s: &str) -> Vec<Symbol> {
+        text_from_letters(s).unwrap()
+    }
+
+    fn job_mix() -> Vec<Job> {
+        let patterns = ["AB", "ABC", "CxT", "DEFG", "A"];
+        let texts = [
+            "ABCABCABQABCCABCABABC",
+            "CATCOTCUTQQCAT",
+            "AAAAABAAAB",
+            "DEFGDEFGABDEFG",
+        ];
+        let mut jobs = Vec::new();
+        for (i, p) in patterns.iter().enumerate() {
+            for (j, t) in texts.iter().enumerate() {
+                jobs.push(Job::new(
+                    (i * texts.len() + j) as u64,
+                    Pattern::parse(p).unwrap(),
+                    letters(t),
+                ));
+            }
+        }
+        jobs
+    }
+
+    #[test]
+    fn routed_outputs_match_the_scalar_spec_in_submission_order() {
+        let jobs = job_mix();
+        for shards in [1, 2, 3, 5] {
+            let router = Router::new(RouterConfig {
+                shards,
+                workers_per_shard: 2,
+                ..RouterConfig::default()
+            });
+            let report = router.run(&jobs).unwrap();
+            assert_eq!(report.outputs.len(), jobs.len());
+            for (job, out) in jobs.iter().zip(&report.outputs) {
+                assert_eq!(out.id, job.id, "submission order broken");
+                let spec = match_spec(&job.text, &job.pattern);
+                assert_eq!(out.hits.bits(), &spec[..], "job {}", job.id);
+            }
+        }
+    }
+
+    #[test]
+    fn single_shard_router_equals_the_plain_engine() {
+        let jobs = job_mix();
+        let router = Router::new(RouterConfig {
+            shards: 1,
+            workers_per_shard: 3,
+            ..RouterConfig::default()
+        });
+        let engine = ThroughputEngine::new(3, 256);
+        let routed = router.run(&jobs).unwrap();
+        let plain = engine.run(&jobs).unwrap();
+        for (a, b) in routed.outputs.iter().zip(&plain.outputs) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.hits.bits(), b.hits.bits());
+        }
+        assert_eq!(routed.affinity_moves, 0, "one shard has nowhere to move");
+    }
+
+    #[test]
+    fn affinity_is_deterministic_and_depths_return_to_zero() {
+        let jobs = job_mix();
+        let router = Router::new(RouterConfig {
+            shards: 4,
+            workers_per_shard: 1,
+            ..RouterConfig::default()
+        });
+        let a = router.run(&jobs).unwrap();
+        let b = router.run(&jobs).unwrap();
+        assert_eq!(a.affinity_moves, b.affinity_moves);
+        assert_eq!(a.groups, b.groups);
+        assert_eq!(a.groups, 5, "five distinct patterns");
+        for shard in router.shards() {
+            assert_eq!(shard.queue_depth(), 0, "shard {} still queued", shard.id());
+        }
+    }
+
+    #[test]
+    fn budget_splits_exactly_and_session_pinning_is_stable() {
+        let router = Router::new(RouterConfig {
+            shards: 3,
+            budget_bytes: 10,
+            ..RouterConfig::default()
+        });
+        let slices: Vec<u64> = router
+            .shards()
+            .iter()
+            .map(|s| s.pool().capacity())
+            .collect();
+        assert_eq!(slices.iter().sum::<u64>(), 10);
+        assert_eq!(slices, vec![4, 3, 3]);
+        assert_eq!(router.capacity(), 10);
+        assert_eq!(router.in_flight(), 0);
+        let first = router.shard_for(42).id();
+        assert_eq!(router.shard_for(42).id(), first);
+        assert_eq!(router.shard(first).id(), first);
+    }
+
+    #[test]
+    fn empty_batch_reports_empty_everything() {
+        let router = Router::new(RouterConfig::default());
+        let report = router.run(&[]).unwrap();
+        assert!(report.outputs.is_empty());
+        assert_eq!(report.groups, 0);
+        assert_eq!(report.total_chars(), 0);
+        assert_eq!(report.shard_reports.len(), 4);
+    }
+}

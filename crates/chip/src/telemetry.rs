@@ -244,6 +244,23 @@ pub struct MetricsRegistry {
     pub events_delivered: Counter,
     /// Backpressure signals (SERVER_BUSY with a retry-after hint).
     pub backpressure_signals: Counter,
+    /// Batches a worker stole from a sibling's deque.
+    pub batch_steals: Counter,
+    /// Routed batch runs completed by the shard router.
+    pub router_runs: Counter,
+    /// Jobs admitted through the shard router.
+    pub router_jobs: Counter,
+    /// Pattern groups the router planned.
+    pub router_groups: Counter,
+    /// Groups routed away from their affinity shard to balance load.
+    pub router_affinity_moves: Counter,
+    /// Microseconds the router spent grouping and assigning.
+    pub router_micros: Counter,
+    /// Jobs admitted to shards, summed over routing rounds.
+    pub shard_jobs: Counter,
+    /// High-water mark of jobs admitted to any one shard in a routing
+    /// round — a gauge, not a counter.
+    pub shard_queue_depth: AtomicU64,
     /// Superplane width (words) of the most recent dispatch — a gauge,
     /// not a counter.
     pub superplane_words: AtomicU64,
@@ -313,6 +330,14 @@ impl MetricsRegistry {
             frame_bytes: Counter::new(),
             events_delivered: Counter::new(),
             backpressure_signals: Counter::new(),
+            batch_steals: Counter::new(),
+            router_runs: Counter::new(),
+            router_jobs: Counter::new(),
+            router_groups: Counter::new(),
+            router_affinity_moves: Counter::new(),
+            router_micros: Counter::new(),
+            shard_jobs: Counter::new(),
+            shard_queue_depth: AtomicU64::new(0),
             superplane_words: AtomicU64::new(0),
             ladder_words: AtomicU64::new(0),
             batch_occupancy: Histogram::new(OCCUPANCY_BOUNDS),
@@ -370,6 +395,14 @@ impl MetricsRegistry {
             frame_bytes: self.frame_bytes.get(),
             events_delivered: self.events_delivered.get(),
             backpressure_signals: self.backpressure_signals.get(),
+            batch_steals: self.batch_steals.get(),
+            router_runs: self.router_runs.get(),
+            router_jobs: self.router_jobs.get(),
+            router_groups: self.router_groups.get(),
+            router_affinity_moves: self.router_affinity_moves.get(),
+            router_micros: self.router_micros.get(),
+            shard_jobs: self.shard_jobs.get(),
+            shard_queue_depth: self.shard_queue_depth.load(Ordering::Relaxed),
             superplane_words: self.superplane_words.load(Ordering::Relaxed),
             ladder_words: self.ladder_words.load(Ordering::Relaxed),
             batch_occupancy: self.batch_occupancy.snapshot(),
@@ -471,6 +504,24 @@ impl TraceSink for MetricsRegistry {
             }
             TraceEvent::EventsDelivered { events, .. } => self.events_delivered.add(events),
             TraceEvent::BackpressureSignalled { .. } => self.backpressure_signals.add(1),
+            TraceEvent::BatchStolen { .. } => self.batch_steals.add(1),
+            TraceEvent::RouterPlanned {
+                jobs,
+                groups,
+                moves,
+                micros,
+                ..
+            } => {
+                self.router_runs.add(1);
+                self.router_jobs.add(jobs);
+                self.router_groups.add(groups);
+                self.router_affinity_moves.add(moves);
+                self.router_micros.add(micros);
+            }
+            TraceEvent::ShardAdmitted { jobs, depth, .. } => {
+                self.shard_jobs.add(jobs);
+                self.shard_queue_depth.fetch_max(depth, Ordering::Relaxed);
+            }
             TraceEvent::DispatchSelected { words, level } => {
                 use pm_systolic::superplane::SimdLevel;
                 match level {
@@ -586,6 +637,22 @@ pub struct TelemetrySnapshot {
     pub events_delivered: u64,
     /// Backpressure signals sent.
     pub backpressure_signals: u64,
+    /// Batches stolen across worker deques.
+    pub batch_steals: u64,
+    /// Routed batch runs completed.
+    pub router_runs: u64,
+    /// Jobs admitted through the router.
+    pub router_jobs: u64,
+    /// Pattern groups the router planned.
+    pub router_groups: u64,
+    /// Groups moved off their affinity shard for load.
+    pub router_affinity_moves: u64,
+    /// Microseconds spent routing.
+    pub router_micros: u64,
+    /// Jobs admitted to shards.
+    pub shard_jobs: u64,
+    /// High-water mark of jobs on any one shard per round.
+    pub shard_queue_depth: u64,
     /// Superplane width (words) of the most recent dispatch.
     pub superplane_words: u64,
     /// Current ladder rung in words (0 = software fallback).
@@ -811,6 +878,41 @@ impl TelemetrySnapshot {
                 "SERVER_BUSY backpressure signals with a retry-after hint.",
                 self.backpressure_signals,
             ),
+            (
+                "pm_batch_steals_total",
+                "Batches a worker stole from a sibling's deque.",
+                self.batch_steals,
+            ),
+            (
+                "pm_router_runs_total",
+                "Routed batch runs completed by the shard router.",
+                self.router_runs,
+            ),
+            (
+                "pm_router_jobs_total",
+                "Jobs admitted through the shard router.",
+                self.router_jobs,
+            ),
+            (
+                "pm_router_groups_total",
+                "Pattern groups the router planned.",
+                self.router_groups,
+            ),
+            (
+                "pm_router_affinity_moves_total",
+                "Groups routed away from their affinity shard to balance load.",
+                self.router_affinity_moves,
+            ),
+            (
+                "pm_router_micros_total",
+                "Microseconds the router spent grouping and assigning.",
+                self.router_micros,
+            ),
+            (
+                "pm_shard_jobs_total",
+                "Jobs admitted to shards, summed over routing rounds.",
+                self.shard_jobs,
+            ),
         ]
     }
 
@@ -834,6 +936,12 @@ impl TelemetrySnapshot {
         );
         let _ = writeln!(out, "# TYPE pm_ladder_words gauge");
         let _ = writeln!(out, "pm_ladder_words {}", self.ladder_words);
+        let _ = writeln!(
+            out,
+            "# HELP pm_shard_queue_depth High-water mark of jobs admitted to any one shard per routing round."
+        );
+        let _ = writeln!(out, "# TYPE pm_shard_queue_depth gauge");
+        let _ = writeln!(out, "pm_shard_queue_depth {}", self.shard_queue_depth);
         self.batch_occupancy.to_prometheus(
             "pm_batch_occupancy",
             "Lane slots carried per word batch.",
@@ -859,6 +967,11 @@ impl TelemetrySnapshot {
         for (name, _, value) in rows.iter() {
             let _ = writeln!(out, "    \"{name}\": {value},");
         }
+        let _ = writeln!(
+            out,
+            "    \"pm_shard_queue_depth\": {},",
+            self.shard_queue_depth
+        );
         let _ = writeln!(out, "    \"pm_ladder_words\": {},", self.ladder_words);
         let _ = writeln!(
             out,

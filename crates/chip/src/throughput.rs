@@ -147,6 +147,33 @@ impl Job {
     pub fn new(id: u64, pattern: Pattern, text: Vec<Symbol>) -> Self {
         Job { id, pattern, text }
     }
+
+    /// A borrowed view of this job for the zero-copy entry points.
+    pub fn to_ref(&self) -> JobRef<'_> {
+        JobRef {
+            id: self.id,
+            pattern: &self.pattern,
+            text: &self.text,
+        }
+    }
+}
+
+/// A borrowed unit of work: the zero-copy twin of [`Job`].
+///
+/// The ingestion layer ([`crate::ingest`]) and the
+/// [`Router`](crate::shard::Router) hand the scheduler `&[Symbol]`
+/// slices straight out of a paged corpus or a client buffer; nothing
+/// on the batch path needs an owned `Vec`, so
+/// [`ThroughputEngine::run_refs`] takes these and [`Job`] is just the
+/// owning convenience wrapper.
+#[derive(Debug, Clone, Copy)]
+pub struct JobRef<'a> {
+    /// Caller-chosen identifier, echoed in the [`JobOutput`].
+    pub id: u64,
+    /// The pattern to search for (wild cards allowed).
+    pub pattern: &'a Pattern,
+    /// The text slice to search.
+    pub text: &'a [Symbol],
 }
 
 /// The completed result of one [`Job`].
@@ -409,6 +436,10 @@ pub struct ThroughputReport {
     pub simd: SimdLevel,
     /// Lane slots per batch at the width this run used.
     pub lanes_per_batch: usize,
+    /// Wall-clock microseconds the global batch planner spent before
+    /// any worker started — the scheduler-overhead half of the
+    /// router's `planner_overhead_frac` accounting.
+    pub plan_micros: u64,
     /// What the fault-tolerant scheduler saw and did, when a
     /// [`ResiliencePolicy`] is installed (`None` on the fast path).
     pub resilience: Option<ResilienceReport>,
@@ -513,29 +544,41 @@ enum BatchDesc {
     },
 }
 
-/// Groups all jobs by pattern (first-seen order) and cuts the groups
-/// into width-sized batches. Groups of two or more ride the uniform
-/// path; singletons pool into mixed batches, length-bucketed (stable
-/// sort by pattern length) so one long straggler can't inflate the
-/// `kmax` of every mixed batch it touches — the dictionary planner in
-/// `pm_chip::dictionary` leans on the same bucketing. Global planning
-/// is what lets same-pattern jobs share a batch regardless of
-/// submission order — the old per-shard grouping could only merge jobs
-/// that happened to land on the same worker.
-fn plan_batches(jobs: &[Job], lanes: usize) -> Vec<BatchDesc> {
+/// Groups job indices by pattern, preserving first-seen order — the
+/// shared first stage of the batch planner below and the
+/// [`Router`](crate::shard::Router)'s affinity planner.
+pub(crate) fn group_by_pattern<'a>(jobs: &[JobRef<'a>]) -> Vec<(&'a Pattern, Vec<usize>)> {
     let mut order: Vec<&Pattern> = Vec::new();
     let mut groups: HashMap<&Pattern, Vec<usize>> = HashMap::new();
     for (i, job) in jobs.iter().enumerate() {
-        groups.entry(&job.pattern).or_insert_with(|| {
-            order.push(&job.pattern);
+        groups.entry(job.pattern).or_insert_with(|| {
+            order.push(job.pattern);
             Vec::new()
         });
-        groups.get_mut(&job.pattern).expect("just inserted").push(i);
+        groups.get_mut(job.pattern).expect("just inserted").push(i);
     }
+    order
+        .into_iter()
+        .map(|p| {
+            let members = groups.remove(p).expect("grouped above");
+            (p, members)
+        })
+        .collect()
+}
+
+/// Groups all jobs by pattern (first-seen order) and cuts the groups
+/// into width-sized batches. Groups of two or more ride the uniform
+/// path; singletons pool into mixed batches, length-bucketed via
+/// [`plan::bucket_by_len`](crate::plan::bucket_by_len) so one long
+/// straggler can't inflate the `kmax` of every mixed batch it touches
+/// — the dictionary planner in `pm_chip::dictionary` leans on the same
+/// bucketing. Global planning is what lets same-pattern jobs share a
+/// batch regardless of submission order — the old per-shard grouping
+/// could only merge jobs that happened to land on the same worker.
+fn plan_batches(jobs: &[JobRef<'_>], lanes: usize) -> Vec<BatchDesc> {
     let mut plan = Vec::new();
     let mut singles: Vec<usize> = Vec::new();
-    for pattern in order {
-        let members = &groups[pattern];
+    for (_, members) in group_by_pattern(jobs) {
         if members.len() == 1 {
             singles.push(members[0]);
             continue;
@@ -546,7 +589,7 @@ fn plan_batches(jobs: &[Job], lanes: usize) -> Vec<BatchDesc> {
             });
         }
     }
-    singles.sort_by_key(|&i| jobs[i].pattern.len());
+    crate::plan::bucket_by_len(&mut singles, |&i| jobs[i].pattern.len());
     for batch in singles.chunks(lanes) {
         plan.push(BatchDesc::Mixed {
             members: batch.to_vec(),
@@ -577,14 +620,15 @@ impl WorkQueue {
     }
 
     /// The next batch for `worker`: its own front, else a steal from
-    /// another deque's back. `None` means every batch is claimed.
-    fn next(&self, worker: usize) -> Option<usize> {
+    /// another deque's back (the victim's index rides along so the
+    /// caller can book the steal). `None` means every batch is claimed.
+    fn next(&self, worker: usize) -> Option<(usize, Option<usize>)> {
         if let Some(b) = self.deques[worker]
             .lock()
             .expect("queue poisoned")
             .pop_front()
         {
-            return Some(b);
+            return Some((b, None));
         }
         let n = self.deques.len();
         for off in 1..n {
@@ -594,7 +638,7 @@ impl WorkQueue {
                 .expect("queue poisoned")
                 .pop_back()
             {
-                return Some(b);
+                return Some((b, Some(victim)));
             }
         }
         None
@@ -762,6 +806,19 @@ impl ThroughputEngine {
     /// been joined — an early failure never leaks running threads. The
     /// resilient path contains panics and returns `Ok`.
     pub fn run(&self, jobs: &[Job]) -> Result<ThroughputReport, Error> {
+        let refs: Vec<JobRef<'_>> = jobs.iter().map(Job::to_ref).collect();
+        self.run_refs(&refs)
+    }
+
+    /// As [`run`](Self::run), over borrowed jobs — the zero-copy entry
+    /// point the ingestion layer and the [`Router`](crate::shard::Router)
+    /// use, so text slices flow from a paged corpus straight into the
+    /// kernels without an owning copy per job.
+    ///
+    /// # Errors
+    ///
+    /// As [`run`](Self::run).
+    pub fn run_refs(&self, jobs: &[JobRef<'_>]) -> Result<ThroughputReport, Error> {
         match self.resilience {
             Some(policy) => self.run_resilient(jobs, policy),
             None => self.run_fast(jobs),
@@ -769,7 +826,7 @@ impl ThroughputEngine {
     }
 
     /// The zero-overhead path: no scrubbing, no buffering, no ladder.
-    fn run_fast(&self, jobs: &[Job]) -> Result<ThroughputReport, Error> {
+    fn run_fast(&self, jobs: &[JobRef<'_>]) -> Result<ThroughputReport, Error> {
         let started = Instant::now();
         let width = self.width;
         let simd = simd_level();
@@ -779,7 +836,9 @@ impl ThroughputEngine {
         });
 
         let counters = ThroughputCounters::new();
+        let plan_timer = Instant::now();
         let plan = plan_batches(jobs, width.lanes());
+        let plan_micros = plan_timer.elapsed().as_micros() as u64;
         let queue = WorkQueue::new(plan.len(), self.workers);
         let mut outputs: Vec<Option<JobOutput>> = vec![None; jobs.len()];
 
@@ -834,6 +893,7 @@ impl ThroughputEngine {
             totals,
             simd,
             lanes_per_batch: width.lanes(),
+            plan_micros,
             resilience: None,
         })
     }
@@ -842,7 +902,7 @@ impl ThroughputEngine {
     /// recover, committing only verified results.
     fn run_resilient(
         &self,
-        jobs: &[Job],
+        jobs: &[JobRef<'_>],
         policy: ResiliencePolicy,
     ) -> Result<ThroughputReport, Error> {
         let started = Instant::now();
@@ -860,7 +920,9 @@ impl ThroughputEngine {
         });
 
         let counters = ThroughputCounters::new();
+        let plan_timer = Instant::now();
         let plan = plan_batches(jobs, width.lanes());
+        let plan_micros = plan_timer.elapsed().as_micros() as u64;
         let queue = WorkQueue::new(plan.len(), self.workers);
         let mut outputs: Vec<Option<JobOutput>> = vec![None; jobs.len()];
         let mut report = ResilienceReport::default();
@@ -989,6 +1051,7 @@ impl ThroughputEngine {
             totals,
             simd,
             lanes_per_batch: width.lanes(),
+            plan_micros,
             resilience: Some(report),
         })
     }
@@ -1002,7 +1065,7 @@ impl ThroughputEngine {
     #[allow(clippy::too_many_arguments)]
     fn recover(
         &self,
-        jobs: &[Job],
+        jobs: &[JobRef<'_>],
         unresolved: &[usize],
         outputs: &mut [Option<JobOutput>],
         rungs: &'static [SuperWidth],
@@ -1023,12 +1086,12 @@ impl ThroughputEngine {
         let mut order: Vec<&Pattern> = Vec::new();
         let mut groups: HashMap<&Pattern, Vec<usize>> = HashMap::new();
         for &i in unresolved {
-            groups.entry(&jobs[i].pattern).or_insert_with(|| {
-                order.push(&jobs[i].pattern);
+            groups.entry(jobs[i].pattern).or_insert_with(|| {
+                order.push(jobs[i].pattern);
                 Vec::new()
             });
             groups
-                .get_mut(&jobs[i].pattern)
+                .get_mut(jobs[i].pattern)
                 .expect("just inserted")
                 .push(i);
         }
@@ -1036,11 +1099,10 @@ impl ThroughputEngine {
         for pattern in order {
             let (compiled, _) = cache.get_or_compile(pattern);
             for chunk in groups[pattern].chunks(narrow) {
-                let texts: Vec<&[Symbol]> =
-                    chunk.iter().map(|&i| jobs[i].text.as_slice()).collect();
+                let texts: Vec<&[Symbol]> = chunk.iter().map(|&i| jobs[i].text).collect();
                 let truth: Vec<Vec<bool>> = chunk
                     .iter()
-                    .map(|&i| match_spec(&jobs[i].text, pattern))
+                    .map(|&i| match_spec(jobs[i].text, pattern))
                     .collect();
                 let mut committed = false;
                 for (ri, &rung) in rungs.iter().enumerate().skip(rung0) {
@@ -1111,7 +1173,7 @@ impl ThroughputEngine {
                         .zip(&truth)
                         .map(|(&i, t)| {
                             matcher
-                                .find(&jobs[i].text, pattern)
+                                .find(jobs[i].text, pattern)
                                 .unwrap_or_else(|_| t.clone())
                         })
                         .collect();
@@ -1171,7 +1233,7 @@ fn lookup_pattern(
 #[allow(clippy::too_many_arguments)]
 fn execute_members(
     desc: &BatchDesc,
-    jobs: &[Job],
+    jobs: &[JobRef<'_>],
     local: &mut PatternCache,
     index: &PatternIndex,
     counters: &ThroughputCounters,
@@ -1181,8 +1243,8 @@ fn execute_members(
     match desc {
         BatchDesc::Uniform { members } => {
             let (compiled, hit) =
-                lookup_pattern(&jobs[members[0]].pattern, local, index, counters, sink);
-            let texts: Vec<&[Symbol]> = members.iter().map(|&i| jobs[i].text.as_slice()).collect();
+                lookup_pattern(jobs[members[0]].pattern, local, index, counters, sink);
+            let texts: Vec<&[Symbol]> = members.iter().map(|&i| jobs[i].text).collect();
             Ok((uniform_hits(width, &compiled, &texts)?, hit))
         }
         BatchDesc::Mixed { members } => {
@@ -1190,7 +1252,7 @@ fn execute_members(
             let compiled: Vec<Arc<CompiledPattern>> = members
                 .iter()
                 .map(|&i| {
-                    let (c, hit) = lookup_pattern(&jobs[i].pattern, local, index, counters, sink);
+                    let (c, hit) = lookup_pattern(jobs[i].pattern, local, index, counters, sink);
                     any_hit |= hit;
                     c
                 })
@@ -1198,7 +1260,7 @@ fn execute_members(
             let lanes: Vec<(&CompiledPattern, &[Symbol])> = members
                 .iter()
                 .zip(&compiled)
-                .map(|(&i, c)| (c.as_ref(), jobs[i].text.as_slice()))
+                .map(|(&i, c)| (c.as_ref(), jobs[i].text))
                 .collect();
             let hits = match width {
                 SuperWidth::W1 => match_lanes(&lanes)?,
@@ -1231,7 +1293,7 @@ fn apply_sticky(
     batch_no: u64,
     stall_millis: u64,
     members: &[usize],
-    jobs: &[Job],
+    jobs: &[JobRef<'_>],
     hits: &mut [MatchBits],
     cache_hit: bool,
 ) -> bool {
@@ -1266,7 +1328,7 @@ fn apply_sticky(
 #[allow(clippy::too_many_arguments)]
 fn worker_run(
     worker: usize,
-    jobs: &[Job],
+    jobs: &[JobRef<'_>],
     plan: &[BatchDesc],
     queue: &WorkQueue,
     index: &PatternIndex,
@@ -1284,7 +1346,14 @@ fn worker_run(
     let stall_millis = chaos.map_or(0, |p| p.stall_millis());
     let mut batch_no = 0u64;
 
-    while let Some(b) = queue.next(worker) {
+    while let Some((b, stolen_from)) = queue.next(worker) {
+        if let Some(victim) = stolen_from {
+            counters.steals.add(1);
+            sink.record(TraceEvent::BatchStolen {
+                worker: worker as u32,
+                victim: victim as u32,
+            });
+        }
         let members = match &plan[b] {
             BatchDesc::Uniform { members } | BatchDesc::Mixed { members } => members,
         };
@@ -1344,7 +1413,7 @@ fn elapsed_micros(timer: Option<Instant>) -> u64 {
 fn record_batch(
     members: &[usize],
     hits: Vec<MatchBits>,
-    jobs: &[Job],
+    jobs: &[JobRef<'_>],
     outs: &mut Vec<(usize, JobOutput)>,
     stats: &mut WorkerStats,
     counters: &ThroughputCounters,
@@ -1430,7 +1499,7 @@ impl ResilientYield {
 fn book_pending(
     members: &[usize],
     hits: Vec<MatchBits>,
-    jobs: &[Job],
+    jobs: &[JobRef<'_>],
     outs: &mut Vec<(usize, JobOutput)>,
     stats: &mut WorkerStats,
     sink: &SinkHandle,
@@ -1473,7 +1542,7 @@ fn book_pending(
 fn commit_recovered(
     chunk: &[usize],
     lanes: Vec<Vec<bool>>,
-    jobs: &[Job],
+    jobs: &[JobRef<'_>],
     outputs: &mut [Option<JobOutput>],
     counters: &ThroughputCounters,
     sink: &SinkHandle,
@@ -1511,7 +1580,7 @@ fn commit_recovered(
 #[allow(clippy::too_many_arguments)]
 fn resilient_worker(
     worker: usize,
-    jobs: &[Job],
+    jobs: &[JobRef<'_>],
     plan: &[BatchDesc],
     queue: &WorkQueue,
     index: &PatternIndex,
@@ -1534,7 +1603,14 @@ fn resilient_worker(
     let mut scrub_mismatches = 0u64;
     let mut condemned: Option<&'static str> = None;
 
-    while let Some(b) = queue.next(worker) {
+    while let Some((b, stolen_from)) = queue.next(worker) {
+        if let Some(victim) = stolen_from {
+            counters.steals.add(1);
+            sink.record(TraceEvent::BatchStolen {
+                worker: worker as u32,
+                victim: victim as u32,
+            });
+        }
         let members = match &plan[b] {
             BatchDesc::Uniform { members } | BatchDesc::Mixed { members } => members,
         };
@@ -1588,7 +1664,7 @@ fn resilient_worker(
         if policy.scrub_period_batches > 0 && batch_no.is_multiple_of(policy.scrub_period_batches) {
             let pos = scrub_rng.bounded(members.len() as u64 - 1) as usize;
             let i = members[pos];
-            if hits[pos].bits() != match_spec(&jobs[i].text, &jobs[i].pattern).as_slice() {
+            if hits[pos].bits() != match_spec(jobs[i].text, jobs[i].pattern).as_slice() {
                 sink.record(TraceEvent::ScrubMismatch {
                     worker: worker as u32,
                     batch: b as u64,
@@ -1911,7 +1987,8 @@ mod tests {
         let jobs: Vec<Job> = (0..8)
             .map(|id| Job::new(id, p.clone(), text_from_letters("ABAB").unwrap()))
             .collect();
-        let plan = plan_batches(&jobs, SuperWidth::W8.lanes());
+        let refs: Vec<JobRef<'_>> = jobs.iter().map(Job::to_ref).collect();
+        let plan = plan_batches(&refs, SuperWidth::W8.lanes());
         assert_eq!(plan.len(), 1);
         match &plan[0] {
             BatchDesc::Uniform { members } => assert_eq!(members.len(), 8),
@@ -1932,7 +2009,8 @@ mod tests {
             .map(|id| Job::new(id, p.clone(), text_from_letters("AB").unwrap()))
             .collect();
         jobs.push(Job::new(999, q.clone(), text_from_letters("BA").unwrap()));
-        let plan = plan_batches(&jobs, lanes);
+        let refs: Vec<JobRef<'_>> = jobs.iter().map(Job::to_ref).collect();
+        let plan = plan_batches(&refs, lanes);
         // 65+2 same-pattern jobs → two uniform batches; the singleton
         // rides a mixed batch of its own.
         assert_eq!(plan.len(), 3);

@@ -1,0 +1,243 @@
+//! Ingestion properties: the zero-copy path — a [`TextSource`] cut
+//! into ragged chunks (1-byte included), streamed through the
+//! [`OverlapChunker`] and routed across shards — must report exactly
+//! the matches the offline scan and the Aho–Corasick oracle report, at
+//! every superplane width, and must keep doing so when a seeded fault
+//! campaign burns exactly one shard.
+
+use pm_chip::faults::FaultPlan;
+use pm_chip::ingest::{OverlapChunker, PagedCorpus, SliceSource, TextSource};
+use pm_chip::shard::{Router, RouterConfig};
+use pm_chip::throughput::{Job, JobRef, ResiliencePolicy, SuperWidth};
+use pm_matchers::aho_corasick::{AhoCorasick, DictMatch};
+use pm_systolic::prelude::*;
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+const WIDTHS: [SuperWidth; 3] = [SuperWidth::W1, SuperWidth::W4, SuperWidth::W8];
+
+fn build(pat: &[u8]) -> Pattern {
+    let syms: Vec<PatSym> = pat.iter().map(|&v| PatSym::Lit(Symbol::new(v))).collect();
+    Pattern::new(syms, Alphabet::TWO_BIT).unwrap()
+}
+
+fn symbols(text: &[u8]) -> Vec<Symbol> {
+    text.iter().map(|&b| Symbol::new(b)).collect()
+}
+
+/// The scalar ground truth, one pattern at a time.
+fn spec_events(pats: &[Pattern], text: &[Symbol]) -> Vec<DictMatch> {
+    let mut events = Vec::new();
+    for (id, p) in pats.iter().enumerate() {
+        for (end, hit) in match_spec(text, p).iter().enumerate() {
+            if *hit {
+                events.push(DictMatch { pattern: id, end });
+            }
+        }
+    }
+    events.sort_unstable();
+    events
+}
+
+/// Streams `source` through the chunker and routes every window's scan
+/// regions across the router's shards as borrowed-slice jobs — the
+/// full zero-copy ingestion path. Returns the merged event stream.
+fn routed_stream_events(
+    router: &Router,
+    pats: &[Pattern],
+    source: impl TextSource,
+) -> Vec<DictMatch> {
+    let kmax = pats.iter().map(Pattern::len).max().unwrap_or(1);
+    let mut chunker = OverlapChunker::new(source, kmax);
+    let mut events = Vec::new();
+    while let Some(view) = chunker.next_window().unwrap() {
+        // One job per (pattern, region); `meta` keeps the two-region
+        // protocol's bookkeeping so outputs (submission order) can be
+        // folded back to global offsets.
+        let mut refs: Vec<JobRef<'_>> = Vec::new();
+        let mut meta: Vec<(usize, usize, usize)> = Vec::new();
+        for (slice, min_end, base) in view.regions() {
+            if slice.is_empty() {
+                continue;
+            }
+            for (id, pattern) in pats.iter().enumerate() {
+                refs.push(JobRef {
+                    id: refs.len() as u64,
+                    pattern,
+                    text: slice,
+                });
+                meta.push((id, min_end, base));
+            }
+        }
+        let report = router.run_refs(&refs).unwrap();
+        for (out, &(pattern, min_end, base)) in report.outputs.iter().zip(&meta) {
+            for end in out.hits.ending_positions() {
+                if end >= min_end {
+                    events.push(DictMatch {
+                        pattern,
+                        end: base + end,
+                    });
+                }
+            }
+        }
+    }
+    events.sort_unstable();
+    events
+}
+
+/// Arbitrary literal dictionaries (AC-comparable) + a text.
+fn literal_workload() -> impl Strategy<Value = (Vec<Vec<u8>>, Vec<u8>)> {
+    (
+        proptest::collection::vec(proptest::collection::vec(0u8..=3, 1..=6), 1..=8),
+        proptest::collection::vec(0u8..=3, 0..=80),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The tentpole equivalence: chunked ingestion through the shard
+    /// router ≡ offline `find_all` ≡ the Aho–Corasick oracle, for
+    /// ragged chunk sizes down to a single byte, at every width and
+    /// shard count.
+    #[test]
+    fn chunked_router_ingestion_equals_offline_and_oracle(
+        (dict, text) in literal_workload(),
+        chunk in 1usize..=16,
+        shards in 1usize..=3,
+    ) {
+        let pats: Vec<Pattern> = dict.iter().map(|p| build(p)).collect();
+        let text = symbols(&text);
+        let want = spec_events(&pats, &text);
+        let oracle = AhoCorasick::new(&pats).unwrap();
+        prop_assert_eq!(&oracle.find_all(&text), &want);
+        for width in WIDTHS {
+            let router = Router::new(RouterConfig {
+                shards,
+                workers_per_shard: 2,
+                width,
+                ..RouterConfig::default()
+            });
+            let got = routed_stream_events(&router, &pats, SliceSource::new(&text, chunk));
+            prop_assert_eq!(
+                &got, &want,
+                "chunk={} shards={} width={}", chunk, shards, width.label()
+            );
+        }
+    }
+
+    /// One shard under a seeded fault campaign, siblings clean: the
+    /// resilience ladder keeps the routed output spec-identical.
+    #[test]
+    fn chaos_on_one_shard_stays_spec_identical(
+        (dict, text) in literal_workload(),
+        seed in 0u64..1_000_000,
+        permille in 0u32..=800,
+        burned in 0usize..3,
+    ) {
+        let pats: Vec<Pattern> = dict.iter().map(|p| build(p)).collect();
+        let text = symbols(&text);
+        let jobs: Vec<Job> = pats
+            .iter()
+            .enumerate()
+            .map(|(id, p)| Job::new(id as u64, p.clone(), text.clone()))
+            .collect();
+        let mut router = Router::new(RouterConfig {
+            shards: 3,
+            workers_per_shard: 2,
+            width: SuperWidth::W8,
+            ..RouterConfig::default()
+        });
+        router.set_resilience(Some(ResiliencePolicy::default()));
+        router.shard_mut(burned).engine_mut().set_fault_plan(Some(
+            FaultPlan::new(seed)
+                .with_worker_fault_permille(permille)
+                .with_max_onset_batches(2)
+                .with_stall_millis(1),
+        ));
+        let report = router.run(&jobs).unwrap();
+        prop_assert_eq!(report.outputs.len(), jobs.len());
+        for (job, out) in jobs.iter().zip(&report.outputs) {
+            prop_assert_eq!(out.id, job.id);
+            prop_assert_eq!(
+                out.hits.bits(),
+                &match_spec(&text, &job.pattern)[..],
+                "job {} diverged under seed {} on shard {}", job.id, seed, burned
+            );
+        }
+    }
+
+    /// File-backed ingestion: a corpus written to disk, read back
+    /// through `PagedCorpus` pages and the chunker, must scan exactly
+    /// like the in-memory slice — byte for byte and match for match.
+    #[test]
+    fn paged_corpus_streams_like_the_slice(
+        text in proptest::collection::vec(0u8..=3, 0..=2000),
+        pat in proptest::collection::vec(0u8..=3, 1..=5),
+        page in 1usize..=512,
+    ) {
+        static CASE: AtomicUsize = AtomicUsize::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "pm_chip_ingest_props_{}_{}.bin",
+            std::process::id(),
+            CASE.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::write(&path, &text).unwrap();
+
+        let pattern = build(&pat);
+        let text = symbols(&text);
+        let mut corpus = PagedCorpus::open(&path, page).unwrap();
+        prop_assert_eq!(corpus.len_hint(), Some(text.len() as u64));
+
+        // Byte stream identical to the slice source.
+        let mut paged = Vec::new();
+        while let Some(chunk) = corpus.next_chunk().unwrap() {
+            paged.extend_from_slice(chunk);
+        }
+        prop_assert_eq!(&paged, &text);
+
+        // Match stream identical to the offline scan.
+        corpus.rewind();
+        let offline: Vec<usize> = match_spec(&text, &pattern)
+            .iter()
+            .enumerate()
+            .filter_map(|(i, hit)| hit.then_some(i))
+            .collect();
+        let mut chunker = OverlapChunker::new(corpus, pattern.len());
+        let mut streamed = Vec::new();
+        while let Some(view) = chunker.next_window().unwrap() {
+            for (slice, min_end, base) in view.regions() {
+                for (pos, hit) in match_spec(slice, &pattern).iter().enumerate() {
+                    if *hit && pos >= min_end {
+                        streamed.push(base + pos);
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(streamed, offline);
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+/// The deterministic 1-byte worst case: every chunk is a single
+/// symbol, so every multi-symbol match spans chunk boundaries — at
+/// every width, through every shard count.
+#[test]
+fn single_byte_chunks_span_every_boundary() {
+    let text: Vec<Symbol> = symbols(&[0, 1, 2, 0, 1, 2, 0, 1, 3, 0, 1, 2, 0, 1]);
+    let pats = vec![build(&[0, 1, 2]), build(&[1, 2, 0, 1]), build(&[3])];
+    let want = spec_events(&pats, &text);
+    assert!(!want.is_empty(), "fixture must actually match");
+    for shards in [1, 2, 4] {
+        for width in WIDTHS {
+            let router = Router::new(RouterConfig {
+                shards,
+                workers_per_shard: 2,
+                width,
+                ..RouterConfig::default()
+            });
+            let got = routed_stream_events(&router, &pats, SliceSource::new(&text, 1));
+            assert_eq!(got, want, "shards={shards} width={}", width.label());
+        }
+    }
+}

@@ -22,6 +22,12 @@ pub struct ServeConfig {
     pub workers: usize,
     /// Superplane width sessions' dictionaries are planned at.
     pub width: SuperWidth,
+    /// Shards in the memory system the server routes sessions over.
+    /// Each shard owns a slice of the global byte budget; sessions are
+    /// pinned to a shard by id, so one hot shard backpressures only
+    /// the sessions it owns. `1` (the default) keeps the whole budget
+    /// in a single pool — the pre-shard behaviour, exactly.
+    pub shards: usize,
     /// Global cap on concurrently open sessions; opens beyond it get
     /// `SERVER_BUSY` with a retry hint (admission control).
     pub max_sessions: usize,
@@ -54,6 +60,7 @@ impl Default for ServeConfig {
             addr: "127.0.0.1:0".parse().expect("literal addr"),
             workers: 0,
             width: SuperWidth::default(),
+            shards: 1,
             max_sessions: 4096,
             max_patterns: 4096,
             max_pattern_len: 64,

@@ -13,9 +13,10 @@
 //! the connection's compiled dictionary, plus accounting. Feeding text
 //! into the superplane farm consumes *batch-slot bytes* — the farm's
 //! finite capacity — so every `FEED` chunk takes a
-//! [`SlotLease`](pm_chip::throughput::SlotLease) from the global
-//! [`SlotPool`] for exactly the chunk's length and releases it when
-//! the chunk has been matched. Exhaustion is answered with
+//! [`SlotLease`](pm_chip::throughput::SlotLease) from the
+//! [`SlotPool`] of the shard the session is pinned to
+//! (`router.shard_for(session_id)`) for exactly the chunk's length
+//! and releases it when the chunk has been matched. Exhaustion is answered with
 //! `SERVER_BUSY` and a retry hint paced by the host
 //! [`RetryPolicy`](pm_chip::host::RetryPolicy) — the same
 //! stall/backoff discipline `ResilientHostBus` applies to sick
@@ -24,6 +25,7 @@
 use crate::config::ServeConfig;
 use crate::protocol::{BusyReason, ErrorCode, Frame, Match};
 use pm_chip::dictionary::{DictionaryMatcher, PatternDictionary};
+use pm_chip::shard::{Router, RouterConfig};
 use pm_chip::telemetry::MetricsRegistry;
 use pm_chip::throughput::SlotPool;
 use pm_systolic::symbol::{Alphabet, Pattern, Symbol};
@@ -39,7 +41,14 @@ use std::sync::Arc;
 pub struct Shared {
     /// The server's configuration.
     pub config: ServeConfig,
-    /// Global batch-slot byte budget.
+    /// The sharded memory system sessions lease batch-slot bytes from.
+    /// Each session is pinned to `router.shard_for(session_id)`, so a
+    /// hot shard backpressures only the sessions it owns.
+    pub router: Router,
+    /// Shard 0's batch-slot pool (clones share state). With the
+    /// default single-shard config this *is* the whole byte budget;
+    /// kept as a field so callers can observe and pre-lease budget
+    /// without picking a shard.
     pub pool: SlotPool,
     /// Sessions open across all connections.
     pub open_sessions: AtomicUsize,
@@ -56,9 +65,20 @@ impl Shared {
     pub fn new(config: ServeConfig) -> Arc<Self> {
         let registry = Arc::new(MetricsRegistry::new());
         let sink = SinkHandle::new(registry.clone());
-        let pool = SlotPool::new(config.global_budget_bytes);
+        let router = Router::with_sink(
+            RouterConfig {
+                shards: config.shards.max(1),
+                workers_per_shard: config.effective_workers(),
+                budget_bytes: config.global_budget_bytes,
+                width: config.width,
+                ..RouterConfig::default()
+            },
+            sink.clone(),
+        );
+        let pool = router.shard(0).pool().clone();
         Arc::new(Shared {
             config,
+            router,
             pool,
             open_sessions: AtomicUsize::new(0),
             next_session: AtomicU64::new(1),
@@ -267,9 +287,11 @@ impl Conn {
             });
             return;
         }
-        // Lease batch-slot bytes from the global pool; exhaustion is
-        // retriable backpressure.
-        let Some(lease) = self.shared.pool.try_lease(bytes.len() as u64) else {
+        // Lease batch-slot bytes from the session's shard of the
+        // memory system; exhaustion is retriable backpressure scoped
+        // to that shard's slice of the budget.
+        let shard = self.shared.router.shard_for(session);
+        let Some(lease) = shard.pool().try_lease(bytes.len() as u64) else {
             s.busy_attempts += 1;
             let retry_after_ms = cfg.retry_after_ms(s.busy_attempts);
             self.shared
@@ -522,6 +544,72 @@ mod tests {
         );
         assert_eq!(s.pool.in_flight(), 0, "lease returned after the chunk");
         assert_eq!(s.registry.snapshot().backpressure_signals, 3);
+    }
+
+    #[test]
+    fn backpressure_is_scoped_to_the_sessions_shard() {
+        // Two shards split the 8-byte budget 4/4. Session ids are
+        // allocated from 1, so the first session lands on shard 1 and
+        // the second on shard 0.
+        let s = shared(ServeConfig {
+            shards: 2,
+            global_budget_bytes: 8,
+            ..ServeConfig::default()
+        });
+        let mut conn = Conn::new(s.clone());
+        let Frame::SessionOpened { session: first } = handle(&mut conn, Frame::OpenSession)[0]
+        else {
+            panic!()
+        };
+        let Frame::SessionOpened { session: second } = handle(&mut conn, Frame::OpenSession)[0]
+        else {
+            panic!()
+        };
+        assert_eq!((first, second), (1, 2));
+        // Starve shard 1 (session 1's shard) from outside.
+        let hog = s.router.shard(1).pool().try_lease(4).unwrap();
+        let out = handle(
+            &mut conn,
+            Frame::Feed {
+                session: first,
+                bytes: b"abcd".to_vec(),
+            },
+        );
+        assert!(
+            matches!(
+                out[0],
+                Frame::ServerBusy {
+                    reason: BusyReason::GlobalBudget,
+                    ..
+                }
+            ),
+            "{out:?}"
+        );
+        // Session 2 lives on shard 0, whose slice of the budget is
+        // untouched: its feed sails through.
+        let out = handle(
+            &mut conn,
+            Frame::Feed {
+                session: second,
+                bytes: b"abcd".to_vec(),
+            },
+        );
+        assert!(
+            matches!(out.last(), Some(Frame::FeedOk { consumed: 4, .. })),
+            "{out:?}"
+        );
+        drop(hog);
+        let out = handle(
+            &mut conn,
+            Frame::Feed {
+                session: first,
+                bytes: b"abcd".to_vec(),
+            },
+        );
+        assert!(
+            matches!(out.last(), Some(Frame::FeedOk { consumed: 4, .. })),
+            "{out:?}"
+        );
     }
 
     #[test]

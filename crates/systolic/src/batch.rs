@@ -168,9 +168,11 @@ fn run_narrow(planes: &SuperPlanes<1>, texts: &[&[Symbol]]) -> Vec<Vec<bool>> {
         // lanes contribute zero planes; their state keeps stepping
         // harmlessly because their outputs are no longer recorded.
         let mut txt_bits = [[0u64; 1]; MAX_BITS];
+        let mut vor = 0u8;
         for (l, t) in texts.iter().enumerate() {
             if let Some(sym) = t.get(i) {
                 let v = sym.value();
+                vor |= v;
                 let lane = 1u64 << l;
                 for (b, plane) in txt_bits.iter_mut().enumerate() {
                     if (v >> b) & 1 == 1 {
@@ -179,12 +181,18 @@ fn run_narrow(planes: &SuperPlanes<1>, texts: &[&[Symbol]]) -> Vec<Vec<bool>> {
                 }
             }
         }
+        // Widen the compared planes when a text symbol carries bits
+        // above the patterns' alphabet: a literal can never equal such
+        // a symbol, and comparing only the alphabet planes would alias
+        // it onto an in-alphabet value. Free when text and pattern
+        // share an alphabet (the common case).
+        let eff_bits = planes.bits.max(8 - vor.leading_zeros());
         let r = step_superplanes(
             &planes.wild,
             &planes.pbits,
             &planes.end,
             &planes.end_positions,
-            planes.bits,
+            eff_bits,
             &mut state,
             &txt_bits,
         )[0];
@@ -643,6 +651,29 @@ mod tests {
         for (h, t) in hits.iter().zip(&texts) {
             assert_eq!(h.bits(), match_spec(t, &p), "text {t:?}");
         }
+    }
+
+    #[test]
+    fn literal_never_matches_a_symbol_outside_the_pattern_alphabet() {
+        // Pattern "AB" compiles to a 2-bit alphabet; E (100) and F
+        // (101) alias to A (00) and B (01) on the low planes. The
+        // kernel must widen the comparison for such positions rather
+        // than report "EF" as "AB" — regression for the dynamic-width
+        // fix in run_narrow.
+        let p = Pattern::parse("AB").unwrap();
+        let compiled = CompiledPattern::compile(&p);
+        let wide = letters("DEFGDEFGABDEFG");
+        let narrow = letters("ABAB");
+        let texts: Vec<&[Symbol]> = vec![&narrow, &wide];
+        let hits = match_uniform(&compiled, &texts).unwrap();
+        assert_eq!(hits[0].bits(), match_spec(&narrow, &p));
+        assert_eq!(hits[1].bits(), match_spec(&wide, &p));
+        assert_eq!(hits[1].ending_positions(), vec![9]);
+        // Wild cards still match out-of-alphabet symbols.
+        let w = Pattern::parse("XB").unwrap();
+        let cw = CompiledPattern::compile(&w);
+        let hits = match_uniform(&cw, &[&wide]).unwrap();
+        assert_eq!(hits[0].bits(), match_spec(&wide, &w));
     }
 
     #[test]

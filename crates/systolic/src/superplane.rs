@@ -393,11 +393,15 @@ fn run_wide_generic<const W: usize>(
     let mut res = [[0u64; W]; BLOCK];
     let bits = planes.bits as usize;
 
+    // Planes dirtied by the previous tile: at least the alphabet's,
+    // more when a tile widened the comparison (see below).
+    let mut dirty = bits;
+
     let mut i0 = 0;
     while i0 < tmax {
         let blk = BLOCK.min(tmax - i0);
         for t in txt.iter_mut().take(blk) {
-            for plane in t.iter_mut().take(bits) {
+            for plane in t.iter_mut().take(dirty) {
                 *plane = [0u64; W];
             }
         }
@@ -406,17 +410,26 @@ fn run_wide_generic<const W: usize>(
         // across the 8 positions, and rotate the 8×8 tile so bytes
         // become per-position rows. Exhausted lanes contribute zero
         // planes; their outputs are not recorded below.
+        //
+        // `tile_bits` widens the compared planes when a text symbol in
+        // this tile carries bits above the patterns' alphabet: a
+        // literal can never equal such a symbol, and comparing only the
+        // alphabet planes would alias it onto an in-alphabet value.
+        // Groups whose symbols stay in-alphabet skip the extra packing;
+        // their high planes are (correctly) zero.
+        let mut tile_bits = bits;
         for group in 0..groups {
             let word = group / 8;
             let shift = 8 * (group % 8) as u32;
-            let mut packed = [0u64; MAX_BITS];
-            for u in 0..BLOCK {
+            let mut xs = [0u64; BLOCK];
+            let mut acc = 0u64;
+            for (u, x) in xs.iter_mut().enumerate() {
                 let l = group * BLOCK + u;
                 if l >= lanes {
                     break;
                 }
                 let t = texts[l];
-                let x = if i0 + BLOCK <= t.len() {
+                *x = if i0 + BLOCK <= t.len() {
                     let tile: &[Symbol; BLOCK] =
                         t[i0..i0 + BLOCK].try_into().expect("tile is 8 symbols");
                     u64::from_le_bytes(tile.map(Symbol::value))
@@ -429,12 +442,25 @@ fn run_wide_generic<const W: usize>(
                 } else {
                     continue;
                 };
-                for (b, p) in packed.iter_mut().enumerate().take(bits) {
+                acc |= *x;
+            }
+            let vor = {
+                let mut v = acc;
+                v |= v >> 32;
+                v |= v >> 16;
+                v |= v >> 8;
+                v as u8
+            };
+            let group_bits = bits.max(8 - vor.leading_zeros() as usize);
+            tile_bits = tile_bits.max(group_bits);
+            let mut packed = [0u64; MAX_BITS];
+            for (b, p) in packed.iter_mut().enumerate().take(group_bits) {
+                for (u, &x) in xs.iter().enumerate() {
                     let col = ((x >> b) & LSB_BYTES).wrapping_mul(PACK) >> 56;
                     *p |= col << (8 * u);
                 }
             }
-            for (b, &p) in packed.iter().enumerate().take(bits) {
+            for (b, &p) in packed.iter().enumerate().take(group_bits) {
                 let tile = transpose8x8(p);
                 for (j, t) in txt.iter_mut().enumerate().take(blk) {
                     t[b][word] |= ((tile >> (8 * j)) & 0xff) << shift;
@@ -448,11 +474,12 @@ fn run_wide_generic<const W: usize>(
                 &planes.pbits,
                 &planes.end,
                 &planes.end_positions,
-                planes.bits,
+                tile_bits as u32,
                 &mut state,
                 &txt[j],
             );
         }
+        dirty = tile_bits;
         // Scatter: transpose the result tile back and expand each
         // lane's 8 result bits to bool bytes with one multiply — the
         // adjacent byte stores merge into a single word store.
@@ -1039,6 +1066,37 @@ mod tests {
         assert_eq!(hits.len(), lanes_of(4) + 13);
         for h in hits {
             assert_eq!(h.ending_positions(), vec![2, 5, 6]);
+        }
+    }
+
+    #[test]
+    fn wide_kernels_never_alias_out_of_alphabet_symbols() {
+        // "AB" compiles to a 2-bit alphabet, so E (100) and F (101)
+        // alias to A and B on the low planes; the tile gather must
+        // widen the comparison for groups whose text carries high
+        // bits — regression for the dynamic-width fix in
+        // run_wide_generic. Mixing in-alphabet and wide lanes in the
+        // same tile exercises the per-group widening.
+        let p = Pattern::parse("AB").unwrap();
+        let compiled = crate::batch::CompiledPattern::compile(&p);
+        let wide = letters("DEFGDEFGABDEFG");
+        let narrow = letters("ABAB");
+        let lanes: Vec<&[Symbol]> = (0..lanes_of(4) - 7)
+            .map(|i| {
+                if i % 2 == 0 {
+                    narrow.as_slice()
+                } else {
+                    wide.as_slice()
+                }
+            })
+            .collect();
+        let hits = match_uniform_wide::<4>(&compiled, &lanes).unwrap();
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.bits(), match_spec(lanes[i], &p), "lane {i}");
+        }
+        let hits = match_uniform_wide::<8>(&compiled, &lanes).unwrap();
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.bits(), match_spec(lanes[i], &p), "lane {i}");
         }
     }
 

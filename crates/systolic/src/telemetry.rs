@@ -270,6 +270,40 @@ pub enum TraceEvent {
         /// Milliseconds the client was asked to back off.
         backoff_ms: u64,
     },
+    /// A worker's own deque was empty, so it stole a batch from a
+    /// sibling (`pm_chip`'s work-stealing scheduler).
+    BatchStolen {
+        /// The thief worker.
+        worker: u32,
+        /// The worker whose deque lost the batch.
+        victim: u32,
+    },
+    /// The router planned one run: jobs were grouped by pattern and
+    /// spread across shards by load and pattern affinity.
+    RouterPlanned {
+        /// Shards the plan spread work over.
+        shards: u32,
+        /// Jobs admitted to the run.
+        jobs: u64,
+        /// Distinct pattern groups the jobs collapsed into.
+        groups: u64,
+        /// Groups moved off their affinity shard for load balance.
+        moves: u64,
+        /// Wall-clock microseconds routing took (admission overhead,
+        /// excluding the per-shard batch planners).
+        micros: u64,
+    },
+    /// One shard of the router memory system accepted its slice of a
+    /// run.
+    ShardAdmitted {
+        /// Shard index within the router.
+        shard: u32,
+        /// Jobs assigned to this shard for the run.
+        jobs: u64,
+        /// Jobs queued on the shard when admission finished (this
+        /// run's assignment, gauged before execution drains it).
+        depth: u64,
+    },
 }
 
 /// Where trace events go. Implementations must be cheap and
